@@ -1,0 +1,65 @@
+//! Memory-parallelism analysis for the `mempar` reproduction of Pai &
+//! Adve, *Code Transformations to Improve Memory Parallelism* (MICRO-32,
+//! 1999) — the paper's Section 3 framework.
+//!
+//! Given an innermost loop of a [`Program`](mempar_ir::Program), this
+//! crate determines:
+//!
+//! 1. **Locality** ([`collect_refs`]): which static references are
+//!    *leading references* (can miss in the external cache), their
+//!    self-spatial locality and `L_m` (iterations per cache line), and
+//!    group structure.
+//! 2. **Dependences** ([`DepGraph`]): cache-line dependences (misses that
+//!    coalesce) and address dependences (indirection, pointer chasing).
+//! 3. **Recurrences** ([`summarize_recurrences`]): cycles that serialize
+//!    misses, each bounding parallelism to `α = R/π` per iteration.
+//! 4. **`f`** ([`estimate_f`], Equations 1–4): the expected number of
+//!    overlappable misses per instruction window, combining dynamic
+//!    inner-loop unrolling `C_m = ceil(W/(i·L_m))` with miss
+//!    probabilities `P_m` for irregular references.
+//!
+//! The companion crate `mempar-transform` consumes [`NestAnalysis`] to
+//! decide and apply unroll-and-jam, inner unrolling and scheduling.
+//!
+//! # Example
+//!
+//! ```
+//! use mempar_ir::ProgramBuilder;
+//! use mempar_analysis::{analyze_inner_loop, MachineSummary, MissProfile};
+//!
+//! // The paper's motivating row-wise traversal (Figure 2(a)).
+//! let mut b = ProgramBuilder::new("fig2a");
+//! let a = b.array_f64("a", &[64, 64]);
+//! let s = b.scalar_f64("sum", 0.0);
+//! let (j, i) = (b.var("j"), b.var("i"));
+//! b.for_const(j, 0, 64, |b| {
+//!     b.for_const(i, 0, 64, |b| {
+//!         let v = b.load(a, &[b.idx(j), b.idx(i)]);
+//!         let acc = b.scalar(s);
+//!         let sum = b.add(acc, v);
+//!         b.assign_scalar(s, sum);
+//!     });
+//! });
+//! let prog = b.finish();
+//! let mempar_ir::Stmt::Loop(outer) = &prog.body[0] else { unreachable!() };
+//! let mempar_ir::Stmt::Loop(inner) = &outer.body[0] else { unreachable!() };
+//!
+//! let m = MachineSummary::base();
+//! let an = analyze_inner_loop(&prog, &inner.body, inner.var, &m,
+//!                             &MissProfile::pessimistic());
+//! assert_eq!(an.recurrences.alpha, 1.0);      // cache-line recurrence
+//! assert!(an.needs_unroll_and_jam(&m));       // f < alpha * lp
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod depgraph;
+mod framework;
+mod refs;
+
+pub use depgraph::{
+    summarize_recurrences, DepEdge, DepGraph, DepKind, Recurrence, RecurrenceSummary,
+};
+pub use framework::{analyze_inner_loop, estimate_f, MachineSummary, NestAnalysis};
+pub use refs::{collect_refs, flat_offset, flat_stride, MissProfile, RefCollection, RefInfo, ScalarDef};

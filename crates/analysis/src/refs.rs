@@ -1,0 +1,530 @@
+//! Reference collection and locality analysis for an innermost loop.
+//!
+//! Implements the paper's prerequisite analyses (Section 3.1): which
+//! static references are *leading references* (can miss in the external
+//! cache) and which exhibit *inner-loop self-spatial locality* (and over
+//! how many iterations, `L_m`).
+
+use mempar_ir::{ArrayId, ArrayRef, DynIndex, Program, ScalarId, Stmt, VarId};
+
+/// Miss-rate profile for irregular references (the `P_m` of Equation 4),
+/// measured by cache simulation or profiling in the paper; here provided
+/// per-array by the profiler in `mempar` or defaulted.
+#[derive(Debug, Clone, Default)]
+pub struct MissProfile {
+    per_array: Vec<(ArrayId, f64)>,
+    /// Miss probability assumed for unprofiled irregular references.
+    pub default_p: f64,
+}
+
+impl MissProfile {
+    /// A profile that assumes every irregular leading instance misses
+    /// (the most aggressive assumption).
+    pub fn pessimistic() -> Self {
+        MissProfile { per_array: Vec::new(), default_p: 1.0 }
+    }
+
+    /// Records the measured miss rate of references to `a`.
+    pub fn set(&mut self, a: ArrayId, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "miss rate must be a probability");
+        self.per_array.retain(|&(x, _)| x != a);
+        self.per_array.push((a, p));
+    }
+
+    /// Miss probability for references to `a`.
+    pub fn p_for(&self, a: ArrayId) -> f64 {
+        self.per_array
+            .iter()
+            .find(|&&(x, _)| x == a)
+            .map(|&(_, p)| p)
+            .unwrap_or(self.default_p)
+    }
+}
+
+/// One static reference in the innermost loop body, with its locality
+/// classification.
+#[derive(Debug, Clone)]
+pub struct RefInfo {
+    /// Index in the collection (node id in the dependence graph).
+    pub id: usize,
+    /// Referenced array.
+    pub array: ArrayId,
+    /// True for stores.
+    pub is_write: bool,
+    /// Position of the owning statement in the innermost body.
+    pub stmt_idx: usize,
+    /// The reference itself.
+    pub r: ArrayRef,
+    /// True when any index dimension is non-affine.
+    pub irregular: bool,
+    /// Elements advanced per innermost iteration (regular refs).
+    pub flat_stride: i64,
+    /// Inner-loop self-spatial locality.
+    pub self_spatial: bool,
+    /// Same address every inner iteration.
+    pub self_temporal: bool,
+    /// Iterations that share one cache line (`L_m`; 1 when unknown).
+    pub l_m: u32,
+    /// Group id (same-array references with constant address offsets).
+    pub group: usize,
+    /// True for the group's leading reference.
+    pub leading: bool,
+    /// Miss probability of leading instances (`P_m`).
+    pub p_miss: f64,
+    /// Scalars whose values feed this reference's address.
+    pub addr_scalars: Vec<ScalarId>,
+    /// Ids of references loaded to form this reference's address
+    /// (indirect indexing), filled during collection.
+    pub addr_refs: Vec<usize>,
+}
+
+/// A scalar assignment observed in the body: `scalar = f(loads...)`.
+#[derive(Debug, Clone)]
+pub struct ScalarDef {
+    /// The assigned scalar.
+    pub scalar: ScalarId,
+    /// Statement position.
+    pub stmt_idx: usize,
+    /// Ids of references loaded in the right-hand side.
+    pub src_refs: Vec<usize>,
+}
+
+/// All references of an innermost loop body plus scalar dataflow.
+#[derive(Debug, Clone, Default)]
+pub struct RefCollection {
+    /// The references, id-indexed.
+    pub refs: Vec<RefInfo>,
+    /// Scalar assignments in body order.
+    pub scalar_defs: Vec<ScalarDef>,
+}
+
+/// Flat element stride of `var` through `r` (sum over dimensions of the
+/// coefficient times the dimension's row-major stride). `None` when any
+/// dimension is irregular.
+pub fn flat_stride(prog: &Program, r: &ArrayRef, var: VarId) -> Option<i64> {
+    let decl = prog.array(r.array);
+    let strides = decl.strides();
+    let mut total = 0i64;
+    for (d, ix) in r.indices.iter().enumerate() {
+        if ix.dynamic.is_some() {
+            return None;
+        }
+        total += ix.affine.coeff(var) * strides[d] as i64;
+    }
+    Some(total)
+}
+
+/// Flat constant element offset of an affine reference (used to compare
+/// group members). `None` for irregular references.
+pub fn flat_offset(prog: &Program, r: &ArrayRef) -> Option<i64> {
+    if !r.is_affine() {
+        return None;
+    }
+    let strides = prog.array(r.array).strides();
+    Some(
+        r.indices
+            .iter()
+            .zip(&strides)
+            .map(|(ix, &s)| ix.affine.constant_term() * s as i64)
+            .sum(),
+    )
+}
+
+/// True when two affine refs differ only in their constant terms.
+fn same_shape(a: &ArrayRef, b: &ArrayRef) -> bool {
+    if a.array != b.array || a.indices.len() != b.indices.len() {
+        return false;
+    }
+    a.indices.iter().zip(&b.indices).all(|(x, y)| {
+        x.dynamic.is_none()
+            && y.dynamic.is_none()
+            && x.affine.sub(&y.affine).is_const()
+    })
+}
+
+/// Collects the references of `body` (the innermost loop's statements,
+/// ignoring nested control flow) and classifies their locality with
+/// respect to innermost variable `iv`.
+///
+/// `line_bytes` is the external cache's line size; `profile` supplies
+/// `P_m` for irregular references.
+pub fn collect_refs(
+    prog: &Program,
+    body: &[Stmt],
+    iv: VarId,
+    line_bytes: usize,
+    profile: &MissProfile,
+) -> RefCollection {
+    let mut out = RefCollection::default();
+    let elems_per_line = (line_bytes / 8).max(1) as i64;
+
+    for (stmt_idx, stmt) in body.iter().enumerate() {
+        let mut rhs_ref_ids: Vec<usize> = Vec::new();
+        let mut add_ref = |coll: &mut RefCollection, r: &ArrayRef, is_write: bool| -> usize {
+            let id = coll.refs.len();
+            let stride = flat_stride(prog, r, iv);
+            let irregular = stride.is_none();
+            let flat = stride.unwrap_or(0);
+            let bytes_per_iter = flat.unsigned_abs().saturating_mul(8);
+            let self_temporal = !irregular && flat == 0;
+            let self_spatial =
+                !irregular && flat != 0 && (bytes_per_iter as usize) < line_bytes;
+            let l_m = if self_spatial {
+                (elems_per_line / flat.abs()).max(1) as u32
+            } else {
+                1
+            };
+            let mut addr_scalars = Vec::new();
+            let mut addr_refs = Vec::new();
+            for ix in &r.indices {
+                match &ix.dynamic {
+                    Some(DynIndex::Scalar { scalar, .. }) => addr_scalars.push(*scalar),
+                    Some(DynIndex::Indirect { .. }) => {
+                        // The inner ref was visited (and added) just before
+                        // this one; link to the most recent ref on the same
+                        // statement that matches the inner structure.
+                        // Collection order guarantees inner-before-outer.
+                        if let Some(&last) = rhs_ref_ids.last() {
+                            addr_refs.push(last);
+                        }
+                    }
+                    None => {}
+                }
+            }
+            coll.refs.push(RefInfo {
+                id,
+                array: r.array,
+                is_write,
+                stmt_idx,
+                r: r.clone(),
+                irregular,
+                flat_stride: flat,
+                self_spatial,
+                self_temporal,
+                l_m,
+                group: id, // refined below
+                leading: false,
+                p_miss: if irregular { profile.p_for(r.array) } else { 1.0 },
+                addr_scalars,
+                addr_refs,
+            });
+            rhs_ref_ids.push(id);
+            id
+        };
+
+        match stmt {
+            Stmt::AssignArray { lhs, rhs } => {
+                rhs.visit_refs(&mut |r| {
+                    add_ref(&mut out, r, false);
+                });
+                lhs.visit_inner_refs(&mut |r| {
+                    add_ref(&mut out, r, false);
+                });
+                add_ref(&mut out, lhs, true);
+            }
+            Stmt::AssignScalar { lhs, rhs } => {
+                let mut srcs = Vec::new();
+                rhs.visit_refs(&mut |r| {
+                    srcs.push(add_ref(&mut out, r, false));
+                });
+                out.scalar_defs.push(ScalarDef { scalar: *lhs, stmt_idx, src_refs: srcs });
+            }
+            // Nested loops/guards are not part of *this* innermost body.
+            _ => {}
+        }
+    }
+
+    assign_groups(prog, &mut out, elems_per_line);
+    out
+}
+
+/// Groups same-shape references whose constant offsets fall within one
+/// cache line of a group leader, and marks leading references.
+///
+/// Grouping is greedy from the first-touched end of the traversal
+/// (largest offset for positive strides): a reference joins the current
+/// group while it stays within a line's span of the leader, otherwise it
+/// opens a new group with itself as leader. This avoids transitively
+/// chaining long spans (e.g. unrolled offsets 0,2,4,...,30 form four
+/// line-sized groups, not one).
+fn assign_groups(prog: &Program, coll: &mut RefCollection, elems_per_line: i64) {
+    let n = coll.refs.len();
+    let mut assigned = vec![false; n];
+    for i in 0..n {
+        if assigned[i] {
+            continue;
+        }
+        if coll.refs[i].irregular {
+            coll.refs[i].group = i;
+            coll.refs[i].leading = true;
+            assigned[i] = true;
+            continue;
+        }
+        // Collect the same-shape cluster containing ref i.
+        let mut cluster: Vec<(usize, i64)> = Vec::new();
+        for j in 0..n {
+            if !assigned[j]
+                && !coll.refs[j].irregular
+                && same_shape(&coll.refs[i].r, &coll.refs[j].r)
+            {
+                if let Some(off) = flat_offset(prog, &coll.refs[j].r) {
+                    cluster.push((j, off));
+                }
+            }
+        }
+        // First-touched order: descending offsets for forward traversal,
+        // ascending for backward.
+        let forward = coll.refs[i].flat_stride >= 0;
+        cluster.sort_by_key(|&(_, off)| if forward { -off } else { off });
+        let mut leader: Option<(usize, i64)> = None;
+        for (j, off) in cluster {
+            let new_group = match leader {
+                None => true,
+                Some((_, loff)) => (loff - off).abs() >= elems_per_line,
+            };
+            if new_group {
+                leader = Some((j, off));
+                coll.refs[j].leading = true;
+            }
+            let (lid, _) = leader.expect("leader set above");
+            coll.refs[j].group = lid;
+            assigned[j] = true;
+        }
+    }
+}
+
+impl RefCollection {
+    /// The leading references (the framework's `R`/`f` candidates).
+    pub fn leading(&self) -> impl Iterator<Item = &RefInfo> {
+        self.refs.iter().filter(|r| r.leading)
+    }
+
+    /// Static FP-pipeline-style instruction estimate per innermost
+    /// iteration (`i` in the paper's `ceil(W/i)` dynamic unrolling).
+    pub fn body_ops_estimate(&self, body: &[Stmt]) -> usize {
+        let mut ops = 2; // loop counter + branch
+        for stmt in body {
+            match stmt {
+                Stmt::AssignArray { rhs, .. } => {
+                    ops += 1 + rhs.fp_op_count(); // the store
+                }
+                Stmt::AssignScalar { rhs, .. } => {
+                    ops += rhs.fp_op_count();
+                }
+                Stmt::If { .. } => ops += 2,
+                _ => ops += 1,
+            }
+        }
+        // Each collected reference costs a load (stores counted above).
+        ops + self.refs.iter().filter(|r| !r.is_write).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mempar_ir::{AffineExpr, Index, ProgramBuilder};
+
+    /// The paper's first example:
+    /// `b[j,2i] = b[j,2i] + a[j,i] + a[j,i-1]`.
+    fn paper_example() -> (Program, VarId, Vec<Stmt>) {
+        let mut b = ProgramBuilder::new("ex");
+        let a = b.array_f64("a", &[64, 64]);
+        let bb = b.array_f64("b", &[64, 128]);
+        let j = b.var("j");
+        let i = b.var("i");
+        b.for_const(j, 0, 64, |b| {
+            b.for_const(i, 1, 64, |b| {
+                let b_ref = [b.idx(j), b.idx_e(AffineExpr::scaled_var(i, 2, 0))];
+                let old = b.load(bb, &b_ref);
+                let a1 = b.load(a, &[b.idx(j), b.idx(i)]);
+                let a0 = b.load(a, &[b.idx(j), b.idx_e(AffineExpr::var(i).offset(-1))]);
+                let s1 = b.add(old, a1);
+                let s2 = b.add(s1, a0);
+                b.assign_array(bb, &b_ref, s2);
+            });
+        });
+        let p = b.finish();
+        let mempar_ir::Stmt::Loop(outer) = &p.body[0] else { panic!() };
+        let mempar_ir::Stmt::Loop(inner) = &outer.body[0] else { panic!() };
+        let body = inner.body.clone();
+        (p, i, body)
+    }
+
+    #[test]
+    fn classifies_paper_example() {
+        let (p, iv, body) = paper_example();
+        let coll = collect_refs(&p, &body, iv, 64, &MissProfile::pessimistic());
+        // 4 refs: load b, load a[j,i], load a[j,i-1], store b.
+        assert_eq!(coll.refs.len(), 4);
+        // a[j,i] and a[j,i-1] are one group; a[j,i] leads.
+        let a_loads: Vec<&RefInfo> =
+            coll.refs.iter().filter(|r| p.array(r.array).name == "a").collect();
+        assert_eq!(a_loads.len(), 2);
+        assert_eq!(a_loads[0].group, a_loads[1].group);
+        let leader = a_loads.iter().find(|r| r.leading).expect("one leader");
+        assert_eq!(leader.r.indices[1].affine.constant_term(), 0, "a[j,i] leads");
+        // Stride-1 f64 on 64-byte lines: L_m = 8.
+        assert_eq!(leader.l_m, 8);
+        assert!(leader.self_spatial);
+        // b[j,2i]: stride 2, still self-spatial, L_m = 4; load+store one group.
+        let b_refs: Vec<&RefInfo> =
+            coll.refs.iter().filter(|r| p.array(r.array).name == "b").collect();
+        assert_eq!(b_refs[0].group, b_refs[1].group);
+        let b_leader = b_refs.iter().find(|r| r.leading).expect("leader");
+        assert_eq!(b_leader.l_m, 4);
+        // Three leading refs total (a-group, b-group... b load and store
+        // share a group so exactly one leader there).
+        assert_eq!(coll.leading().count(), 2);
+    }
+
+    #[test]
+    fn column_traversal_is_not_spatial() {
+        // a[i,j] indexed by inner i over rows: stride = row length.
+        let mut b = ProgramBuilder::new("col");
+        let a = b.array_f64("a", &[64, 64]);
+        let s = b.scalar_f64("s", 0.0);
+        let j = b.var("j");
+        let i = b.var("i");
+        b.for_const(j, 0, 64, |b| {
+            b.for_const(i, 0, 64, |b| {
+                let v = b.load(a, &[b.idx(i), b.idx(j)]);
+                let acc = b.scalar(s);
+                let e = b.add(acc, v);
+                b.assign_scalar(s, e);
+            });
+        });
+        let p = b.finish();
+        let mempar_ir::Stmt::Loop(outer) = &p.body[0] else { panic!() };
+        let mempar_ir::Stmt::Loop(inner) = &outer.body[0] else { panic!() };
+        let coll = collect_refs(&p, &inner.body, i, 64, &MissProfile::pessimistic());
+        let r = &coll.refs[0];
+        assert!(!r.self_spatial);
+        assert_eq!(r.flat_stride, 64);
+        assert_eq!(r.l_m, 1);
+        assert!(r.leading);
+    }
+
+    #[test]
+    fn indirect_ref_is_irregular_with_address_link() {
+        // sum += data[ind[i]]
+        let mut b = ProgramBuilder::new("gather");
+        let ind = b.array_i64("ind", &[64]);
+        let data = b.array_f64("data", &[1024]);
+        let s = b.scalar_f64("s", 0.0);
+        let i = b.var("i");
+        b.for_const(i, 0, 64, |b| {
+            let inner = ArrayRef::new(ind, vec![Index::affine(AffineExpr::var(i))]);
+            let v = b.load_ref(ArrayRef::new(data, vec![Index::indirect(inner)]));
+            let acc = b.scalar(s);
+            let e = b.add(acc, v);
+            b.assign_scalar(s, e);
+        });
+        let p = b.finish();
+        let mempar_ir::Stmt::Loop(l) = &p.body[0] else { panic!() };
+        let mut prof = MissProfile::pessimistic();
+        prof.set(data, 0.5);
+        let coll = collect_refs(&p, &l.body, i, 64, &prof);
+        assert_eq!(coll.refs.len(), 2);
+        let ind_ref = &coll.refs[0];
+        let data_ref = &coll.refs[1];
+        assert!(!ind_ref.irregular);
+        assert!(ind_ref.self_spatial);
+        assert!(data_ref.irregular);
+        assert!(data_ref.leading);
+        assert_eq!(data_ref.p_miss, 0.5);
+        assert_eq!(data_ref.addr_refs, vec![0], "address flows from ind[i]");
+    }
+
+    #[test]
+    fn pointer_chase_records_scalar_dataflow() {
+        // p = next[p]
+        let mut b = ProgramBuilder::new("chase");
+        let next = b.array_i64("next", &[64]);
+        let ps = b.scalar_i64("p", 0);
+        let i = b.var("i");
+        b.for_const(i, 0, 64, |b| {
+            let v = b.load_ref(ArrayRef::new(next, vec![Index::scalar(ps)]));
+            b.assign_scalar(ps, v);
+        });
+        let p = b.finish();
+        let mempar_ir::Stmt::Loop(l) = &p.body[0] else { panic!() };
+        let coll = collect_refs(&p, &l.body, i, 64, &MissProfile::pessimistic());
+        assert_eq!(coll.refs.len(), 1);
+        assert!(coll.refs[0].irregular);
+        assert_eq!(coll.refs[0].addr_scalars, vec![ps]);
+        assert_eq!(coll.scalar_defs.len(), 1);
+        assert_eq!(coll.scalar_defs[0].scalar, ps);
+        assert_eq!(coll.scalar_defs[0].src_refs, vec![0]);
+    }
+
+    #[test]
+    fn ops_estimate_reasonable() {
+        let (p, iv, body) = paper_example();
+        let coll = collect_refs(&p, &body, iv, 64, &MissProfile::pessimistic());
+        let i = coll.body_ops_estimate(&body);
+        // 3 loads + 1 store + 2 fp + 2 overhead = 8.
+        assert_eq!(i, 8);
+    }
+
+    #[test]
+    fn long_offset_chains_split_into_line_groups() {
+        // Unrolled offsets 0,2,4,...,30 at stride 2 (a 16-copy jam of a
+        // stride-2 stream): one group per 8-element line span, not one
+        // transitively-chained blob.
+        let mut b = ProgramBuilder::new("chain");
+        let a = b.array_f64("a", &[4096]);
+        let s = b.scalar_f64("s", 0.0);
+        let i = b.var("i");
+        b.for_const(i, 0, 128, |b| {
+            let mut acc = b.scalar(s);
+            for u in 0..16 {
+                let v = b.load(a, &[b.idx_e(AffineExpr::scaled_var(i, 32, 2 * u))]);
+                acc = b.add(acc, v);
+            }
+            b.assign_scalar(s, acc);
+        });
+        let p = b.finish();
+        let mempar_ir::Stmt::Loop(l) = &p.body[0] else { panic!() };
+        let coll = collect_refs(&p, &l.body, i, 64, &MissProfile::pessimistic());
+        // Offsets span 0..=30 elements = 4 cache lines -> 4 leaders.
+        assert_eq!(coll.leading().count(), 4, "one leader per line span");
+    }
+
+    #[test]
+    fn backward_stride_leader_is_smallest_offset() {
+        let mut b = ProgramBuilder::new("back");
+        let a = b.array_f64("a", &[256]);
+        let s = b.scalar_f64("s", 0.0);
+        let i = b.var("i");
+        b.for_step(i, 1, 255, -1, |b| {
+            let v0 = b.load(a, &[b.idx(i)]);
+            let v1 = b.load(a, &[b.idx_e(AffineExpr::var(i).offset(-1))]);
+            let acc = b.scalar(s);
+            let e1 = b.add(v0, v1);
+            let e = b.add(acc, e1);
+            b.assign_scalar(s, e);
+        });
+        let p = b.finish();
+        let mempar_ir::Stmt::Loop(l) = &p.body[0] else { panic!() };
+        let coll = collect_refs(&p, &l.body, i, 64, &MissProfile::pessimistic());
+        let leader = coll.leading().next().expect("one group");
+        assert_eq!(coll.leading().count(), 1);
+        // Leader selection uses the reference's coefficient sign (the
+        // collection API does not see the loop's step direction), so the
+        // larger offset leads. Group membership, alpha and f are
+        // unaffected; only the first-touch label shifts within the group.
+        assert_eq!(leader.r.indices[0].affine.constant_term(), 0);
+    }
+
+    #[test]
+    fn profile_lookup() {
+        let mut prof = MissProfile { per_array: vec![], default_p: 0.3 };
+        let a = ArrayId::from_raw(0);
+        assert_eq!(prof.p_for(a), 0.3);
+        prof.set(a, 0.9);
+        assert_eq!(prof.p_for(a), 0.9);
+        prof.set(a, 0.7);
+        assert_eq!(prof.p_for(a), 0.7);
+    }
+}

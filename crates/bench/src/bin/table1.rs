@@ -1,0 +1,80 @@
+//! Prints Table 1 — the base simulated configuration — as encoded in
+//! [`MachineConfig::base_simulated`], for comparison with the paper.
+
+use mempar::MachineConfig;
+use mempar_stats::{format_rows, Row};
+
+fn main() {
+    let c = MachineConfig::base_simulated(16, 64 * 1024);
+    let l1 = c.l1.as_ref().expect("base config has an L1");
+    let rows = vec![
+        Row::new("Clock rate", vec![format!("{} MHz", c.proc.clock_mhz)]),
+        Row::new("Fetch rate", vec![format!("{} instructions/cycle", c.proc.width)]),
+        Row::new("Instruction window", vec![format!("{} in-flight", c.proc.window)]),
+        Row::new("Memory queue size", vec![format!("{}", c.proc.mem_queue)]),
+        Row::new("Outstanding branches", vec![format!("{}", c.proc.max_branches)]),
+        Row::new(
+            "Functional units",
+            vec![format!(
+                "{} ALUs, {} FPUs, {} address units",
+                c.proc.fu.alus, c.proc.fu.fpus, c.proc.fu.addr_units
+            )],
+        ),
+        Row::new(
+            "FU latencies",
+            vec![format!(
+                "{} (addr/ALU), {} (FPU), {} (imul/idiv), {} (fdiv), {} (fsqrt)",
+                c.proc.fu.int_latency,
+                c.proc.fu.fp_latency,
+                c.proc.fu.int_mul_latency,
+                c.proc.fu.fp_div_latency,
+                c.proc.fu.fp_sqrt_latency
+            )],
+        ),
+        Row::new(
+            "L1 D-cache",
+            vec![format!(
+                "{} KB, {}-way, {} ports, {} MSHRs, {}B line",
+                l1.size_bytes / 1024,
+                l1.assoc,
+                l1.ports,
+                l1.mshrs,
+                l1.line_bytes
+            )],
+        ),
+        Row::new(
+            "L2 cache",
+            vec![format!(
+                "64 KB or 1 MB (per app), {}-way, {} port, {} MSHRs, {}B line, pipelined",
+                c.l2.assoc, c.l2.ports, c.l2.mshrs, c.l2.line_bytes
+            )],
+        ),
+        Row::new(
+            "Memory banks",
+            vec![format!("{}-way, {:?} interleaving", c.mem.banks, c.mem.interleave)],
+        ),
+        Row::new(
+            "Bus",
+            vec![format!(
+                "{}x processor cycle, {} bits, split transaction",
+                c.bus.cycle_ratio,
+                c.bus.width_bytes * 8
+            )],
+        ),
+        Row::new(
+            "Network",
+            vec![format!(
+                "2D mesh, {}x processor cycle, {} bits, flit delay {} network cycles/hop",
+                c.net.cycle_ratio,
+                c.net.flit_bytes * 8,
+                c.net.hop_cycles
+            )],
+        ),
+    ];
+    println!("{}", format_rows("Table 1: base simulated configuration", &["value"], &rows));
+    println!(
+        "Unloaded latencies (cycles): L1 hit {}, L2 hit {}, local memory ~85,",
+        l1.hit_latency, c.l2.hit_latency
+    );
+    println!("remote 180-260, cache-to-cache 210-310 (see sim tests for calibration).");
+}

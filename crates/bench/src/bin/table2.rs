@@ -1,0 +1,35 @@
+//! Prints Table 2 — the workload catalog with the paper's simulated
+//! input sizes and processor counts, plus the sizes produced at the
+//! requested `--scale`.
+
+use mempar_bench::parse_args;
+use mempar_stats::{format_rows, Row};
+use mempar_workloads::App;
+
+fn main() {
+    let args = parse_args();
+    let rows: Vec<Row> = App::all()
+        .into_iter()
+        .map(|app| {
+            let w = app.build(args.scale);
+            let arrays: usize = w.program.arrays.iter().map(|a| a.len()).sum();
+            Row::new(
+                app.name(),
+                vec![
+                    app.input_desc().to_string(),
+                    format!("{}", w.mp_procs),
+                    format!("{} KB", arrays * 8 / 1024),
+                    format!("{} KB", w.l2_bytes / 1024),
+                ],
+            )
+        })
+        .collect();
+    println!(
+        "{}",
+        format_rows(
+            &format!("Table 2: workloads (simulated sizes; data at scale {})", args.scale),
+            &["paper input", "procs", "data@scale", "L2"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,60 @@
+//! Regenerates Table 3: percent execution-time reduction from clustering
+//! on the Exemplar-like machine (bus-based SMP, single-level 1 MB cache,
+//! 32-byte lines), uniprocessor and 8-processor runs.
+
+use mempar::MachineConfig;
+use mempar_bench::{parse_args, run_app};
+use mempar_stats::{format_rows, Row};
+use mempar_workloads::App;
+
+fn main() {
+    let args = parse_args();
+    // Paper values for reference (mp, up); N/A encoded as NaN.
+    let paper: &[(&str, f64, f64)] = &[
+        ("Em3d", 9.2, 13.0),
+        ("Erlebacher", 21.4, 34.3),
+        ("FFT", 16.6, 28.9),
+        ("LU", 22.7, 23.8),
+        ("Mp3d", f64::NAN, 21.7),
+        ("MST", f64::NAN, 38.1),
+        ("Ocean", -2.9, 21.6),
+    ];
+    let mut rows = Vec::new();
+    for app in args.apps.clone() {
+        let up_cfg = MachineConfig::exemplar(1);
+        let up = run_app(app, &up_cfg, args.scale);
+        let mp_red = if app.runs_multiprocessor() && app != App::Mp3d {
+            // Mp3d is uniprocessor-only on the real machine (Section 4.2).
+            let mp_cfg = MachineConfig::exemplar(8);
+            let mp = run_app(app, &mp_cfg, args.scale);
+            format!("{:5.1}", mp.percent_reduction())
+        } else {
+            "  N/A".to_string()
+        };
+        let (pm, pu) = paper
+            .iter()
+            .find(|(n, _, _)| *n == app.name())
+            .map(|&(_, m, u)| (m, u))
+            .unwrap_or((f64::NAN, f64::NAN));
+        rows.push(Row::new(
+            app.name(),
+            vec![
+                mp_red,
+                format!("{:5.1}", up.percent_reduction()),
+                if pm.is_nan() { "  N/A".into() } else { format!("{pm:5.1}") },
+                format!("{pu:5.1}"),
+            ],
+        ));
+    }
+    println!(
+        "{}",
+        format_rows(
+            &format!(
+                "Table 3: % execution time reduced, Exemplar-like machine (scale {})",
+                args.scale
+            ),
+            &["mp(8)", "up", "paper-mp", "paper-up"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,182 @@
+//! Shared infrastructure for the benchmark harness binaries that
+//! regenerate every table and figure of the paper (see DESIGN.md for the
+//! experiment index).
+//!
+//! Binaries (run with `cargo run --release -p mempar-bench --bin <name>`):
+//!
+//! | Binary | Regenerates |
+//! |---|---|
+//! | `table1` | Table 1 (base simulated configuration) |
+//! | `table2` | Table 2 (workload catalog) |
+//! | `latbench` | §5.1 (Latbench stall/latency/utilization) |
+//! | `fig3` | Figure 3 (execution-time breakdowns, `--mode up/mp/up-1ghz/mp-1ghz`) |
+//! | `table3` | Table 3 (Exemplar-like machine reductions) |
+//! | `fig4` | Figure 4 (L2 MSHR occupancy curves, LU & Ocean) |
+//! | `ablation` | Design-choice ablations (window/MSHR/degree sweeps) |
+//!
+//! All binaries accept `--scale <f>` (default 0.1) to size the inputs as
+//! a fraction of Table 2's, and `--apps a,b,c` to restrict the set.
+
+#![warn(missing_docs)]
+
+use mempar::{run_pair, MachineConfig, RunPair};
+use mempar_workloads::App;
+
+/// Command-line options shared by the harness binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Input-size fraction of the paper's Table 2 sizes.
+    pub scale: f64,
+    /// Applications to run.
+    pub apps: Vec<App>,
+    /// Free-form mode string (binary-specific).
+    pub mode: String,
+    /// Override processor count (0 = use each workload's Table 2 count).
+    pub procs: usize,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs {
+            scale: 0.1,
+            apps: App::applications().to_vec(),
+            mode: String::new(),
+            procs: 0,
+        }
+    }
+}
+
+/// Parses `--scale`, `--apps`, `--mode` and `--procs` from the process
+/// arguments. Unknown flags abort with a usage message.
+pub fn parse_args() -> HarnessArgs {
+    let mut out = HarnessArgs::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut take = || {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--scale" => {
+                out.scale = take().parse().unwrap_or_else(|_| {
+                    eprintln!("--scale expects a float");
+                    std::process::exit(2);
+                })
+            }
+            "--mode" => out.mode = take(),
+            "--procs" => {
+                out.procs = take().parse().unwrap_or_else(|_| {
+                    eprintln!("--procs expects an integer");
+                    std::process::exit(2);
+                })
+            }
+            "--apps" => {
+                let list = take();
+                out.apps = list
+                    .split(',')
+                    .map(|name| {
+                        App::all()
+                            .into_iter()
+                            .find(|a| a.name().eq_ignore_ascii_case(name))
+                            .unwrap_or_else(|| {
+                                eprintln!("unknown app {name}");
+                                std::process::exit(2);
+                            })
+                    })
+                    .collect();
+            }
+            "--help" | "-h" => {
+                println!(
+                    "flags: --scale <f>  --apps <a,b,c>  --mode <m>  --procs <n>"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    out
+}
+
+/// Runs one application base-vs-clustered on the machine `cfg` at
+/// `scale`, printing a progress line.
+pub fn run_app(app: App, cfg: &MachineConfig, scale: f64) -> RunPair {
+    let w = app.build(scale);
+    eprintln!(
+        "[{}] {} on {} ({} procs)...",
+        app.name(),
+        w.name,
+        cfg.name,
+        cfg.nprocs
+    );
+    let pair = run_pair(&w, cfg);
+    if !pair.outputs_match {
+        eprintln!("WARNING: {} outputs differ between base and clustered!", app.name());
+    }
+    pair
+}
+
+/// Machine for the simulated uni/multiprocessor experiments (Table 1).
+pub fn simulated_config(app: App, scale: f64, mp: bool, ghz: bool) -> MachineConfig {
+    let w = app.build(scale);
+    // The Woo et al. methodology scales caches with the working set; at
+    // reduced input scales, scale the L2 similarly (min 32 KB).
+    let l2 = scaled_l2(w.l2_bytes, scale);
+    let nprocs = if mp { w.mp_procs.max(1) } else { 1 };
+    if ghz {
+        MachineConfig::fast_1ghz(nprocs, l2)
+    } else {
+        MachineConfig::base_simulated(nprocs, l2)
+    }
+}
+
+/// Scales an L2 size with the input scale, keeping a power of two and a
+/// 32 KB floor.
+pub fn scaled_l2(base_bytes: usize, scale: f64) -> usize {
+    let target = (base_bytes as f64 * scale) as usize;
+    let mut size = 32 * 1024;
+    while size * 2 <= target {
+        size *= 2;
+    }
+    size
+}
+
+/// One row of a Figure 3-style summary for stdout.
+pub fn summarize_pair(pair: &RunPair) -> String {
+    let b = pair.base.mean_breakdown();
+    let c = pair.clustered.mean_breakdown();
+    format!(
+        "{:<11} base {:>12} cy | clust {:>12} cy | reduction {:>5.1}% | data stall {:>5.1}% -> {:>5.1}% | outputs {}",
+        pair.name,
+        pair.base.cycles,
+        pair.clustered.cycles,
+        pair.percent_reduction(),
+        100.0 * b.data / b.total().max(1e-9),
+        100.0 * c.data / b.total().max(1e-9),
+        if pair.outputs_match { "ok" } else { "MISMATCH" }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_scaling() {
+        assert_eq!(scaled_l2(64 * 1024, 1.0), 64 * 1024);
+        assert_eq!(scaled_l2(1024 * 1024, 1.0), 1024 * 1024);
+        assert_eq!(scaled_l2(64 * 1024, 0.1), 32 * 1024);
+        assert_eq!(scaled_l2(1024 * 1024, 0.1), 64 * 1024);
+    }
+
+    #[test]
+    fn default_args() {
+        let a = HarnessArgs::default();
+        assert_eq!(a.apps.len(), 7);
+        assert!(a.scale > 0.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! The experiment runner: base vs clustered on a configured machine —
+//! the loop behind every table and figure regeneration.
+
+use mempar_analysis::{MachineSummary, MissProfile};
+use mempar_ir::{HomePolicy, Program};
+use mempar_sim::{run_program, MachineConfig, SimResult, Topology};
+use mempar_transform::{cluster_program, ClusterReport};
+use mempar_workloads::Workload;
+
+use crate::profile::profile_miss_rates;
+
+/// Distills the full machine configuration into the parameters the
+/// analysis framework uses (Section 3.2.2's `W`, `lp`, line size).
+pub fn machine_summary(cfg: &MachineConfig) -> MachineSummary {
+    MachineSummary {
+        window: cfg.proc.window,
+        procs: cfg.nprocs,
+        mshrs: cfg.l2.mshrs,
+        line_bytes: cfg.l2.line_bytes,
+        max_unroll: 16,
+    }
+}
+
+/// Produces the clustered variant of a workload's program by profiling
+/// miss rates and running the transformation driver — the mechanical
+/// equivalent of the paper's hand-applied transformations.
+pub fn cluster_workload(w: &Workload, cfg: &MachineConfig) -> (Program, ClusterReport) {
+    let mut profile_mem = w.memory(1);
+    let profile = profile_miss_rates(&w.program, &mut profile_mem, &cfg.l2);
+    let mut clustered = w.program.clone();
+    let report = cluster_program(&mut clustered, &machine_summary(cfg), &profile);
+    (clustered, report)
+}
+
+/// Results of one base-vs-clustered comparison.
+#[derive(Debug)]
+pub struct RunPair {
+    /// Workload name.
+    pub name: String,
+    /// Machine configuration name.
+    pub config: String,
+    /// The untransformed run.
+    pub base: SimResult,
+    /// The clustered run.
+    pub clustered: SimResult,
+    /// What the transformation driver did.
+    pub report: ClusterReport,
+    /// Whether base and clustered runs produced identical outputs.
+    pub outputs_match: bool,
+    /// The miss profile used for `P_m`.
+    pub profile: MissProfile,
+}
+
+impl RunPair {
+    /// Percent execution-time reduction (Table 3's metric).
+    pub fn percent_reduction(&self) -> f64 {
+        let b = self.base.mean_breakdown();
+        self.clustered.mean_breakdown().percent_reduction_from(&b)
+    }
+}
+
+/// Runs `w` untransformed and clustered on `cfg` and compares.
+///
+/// The NUMA home policy follows the topology: block placement for
+/// CC-NUMA (the SPLASH convention), centralized for bus-based SMPs.
+pub fn run_pair(w: &Workload, cfg: &MachineConfig) -> RunPair {
+    let policy = match cfg.topology {
+        Topology::Numa => HomePolicy::BlockPerArray,
+        Topology::SmpBus => HomePolicy::Centralized,
+    };
+    let mut profile_mem = w.memory(1);
+    let profile = profile_miss_rates(&w.program, &mut profile_mem, &cfg.l2);
+    let mut clustered_prog = w.program.clone();
+    let report = cluster_program(&mut clustered_prog, &machine_summary(cfg), &profile);
+
+    let mut base_mem = w.memory_with_policy(cfg.nprocs, policy);
+    let base = run_program(&w.program, &mut base_mem, cfg);
+    let mut clust_mem = w.memory_with_policy(cfg.nprocs, policy);
+    let clustered = run_program(&clustered_prog, &mut clust_mem, cfg);
+
+    let outputs_match = w.read_outputs(&base_mem) == w.read_outputs(&clust_mem);
+    RunPair {
+        name: w.name.clone(),
+        config: cfg.name.clone(),
+        base,
+        clustered,
+        report,
+        outputs_match,
+        profile,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mempar_workloads::{latbench, LatbenchParams};
+
+    #[test]
+    fn latbench_pair_speeds_up_and_matches() {
+        let w = latbench(LatbenchParams { chains: 16, chain_len: 64, pool: 1 << 15, seed: 3 });
+        let cfg = MachineConfig::base_simulated(1, w.l2_bytes);
+        let pair = run_pair(&w, &cfg);
+        assert!(pair.outputs_match, "clustering must preserve results");
+        assert!(
+            pair.report.decisions.iter().any(|d| d.uaj_degree > 1),
+            "{}",
+            pair.report.summary()
+        );
+        assert!(
+            pair.percent_reduction() > 30.0,
+            "chase overlap should be large: {:.1}% ({} -> {} cycles)",
+            pair.percent_reduction(),
+            pair.base.cycles,
+            pair.clustered.cycles
+        );
+        // Read-miss stall per miss drops sharply (the Latbench headline).
+        let base_stall = pair.base.avg_read_miss_stall_ns();
+        let clust_stall = pair.clustered.avg_read_miss_stall_ns();
+        assert!(
+            clust_stall * 2.0 < base_stall,
+            "stall/miss: {base_stall:.0} ns -> {clust_stall:.0} ns"
+        );
+    }
+
+    #[test]
+    fn machine_summary_distills() {
+        let cfg = MachineConfig::base_simulated(4, 64 * 1024);
+        let m = machine_summary(&cfg);
+        assert_eq!(m.window, 64);
+        assert_eq!(m.mshrs, 10);
+        assert_eq!(m.line_bytes, 64);
+    }
+}

@@ -1,0 +1,374 @@
+//! Ergonomic construction of [`Program`]s.
+//!
+//! [`ProgramBuilder`] keeps a stack of open statement lists so loop nests
+//! can be written with nested closures:
+//!
+//! ```
+//! use mempar_ir::ProgramBuilder;
+//! let mut b = ProgramBuilder::new("axpy");
+//! let x = b.array_f64("x", &[128]);
+//! let y = b.array_f64("y", &[128]);
+//! let i = b.var("i");
+//! b.for_const(i, 0, 128, |b| {
+//!     let xi = b.load(x, &[b.idx(i)]);
+//!     let yi = b.load(y, &[b.idx(i)]);
+//!     let two = b.constf(2.0);
+//!     let ax = b.mul(two, xi);
+//!     let s = b.add(ax, yi);
+//!     b.assign_array(y, &[b.idx(i)], s);
+//! });
+//! let prog = b.finish();
+//! assert_eq!(prog.arrays.len(), 2);
+//! ```
+
+use crate::expr::{AffineExpr, BinOp, Cond, Expr, UnOp};
+use crate::program::{
+    ArrayDecl, ArrayId, ArrayRef, Bound, Dist, ElemType, Index, Loop, Program, ScalarDecl,
+    ScalarId, Stmt, VarId,
+};
+
+/// Builder for [`Program`]s. See the crate-level docs for an example.
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    prog: Program,
+    stack: Vec<Vec<Stmt>>,
+}
+
+impl ProgramBuilder {
+    /// Starts a new program with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            prog: Program { name: name.into(), ..Program::default() },
+            stack: vec![Vec::new()],
+        }
+    }
+
+    /// Declares a row-major f64 array.
+    pub fn array_f64(&mut self, name: impl Into<String>, dims: &[usize]) -> ArrayId {
+        self.declare_array(name, dims, ElemType::F64)
+    }
+
+    /// Declares a row-major i64 array (indices, pointers).
+    pub fn array_i64(&mut self, name: impl Into<String>, dims: &[usize]) -> ArrayId {
+        self.declare_array(name, dims, ElemType::I64)
+    }
+
+    fn declare_array(&mut self, name: impl Into<String>, dims: &[usize], elem: ElemType) -> ArrayId {
+        assert!(!dims.is_empty(), "arrays need at least one dimension");
+        let id = ArrayId::from_raw(self.prog.arrays.len() as u32);
+        self.prog.arrays.push(ArrayDecl { name: name.into(), dims: dims.to_vec(), elem });
+        id
+    }
+
+    /// Declares an f64 scalar with an initial value.
+    pub fn scalar_f64(&mut self, name: impl Into<String>, init: f64) -> ScalarId {
+        let id = ScalarId::from_raw(self.prog.scalars.len() as u32);
+        self.prog.scalars.push(ScalarDecl {
+            name: name.into(),
+            elem: ElemType::F64,
+            init_bits: init.to_bits(),
+        });
+        id
+    }
+
+    /// Declares an i64 scalar with an initial value.
+    pub fn scalar_i64(&mut self, name: impl Into<String>, init: i64) -> ScalarId {
+        let id = ScalarId::from_raw(self.prog.scalars.len() as u32);
+        self.prog.scalars.push(ScalarDecl {
+            name: name.into(),
+            elem: ElemType::I64,
+            init_bits: init as u64,
+        });
+        id
+    }
+
+    /// Declares a loop variable.
+    pub fn var(&mut self, name: impl Into<String>) -> VarId {
+        self.prog.fresh_var(name)
+    }
+
+    /// Reserves `n` synchronization flags.
+    pub fn flags(&mut self, n: usize) {
+        self.prog.num_flags = self.prog.num_flags.max(n);
+    }
+
+    // ---- expression constructors -------------------------------------
+
+    /// Index expression that is just loop variable `v`.
+    pub fn idx(&self, v: VarId) -> Index {
+        Index::affine(AffineExpr::var(v))
+    }
+
+    /// Index from an arbitrary affine expression.
+    pub fn idx_e(&self, e: AffineExpr) -> Index {
+        Index::affine(e)
+    }
+
+    /// Load expression `a[indices]`.
+    pub fn load(&self, a: ArrayId, indices: &[Index]) -> Expr {
+        Expr::Load(ArrayRef::new(a, indices.to_vec()))
+    }
+
+    /// Load expression from a pre-built reference.
+    pub fn load_ref(&self, r: ArrayRef) -> Expr {
+        Expr::Load(r)
+    }
+
+    /// Read of scalar `s`.
+    pub fn scalar(&self, s: ScalarId) -> Expr {
+        Expr::Scalar(s)
+    }
+
+    /// FP constant.
+    pub fn constf(&self, x: f64) -> Expr {
+        Expr::ConstF(x)
+    }
+
+    /// Integer constant.
+    pub fn consti(&self, x: i64) -> Expr {
+        Expr::ConstI(x)
+    }
+
+    /// The current value of loop variable `v` as an expression.
+    pub fn loop_var(&self, v: VarId) -> Expr {
+        Expr::LoopVar(v)
+    }
+
+    /// `a + b`
+    pub fn add(&self, a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Add, a, b)
+    }
+
+    /// `a - b`
+    pub fn sub(&self, a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Sub, a, b)
+    }
+
+    /// `a * b`
+    pub fn mul(&self, a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Mul, a, b)
+    }
+
+    /// `a / b`
+    pub fn div(&self, a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Div, a, b)
+    }
+
+    /// `min(a, b)`
+    pub fn min(&self, a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Min, a, b)
+    }
+
+    /// `max(a, b)`
+    pub fn max(&self, a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Max, a, b)
+    }
+
+    /// `-a`
+    pub fn neg(&self, a: Expr) -> Expr {
+        Expr::un(UnOp::Neg, a)
+    }
+
+    /// `sqrt(a)`
+    pub fn sqrt(&self, a: Expr) -> Expr {
+        Expr::un(UnOp::Sqrt, a)
+    }
+
+    // ---- statements ---------------------------------------------------
+
+    fn push_stmt(&mut self, s: Stmt) {
+        self.stack
+            .last_mut()
+            .expect("builder statement stack never empty")
+            .push(s);
+    }
+
+    /// Appends `a[indices] = rhs`.
+    pub fn assign_array(&mut self, a: ArrayId, indices: &[Index], rhs: Expr) {
+        self.push_stmt(Stmt::AssignArray {
+            lhs: ArrayRef::new(a, indices.to_vec()),
+            rhs,
+        });
+    }
+
+    /// Appends a store through a pre-built reference.
+    pub fn assign_ref(&mut self, lhs: ArrayRef, rhs: Expr) {
+        self.push_stmt(Stmt::AssignArray { lhs, rhs });
+    }
+
+    /// Appends `s = rhs`.
+    pub fn assign_scalar(&mut self, s: ScalarId, rhs: Expr) {
+        self.push_stmt(Stmt::AssignScalar { lhs: s, rhs });
+    }
+
+    /// Appends a global barrier.
+    pub fn barrier(&mut self) {
+        self.push_stmt(Stmt::Barrier);
+    }
+
+    /// Appends a flag set (release).
+    pub fn flag_set(&mut self, idx: AffineExpr) {
+        self.push_stmt(Stmt::FlagSet { idx });
+    }
+
+    /// Appends a flag wait (acquire).
+    pub fn flag_wait(&mut self, idx: AffineExpr) {
+        self.push_stmt(Stmt::FlagWait { idx });
+    }
+
+    /// Appends a software prefetch of `a[indices]`.
+    pub fn prefetch(&mut self, a: ArrayId, indices: &[Index]) {
+        self.push_stmt(Stmt::Prefetch {
+            target: ArrayRef::new(a, indices.to_vec()),
+        });
+    }
+
+    /// Generic loop: bounds, step and optional distribution.
+    pub fn for_loop(
+        &mut self,
+        var: VarId,
+        lo: impl Into<Bound>,
+        hi: impl Into<Bound>,
+        step: i64,
+        dist: Option<Dist>,
+        f: impl FnOnce(&mut Self),
+    ) {
+        self.stack.push(Vec::new());
+        f(self);
+        let body = self.stack.pop().expect("matching push");
+        self.push_stmt(Stmt::Loop(Loop {
+            var,
+            lo: lo.into(),
+            hi: hi.into(),
+            step,
+            dist,
+            body,
+        }));
+    }
+
+    /// `for var in lo..hi` with constant bounds.
+    pub fn for_const(&mut self, var: VarId, lo: i64, hi: i64, f: impl FnOnce(&mut Self)) {
+        self.for_loop(var, lo, hi, 1, None, f);
+    }
+
+    /// `for var in lo..hi` with a custom step (negative = backwards).
+    pub fn for_step(&mut self, var: VarId, lo: i64, hi: i64, step: i64, f: impl FnOnce(&mut Self)) {
+        self.for_loop(var, lo, hi, step, None, f);
+    }
+
+    /// A parallel loop distributed over processors.
+    pub fn for_dist(&mut self, var: VarId, lo: i64, hi: i64, dist: Dist, f: impl FnOnce(&mut Self)) {
+        self.for_loop(var, lo, hi, 1, Some(dist), f);
+    }
+
+    /// `for var in lo..hi` with affine bounds (triangular loops).
+    pub fn for_affine(
+        &mut self,
+        var: VarId,
+        lo: impl Into<AffineExpr>,
+        hi: impl Into<AffineExpr>,
+        f: impl FnOnce(&mut Self),
+    ) {
+        self.for_loop(var, Bound::from(lo.into()), Bound::from(hi.into()), 1, None, f);
+    }
+
+    /// `for var in lo..n` where `n` is a scalar read at loop entry.
+    pub fn for_scalar(&mut self, var: VarId, lo: i64, hi: ScalarId, f: impl FnOnce(&mut Self)) {
+        self.for_loop(var, Bound::Const(lo), Bound::Scalar(hi), 1, None, f);
+    }
+
+    /// `if cond { ... }`
+    pub fn if_then(&mut self, cond: Cond, f: impl FnOnce(&mut Self)) {
+        self.stack.push(Vec::new());
+        f(self);
+        let then_branch = self.stack.pop().expect("matching push");
+        self.push_stmt(Stmt::If { cond, then_branch, else_branch: Vec::new() });
+    }
+
+    /// `if cond { ... } else { ... }`
+    pub fn if_then_else(
+        &mut self,
+        cond: Cond,
+        f_then: impl FnOnce(&mut Self),
+        f_else: impl FnOnce(&mut Self),
+    ) {
+        self.stack.push(Vec::new());
+        f_then(self);
+        let then_branch = self.stack.pop().expect("matching push");
+        self.stack.push(Vec::new());
+        f_else(self);
+        let else_branch = self.stack.pop().expect("matching push");
+        self.push_stmt(Stmt::If { cond, then_branch, else_branch });
+    }
+
+    /// Finalizes and returns the program.
+    ///
+    /// # Panics
+    /// Panics if a loop or guard body is still open (unbalanced builder
+    /// usage — impossible with the closure-based API).
+    pub fn finish(mut self) -> Program {
+        assert_eq!(self.stack.len(), 1, "unbalanced loop/guard nesting");
+        self.prog.body = self.stack.pop().expect("root statement list");
+        self.prog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_loops_build_nested_stmts() {
+        let mut b = ProgramBuilder::new("n");
+        let j = b.var("j");
+        let i = b.var("i");
+        let a = b.array_f64("a", &[4, 4]);
+        b.for_const(j, 0, 4, |b| {
+            b.for_const(i, 0, 4, |b| {
+                let one = b.constf(1.0);
+                b.assign_array(a, &[b.idx(j), b.idx(i)], one);
+            });
+        });
+        let p = b.finish();
+        assert_eq!(p.body.len(), 1);
+        let Stmt::Loop(outer) = &p.body[0] else { panic!("expected loop") };
+        assert_eq!(outer.var, j);
+        let Stmt::Loop(inner) = &outer.body[0] else { panic!("expected inner loop") };
+        assert_eq!(inner.var, i);
+        assert_eq!(inner.body.len(), 1);
+    }
+
+    #[test]
+    fn if_else_builds_both_branches() {
+        let mut b = ProgramBuilder::new("g");
+        let i = b.var("i");
+        let s = b.scalar_f64("s", 0.0);
+        b.for_const(i, 0, 2, |b| {
+            let cond = Cond::lt(AffineExpr::var(i), AffineExpr::konst(1));
+            b.if_then_else(
+                cond,
+                |b| {
+                    let one = b.constf(1.0);
+                    b.assign_scalar(s, one)
+                },
+                |b| {
+                    let two = b.constf(2.0);
+                    b.assign_scalar(s, two)
+                },
+            );
+        });
+        let p = b.finish();
+        let Stmt::Loop(l) = &p.body[0] else { panic!() };
+        let Stmt::If { then_branch, else_branch, .. } = &l.body[0] else { panic!() };
+        assert_eq!(then_branch.len(), 1);
+        assert_eq!(else_branch.len(), 1);
+    }
+
+    #[test]
+    fn flags_reserved() {
+        let mut b = ProgramBuilder::new("f");
+        b.flags(4);
+        b.flags(2);
+        assert_eq!(b.finish().num_flags, 4);
+    }
+}

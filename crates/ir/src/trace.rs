@@ -1,0 +1,236 @@
+//! Dynamic instructions produced by the interpreter and consumed by the
+//! cycle-level simulator.
+//!
+//! The trace is *execution-driven*: ops are produced on demand as the
+//! simulated processor fetches, so a full trace never needs to be
+//! materialized. Register dependences are expressed through *virtual
+//! register* numbers: each value-producing op is assigned a fresh vreg and
+//! later ops name the vregs they consume. Vregs are monotonically
+//! increasing per processor, which lets the simulator treat any vreg not
+//! currently in flight as already available.
+
+/// Maximum number of source operands carried by one dynamic op.
+pub const MAX_SRCS: usize = 3;
+
+/// A compact, fixed-capacity list of source vregs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SrcList {
+    srcs: [u32; MAX_SRCS],
+    len: u8,
+}
+
+impl SrcList {
+    /// The empty source list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a source, keeping at most [`MAX_SRCS`] (later sources replace
+    /// the oldest slot beyond capacity, which is conservative for timing:
+    /// the most recently produced values are the ones most likely still in
+    /// flight).
+    pub fn push(&mut self, vreg: u32) {
+        if self.srcs[..self.len as usize].contains(&vreg) {
+            return;
+        }
+        if (self.len as usize) < MAX_SRCS {
+            self.srcs[self.len as usize] = vreg;
+            self.len += 1;
+        } else {
+            // Replace the smallest (oldest) vreg.
+            let (pos, _) = self
+                .srcs
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &v)| v)
+                .expect("non-empty");
+            if self.srcs[pos] < vreg {
+                self.srcs[pos] = vreg;
+            }
+        }
+    }
+
+    /// The sources as a slice.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.srcs[..self.len as usize]
+    }
+
+    /// Number of sources.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when there are no sources.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl FromIterator<u32> for SrcList {
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> Self {
+        let mut s = SrcList::new();
+        for v in iter {
+            s.push(v);
+        }
+        s
+    }
+}
+
+/// Floating-point functional-unit class, with the base-configuration
+/// latencies of Table 1 in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpUnit {
+    /// Add/sub/mul and other “most FPU” ops: 3 cycles.
+    Arith,
+    /// FP divide: 16 cycles.
+    Div,
+    /// FP square root: 33 cycles.
+    Sqrt,
+}
+
+impl FpUnit {
+    /// Base-configuration latency in cycles.
+    pub fn base_latency(self) -> u32 {
+        match self {
+            FpUnit::Arith => 3,
+            FpUnit::Div => 16,
+            FpUnit::Sqrt => 33,
+        }
+    }
+}
+
+/// The kind of a dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OpKind {
+    /// A data load of 8 bytes from `addr`.
+    Load {
+        /// Virtual (simulated) byte address.
+        addr: u64,
+    },
+    /// A data store of 8 bytes to `addr`.
+    Store {
+        /// Virtual (simulated) byte address.
+        addr: u64,
+    },
+    /// A floating-point operation on the given unit class.
+    Fp {
+        /// Functional-unit class (determines latency).
+        unit: FpUnit,
+    },
+    /// An integer ALU operation (index arithmetic, compares).
+    Int,
+    /// An integer multiply/divide (7 cycles in the base configuration).
+    IntMul,
+    /// A (loop or guard) branch; assumed correctly predicted but occupying
+    /// one of the limited unresolved-branch slots until its sources resolve.
+    Branch,
+    /// Global barrier; retires when every processor has reached it.
+    Barrier {
+        /// Sequence number of this barrier on the executing processor;
+        /// processors synchronize on equal ids.
+        id: u32,
+    },
+    /// Flag set with release semantics (waits for earlier stores to drain).
+    FlagSet {
+        /// Flag index.
+        flag: u32,
+    },
+    /// Flag wait with acquire semantics (completes when the flag is set).
+    FlagWait {
+        /// Flag index.
+        flag: u32,
+    },
+    /// A non-binding software prefetch of the line containing `addr`:
+    /// starts the miss (if any) but produces no value and never blocks
+    /// retirement.
+    Prefetch {
+        /// Virtual (simulated) byte address.
+        addr: u64,
+    },
+    /// End-of-program marker (retires instantly; lets the simulator detect
+    /// completion in the retire stage).
+    Halt,
+}
+
+impl OpKind {
+    /// True for loads and stores.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, OpKind::Load { .. } | OpKind::Store { .. })
+    }
+
+    /// The memory address for loads/stores.
+    pub fn addr(&self) -> Option<u64> {
+        match *self {
+            OpKind::Load { addr } | OpKind::Store { addr } => Some(addr),
+            _ => None,
+        }
+    }
+}
+
+/// One dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynOp {
+    /// What the instruction does.
+    pub kind: OpKind,
+    /// Vregs whose values the instruction consumes.
+    pub srcs: SrcList,
+    /// Vreg produced, if any.
+    pub dst: Option<u32>,
+}
+
+impl DynOp {
+    /// An op with no sources and no destination.
+    pub fn nullary(kind: OpKind) -> Self {
+        DynOp { kind, srcs: SrcList::new(), dst: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn srclist_dedups() {
+        let mut s = SrcList::new();
+        s.push(4);
+        s.push(4);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn srclist_keeps_most_recent_when_full() {
+        let mut s = SrcList::new();
+        s.push(1);
+        s.push(2);
+        s.push(3);
+        s.push(10); // evicts 1
+        let mut v = s.as_slice().to_vec();
+        v.sort_unstable();
+        assert_eq!(v, vec![2, 3, 10]);
+        s.push(0); // older than everything: dropped
+        let mut v = s.as_slice().to_vec();
+        v.sort_unstable();
+        assert_eq!(v, vec![2, 3, 10]);
+    }
+
+    #[test]
+    fn srclist_from_iter() {
+        let s: SrcList = [7u32, 8, 7].into_iter().collect();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn fp_latencies_match_table1() {
+        assert_eq!(FpUnit::Arith.base_latency(), 3);
+        assert_eq!(FpUnit::Div.base_latency(), 16);
+        assert_eq!(FpUnit::Sqrt.base_latency(), 33);
+    }
+
+    #[test]
+    fn opkind_mem_helpers() {
+        assert!(OpKind::Load { addr: 8 }.is_mem());
+        assert_eq!(OpKind::Store { addr: 16 }.addr(), Some(16));
+        assert_eq!(OpKind::Int.addr(), None);
+        assert!(!OpKind::Barrier { id: 0 }.is_mem());
+    }
+}

@@ -1,0 +1,300 @@
+//! Static well-formedness checking for [`Program`]s.
+//!
+//! Workload authors and transformation passes both produce programs; this
+//! pass catches structural mistakes (rank mismatches, undeclared ids,
+//! duplicate loop variables on a nest path, flags out of range) *before*
+//! they surface as interpreter panics deep inside a simulation.
+
+use std::fmt;
+
+use crate::expr::Expr;
+use crate::program::{ArrayRef, Bound, DynIndex, Program, Stmt, VarId};
+
+/// A well-formedness violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A reference's index count differs from the array's rank.
+    RankMismatch {
+        /// Offending array name.
+        array: String,
+        /// Declared rank.
+        rank: usize,
+        /// Indices supplied.
+        got: usize,
+    },
+    /// An id referenced but not declared.
+    UndeclaredId {
+        /// Description of the id.
+        what: String,
+    },
+    /// The same loop variable is reused by two nested loops.
+    ShadowedLoopVar {
+        /// The variable's name.
+        var: String,
+    },
+    /// A loop with step 0 would never terminate.
+    ZeroStep {
+        /// The variable's name.
+        var: String,
+    },
+    /// A flag index that can exceed the declared flag count.
+    FlagOutOfRange {
+        /// The constant flag index found.
+        idx: i64,
+        /// Declared flag count.
+        declared: usize,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::RankMismatch { array, rank, got } => {
+                write!(f, "array {array} has rank {rank} but was indexed with {got} indices")
+            }
+            ValidateError::UndeclaredId { what } => write!(f, "undeclared {what}"),
+            ValidateError::ShadowedLoopVar { var } => {
+                write!(f, "loop variable {var} shadowed by a nested loop")
+            }
+            ValidateError::ZeroStep { var } => write!(f, "loop over {var} has step 0"),
+            ValidateError::FlagOutOfRange { idx, declared } => {
+                write!(f, "flag index {idx} out of range (declared {declared})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+impl Program {
+    /// Checks structural well-formedness; returns every violation found.
+    pub fn validate(&self) -> Vec<ValidateError> {
+        let mut errs = Vec::new();
+        let mut open_vars: Vec<VarId> = Vec::new();
+        self.validate_body(&self.body, &mut open_vars, &mut errs);
+        errs
+    }
+
+    fn validate_ref(&self, r: &ArrayRef, errs: &mut Vec<ValidateError>) {
+        if r.array.index() >= self.arrays.len() {
+            errs.push(ValidateError::UndeclaredId {
+                what: format!("array id {}", r.array.index()),
+            });
+            return;
+        }
+        let decl = self.array(r.array);
+        if decl.dims.len() != r.indices.len() {
+            errs.push(ValidateError::RankMismatch {
+                array: decl.name.clone(),
+                rank: decl.dims.len(),
+                got: r.indices.len(),
+            });
+        }
+        for ix in &r.indices {
+            match &ix.dynamic {
+                Some(DynIndex::Indirect { inner, .. }) => self.validate_ref(inner, errs),
+                Some(DynIndex::Scalar { scalar, .. }) => {
+                    if scalar.index() >= self.scalars.len() {
+                        errs.push(ValidateError::UndeclaredId {
+                            what: format!("scalar id {}", scalar.index()),
+                        });
+                    }
+                }
+                None => {}
+            }
+        }
+    }
+
+    fn validate_expr(&self, e: &Expr, errs: &mut Vec<ValidateError>) {
+        match e {
+            Expr::Load(r) => self.validate_ref(r, errs),
+            Expr::Scalar(s) => {
+                if s.index() >= self.scalars.len() {
+                    errs.push(ValidateError::UndeclaredId {
+                        what: format!("scalar id {}", s.index()),
+                    });
+                }
+            }
+            Expr::Unary(_, a) => self.validate_expr(a, errs),
+            Expr::Binary(_, a, b) => {
+                self.validate_expr(a, errs);
+                self.validate_expr(b, errs);
+            }
+            _ => {}
+        }
+    }
+
+    fn validate_body(
+        &self,
+        body: &[Stmt],
+        open_vars: &mut Vec<VarId>,
+        errs: &mut Vec<ValidateError>,
+    ) {
+        for s in body {
+            match s {
+                Stmt::AssignArray { lhs, rhs } => {
+                    self.validate_ref(lhs, errs);
+                    self.validate_expr(rhs, errs);
+                }
+                Stmt::AssignScalar { lhs, rhs } => {
+                    if lhs.index() >= self.scalars.len() {
+                        errs.push(ValidateError::UndeclaredId {
+                            what: format!("scalar id {}", lhs.index()),
+                        });
+                    }
+                    self.validate_expr(rhs, errs);
+                }
+                Stmt::Prefetch { target } => self.validate_ref(target, errs),
+                Stmt::Loop(l) => {
+                    if l.step == 0 {
+                        errs.push(ValidateError::ZeroStep {
+                            var: self.var_name(l.var).to_string(),
+                        });
+                    }
+                    if open_vars.contains(&l.var) {
+                        errs.push(ValidateError::ShadowedLoopVar {
+                            var: self.var_name(l.var).to_string(),
+                        });
+                    }
+                    if let Bound::Scalar(sc) = &l.hi {
+                        if sc.index() >= self.scalars.len() {
+                            errs.push(ValidateError::UndeclaredId {
+                                what: format!("scalar id {} (loop bound)", sc.index()),
+                            });
+                        }
+                    }
+                    open_vars.push(l.var);
+                    self.validate_body(&l.body, open_vars, errs);
+                    open_vars.pop();
+                }
+                Stmt::If { then_branch, else_branch, .. } => {
+                    self.validate_body(then_branch, open_vars, errs);
+                    self.validate_body(else_branch, open_vars, errs);
+                }
+                Stmt::FlagSet { idx } | Stmt::FlagWait { idx } => {
+                    if let Some(c) = idx.as_const() {
+                        if c < 0 || c as usize >= self.num_flags.max(1) {
+                            errs.push(ValidateError::FlagOutOfRange {
+                                idx: c,
+                                declared: self.num_flags,
+                            });
+                        }
+                    }
+                }
+                Stmt::Barrier => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::expr::AffineExpr;
+    use crate::program::Index;
+
+    #[test]
+    fn valid_program_passes() {
+        let mut b = ProgramBuilder::new("ok");
+        let a = b.array_f64("a", &[8, 8]);
+        let j = b.var("j");
+        let i = b.var("i");
+        b.flags(2);
+        b.for_const(j, 0, 8, |b| {
+            b.for_const(i, 0, 8, |b| {
+                let v = b.load(a, &[b.idx(j), b.idx(i)]);
+                b.assign_array(a, &[b.idx(j), b.idx(i)], v);
+            });
+            b.flag_set(AffineExpr::konst(1));
+        });
+        assert!(b.finish().validate().is_empty());
+    }
+
+    #[test]
+    fn rank_mismatch_detected() {
+        let mut b = ProgramBuilder::new("bad");
+        let a = b.array_f64("a", &[8, 8]);
+        let i = b.var("i");
+        b.for_const(i, 0, 8, |b| {
+            let v = b.load(a, &[b.idx(i)]); // 1 index, rank 2
+            b.assign_array(a, &[b.idx(i), b.idx(i)], v);
+        });
+        let errs = b.finish().validate();
+        assert!(matches!(errs[0], ValidateError::RankMismatch { .. }), "{errs:?}");
+    }
+
+    #[test]
+    fn shadowed_var_detected() {
+        let mut b = ProgramBuilder::new("shadow");
+        let a = b.array_f64("a", &[8]);
+        let i = b.var("i");
+        b.for_const(i, 0, 4, |b| {
+            b.for_const(i, 0, 4, |b| {
+                let one = b.constf(1.0);
+                b.assign_array(a, &[b.idx(i)], one);
+            });
+        });
+        let errs = b.finish().validate();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::ShadowedLoopVar { .. })));
+    }
+
+    #[test]
+    fn flag_out_of_range_detected() {
+        let mut b = ProgramBuilder::new("flags");
+        b.flags(2);
+        b.flag_wait(AffineExpr::konst(5));
+        let errs = b.finish().validate();
+        assert_eq!(
+            errs,
+            vec![ValidateError::FlagOutOfRange { idx: 5, declared: 2 }]
+        );
+    }
+
+    #[test]
+    fn undeclared_scalar_in_indirect_detected() {
+        use crate::program::{ArrayRef, ScalarId};
+        let mut b = ProgramBuilder::new("und");
+        let a = b.array_f64("a", &[8]);
+        let ghost = ScalarId::from_raw(42);
+        let i = b.var("i");
+        b.for_const(i, 0, 4, |b| {
+            let r = ArrayRef::new(a, vec![Index::scalar(ghost)]);
+            let v = b.load_ref(r);
+            b.assign_array(a, &[b.idx(i)], v);
+        });
+        let errs = b.finish().validate();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::UndeclaredId { .. })));
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = ValidateError::ZeroStep { var: "i".into() };
+        assert!(format!("{e}").contains("step 0"));
+    }
+
+    /// Every shipped workload validates cleanly (meta-test used by the
+    /// workloads crate as well; kept here to pin the validator itself).
+    #[test]
+    fn transformed_programs_validate() {
+        let mut b = ProgramBuilder::new("fig2a");
+        let a = b.array_f64("a", &[32, 32]);
+        let s = b.scalar_f64("sum", 0.0);
+        let j = b.var("j");
+        let i = b.var("i");
+        b.for_const(j, 0, 32, |b| {
+            b.for_const(i, 0, 32, |b| {
+                let v = b.load(a, &[b.idx(j), b.idx(i)]);
+                let acc = b.scalar(s);
+                let e = b.add(acc, v);
+                b.assign_scalar(s, e);
+            });
+        });
+        let p = b.finish();
+        assert!(p.validate().is_empty());
+    }
+}

@@ -1,0 +1,376 @@
+//! Set-associative tag arrays and miss-status-holding registers.
+
+use crate::config::CacheParams;
+
+/// Coherence/validity state of a cached line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineState {
+    /// Not present.
+    Invalid,
+    /// Present, clean, possibly shared with other caches.
+    Shared,
+    /// Present with exclusive ownership, possibly dirty.
+    Modified,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    /// Line number (full address >> line shift); meaningful when state != Invalid.
+    line: u64,
+    state: LineState,
+    /// LRU stamp (bigger = more recent).
+    lru: u64,
+}
+
+/// A victim line evicted by a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Victim {
+    /// The evicted line number.
+    pub line: u64,
+    /// Whether it was in [`LineState::Modified`] (needs writeback).
+    pub dirty: bool,
+}
+
+/// A set-associative, LRU, write-allocate tag array.
+///
+/// The array works on *line numbers* (`addr >> line_shift`); data contents
+/// live in the functional [`SimMem`](mempar_ir::SimMem), so the cache only
+/// tracks presence and state — exactly what the timing model needs.
+#[derive(Debug, Clone)]
+pub struct TagArray {
+    sets: usize,
+    assoc: usize,
+    ways: Vec<Way>,
+    stamp: u64,
+}
+
+impl TagArray {
+    /// Builds a tag array for the given geometry.
+    pub fn new(params: &CacheParams) -> Self {
+        let sets = params.sets();
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        TagArray {
+            sets,
+            assoc: params.assoc,
+            ways: vec![
+                Way { line: 0, state: LineState::Invalid, lru: 0 };
+                sets * params.assoc
+            ],
+            stamp: 0,
+        }
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        (line as usize) & (self.sets - 1)
+    }
+
+    fn slot_range(&self, line: u64) -> std::ops::Range<usize> {
+        let s = self.set_of(line) * self.assoc;
+        s..s + self.assoc
+    }
+
+    /// Looks up `line`, updating LRU on hit; returns its state.
+    pub fn probe(&mut self, line: u64) -> LineState {
+        self.stamp += 1;
+        for i in self.slot_range(line) {
+            let w = &mut self.ways[i];
+            if w.state != LineState::Invalid && w.line == line {
+                w.lru = self.stamp;
+                return w.state;
+            }
+        }
+        LineState::Invalid
+    }
+
+    /// Looks up without touching LRU.
+    pub fn peek(&self, line: u64) -> LineState {
+        for i in self.slot_range(line) {
+            let w = &self.ways[i];
+            if w.state != LineState::Invalid && w.line == line {
+                return w.state;
+            }
+        }
+        LineState::Invalid
+    }
+
+    /// Inserts `line` with `state`, evicting the LRU way if needed.
+    /// Returns the victim when a valid line was displaced.
+    ///
+    /// # Panics
+    /// Panics (debug) if the line is already present — callers must use
+    /// [`TagArray::set_state`] for state changes.
+    pub fn fill(&mut self, line: u64, state: LineState) -> Option<Victim> {
+        debug_assert_eq!(self.peek(line), LineState::Invalid, "double fill");
+        debug_assert_ne!(state, LineState::Invalid);
+        self.stamp += 1;
+        let range = self.slot_range(line);
+        // Prefer an invalid way.
+        let mut victim_idx = range.start;
+        let mut victim_lru = u64::MAX;
+        for i in range {
+            let w = &self.ways[i];
+            if w.state == LineState::Invalid {
+                victim_idx = i;
+                break;
+            }
+            if w.lru < victim_lru {
+                victim_lru = w.lru;
+                victim_idx = i;
+            }
+        }
+        let old = self.ways[victim_idx];
+        self.ways[victim_idx] = Way { line, state, lru: self.stamp };
+        if old.state != LineState::Invalid {
+            Some(Victim { line: old.line, dirty: old.state == LineState::Modified })
+        } else {
+            None
+        }
+    }
+
+    /// Changes the state of a present line (upgrade/downgrade).
+    ///
+    /// # Panics
+    /// Panics (debug) if the line is absent.
+    pub fn set_state(&mut self, line: u64, state: LineState) {
+        for i in self.slot_range(line) {
+            let w = &mut self.ways[i];
+            if w.state != LineState::Invalid && w.line == line {
+                w.state = state;
+                return;
+            }
+        }
+        debug_assert!(false, "set_state on absent line {line:#x}");
+    }
+
+    /// Invalidates `line` if present; returns whether it was dirty.
+    pub fn invalidate(&mut self, line: u64) -> bool {
+        for i in self.slot_range(line) {
+            let w = &mut self.ways[i];
+            if w.state != LineState::Invalid && w.line == line {
+                let dirty = w.state == LineState::Modified;
+                w.state = LineState::Invalid;
+                return dirty;
+            }
+        }
+        false
+    }
+}
+
+/// One miss-status holding register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MshrEntry {
+    /// The outstanding line.
+    pub line: u64,
+    /// Merged read requests.
+    pub reads: u32,
+    /// Merged write requests.
+    pub writes: u32,
+    /// Absolute cycle when the fill completes (u64::MAX while unknown).
+    pub fill_at: u64,
+}
+
+impl MshrEntry {
+    /// Whether this MSHR is occupied by (at least one) read miss, the
+    /// classification used by Figure 4(a).
+    pub fn is_read(&self) -> bool {
+        self.reads > 0
+    }
+}
+
+/// Outcome of attempting to register a miss with the MSHR file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A new MSHR was allocated; the caller must start the miss and later
+    /// call [`MshrFile::set_fill_time`] / [`MshrFile::release`].
+    Allocated,
+    /// Merged with an outstanding miss to the same line; the fill time is
+    /// that miss's (u64::MAX while still unknown).
+    Coalesced {
+        /// The outstanding miss's fill time.
+        fill_at: u64,
+    },
+    /// All MSHRs are busy with other lines — the access must retry.
+    Full,
+}
+
+/// A file of MSHRs with same-line coalescing.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    cap: usize,
+    entries: Vec<MshrEntry>,
+}
+
+impl MshrFile {
+    /// A file with `cap` registers.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0);
+        MshrFile { cap, entries: Vec::with_capacity(cap) }
+    }
+
+    /// Registers a miss on `line`; `is_write` marks write misses.
+    pub fn register(&mut self, line: u64, is_write: bool) -> MshrOutcome {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.line == line) {
+            if is_write {
+                e.writes += 1;
+            } else {
+                e.reads += 1;
+            }
+            return MshrOutcome::Coalesced { fill_at: e.fill_at };
+        }
+        if self.entries.len() >= self.cap {
+            return MshrOutcome::Full;
+        }
+        self.entries.push(MshrEntry {
+            line,
+            reads: if is_write { 0 } else { 1 },
+            writes: if is_write { 1 } else { 0 },
+            fill_at: u64::MAX,
+        });
+        MshrOutcome::Allocated
+    }
+
+    /// Sets the fill time of the outstanding miss on `line`.
+    ///
+    /// # Panics
+    /// Panics (debug) if no such miss is outstanding.
+    pub fn set_fill_time(&mut self, line: u64, fill_at: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.line == line) {
+            e.fill_at = fill_at;
+        } else {
+            debug_assert!(false, "set_fill_time on absent MSHR {line:#x}");
+        }
+    }
+
+    /// Releases the MSHR for `line` (at fill time).
+    pub fn release(&mut self, line: u64) {
+        self.entries.retain(|e| e.line != line);
+    }
+
+    /// The entry for `line`, if outstanding.
+    pub fn get(&self, line: u64) -> Option<&MshrEntry> {
+        self.entries.iter().find(|e| e.line == line)
+    }
+
+    /// `(read_mshrs, total_mshrs)` currently occupied — the per-cycle
+    /// sample behind Figure 4.
+    pub fn occupancy(&self) -> (usize, usize) {
+        let total = self.entries.len();
+        let reads = self.entries.iter().filter(|e| e.is_read()).count();
+        (reads, total)
+    }
+
+    /// Number of free registers.
+    pub fn free(&self) -> usize {
+        self.cap - self.entries.len()
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache() -> TagArray {
+        TagArray::new(&CacheParams {
+            size_bytes: 4 * 64, // 4 lines
+            assoc: 2,
+            line_bytes: 64,
+            hit_latency: 1,
+            ports: 1,
+            mshrs: 4,
+        })
+    }
+
+    #[test]
+    fn probe_miss_then_hit() {
+        let mut c = small_cache();
+        assert_eq!(c.probe(100), LineState::Invalid);
+        assert_eq!(c.fill(100, LineState::Shared), None);
+        assert_eq!(c.probe(100), LineState::Shared);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = small_cache(); // 2 sets x 2 ways
+        // Lines 0, 2, 4 map to set 0.
+        c.fill(0, LineState::Shared);
+        c.fill(2, LineState::Shared);
+        c.probe(0); // make line 0 most recent
+        let v = c.fill(4, LineState::Shared).expect("evicts");
+        assert_eq!(v.line, 2);
+        assert!(!v.dirty);
+        assert_eq!(c.peek(0), LineState::Shared);
+        assert_eq!(c.peek(2), LineState::Invalid);
+    }
+
+    #[test]
+    fn dirty_victims_reported() {
+        let mut c = small_cache();
+        c.fill(0, LineState::Modified);
+        c.fill(2, LineState::Shared);
+        let v = c.fill(4, LineState::Shared).expect("evicts");
+        assert_eq!(v.line, 0);
+        assert!(v.dirty);
+    }
+
+    #[test]
+    fn invalidate_and_state_changes() {
+        let mut c = small_cache();
+        c.fill(7, LineState::Shared);
+        c.set_state(7, LineState::Modified);
+        assert_eq!(c.peek(7), LineState::Modified);
+        assert!(c.invalidate(7));
+        assert_eq!(c.peek(7), LineState::Invalid);
+        assert!(!c.invalidate(7));
+    }
+
+    #[test]
+    fn different_sets_do_not_interfere() {
+        let mut c = small_cache();
+        c.fill(0, LineState::Shared);
+        c.fill(1, LineState::Shared); // set 1
+        c.fill(2, LineState::Shared);
+        assert_eq!(c.peek(0), LineState::Shared);
+        assert_eq!(c.peek(1), LineState::Shared);
+        assert_eq!(c.peek(2), LineState::Shared);
+    }
+
+    #[test]
+    fn mshr_coalescing() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.register(5, false), MshrOutcome::Allocated);
+        assert_eq!(
+            m.register(5, false),
+            MshrOutcome::Coalesced { fill_at: u64::MAX }
+        );
+        m.set_fill_time(5, 100);
+        assert_eq!(m.register(5, true), MshrOutcome::Coalesced { fill_at: 100 });
+        let e = m.get(5).expect("present");
+        assert_eq!(e.reads, 2);
+        assert_eq!(e.writes, 1);
+        assert!(e.is_read());
+    }
+
+    #[test]
+    fn mshr_full_then_release() {
+        let mut m = MshrFile::new(2);
+        m.register(1, false);
+        m.register(2, true);
+        assert_eq!(m.register(3, false), MshrOutcome::Full);
+        assert_eq!(m.occupancy(), (1, 2));
+        m.release(1);
+        assert_eq!(m.free(), 1);
+        assert_eq!(m.register(3, false), MshrOutcome::Allocated);
+    }
+
+    #[test]
+    fn write_only_mshr_not_read() {
+        let mut m = MshrFile::new(2);
+        m.register(9, true);
+        assert_eq!(m.occupancy(), (0, 1));
+    }
+}

@@ -1,0 +1,645 @@
+//! The out-of-order processor core.
+//!
+//! Models the ILP features the paper's argument rests on: a fixed-size
+//! instruction window with in-order retirement (Section 2.1), multi-way
+//! fetch/retire, out-of-order issue over a pool of pipelined functional
+//! units, non-blocking loads through the memory queue, write buffering
+//! under release consistency (stores retire once issued), and a bounded
+//! number of unresolved branches.
+//!
+//! Execution-time accounting follows Section 5.2: each cycle contributes
+//! `retired/width` busy time; the remainder is attributed to the first
+//! instruction that could not retire.
+
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use mempar_ir::{DynOp, FpUnit, OpKind};
+use mempar_stats::{Breakdown, StallClass};
+
+use crate::config::ProcParams;
+use crate::memsys::{Access, MemSystem};
+use crate::sync::SyncState;
+
+const READY_UNKNOWN: u64 = u64::MAX;
+
+#[derive(Debug, Clone)]
+struct Entry {
+    op: DynOp,
+    /// Max ready time of sources resolved so far.
+    ready_at: u64,
+    /// Sources whose producers had not completed at fetch time.
+    pending: Vec<u32>,
+    issued: bool,
+    /// Completion time (u64::MAX until known).
+    complete_at: u64,
+    /// For branches: counted as resolved in the unresolved-branch limit.
+    branch_resolved: bool,
+    /// Cycle the op entered the window (for latency accounting).
+    fetched_at: u64,
+}
+
+/// One simulated processor core.
+#[derive(Debug)]
+pub struct Core {
+    /// Processor index in the system.
+    pub id: usize,
+    params: ProcParams,
+    rob: VecDeque<Entry>,
+    vreg_ready: HashMap<u32, u64>,
+    unresolved_branches: usize,
+    /// In-flight memory ops (loads to completion, stores to global
+    /// performance); bounded by the memory queue size.
+    mem_inflight: BinaryHeap<std::cmp::Reverse<u64>>,
+    /// Outstanding stores (for release fences).
+    pending_stores: BinaryHeap<std::cmp::Reverse<u64>>,
+    /// True while a fetched Barrier/FlagWait blocks further fetch: the
+    /// interpreter must not run ahead of acquire synchronization, or it
+    /// would functionally read values the producer has not written yet.
+    sync_fetch_block: bool,
+    /// True once the trace source is exhausted (Halt fetched).
+    pub trace_done: bool,
+    /// True once Halt has retired.
+    pub halted: bool,
+    /// Cycle at which the core halted.
+    pub halt_cycle: u64,
+    /// Execution-time breakdown (Figure 3 accounting).
+    pub breakdown: Breakdown,
+    /// Retired instruction count.
+    pub retired: u64,
+    l1_ports: u32,
+}
+
+impl Core {
+    /// A new core with the given parameters. `l1_ports` bounds memory
+    /// issues per cycle (the L1's port count, or the L2's for single-level
+    /// hierarchies).
+    pub fn new(id: usize, params: &ProcParams, l1_ports: u32) -> Self {
+        Core {
+            id,
+            params: params.clone(),
+            rob: VecDeque::with_capacity(params.window),
+            vreg_ready: HashMap::with_capacity(4 * params.window),
+            unresolved_branches: 0,
+            mem_inflight: BinaryHeap::new(),
+            pending_stores: BinaryHeap::new(),
+            sync_fetch_block: false,
+            trace_done: false,
+            halted: false,
+            halt_cycle: 0,
+            breakdown: Breakdown::new(),
+            retired: 0,
+            l1_ports,
+        }
+    }
+
+    /// Window slots still free this cycle.
+    pub fn fetch_room(&self) -> usize {
+        if self.trace_done
+            || self.sync_fetch_block
+            || self.unresolved_branches >= self.params.max_branches
+        {
+            return 0;
+        }
+        (self.params.window - self.rob.len()).min(self.params.width as usize)
+    }
+
+    /// Inserts a fetched op into the window.
+    ///
+    /// # Panics
+    /// Panics if the window is full (callers must respect
+    /// [`Core::fetch_room`]).
+    pub fn fetch(&mut self, op: DynOp, now: u64) {
+        assert!(self.rob.len() < self.params.window, "window overflow");
+        let mut ready_at = now;
+        let mut pending = Vec::new();
+        for &src in op.srcs.as_slice() {
+            match self.vreg_ready.get(&src) {
+                None => {}
+                Some(&t) if t == READY_UNKNOWN => pending.push(src),
+                Some(&t) => ready_at = ready_at.max(t),
+            }
+        }
+        if let Some(dst) = op.dst {
+            self.vreg_ready.insert(dst, READY_UNKNOWN);
+        }
+        if matches!(op.kind, OpKind::Branch) {
+            self.unresolved_branches += 1;
+        }
+        if matches!(op.kind, OpKind::Barrier { .. } | OpKind::FlagWait { .. }) {
+            // Acquire semantics: stop fetching (and thus functionally
+            // executing) past the synchronization until it completes.
+            self.sync_fetch_block = true;
+        }
+        if matches!(op.kind, OpKind::Halt) {
+            self.trace_done = true;
+        }
+        self.rob.push_back(Entry {
+            op,
+            ready_at,
+            pending,
+            issued: false,
+            complete_at: u64::MAX,
+            branch_resolved: false,
+            fetched_at: now,
+        });
+    }
+
+    /// Drains memory-op completions whose time has passed.
+    fn drain_mem(&mut self, now: u64) {
+        while let Some(&std::cmp::Reverse(t)) = self.mem_inflight.peek() {
+            if t > now {
+                break;
+            }
+            self.mem_inflight.pop();
+        }
+        while let Some(&std::cmp::Reverse(t)) = self.pending_stores.peek() {
+            if t > now {
+                break;
+            }
+            self.pending_stores.pop();
+        }
+    }
+
+    /// Issue stage: selects ready instructions oldest-first, obeying
+    /// functional-unit counts, memory-queue space and cache ports.
+    pub fn issue(&mut self, mem: &mut MemSystem, now: u64) {
+        self.drain_mem(now);
+        let mut issued = 0u32;
+        let mut alu = 0u32;
+        let mut fpu = 0u32;
+        let mut addr = 0u32;
+        let mut l1_accesses = 0u32;
+        let fu = self.params.fu.clone();
+        let width = self.params.width;
+
+        // Collect store positions for load disambiguation as we walk.
+        for i in 0..self.rob.len() {
+            if issued >= width {
+                break;
+            }
+            // Resolve pending sources lazily.
+            {
+                let e = &mut self.rob[i];
+                if e.issued {
+                    // Track branch resolution for the fetch limit.
+                    if !e.branch_resolved
+                        && matches!(e.op.kind, OpKind::Branch)
+                        && e.complete_at <= now
+                    {
+                        e.branch_resolved = true;
+                        self.unresolved_branches -= 1;
+                    }
+                    continue;
+                }
+                if !e.pending.is_empty() {
+                    let mut still = Vec::new();
+                    let mut ready = e.ready_at;
+                    for &src in &e.pending {
+                        match self.vreg_ready.get(&src) {
+                            None => {}
+                            Some(&t) if t == READY_UNKNOWN => still.push(src),
+                            Some(&t) => ready = ready.max(t),
+                        }
+                    }
+                    e.ready_at = ready;
+                    e.pending = still;
+                    if !e.pending.is_empty() {
+                        continue;
+                    }
+                }
+                if e.ready_at > now {
+                    continue;
+                }
+            }
+            let kind = self.rob[i].op.kind;
+            match kind {
+                OpKind::Int | OpKind::IntMul | OpKind::Branch => {
+                    if alu >= fu.alus {
+                        continue;
+                    }
+                    alu += 1;
+                    issued += 1;
+                    let lat = match kind {
+                        OpKind::IntMul => fu.int_mul_latency,
+                        _ => fu.int_latency,
+                    } as u64;
+                    self.complete_entry(i, now + lat);
+                }
+                OpKind::Fp { unit } => {
+                    if fpu >= fu.fpus {
+                        continue;
+                    }
+                    fpu += 1;
+                    issued += 1;
+                    let lat = match unit {
+                        FpUnit::Arith => fu.fp_latency,
+                        FpUnit::Div => fu.fp_div_latency,
+                        FpUnit::Sqrt => fu.fp_sqrt_latency,
+                    } as u64;
+                    self.complete_entry(i, now + lat);
+                }
+                OpKind::Load { addr: a } => {
+                    if addr >= fu.addr_units
+                        || l1_accesses >= self.l1_ports
+                        || self.mem_inflight.len() >= self.params.mem_queue
+                    {
+                        continue;
+                    }
+                    // Disambiguation against earlier stores.
+                    match self.scan_earlier_stores(i, a) {
+                        StoreCheck::MustWait => continue,
+                        StoreCheck::Forward => {
+                            addr += 1;
+                            issued += 1;
+                            self.complete_entry(i, now + 1);
+                        }
+                        StoreCheck::Clear => {
+                            addr += 1;
+                            l1_accesses += 1;
+                            match mem.access(self.id, a, false, now + 1) {
+                                Access::Retry => {
+                                    // MSHRs full: stay unissued, retry next cycle.
+                                }
+                                Access::Done { complete_at, .. } => {
+                                    issued += 1;
+                                    self.mem_inflight.push(std::cmp::Reverse(complete_at));
+                                    self.complete_entry(i, complete_at);
+                                }
+                            }
+                        }
+                    }
+                }
+                OpKind::Prefetch { addr: a } => {
+                    if addr >= fu.addr_units || l1_accesses >= self.l1_ports {
+                        continue;
+                    }
+                    addr += 1;
+                    l1_accesses += 1;
+                    issued += 1;
+                    // Non-binding: fire and forget; the op completes at
+                    // issue regardless of the memory system's outcome.
+                    mem.prefetch(self.id, a, now + 1);
+                    self.complete_entry(i, now + 1);
+                }
+                OpKind::Store { addr: a } => {
+                    if addr >= fu.addr_units
+                        || l1_accesses >= self.l1_ports
+                        || self.mem_inflight.len() >= self.params.mem_queue
+                    {
+                        continue;
+                    }
+                    addr += 1;
+                    l1_accesses += 1;
+                    match mem.access(self.id, a, true, now + 1) {
+                        Access::Retry => {}
+                        Access::Done { complete_at, .. } => {
+                            issued += 1;
+                            self.mem_inflight.push(std::cmp::Reverse(complete_at));
+                            self.pending_stores.push(std::cmp::Reverse(complete_at));
+                            // Write buffering: the ROB entry completes at
+                            // issue; global performance tracked separately.
+                            self.complete_entry(i, now + 1);
+                        }
+                    }
+                }
+                OpKind::FlagSet { .. } => {
+                    // Release semantics: wait for earlier stores to drain.
+                    if self.pending_stores.is_empty() {
+                        issued += 1;
+                        self.complete_entry(i, now + 1);
+                    }
+                }
+                OpKind::Barrier { .. } | OpKind::FlagWait { .. } | OpKind::Halt => {
+                    // Completed at the retire stage via the sync state.
+                }
+            }
+        }
+    }
+
+    fn complete_entry(&mut self, i: usize, at: u64) {
+        let e = &mut self.rob[i];
+        e.issued = true;
+        e.complete_at = at;
+        if let Some(dst) = e.op.dst {
+            self.vreg_ready.insert(dst, at);
+        }
+    }
+
+    fn scan_earlier_stores(&self, load_idx: usize, addr: u64) -> StoreCheck {
+        for j in (0..load_idx).rev() {
+            let e = &self.rob[j];
+            if let OpKind::Store { addr: sa } = e.op.kind {
+                if sa == addr {
+                    return if e.issued { StoreCheck::Forward } else { StoreCheck::MustWait };
+                }
+            }
+        }
+        StoreCheck::Clear
+    }
+
+    /// Retire stage: retires up to `width` completed instructions in
+    /// order and attributes the cycle per the paper's convention.
+    /// Returns true while the core is still running.
+    pub fn retire(&mut self, sync: &mut SyncState, now: u64) -> bool {
+        if self.halted {
+            return false;
+        }
+        self.drain_mem(now);
+        let width = self.params.width;
+        let mut retired = 0u32;
+        while retired < width {
+            let Some(head) = self.rob.front() else { break };
+            let can_retire = match head.op.kind {
+                OpKind::Barrier { id } => {
+                    sync.arrive_barrier(self.id, id, now);
+                    sync.barrier_released(id, now)
+                }
+                OpKind::FlagWait { flag } => sync.flag_set(flag, now),
+                OpKind::FlagSet { flag } => {
+                    if head.issued && head.complete_at <= now {
+                        sync.set_flag(flag, now);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                OpKind::Halt => true,
+                _ => head.issued && head.complete_at <= now,
+            };
+            if !can_retire {
+                break;
+            }
+            let e = self.rob.pop_front().expect("head exists");
+            if matches!(e.op.kind, OpKind::Branch) && !e.branch_resolved {
+                self.unresolved_branches -= 1;
+            }
+            if matches!(e.op.kind, OpKind::Barrier { .. } | OpKind::FlagWait { .. }) {
+                self.sync_fetch_block = false;
+            }
+            if let Some(dst) = e.op.dst {
+                // The value is ready (it completed); if its ready time has
+                // passed, later-fetched consumers would see it as ready by
+                // absence — safe to drop the map entry.
+                if e.complete_at <= now {
+                    self.vreg_ready.remove(&dst);
+                }
+            }
+            self.retired += 1;
+            retired += 1;
+            if matches!(e.op.kind, OpKind::Halt) {
+                self.halted = true;
+                self.halt_cycle = now;
+                break;
+            }
+        }
+        // Attribution (Section 5.2): busy = retired/width; remainder to
+        // the first instruction that could not retire.
+        let frac = f64::from(retired) / f64::from(width);
+        self.breakdown.busy += frac;
+        if retired < width && !self.halted {
+            let rest = 1.0 - frac;
+            let class = match self.rob.front().map(|e| e.op.kind) {
+                Some(OpKind::Load { .. }) => StallClass::DataMemory,
+                Some(OpKind::Store { .. } | OpKind::Prefetch { .. }) => StallClass::DataMemory,
+                Some(OpKind::Barrier { .. } | OpKind::FlagWait { .. } | OpKind::FlagSet { .. }) => {
+                    StallClass::Sync
+                }
+                Some(_) => StallClass::Cpu,
+                None => StallClass::Instruction,
+            };
+            self.breakdown.add_stall(class, rest);
+        }
+        !self.halted
+    }
+
+    /// Number of instructions currently in the window.
+    pub fn window_occupancy(&self) -> usize {
+        self.rob.len()
+    }
+
+    /// Oldest unretired op's age in cycles (diagnostics/deadlock checks).
+    pub fn head_age(&self, now: u64) -> u64 {
+        self.rob.front().map(|e| now.saturating_sub(e.fetched_at)).unwrap_or(0)
+    }
+
+    /// Debug description of the window head (deadlock diagnostics).
+    pub fn head_desc(&self, now: u64) -> String {
+        match self.rob.front() {
+            None => "empty".into(),
+            Some(e) => format!(
+                "{:?} issued={} ready_at={} pending={:?} complete_at={} now={} memq={} stores={}",
+                e.op.kind,
+                e.issued,
+                e.ready_at,
+                e.pending,
+                e.complete_at,
+                now,
+                self.mem_inflight.len(),
+                self.pending_stores.len()
+            ),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StoreCheck {
+    /// No earlier store to the address.
+    Clear,
+    /// An earlier store has issued: forward its data.
+    Forward,
+    /// An earlier store's data is not available yet.
+    MustWait,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use mempar_ir::SrcList;
+
+    fn setup() -> (Core, MemSystem, SyncState) {
+        let cfg = MachineConfig::base_simulated(1, 64 * 1024);
+        let core = Core::new(0, &cfg.proc, 2);
+        let mem = MemSystem::new(&cfg, Box::new(|_| 0));
+        let sync = SyncState::new(1);
+        (core, mem, sync)
+    }
+
+    fn op(kind: OpKind, srcs: &[u32], dst: Option<u32>) -> DynOp {
+        DynOp { kind, srcs: srcs.iter().copied().collect::<SrcList>(), dst }
+    }
+
+    /// Runs until the core halts; returns cycles taken.
+    fn run(core: &mut Core, mem: &mut MemSystem, sync: &mut SyncState, ops: Vec<DynOp>) -> u64 {
+        let mut it = ops.into_iter();
+        let mut now = 0u64;
+        loop {
+            mem.tick(now);
+            if !core.retire(sync, now) {
+                return now;
+            }
+            core.issue(mem, now);
+            for _ in 0..core.fetch_room() {
+                match it.next() {
+                    Some(o) => core.fetch(o, now),
+                    None => break,
+                }
+            }
+            now += 1;
+            assert!(now < 1_000_000, "runaway core test");
+        }
+    }
+
+    #[test]
+    fn independent_ints_pipeline() {
+        let (mut core, mut mem, mut sync) = setup();
+        let mut ops: Vec<DynOp> = (0..100).map(|i| op(OpKind::Int, &[], Some(i + 1))).collect();
+        ops.push(DynOp::nullary(OpKind::Halt));
+        let cycles = run(&mut core, &mut mem, &mut sync, ops);
+        // 100 int ops on 2 ALUs: ~50 cycles + pipeline fill.
+        assert!((45..80).contains(&cycles), "cycles={cycles}");
+        assert_eq!(core.retired, 101);
+    }
+
+    #[test]
+    fn dependent_chain_serializes() {
+        let (mut core, mut mem, mut sync) = setup();
+        let mut ops = Vec::new();
+        for i in 0..50u32 {
+            let srcs: &[u32] = if i == 0 { &[] } else { &[i] };
+            ops.push(op(OpKind::Fp { unit: FpUnit::Arith }, srcs, Some(i + 1)));
+        }
+        ops.push(DynOp::nullary(OpKind::Halt));
+        let cycles = run(&mut core, &mut mem, &mut sync, ops);
+        // 50 dependent 3-cycle FP ops: at least 150 cycles.
+        assert!(cycles >= 150, "cycles={cycles}");
+    }
+
+    #[test]
+    fn load_miss_blocks_retirement_and_is_data_stall() {
+        let (mut core, mut mem, mut sync) = setup();
+        let ops = vec![
+            op(OpKind::Load { addr: 0x10000 }, &[], Some(1)),
+            DynOp::nullary(OpKind::Halt),
+        ];
+        let cycles = run(&mut core, &mut mem, &mut sync, ops);
+        assert!(cycles > 50, "a cold miss takes dozens of cycles: {cycles}");
+        assert!(
+            core.breakdown.data > core.breakdown.cpu_stall,
+            "stall should be attributed to data memory: {:?}",
+            core.breakdown
+        );
+    }
+
+    #[test]
+    fn clustered_misses_overlap() {
+        // The paper's core claim at the microarchitecture level: misses to
+        // N different lines in the same window overlap, while N misses to
+        // the same line sequence... (same line coalesces trivially). Here:
+        // compare N independent misses vs N dependent (chained) misses.
+        let n = 8u32;
+        let (mut core, mut mem, mut sync) = setup();
+        let mut ops = Vec::new();
+        for i in 0..n {
+            ops.push(op(OpKind::Load { addr: 0x100000 + u64::from(i) * 4096 }, &[], Some(i + 1)));
+        }
+        ops.push(DynOp::nullary(OpKind::Halt));
+        let clustered = run(&mut core, &mut mem, &mut sync, ops);
+
+        let (mut core2, mut mem2, mut sync2) = setup();
+        let mut ops2 = Vec::new();
+        for i in 0..n {
+            let srcs: &[u32] = if i == 0 { &[] } else { &[i] };
+            ops2.push(op(
+                OpKind::Load { addr: 0x200000 + u64::from(i) * 4096 },
+                srcs,
+                Some(i + 1),
+            ));
+        }
+        ops2.push(DynOp::nullary(OpKind::Halt));
+        let serial = run(&mut core2, &mut mem2, &mut sync2, ops2);
+        assert!(
+            clustered * 3 < serial * 2,
+            "clustered={clustered} serial={serial}"
+        );
+    }
+
+    #[test]
+    fn store_retires_before_completion() {
+        let (mut core, mut mem, mut sync) = setup();
+        let ops = vec![
+            op(OpKind::Store { addr: 0x30000 }, &[], None),
+            DynOp::nullary(OpKind::Halt),
+        ];
+        let cycles = run(&mut core, &mut mem, &mut sync, ops);
+        // The store misses (cold) but retires immediately after issue.
+        assert!(cycles < 20, "write buffering hides the store: {cycles}");
+    }
+
+    #[test]
+    fn store_load_forwarding() {
+        let (mut core, mut mem, mut sync) = setup();
+        let ops = vec![
+            op(OpKind::Store { addr: 0x40000 }, &[], None),
+            op(OpKind::Load { addr: 0x40000 }, &[], Some(1)),
+            DynOp::nullary(OpKind::Halt),
+        ];
+        let cycles = run(&mut core, &mut mem, &mut sync, ops);
+        assert!(cycles < 20, "forwarded load should not miss: {cycles}");
+    }
+
+    #[test]
+    fn flag_set_waits_for_stores_and_wait_sees_it() {
+        let (mut core, mut mem, mut sync) = setup();
+        let ops = vec![
+            op(OpKind::Store { addr: 0x50000 }, &[], None),
+            DynOp::nullary(OpKind::FlagSet { flag: 3 }),
+            DynOp::nullary(OpKind::FlagWait { flag: 3 }),
+            DynOp::nullary(OpKind::Halt),
+        ];
+        let cycles = run(&mut core, &mut mem, &mut sync, ops);
+        // FlagSet must wait for the store's global completion (a miss).
+        assert!(cycles > 50, "release fence waits for the store: {cycles}");
+        assert!(core.breakdown.sync > 0.0);
+    }
+
+    #[test]
+    fn window_fills_limit_fetch() {
+        let (mut core, _mem, _sync) = setup();
+        let mut fetched = 0;
+        for i in 0..200u32 {
+            if core.fetch_room() == 0 {
+                break;
+            }
+            core.fetch(op(OpKind::Fp { unit: FpUnit::Arith }, &[i], Some(i + 1000)), 0);
+            fetched += 1;
+        }
+        assert_eq!(fetched, 64, "window size bounds in-flight ops");
+    }
+
+    #[test]
+    fn branch_limit_bounds_fetch() {
+        let (mut core, _mem, _sync) = setup();
+        for _ in 0..16 {
+            // Unresolvable branches (source never produced... use a
+            // dependence on a never-completing producer: fetch a load
+            // that never issues is complex — instead just check the
+            // counter path with sourceless branches which resolve fast).
+            core.fetch(op(OpKind::Branch, &[9999], None), 0);
+            core.vreg_ready.insert(9999, u64::MAX);
+        }
+        assert_eq!(core.fetch_room(), 0, "16 unresolved branches block fetch");
+    }
+
+    #[test]
+    fn busy_time_accounts_retires() {
+        let (mut core, mut mem, mut sync) = setup();
+        let mut ops: Vec<DynOp> = (0..40).map(|i| op(OpKind::Int, &[], Some(i + 1))).collect();
+        ops.push(DynOp::nullary(OpKind::Halt));
+        run(&mut core, &mut mem, &mut sync, ops);
+        let b = &core.breakdown;
+        assert!(b.busy > 0.0);
+        // Busy time ≈ retired/width.
+        assert!((b.busy - 41.0 / 4.0).abs() < 6.0, "{b:?}");
+    }
+}

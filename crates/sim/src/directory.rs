@@ -1,0 +1,198 @@
+//! Full-map directory coherence state.
+//!
+//! One logical directory tracks, per cache line, which processors hold it
+//! and whether one of them owns it exclusively. The timing of the
+//! resulting message exchanges is modeled by the caller
+//! ([`MemSystem`](crate::memsys::MemSystem)); this module is the protocol
+//! state machine.
+
+use std::collections::HashMap;
+
+/// Directory record for one line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct DirEntry {
+    /// Bitmask of sharers.
+    sharers: u64,
+    /// Exclusive owner, if the line is modified in a cache.
+    owner: Option<u8>,
+}
+
+/// Where a miss's data comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataSource {
+    /// Home memory (the line is uncached or only shared).
+    Memory,
+    /// Another processor's cache holds the line modified.
+    CacheToCache {
+        /// The owning processor.
+        owner: usize,
+    },
+}
+
+/// The directory's response to a write request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteGrant {
+    /// Where the data comes from (irrelevant for upgrades, where the
+    /// requester already holds the line shared).
+    pub source: DataSource,
+    /// Processors whose copies must be invalidated.
+    pub invalidees: Vec<usize>,
+    /// True when the requester already held the line shared (upgrade).
+    pub upgrade: bool,
+}
+
+/// Full-map directory.
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    entries: HashMap<u64, DirEntry>,
+}
+
+impl Directory {
+    /// An empty directory (all lines uncached).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Handles a read miss by `proc` on `line`; updates state and reports
+    /// the data source. A modified owner is downgraded to sharer.
+    pub fn read_req(&mut self, line: u64, proc: usize) -> DataSource {
+        let e = self.entries.entry(line).or_default();
+        let src = match e.owner {
+            Some(o) if o as usize != proc => DataSource::CacheToCache { owner: o as usize },
+            _ => DataSource::Memory,
+        };
+        if let Some(o) = e.owner.take() {
+            e.sharers |= 1 << o;
+        }
+        e.sharers |= 1 << proc;
+        src
+    }
+
+    /// Handles a write miss or upgrade by `proc` on `line`; updates state,
+    /// reporting the data source and the sharers to invalidate.
+    pub fn write_req(&mut self, line: u64, proc: usize) -> WriteGrant {
+        let e = self.entries.entry(line).or_default();
+        let upgrade = e.sharers & (1 << proc) != 0 && e.owner.is_none();
+        let source = match e.owner {
+            Some(o) if o as usize != proc => DataSource::CacheToCache { owner: o as usize },
+            _ => DataSource::Memory,
+        };
+        let mut invalidees = Vec::new();
+        for p in 0..64 {
+            if p != proc && e.sharers & (1u64 << p) != 0 {
+                invalidees.push(p);
+            }
+        }
+        if let Some(o) = e.owner {
+            if o as usize != proc && !invalidees.contains(&(o as usize)) {
+                invalidees.push(o as usize);
+            }
+        }
+        e.sharers = 0;
+        e.owner = Some(proc as u8);
+        WriteGrant { source, invalidees, upgrade }
+    }
+
+    /// Records that `proc` evicted its copy of `line`.
+    pub fn evict(&mut self, line: u64, proc: usize) {
+        if let Some(e) = self.entries.get_mut(&line) {
+            e.sharers &= !(1u64 << proc);
+            if e.owner == Some(proc as u8) {
+                e.owner = None;
+            }
+            if e.sharers == 0 && e.owner.is_none() {
+                self.entries.remove(&line);
+            }
+        }
+    }
+
+    /// Current owner of `line`, if modified in a cache.
+    pub fn owner(&self, line: u64) -> Option<usize> {
+        self.entries.get(&line).and_then(|e| e.owner.map(|o| o as usize))
+    }
+
+    /// Number of sharers of `line`.
+    pub fn sharer_count(&self, line: u64) -> usize {
+        self.entries
+            .get(&line)
+            .map(|e| e.sharers.count_ones() as usize + usize::from(e.owner.is_some()))
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_read_comes_from_memory() {
+        let mut d = Directory::new();
+        assert_eq!(d.read_req(10, 0), DataSource::Memory);
+        assert_eq!(d.sharer_count(10), 1);
+    }
+
+    #[test]
+    fn second_reader_shares() {
+        let mut d = Directory::new();
+        d.read_req(10, 0);
+        assert_eq!(d.read_req(10, 1), DataSource::Memory);
+        assert_eq!(d.sharer_count(10), 2);
+    }
+
+    #[test]
+    fn read_of_modified_line_is_c2c_and_downgrades() {
+        let mut d = Directory::new();
+        d.write_req(10, 2);
+        assert_eq!(d.owner(10), Some(2));
+        assert_eq!(d.read_req(10, 0), DataSource::CacheToCache { owner: 2 });
+        assert_eq!(d.owner(10), None);
+        assert_eq!(d.sharer_count(10), 2);
+    }
+
+    #[test]
+    fn write_invalidates_sharers() {
+        let mut d = Directory::new();
+        d.read_req(10, 0);
+        d.read_req(10, 1);
+        d.read_req(10, 2);
+        let g = d.write_req(10, 0);
+        assert!(g.upgrade);
+        assert_eq!(g.source, DataSource::Memory);
+        let mut inv = g.invalidees.clone();
+        inv.sort_unstable();
+        assert_eq!(inv, vec![1, 2]);
+        assert_eq!(d.owner(10), Some(0));
+        assert_eq!(d.sharer_count(10), 1);
+    }
+
+    #[test]
+    fn write_of_remote_modified_is_c2c() {
+        let mut d = Directory::new();
+        d.write_req(10, 3);
+        let g = d.write_req(10, 1);
+        assert!(!g.upgrade);
+        assert_eq!(g.source, DataSource::CacheToCache { owner: 3 });
+        assert_eq!(g.invalidees, vec![3]);
+        assert_eq!(d.owner(10), Some(1));
+    }
+
+    #[test]
+    fn rewrite_by_owner_is_silent() {
+        let mut d = Directory::new();
+        d.write_req(10, 1);
+        let g = d.write_req(10, 1);
+        assert!(g.invalidees.is_empty());
+        assert_eq!(g.source, DataSource::Memory);
+    }
+
+    #[test]
+    fn eviction_clears_state() {
+        let mut d = Directory::new();
+        d.read_req(10, 0);
+        d.evict(10, 0);
+        assert_eq!(d.sharer_count(10), 0);
+        d.write_req(11, 5);
+        d.evict(11, 5);
+        assert_eq!(d.owner(11), None);
+    }
+}

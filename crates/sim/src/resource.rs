@@ -1,0 +1,149 @@
+//! Occupancy-based contention modeling.
+//!
+//! Shared components (bus, memory banks, cache ports, mesh links) are
+//! modeled as [`Resource`]s: a request reserves the resource for a
+//! duration no earlier than a given time; the grant time reflects queueing
+//! behind earlier reservations. This captures bandwidth contention (the
+//! effect behind the Latbench total-latency increase in Section 5.1)
+//! without message-level simulation.
+
+use mempar_stats::Utilization;
+
+/// A single-server resource with FIFO reservation semantics.
+#[derive(Debug, Clone, Default)]
+pub struct Resource {
+    busy_until: u64,
+    busy_cycles: u64,
+}
+
+impl Resource {
+    /// A new, idle resource.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserves the resource for `dur` cycles starting no earlier than
+    /// `at`; returns the actual start time.
+    pub fn reserve(&mut self, at: u64, dur: u64) -> u64 {
+        let start = self.busy_until.max(at);
+        self.busy_until = start + dur;
+        self.busy_cycles += dur;
+        start
+    }
+
+    /// Time the resource becomes free.
+    pub fn free_at(&self) -> u64 {
+        self.busy_until
+    }
+
+    /// Total cycles of reserved (busy) time so far.
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Utilization over `elapsed` observed cycles.
+    pub fn utilization(&self, elapsed: u64) -> Utilization {
+        Utilization { busy: self.busy_cycles.min(elapsed), total: elapsed }
+    }
+}
+
+/// A pool of identical single-server resources (e.g. interleaved banks
+/// accessed by index, or replicated ports granted to the least busy).
+#[derive(Debug, Clone)]
+pub struct ResourcePool {
+    units: Vec<Resource>,
+}
+
+impl ResourcePool {
+    /// A pool of `n` idle units.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "resource pool needs at least one unit");
+        ResourcePool { units: vec![Resource::new(); n] }
+    }
+
+    /// Number of units.
+    pub fn len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// True when the pool has no units (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+
+    /// Reserves the specific unit `idx` (bank addressed by interleaving).
+    pub fn reserve_unit(&mut self, idx: usize, at: u64, dur: u64) -> u64 {
+        self.units[idx].reserve(at, dur)
+    }
+
+    /// Reserves whichever unit can start earliest (replicated ports).
+    pub fn reserve_any(&mut self, at: u64, dur: u64) -> u64 {
+        let idx = self
+            .units
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, u)| u.free_at())
+            .map(|(i, _)| i)
+            .expect("pool is non-empty");
+        self.units[idx].reserve(at, dur)
+    }
+
+    /// Sum of busy cycles across units.
+    pub fn busy_cycles(&self) -> u64 {
+        self.units.iter().map(Resource::busy_cycles).sum()
+    }
+
+    /// Aggregate utilization over `elapsed` cycles (capacity = n·elapsed).
+    pub fn utilization(&self, elapsed: u64) -> Utilization {
+        let cap = elapsed * self.units.len() as u64;
+        Utilization { busy: self.busy_cycles().min(cap), total: cap }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservations_queue() {
+        let mut r = Resource::new();
+        assert_eq!(r.reserve(10, 5), 10);
+        assert_eq!(r.reserve(11, 5), 15); // queued behind the first
+        assert_eq!(r.reserve(100, 5), 100); // idle gap
+        assert_eq!(r.busy_cycles(), 15);
+    }
+
+    #[test]
+    fn idle_resource_grants_immediately() {
+        let mut r = Resource::new();
+        assert_eq!(r.reserve(0, 3), 0);
+        assert_eq!(r.free_at(), 3);
+    }
+
+    #[test]
+    fn pool_any_picks_least_busy() {
+        let mut p = ResourcePool::new(2);
+        assert_eq!(p.reserve_any(0, 10), 0); // unit 0
+        assert_eq!(p.reserve_any(0, 10), 0); // unit 1
+        assert_eq!(p.reserve_any(0, 10), 10); // both busy: queue
+    }
+
+    #[test]
+    fn pool_unit_addressing() {
+        let mut p = ResourcePool::new(4);
+        assert_eq!(p.reserve_unit(2, 5, 7), 5);
+        assert_eq!(p.reserve_unit(2, 5, 7), 12);
+        assert_eq!(p.reserve_unit(3, 5, 7), 5);
+    }
+
+    #[test]
+    fn utilization_reported() {
+        let mut r = Resource::new();
+        r.reserve(0, 50);
+        let u = r.utilization(100);
+        assert_eq!(u.fraction(), 0.5);
+        let mut p = ResourcePool::new(2);
+        p.reserve_any(0, 100);
+        assert_eq!(p.utilization(100).fraction(), 0.5);
+    }
+}

@@ -1,0 +1,165 @@
+//! Execution-time breakdown with the paper's retire-based attribution.
+
+use std::ops::{Add, AddAssign};
+
+/// The class a stalled cycle fraction is attributed to, determined by the
+/// first instruction that could not retire that cycle (Section 5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallClass {
+    /// Functional-unit or dependence stall (counted into CPU time).
+    Cpu,
+    /// A data read miss (or, rarely, a full write buffer).
+    DataMemory,
+    /// Barrier or flag synchronization.
+    Sync,
+    /// Empty window / fetch starvation.
+    Instruction,
+}
+
+/// Execution time categorized as in Figure 3.
+///
+/// All fields are in cycles (fractional: each cycle contributes `r/R` busy
+/// time for `r` of `R` possible retires, with the remainder attributed to
+/// a single stall class).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Breakdown {
+    /// Useful-retirement (busy) time.
+    pub busy: f64,
+    /// CPU-side stalls (functional units, dependences).
+    pub cpu_stall: f64,
+    /// Data memory stalls (dominated by L2 read misses).
+    pub data: f64,
+    /// Synchronization stalls.
+    pub sync: f64,
+    /// Instruction-supply stalls.
+    pub instr: f64,
+}
+
+impl Breakdown {
+    /// An all-zero breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `amount` cycles of stall of the given class.
+    pub fn add_stall(&mut self, class: StallClass, amount: f64) {
+        match class {
+            StallClass::Cpu => self.cpu_stall += amount,
+            StallClass::DataMemory => self.data += amount,
+            StallClass::Sync => self.sync += amount,
+            StallClass::Instruction => self.instr += amount,
+        }
+    }
+
+    /// Total cycles.
+    pub fn total(&self) -> f64 {
+        self.busy + self.cpu_stall + self.data + self.sync + self.instr
+    }
+
+    /// The paper's "CPU" component: busy plus functional-unit stalls.
+    pub fn cpu(&self) -> f64 {
+        self.busy + self.cpu_stall
+    }
+
+    /// Percentage of `base`'s total this breakdown represents
+    /// (the normalized height of a Figure 3 bar).
+    pub fn normalized_to(&self, base: &Breakdown) -> f64 {
+        if base.total() == 0.0 {
+            0.0
+        } else {
+            100.0 * self.total() / base.total()
+        }
+    }
+
+    /// Percent execution-time reduction relative to `base`
+    /// (positive = faster, as reported in Table 3).
+    pub fn percent_reduction_from(&self, base: &Breakdown) -> f64 {
+        if base.total() == 0.0 {
+            0.0
+        } else {
+            100.0 * (base.total() - self.total()) / base.total()
+        }
+    }
+
+    /// Scales every component (e.g. cycles → nanoseconds).
+    pub fn scaled(&self, k: f64) -> Breakdown {
+        Breakdown {
+            busy: self.busy * k,
+            cpu_stall: self.cpu_stall * k,
+            data: self.data * k,
+            sync: self.sync * k,
+            instr: self.instr * k,
+        }
+    }
+}
+
+impl Add for Breakdown {
+    type Output = Breakdown;
+
+    fn add(mut self, rhs: Breakdown) -> Breakdown {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for Breakdown {
+    fn add_assign(&mut self, rhs: Breakdown) {
+        self.busy += rhs.busy;
+        self.cpu_stall += rhs.cpu_stall;
+        self.data += rhs.data;
+        self.sync += rhs.sync;
+        self.instr += rhs.instr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Breakdown {
+        Breakdown { busy: 50.0, cpu_stall: 10.0, data: 30.0, sync: 5.0, instr: 5.0 }
+    }
+
+    #[test]
+    fn totals_and_cpu() {
+        let b = sample();
+        assert_eq!(b.total(), 100.0);
+        assert_eq!(b.cpu(), 60.0);
+    }
+
+    #[test]
+    fn add_stall_routes_by_class() {
+        let mut b = Breakdown::new();
+        b.add_stall(StallClass::DataMemory, 2.0);
+        b.add_stall(StallClass::Sync, 1.0);
+        b.add_stall(StallClass::Instruction, 0.5);
+        b.add_stall(StallClass::Cpu, 0.25);
+        assert_eq!(b.data, 2.0);
+        assert_eq!(b.sync, 1.0);
+        assert_eq!(b.instr, 0.5);
+        assert_eq!(b.cpu_stall, 0.25);
+    }
+
+    #[test]
+    fn normalization() {
+        let base = sample();
+        let clust = Breakdown { busy: 50.0, cpu_stall: 10.0, data: 10.0, sync: 5.0, instr: 5.0 };
+        assert_eq!(clust.normalized_to(&base), 80.0);
+        assert_eq!(clust.percent_reduction_from(&base), 20.0);
+    }
+
+    #[test]
+    fn degenerate_base_is_safe() {
+        let zero = Breakdown::new();
+        assert_eq!(sample().normalized_to(&zero), 0.0);
+        assert_eq!(sample().percent_reduction_from(&zero), 0.0);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let b = sample() + sample();
+        assert_eq!(b.total(), 200.0);
+        let ns = b.scaled(2.0);
+        assert_eq!(ns.total(), 400.0);
+    }
+}

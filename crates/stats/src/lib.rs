@@ -1,0 +1,26 @@
+//! Statistics collected by the `mempar` simulator and reported by the
+//! benchmark harness.
+//!
+//! The central types mirror the measurements in the paper:
+//!
+//! * [`Breakdown`] — execution time split into busy/CPU, data-memory stall,
+//!   synchronization stall and instruction stall, following the retire-based
+//!   attribution convention of Section 5.2.
+//! * [`MshrOccupancy`] — per-cycle histograms of occupied L2 MSHRs (read
+//!   and total), the measurement behind Figure 4.
+//! * [`MemCounters`] / [`LatencyStat`] — miss counts by level and
+//!   latency distributions (Latbench reports).
+//! * [`Utilization`] — busy-fraction tracking for buses and memory banks.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod breakdown;
+mod mshr;
+mod plot;
+mod table;
+
+pub use breakdown::{Breakdown, StallClass};
+pub use plot::{render_breakdown_bars, render_occupancy_chart};
+pub use mshr::{LatencyStat, MemCounters, MshrOccupancy, Utilization};
+pub use table::{format_breakdown_table, format_occupancy_curves, format_rows, Row};

@@ -1,0 +1,111 @@
+//! Terminal rendering of the paper's figures: horizontal-bar breakdowns
+//! (Figure 3) and occupancy step-curves (Figure 4).
+
+use crate::breakdown::Breakdown;
+use crate::mshr::MshrOccupancy;
+
+/// Renders a Figure 3-style stacked horizontal bar per run, normalized to
+/// the paired base run's total. Each cell of the bar is one category:
+/// `D` data stall, `S` sync, `C` CPU (busy + FU stall), `I` instruction.
+pub fn render_breakdown_bars(
+    title: &str,
+    entries: &[(String, Breakdown, Breakdown)],
+    width: usize,
+) -> String {
+    let width = width.max(20);
+    let mut out = format!("{title}\n");
+    out.push_str("legend: D=data stall, S=sync, C=CPU, I=instruction\n");
+    let label_w = entries
+        .iter()
+        .map(|(n, _, _)| n.len() + 6)
+        .max()
+        .unwrap_or(8);
+    for (name, base, clust) in entries {
+        let denom = base.total().max(1e-12);
+        for (tag, b) in [("base", base), ("clust", clust)] {
+            let mut bar = String::new();
+            for (ch, amount) in [
+                ('D', b.data),
+                ('S', b.sync),
+                ('C', b.cpu()),
+                ('I', b.instr),
+            ] {
+                let cells = ((amount / denom) * width as f64).round() as usize;
+                bar.extend(std::iter::repeat_n(ch, cells));
+            }
+            let label = format!("{name}/{tag}");
+            out.push_str(&format!(
+                "{label:<label_w$} |{bar:<width$}| {:5.1}%\n",
+                100.0 * b.total() / denom
+            ));
+        }
+    }
+    out
+}
+
+/// Renders Figure 4-style occupancy curves as rows of column heights:
+/// for each N (columns), the fraction of time at least N MSHRs were
+/// occupied, shown as a height-10 column chart per labeled run.
+pub fn render_occupancy_chart(
+    title: &str,
+    entries: &[(String, MshrOccupancy)],
+    reads: bool,
+) -> String {
+    let mut out = format!("{title}\n");
+    for (label, occ) in entries {
+        let curve = if reads { occ.read_curve() } else { occ.total_curve() };
+        out.push_str(&format!("{label}:\n"));
+        for level in (1..=10).rev() {
+            let threshold = level as f64 / 10.0;
+            let row: String = curve
+                .iter()
+                .map(|&f| if f + 1e-12 >= threshold { " ##" } else { "   " })
+                .collect();
+            out.push_str(&format!("  {:>3}% |{row}\n", level * 10));
+        }
+        let axis: String = (0..curve.len()).map(|n| format!("{n:>3}")).collect();
+        out.push_str(&format!("       +{}\n        {axis}  (>= N MSHRs)\n", "-".repeat(curve.len() * 3)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_with_components() {
+        let base = Breakdown { busy: 25.0, cpu_stall: 0.0, data: 75.0, sync: 0.0, instr: 0.0 };
+        let clust = Breakdown { busy: 25.0, cpu_stall: 0.0, data: 25.0, sync: 0.0, instr: 0.0 };
+        let s = render_breakdown_bars("t", &[("app".into(), base, clust)], 40);
+        // base: 30 cells of D, 10 of C; clust: 10 D, 10 C.
+        assert!(s.contains(&"D".repeat(30)), "{s}");
+        assert!(!s.contains(&"D".repeat(31)));
+        assert!(s.contains("100.0%"));
+        assert!(s.contains(" 50.0%"));
+    }
+
+    #[test]
+    fn bars_include_all_categories() {
+        let b = Breakdown { busy: 25.0, cpu_stall: 25.0, data: 25.0, sync: 15.0, instr: 10.0 };
+        let s = render_breakdown_bars("t", &[("x".into(), b, b)], 20);
+        for ch in ["D", "S", "C", "I"] {
+            assert!(s.contains(ch), "missing {ch} in {s}");
+        }
+    }
+
+    #[test]
+    fn occupancy_chart_monotone_columns() {
+        let mut m = MshrOccupancy::new(4);
+        for _ in 0..50 {
+            m.sample(2, 2);
+        }
+        for _ in 0..50 {
+            m.sample(0, 0);
+        }
+        let s = render_occupancy_chart("f", &[("run".into(), m)], true);
+        // >=0 is always 1.0 (a full column); >=3 is 0 (no marks at top).
+        assert!(s.contains("100% | ##"), "{s}");
+        assert!(s.contains("(>= N MSHRs)"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Plain-text report formatting for the benchmark harness.
+
+use crate::breakdown::Breakdown;
+use crate::mshr::MshrOccupancy;
+
+/// One row of a generic report table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Row label (leftmost column).
+    pub label: String,
+    /// Cell values, matching the header passed to [`format_rows`].
+    pub cells: Vec<String>,
+}
+
+impl Row {
+    /// Builds a row from a label and preformatted cells.
+    pub fn new(label: impl Into<String>, cells: Vec<String>) -> Self {
+        Row { label: label.into(), cells }
+    }
+}
+
+/// Formats a simple aligned table with a header.
+pub fn format_rows(title: &str, header: &[&str], rows: &[Row]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    let mut label_w = 0usize;
+    for r in rows {
+        label_w = label_w.max(r.label.len());
+        for (i, c) in r.cells.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(c.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&format!("{:label_w$}", ""));
+    for (h, w) in header.iter().zip(&widths) {
+        out.push_str(&format!("  {h:>w$}"));
+    }
+    out.push('\n');
+    let total_w = label_w + widths.iter().map(|w| w + 2).sum::<usize>();
+    out.push_str(&"-".repeat(total_w));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!("{:<label_w$}", r.label));
+        for (i, w) in widths.iter().enumerate() {
+            let cell = r.cells.get(i).map(String::as_str).unwrap_or("");
+            out.push_str(&format!("  {cell:>w$}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats normalized execution-time breakdowns in the style of Figure 3:
+/// each entry shows the stacked components as a percentage of the *base*
+/// run's total.
+///
+/// `entries` are `(label, base, clustered)` triples.
+pub fn format_breakdown_table(title: &str, entries: &[(String, Breakdown, Breakdown)]) -> String {
+    let header = ["total%", "Data", "Sync", "CPU", "Instr"];
+    let mut rows = Vec::new();
+    for (label, base, clust) in entries {
+        for (tag, b) in [("base", base), ("clust", clust)] {
+            let denom = base.total().max(1e-12) / 100.0;
+            rows.push(Row::new(
+                format!("{label}/{tag}"),
+                vec![
+                    format!("{:6.1}", b.normalized_to(base)),
+                    format!("{:6.1}", b.data / denom),
+                    format!("{:6.1}", b.sync / denom),
+                    format!("{:6.1}", b.cpu() / denom),
+                    format!("{:6.1}", b.instr / denom),
+                ],
+            ));
+        }
+        rows.push(Row::new(
+            format!("{label}/reduction"),
+            vec![format!("{:6.1}", clust.percent_reduction_from(base))],
+        ));
+    }
+    format_rows(title, &header, &rows)
+}
+
+/// Formats Figure 4-style occupancy curves: fraction of time at least N
+/// MSHRs are occupied, for each labeled histogram.
+pub fn format_occupancy_curves(title: &str, entries: &[(String, MshrOccupancy)], reads: bool) -> String {
+    let cap = entries.first().map(|(_, m)| m.capacity()).unwrap_or(0);
+    let header: Vec<String> = (0..=cap).map(|n| format!(">={n}")).collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let rows: Vec<Row> = entries
+        .iter()
+        .map(|(label, m)| {
+            let curve = if reads { m.read_curve() } else { m.total_curve() };
+            Row::new(
+                label.clone(),
+                curve.iter().map(|f| format!("{f:5.3}")).collect(),
+            )
+        })
+        .collect();
+    format_rows(title, &header_refs, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_align() {
+        let t = format_rows(
+            "T",
+            &["a", "bb"],
+            &[
+                Row::new("x", vec!["1".into(), "2".into()]),
+                Row::new("longer", vec!["10".into(), "20".into()]),
+            ],
+        );
+        assert!(t.contains("T\n"));
+        assert!(t.lines().count() >= 4);
+        // Header and rows have consistent column counts.
+        assert!(t.contains("longer"));
+    }
+
+    #[test]
+    fn breakdown_table_contains_reduction() {
+        let base = Breakdown { busy: 50.0, cpu_stall: 0.0, data: 50.0, sync: 0.0, instr: 0.0 };
+        let clust = Breakdown { busy: 50.0, cpu_stall: 0.0, data: 25.0, sync: 0.0, instr: 0.0 };
+        let t = format_breakdown_table("fig", &[("app".into(), base, clust)]);
+        assert!(t.contains("app/base"));
+        assert!(t.contains("app/clust"));
+        assert!(t.contains("25.0"), "{t}");
+    }
+
+    #[test]
+    fn occupancy_table_runs() {
+        let mut m = MshrOccupancy::new(3);
+        m.sample(1, 2);
+        m.sample(3, 3);
+        let t = format_occupancy_curves("f4", &[("lu".into(), m)], true);
+        assert!(t.contains(">=3"));
+        assert!(t.contains("lu"));
+    }
+}

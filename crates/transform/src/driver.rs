@@ -1,0 +1,534 @@
+//! The clustering driver: applies the paper's full recipe to a program.
+//!
+//! For every innermost loop nest (Sections 3.2–3.3):
+//!
+//! 1. Analyze locality, dependences and recurrences.
+//! 2. If a miss recurrence caps `f` below `α·lp`, **unroll-and-jam** the
+//!    enclosing loop, choosing the degree by binary search on the
+//!    re-analyzed `f` (at most `⌈log₂U⌉` re-analyses, as in Carr &
+//!    Kennedy) while keeping `f ≤ α·lp` — conservative, to avoid MSHR
+//!    contention. Loops whose unrolling would add only write misses are
+//!    skipped.
+//! 3. **Scalar-replace** invariant references exposed by the jam.
+//! 4. If window constraints remain (no recurrence but `f < lp`),
+//!    **inner-unroll** to expose enough independent misses.
+//! 5. **Schedule** the body to pack miss references together.
+//! 6. **Interchange the postlude** when possible.
+
+use mempar_analysis::{analyze_inner_loop, MachineSummary, MissProfile, NestAnalysis};
+use mempar_ir::Program;
+
+use crate::interchange::interchange_postlude;
+use crate::nest::{enclosing_vars, innermost_loops, loop_at, NestPath};
+use crate::scalar_replace::scalar_replace;
+use crate::schedule::schedule_for_misses;
+use crate::unroll::{inner_unroll, unroll_and_jam};
+
+/// What happened to one loop nest.
+#[derive(Debug, Clone)]
+pub struct NestDecision {
+    /// Path of the innermost loop before transformation.
+    pub path: NestPath,
+    /// Loop-nest description (variable names outer→inner).
+    pub nest_desc: String,
+    /// Recurrence bound `α` of the original loop.
+    pub alpha: f64,
+    /// `f` before transformation.
+    pub f_before: f64,
+    /// `f` after transformation (re-analyzed).
+    pub f_after: f64,
+    /// Unroll-and-jam degree applied (1 = none).
+    pub uaj_degree: u32,
+    /// Inner unrolling applied (1 = none).
+    pub inner_unroll: u32,
+    /// Invariant references scalar-replaced.
+    pub scalar_replaced: usize,
+    /// Whether the body was rescheduled.
+    pub scheduled: bool,
+    /// Whether the postlude was interchanged.
+    pub postlude_interchanged: bool,
+    /// Why unroll-and-jam was skipped, if it was wanted but not applied.
+    pub uaj_skip_reason: Option<String>,
+}
+
+/// Summary of a whole-program clustering pass.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterReport {
+    /// Per-nest decisions, in program order.
+    pub decisions: Vec<NestDecision>,
+}
+
+impl ClusterReport {
+    /// True when any transformation was applied.
+    pub fn any_transformed(&self) -> bool {
+        self.decisions.iter().any(|d| {
+            d.uaj_degree > 1 || d.inner_unroll > 1 || d.scheduled || d.scalar_replaced > 0
+        })
+    }
+
+    /// One-line-per-nest human-readable summary.
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        for d in &self.decisions {
+            s.push_str(&format!(
+                "{}: alpha={:.2} f={:.1}->{:.1} uaj={} unroll={} sr={} sched={} postlude-ix={}{}\n",
+                d.nest_desc,
+                d.alpha,
+                d.f_before,
+                d.f_after,
+                d.uaj_degree,
+                d.inner_unroll,
+                d.scalar_replaced,
+                d.scheduled,
+                d.postlude_interchanged,
+                d.uaj_skip_reason
+                    .as_deref()
+                    .map(|r| format!(" (uaj skipped: {r})"))
+                    .unwrap_or_default(),
+            ));
+        }
+        s
+    }
+}
+
+/// Applies the clustering transformations to every innermost nest of
+/// `prog` in place, returning the per-nest report.
+pub fn cluster_program(
+    prog: &mut Program,
+    m: &MachineSummary,
+    profile: &MissProfile,
+) -> ClusterReport {
+    let mut report = ClusterReport::default();
+    // Reverse program order keeps earlier sibling paths valid while we
+    // splice prelude/postlude statements around later ones.
+    let mut nests = innermost_loops(prog);
+    nests.reverse();
+    let mut consumed_parents: Vec<NestPath> = Vec::new();
+    for path in nests {
+        // Skip nests whose enclosing loop we already transformed (a jam
+        // rewrites every inner loop it contains).
+        if consumed_parents
+            .iter()
+            .any(|p| path.0.starts_with(&p.0))
+        {
+            continue;
+        }
+        if let Some(d) = cluster_nest(prog, &path, m, profile) {
+            if d.uaj_degree > 1 {
+                if let Some(parent) = path.parent() {
+                    consumed_parents.push(parent);
+                }
+            }
+            report.decisions.push(d);
+        }
+    }
+    report.decisions.reverse();
+    report
+}
+
+/// Applies the recipe to the single innermost nest at `path`.
+fn cluster_nest(
+    prog: &mut Program,
+    path: &NestPath,
+    m: &MachineSummary,
+    profile: &MissProfile,
+) -> Option<NestDecision> {
+    let l = loop_at(prog, path)?;
+    let iv = l.var;
+    let an = analyze_inner_loop(prog, &l.body, iv, m, profile);
+    let vars = enclosing_vars(prog, path);
+    let nest_desc = format!(
+        "{}({})",
+        prog.name,
+        vars.iter().map(|&v| prog.var_name(v).to_string()).collect::<Vec<_>>().join(",")
+    );
+    let mut decision = NestDecision {
+        path: path.clone(),
+        nest_desc,
+        alpha: an.recurrences.alpha,
+        f_before: an.f,
+        f_after: an.f,
+        uaj_degree: 1,
+        inner_unroll: 1,
+        scalar_replaced: 0,
+        scheduled: false,
+        postlude_interchanged: false,
+        uaj_skip_reason: None,
+    };
+
+    let mut cur_inner = path.clone();
+
+    // ---- Stage 1: recurrence resolution via unroll-and-jam ----
+    // Candidate outer loops are considered from the innermost's parent
+    // outward (the "choice of outer loops to unroll for deeper nests" the
+    // paper defers to Carr & Kennedy). A candidate is rejected when the
+    // innermost body's writes do not vary with it (unrolling a reduction
+    // loop chains copies through the same memory locations and adds no
+    // miss streams — the LU `kk` trap), when unrolling would add only
+    // write or redundant misses, or when no profitable legal degree
+    // exists.
+    if an.needs_unroll_and_jam(m) {
+        let mut reasons: Vec<String> = Vec::new();
+        let mut cand = path.parent();
+        if cand.is_none() {
+            decision.uaj_skip_reason = Some("no enclosing loop to unroll".into());
+        }
+        while let Some(parent) = cand {
+            let Some(pl) = loop_at(prog, &parent) else { break };
+            let pv = pl.var;
+            let pname = prog.var_name(pv).to_string();
+            if !writes_vary_with(prog, path, pv) {
+                reasons.push(format!("{pname}: writes invariant (reduction)"));
+                cand = parent.parent();
+                continue;
+            }
+            if !unrolling_adds_read_misses(prog, &an, pv) {
+                reasons.push(format!("{pname}: adds only write/redundant misses"));
+                cand = parent.parent();
+                continue;
+            }
+            let target = an.target_f(m);
+            let degree = search_degree(prog, &parent, path, m, profile, target);
+            if degree <= 1 {
+                reasons.push(format!("{pname}: no profitable degree"));
+                cand = parent.parent();
+                continue;
+            }
+            match unroll_and_jam(prog, &parent, degree) {
+                Ok(r) => {
+                    decision.uaj_degree = degree;
+                    if let Some(post) = &r.postlude {
+                        decision.postlude_interchanged = interchange_postlude(prog, post);
+                    }
+                    cur_inner = deepest_inner(prog, &r.main)?;
+                    break;
+                }
+                Err(e) => {
+                    reasons.push(format!("{pname}: {e}"));
+                    cand = parent.parent();
+                }
+            }
+        }
+        if decision.uaj_degree == 1 && !reasons.is_empty() {
+            decision.uaj_skip_reason = Some(reasons.join("; "));
+        }
+    }
+
+    // ---- Stage 2: scalar replacement on the (possibly jammed) body ----
+    if let Ok((n, new_path)) = scalar_replace(prog, &cur_inner) {
+        decision.scalar_replaced = n;
+        cur_inner = new_path;
+    }
+
+    // ---- Stage 3: window constraints via inner unrolling ----
+    let an2 = {
+        let l = loop_at(prog, &cur_inner)?;
+        analyze_inner_loop(prog, &l.body, l.var, m, profile)
+    };
+    if decision.uaj_degree == 1 && an2.window_constrained(m) {
+        let deg = an2.inner_unroll_degree(m);
+        if deg > 1 {
+            if let Ok(r) = inner_unroll(prog, &cur_inner, deg) {
+                decision.inner_unroll = deg;
+                cur_inner = r.main;
+            }
+        }
+    }
+
+    // ---- Stage 4: local scheduling to pack misses ----
+    if decision.uaj_degree > 1 || decision.inner_unroll > 1 {
+        if let Ok(changed) = schedule_for_misses(prog, &cur_inner, m.line_bytes) {
+            decision.scheduled = changed;
+        }
+    }
+
+    // Final f for the report.
+    if let Some(l) = loop_at(prog, &cur_inner) {
+        let an3 = analyze_inner_loop(prog, &l.body, l.var, m, profile);
+        decision.f_after = an3.f;
+    }
+    Some(decision)
+}
+
+/// Searches for the largest degree `d ≤ U` with re-analyzed
+/// `f(d) ≤ target` (binary search over candidate degrees, at most
+/// `⌈log₂U⌉` trial jams on clones, as in Carr & Kennedy).
+///
+/// For *distributed* loops only exact divisors of the trip count are
+/// considered: a leftover postlude of a parallel loop executes on the
+/// first processors while its data lives at the last one's home memory,
+/// and the resulting coherence ping-pong (observed on Ocean) swamps the
+/// clustering benefit. With a dividing degree every processor unrolls
+/// its own chunk and no postlude exists.
+fn search_degree(
+    prog: &Program,
+    parent: &NestPath,
+    inner: &NestPath,
+    m: &MachineSummary,
+    profile: &MissProfile,
+    target: f64,
+) -> u32 {
+    let f_of = |d: u32| -> Option<f64> {
+        let mut trial = prog.clone();
+        let r = unroll_and_jam(&mut trial, parent, d).ok()?;
+        let inner_path = deepest_inner(&trial, &r.main)?;
+        let (_, inner_path) = scalar_replace(&mut trial, &inner_path).ok()?;
+        let l = loop_at(&trial, &inner_path)?;
+        Some(analyze_inner_loop(&trial, &l.body, l.var, m, profile).f)
+    };
+    let _ = inner;
+    // Candidate degrees, ascending.
+    let candidates: Vec<u32> = match loop_at(prog, parent) {
+        Some(l) if l.dist.is_some() && m.procs > 1 => {
+            let Some(trip) = l.const_trip_count() else { return 1 };
+            (2..=m.max_unroll)
+                .filter(|&d| trip % d as i64 == 0)
+                .collect()
+        }
+        _ => (2..=m.max_unroll).collect(),
+    };
+    if candidates.is_empty() {
+        return 1;
+    }
+    // Quick legality/profit probe on the smallest candidate.
+    let f_small = match f_of(candidates[0]) {
+        None => return 1,
+        Some(f) if f > target => return 1,
+        Some(f) => f,
+    };
+    // Binary search over the candidate list (f is monotone in degree).
+    let (mut lo, mut hi) = (0usize, candidates.len() - 1);
+    let mut best_f = f_small;
+    while lo < hi {
+        let mid = (lo + hi + 1) / 2;
+        match f_of(candidates[mid]) {
+            Some(f) if f <= target => {
+                lo = mid;
+                best_f = f;
+            }
+            _ => hi = mid - 1,
+        }
+    }
+    // Unrolling that never increases the overlapped-miss estimate (all
+    // copies coalesce onto the same lines) is pure code expansion: skip.
+    if let Some(f1) = f_of(1) {
+        if best_f <= f1 + 1e-9 {
+            return 1;
+        }
+    }
+    candidates[lo]
+}
+
+/// The deepest first innermost loop under `start` (after a jam, the fused
+/// loop is the one with the largest body; prefer it).
+fn deepest_inner(prog: &Program, start: &NestPath) -> Option<NestPath> {
+    let mut all = innermost_loops(prog);
+    all.retain(|p| p.0.starts_with(&start.0));
+    if all.is_empty() {
+        // `start` itself is innermost.
+        return loop_at(prog, start).map(|_| start.clone());
+    }
+    // Prefer the innermost loop with the largest body (the fused jam).
+    all.into_iter().max_by_key(|p| {
+        loop_at(prog, p).map(|l| l.body.len()).unwrap_or(0)
+    })
+}
+
+/// True when unrolling the loop over `pv` would add new *read* miss
+/// opportunities: some leading read reference's address varies with it
+/// (otherwise copies coalesce, or only writes are added — the paper's
+/// "we prefer not to unroll-and-jam loops that only expose additional
+/// write miss references").
+fn unrolling_adds_read_misses(_prog: &Program, an: &NestAnalysis, pv: mempar_ir::VarId) -> bool {
+    an.refs.leading().any(|r| !r.is_write && ref_varies_with(&r.r, pv))
+}
+
+/// True when every array write in the innermost body at `inner` varies
+/// with `pv`. A write invariant in `pv` means the unrolled copies rewrite
+/// the same elements — a memory-carried reduction whose copies serialize.
+fn writes_vary_with(prog: &Program, inner: &NestPath, pv: mempar_ir::VarId) -> bool {
+    let Some(l) = loop_at(prog, inner) else { return false };
+    let mut ok = true;
+    for s in &l.body {
+        s.visit_local_refs(&mut |r, w| {
+            if w && !ref_varies_with(r, pv) {
+                ok = false;
+            }
+        });
+    }
+    ok
+}
+
+fn ref_varies_with(r: &mempar_ir::ArrayRef, v: mempar_ir::VarId) -> bool {
+    r.indices.iter().any(|ix| {
+        !ix.affine.is_free_of(v)
+            || match &ix.dynamic {
+                Some(mempar_ir::DynIndex::Indirect { inner, .. }) => ref_varies_with(inner, v),
+                // A scalar-carried address varies unpredictably: assume yes.
+                Some(mempar_ir::DynIndex::Scalar { .. }) => true,
+                None => false,
+            }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mempar_ir::{run_single, ArrayData, ProgramBuilder, SimMem};
+
+    fn fig2a(n: usize) -> (Program, mempar_ir::ArrayId, mempar_ir::ArrayId) {
+        let mut b = ProgramBuilder::new("fig2a");
+        let a = b.array_f64("a", &[n, n]);
+        let out = b.array_f64("out", &[n]);
+        let s = b.scalar_f64("sum", 0.0);
+        let j = b.var("j");
+        let i = b.var("i");
+        b.for_const(j, 0, n as i64, |b| {
+            let zero = b.constf(0.0);
+            b.assign_scalar(s, zero);
+            b.for_const(i, 0, n as i64, |b| {
+                let v = b.load(a, &[b.idx(j), b.idx(i)]);
+                let acc = b.scalar(s);
+                let e = b.add(acc, v);
+                b.assign_scalar(s, e);
+            });
+            let fin = b.scalar(s);
+            b.assign_array(out, &[b.idx(j)], fin);
+        });
+        (b.finish(), a, out)
+    }
+
+    #[test]
+    fn clusters_fig2a_with_uaj() {
+        let n = 64;
+        let (mut p, a, out) = fig2a(n);
+        let mut mem = SimMem::new(&p, 1);
+        mem.set_array(a, ArrayData::F64((0..n * n).map(|x| (x % 11) as f64).collect()));
+        run_single(&p, &mut mem);
+        let base_out = mem.read_f64(out);
+
+        let m = MachineSummary::base();
+        let report = cluster_program(&mut p, &m, &MissProfile::pessimistic());
+        assert_eq!(report.decisions.len(), 1);
+        let d = &report.decisions[0];
+        assert!(d.uaj_degree > 1, "recurrence must trigger UAJ: {report:?}");
+        assert!(d.f_after > d.f_before);
+        assert!(d.f_after <= d.alpha * m.mshrs as f64 + 1e-9, "conservative bound");
+
+        // Semantics preserved.
+        let mut mem2 = SimMem::new(&p, 1);
+        mem2.set_array(a, ArrayData::F64((0..n * n).map(|x| (x % 11) as f64).collect()));
+        run_single(&p, &mut mem2);
+        assert_eq!(mem2.read_f64(out), base_out);
+    }
+
+    #[test]
+    fn report_summary_mentions_degree() {
+        let (mut p, _, _) = fig2a(64);
+        let m = MachineSummary::base();
+        let report = cluster_program(&mut p, &m, &MissProfile::pessimistic());
+        let s = report.summary();
+        assert!(s.contains("uaj="), "{s}");
+        assert!(report.any_transformed());
+    }
+
+    #[test]
+    fn column_traversal_untouched() {
+        // Already clustered: driver must leave it alone.
+        let mut b = ProgramBuilder::new("col");
+        let a = b.array_f64("a", &[64, 64]);
+        let s = b.scalar_f64("s", 0.0);
+        let j = b.var("j");
+        let i = b.var("i");
+        b.for_const(j, 0, 64, |b| {
+            b.for_const(i, 0, 64, |b| {
+                let v = b.load(a, &[b.idx(i), b.idx(j)]);
+                let acc = b.scalar(s);
+                let e = b.add(acc, v);
+                b.assign_scalar(s, e);
+            });
+        });
+        let mut p = b.finish();
+        let before = p.clone();
+        let report = cluster_program(&mut p, &MachineSummary::base(), &MissProfile::pessimistic());
+        assert!(!report.any_transformed(), "{}", report.summary());
+        assert_eq!(p, before);
+    }
+
+    #[test]
+    fn top_level_loop_cannot_uaj_but_reports() {
+        // Latbench-minus-outer-loop: a bare pointer chase.
+        let mut b = ProgramBuilder::new("bare-chase");
+        let next = b.array_i64("next", &[1024]);
+        let ps = b.scalar_i64("p", 0);
+        let i = b.var("i");
+        b.for_const(i, 0, 1024, |b| {
+            let v = b.load_ref(mempar_ir::ArrayRef::new(
+                next,
+                vec![mempar_ir::Index::scalar(ps)],
+            ));
+            b.assign_scalar(ps, v);
+        });
+        let mut p = b.finish();
+        let report = cluster_program(&mut p, &MachineSummary::base(), &MissProfile::pessimistic());
+        let d = &report.decisions[0];
+        assert_eq!(d.uaj_degree, 1);
+        assert!(d.uaj_skip_reason.as_deref() == Some("no enclosing loop to unroll"));
+    }
+
+    #[test]
+    fn latbench_shape_gets_uaj() {
+        // Outer loop over independent chains: UAJ overlaps them.
+        let nchains = 32usize;
+        let len = 16usize;
+        let mut b = ProgramBuilder::new("latbench");
+        let heads = b.array_i64("heads", &[nchains]);
+        let next = b.array_i64("next", &[1024]);
+        let ps = b.scalar_i64("p", 0);
+        let sink = b.array_i64("sink", &[nchains]);
+        let j = b.var("j");
+        let i = b.var("i");
+        b.for_const(j, 0, nchains as i64, |b| {
+            let h = b.load(heads, &[b.idx(j)]);
+            b.assign_scalar(ps, h);
+            b.for_const(i, 0, len as i64, |b| {
+                let v = b.load_ref(mempar_ir::ArrayRef::new(
+                    next,
+                    vec![mempar_ir::Index::scalar(ps)],
+                ));
+                b.assign_scalar(ps, v);
+            });
+            let fin = b.scalar(ps);
+            b.assign_array(sink, &[b.idx(j)], fin);
+        });
+        let mut p = b.finish();
+        // The chase is irregular; mark the chain loop parallel (the
+        // paper's Latbench chains are independent by construction).
+        let mempar_ir::Stmt::Loop(l) = &mut p.body[0] else { panic!() };
+        l.dist = Some(mempar_ir::Dist::Block);
+
+        // Functional reference.
+        let mk = |p: &Program| {
+            let mut mem = SimMem::new(p, 1);
+            mem.set_array(
+                heads,
+                ArrayData::I64((0..nchains as i64).map(|x| x * 31 % 1024).collect()),
+            );
+            mem.set_array(next, ArrayData::I64((0..1024).map(|x| (x + 97) % 1024).collect()));
+            mem
+        };
+        let mut mem = mk(&p);
+        run_single(&p, &mut mem);
+        let base = mem.read_i64(sink);
+
+        let report = cluster_program(&mut p, &MachineSummary::base(), &MissProfile::pessimistic());
+        let d = &report.decisions[0];
+        assert!(d.uaj_degree > 1, "{}", report.summary());
+        // alpha = 1 address recurrence: degree should reach ~lp.
+        assert!(d.uaj_degree >= 8, "degree {} should approach lp", d.uaj_degree);
+
+        let mut mem2 = mk(&p);
+        run_single(&p, &mut mem2);
+        assert_eq!(mem2.read_i64(sink), base);
+    }
+}

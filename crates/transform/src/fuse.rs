@@ -1,0 +1,265 @@
+//! Loop fusion — the extension the paper's conclusion proposes:
+//! "we can seek to resolve memory-parallelism recurrences for unnested
+//! loops by fusing otherwise unrelated loops."
+//!
+//! Two adjacent, compatible loops each carrying a cache-line recurrence
+//! (e.g. two independent streaming reductions) fuse into one loop whose
+//! body holds both miss streams, doubling the independent misses per
+//! window without any enclosing loop to unroll-and-jam.
+
+use mempar_ir::{AffineExpr, Loop, Program, Stmt};
+
+use crate::legality::{collect_ranges, pair_dependence, PairDep};
+use crate::nest::{contains_sync, container_mut, loop_at, NestPath};
+use crate::subst::subst_body;
+use crate::TransformError;
+
+/// Fuses the loop at `path` with its *immediately following* sibling
+/// loop. Both must be unit-step loops with identical constant bounds and
+/// no internal synchronization; the second loop's body is rewritten onto
+/// the first's loop variable.
+///
+/// Fusion is legal when no dependence flows *backward*: for every pair of
+/// references (one a write) between the first loop's body and the
+/// second's, iterations may only depend on same-or-earlier iterations
+/// (distance ≥ 0 when expressed on the fused variable).
+///
+/// # Errors
+/// [`TransformError::NotALoop`] when `path` or its next sibling is not a
+/// loop; [`TransformError::UnsupportedStep`] / `NotPerfectNest` for
+/// shape mismatches; [`TransformError::IllegalDependence`] when fusion
+/// would reverse a dependence.
+pub fn fuse_next(prog: &mut Program, path: &NestPath) -> Result<(), TransformError> {
+    let first = loop_at(prog, path).ok_or(TransformError::NotALoop)?.clone();
+    let mut sibling = path.0.clone();
+    let last = sibling.pop().ok_or(TransformError::NotALoop)?;
+    sibling.push(last + 1);
+    let second_path = NestPath(sibling);
+    let second = loop_at(prog, &second_path).ok_or(TransformError::NotALoop)?.clone();
+
+    if first.step != 1 || second.step != 1 {
+        return Err(TransformError::UnsupportedStep);
+    }
+    if first.lo.as_const().is_none()
+        || first.lo != second.lo
+        || first.hi != second.hi
+        || first.dist != second.dist
+    {
+        return Err(TransformError::NotPerfectNest);
+    }
+    if contains_sync(&first.body) || contains_sync(&second.body) {
+        return Err(TransformError::SyncInBody);
+    }
+
+    // Rename the second loop's variable onto the first's.
+    let renamed = subst_body(&second.body, second.var, &AffineExpr::var(first.var));
+
+    // Legality: cross-loop dependences must not reverse. In the original
+    // program every iteration of loop 1 precedes every iteration of
+    // loop 2; after fusion, iteration i of loop 2 runs before iteration
+    // i+1 of loop 1. A dependence from loop-1's iteration i1 to loop-2's
+    // iteration i2 is preserved iff i2 >= i1 (distance >= 0); any
+    // unanalyzable pair rejects.
+    let ranges = collect_ranges(prog, path);
+    let refs1 = crate::legality::all_refs(&first.body);
+    let refs2 = crate::legality::all_refs(&renamed);
+    for (r1, w1, _) in &refs1 {
+        for (r2, w2, _) in &refs2 {
+            if !w1 && !w2 {
+                continue;
+            }
+            match pair_dependence(prog, r1, r2, &[first.var], &ranges) {
+                PairDep::Independent => {}
+                PairDep::Unknown => return Err(TransformError::IllegalDependence),
+                PairDep::Distances(d) => {
+                    // Distance convention: d = i1 - i2 for a dependence
+                    // between instances touching the same element; the
+                    // flow is legal after fusion only when the loop-2
+                    // instance is not earlier than the loop-1 instance.
+                    match d[0] {
+                        Some(dd) if dd <= 0 => {}
+                        _ => return Err(TransformError::IllegalDependence),
+                    }
+                }
+            }
+        }
+    }
+
+    let fused = Loop {
+        var: first.var,
+        lo: first.lo.clone(),
+        hi: first.hi.clone(),
+        step: 1,
+        dist: first.dist,
+        body: {
+            let mut b = first.body.clone();
+            b.extend(renamed);
+            b
+        },
+    };
+    let (container, idx) = container_mut(prog, path).ok_or(TransformError::NotALoop)?;
+    container[idx] = Stmt::Loop(fused);
+    container.remove(idx + 1);
+    Ok(())
+}
+
+/// Greedily fuses runs of adjacent compatible top-level loops in `prog`.
+/// Returns how many fusions were performed. This implements the
+/// conclusion's suggestion mechanically: afterwards the ordinary
+/// clustering driver sees the combined miss streams in one loop.
+pub fn fuse_adjacent_loops(prog: &mut Program) -> usize {
+    let mut fused = 0;
+    let mut idx = 0;
+    while idx + 1 < prog.body.len() {
+        let here = NestPath::top(idx);
+        if matches!(prog.body[idx], Stmt::Loop(_)) && fuse_next(prog, &here).is_ok() {
+            fused += 1;
+            // Try fusing the next sibling into the same loop.
+            continue;
+        }
+        idx += 1;
+    }
+    fused
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mempar_ir::{run_single, ArrayData, ProgramBuilder, SimMem};
+
+    /// Two independent streaming reductions over different arrays — the
+    /// "unrelated loops" case from the conclusion.
+    fn two_reductions(n: usize) -> (Program, [mempar_ir::ArrayId; 4]) {
+        let mut b = ProgramBuilder::new("two");
+        let a = b.array_f64("a", &[n]);
+        let c = b.array_f64("c", &[n]);
+        let oa = b.array_f64("oa", &[1]);
+        let oc = b.array_f64("oc", &[1]);
+        let s1 = b.scalar_f64("s1", 0.0);
+        let s2 = b.scalar_f64("s2", 0.0);
+        let i = b.var("i");
+        let j = b.var("j");
+        b.for_const(i, 0, n as i64, |b| {
+            let v = b.load(a, &[b.idx(i)]);
+            let acc = b.scalar(s1);
+            let e = b.add(acc, v);
+            b.assign_scalar(s1, e);
+        });
+        b.for_const(j, 0, n as i64, |b| {
+            let v = b.load(c, &[b.idx(j)]);
+            let acc = b.scalar(s2);
+            let e = b.add(acc, v);
+            b.assign_scalar(s2, e);
+        });
+        let v1 = b.scalar(s1);
+        b.assign_array(oa, &[b.idx_e(AffineExpr::konst(0))], v1);
+        let v2 = b.scalar(s2);
+        b.assign_array(oc, &[b.idx_e(AffineExpr::konst(0))], v2);
+        (b.finish(), [a, c, oa, oc])
+    }
+
+    fn run(p: &Program, ids: [mempar_ir::ArrayId; 4], n: usize) -> (Vec<f64>, Vec<f64>) {
+        let mut mem = SimMem::new(p, 1);
+        mem.set_array(ids[0], ArrayData::F64((0..n).map(|x| x as f64).collect()));
+        mem.set_array(ids[1], ArrayData::F64((0..n).map(|x| (2 * x) as f64).collect()));
+        run_single(p, &mut mem);
+        (mem.read_f64(ids[2]), mem.read_f64(ids[3]))
+    }
+
+    #[test]
+    fn fuses_independent_reductions() {
+        let n = 64;
+        let (mut p, ids) = two_reductions(n);
+        let want = run(&p, ids, n);
+        fuse_next(&mut p, &NestPath::top(0)).expect("independent loops fuse");
+        assert_eq!(
+            p.body.iter().filter(|s| matches!(s, Stmt::Loop(_))).count(),
+            1,
+            "one fused loop remains"
+        );
+        assert_eq!(run(&p, ids, n), want);
+        // The fused body carries both miss streams.
+        let Stmt::Loop(l) = &p.body[0] else { panic!() };
+        assert_eq!(l.body.len(), 2);
+    }
+
+    #[test]
+    fn fuse_adjacent_handles_runs() {
+        let n = 32;
+        let (mut p, ids) = two_reductions(n);
+        let want = run(&p, ids, n);
+        assert_eq!(fuse_adjacent_loops(&mut p), 1);
+        assert_eq!(run(&p, ids, n), want);
+    }
+
+    #[test]
+    fn rejects_backward_dependence() {
+        // Loop 1 reads b[i+1]; loop 2 writes b[i]: after fusion iteration
+        // i of loop 2 would clobber what loop-1's iteration i+1 still
+        // needs... in the original, ALL of loop 1 runs first.
+        let n = 16;
+        let mut b = ProgramBuilder::new("bad");
+        let arr = b.array_f64("b", &[n + 1]);
+        let out = b.array_f64("out", &[n]);
+        let i = b.var("i");
+        let j = b.var("j");
+        b.for_const(i, 0, n as i64, |b| {
+            let v = b.load(arr, &[b.idx_e(AffineExpr::var(i).offset(1))]);
+            b.assign_array(out, &[b.idx(i)], v);
+        });
+        b.for_const(j, 0, n as i64, |b| {
+            let c = b.constf(5.0);
+            b.assign_array(arr, &[b.idx(j)], c);
+        });
+        let mut p = b.finish();
+        assert_eq!(
+            fuse_next(&mut p, &NestPath::top(0)),
+            Err(TransformError::IllegalDependence)
+        );
+    }
+
+    #[test]
+    fn forward_dependence_is_fine() {
+        // Loop 1 writes b[i]; loop 2 reads b[i]: distance 0, legal.
+        let n = 16;
+        let mut b = ProgramBuilder::new("fwd");
+        let arr = b.array_f64("b", &[n]);
+        let out = b.array_f64("out", &[n]);
+        let i = b.var("i");
+        let j = b.var("j");
+        b.for_const(i, 0, n as i64, |b| {
+            let c = b.constf(5.0);
+            b.assign_array(arr, &[b.idx(i)], c);
+        });
+        b.for_const(j, 0, n as i64, |b| {
+            let v = b.load(arr, &[b.idx(j)]);
+            b.assign_array(out, &[b.idx(j)], v);
+        });
+        let mut p = b.finish();
+        fuse_next(&mut p, &NestPath::top(0)).expect("forward dep fuses");
+        let mut mem = SimMem::new(&p, 1);
+        run_single(&p, &mut mem);
+        assert!(mem.read_f64(out).iter().all(|&v| v == 5.0));
+    }
+
+    #[test]
+    fn rejects_mismatched_bounds() {
+        let mut b = ProgramBuilder::new("mm");
+        let a = b.array_f64("a", &[32]);
+        let i = b.var("i");
+        let j = b.var("j");
+        b.for_const(i, 0, 16, |b| {
+            let c = b.constf(1.0);
+            b.assign_array(a, &[b.idx(i)], c);
+        });
+        b.for_const(j, 0, 20, |b| {
+            let c = b.constf(2.0);
+            b.assign_array(a, &[b.idx(j)], c);
+        });
+        let mut p = b.finish();
+        assert_eq!(
+            fuse_next(&mut p, &NestPath::top(0)),
+            Err(TransformError::NotPerfectNest)
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! Software-prefetch insertion — the companion technique the paper
+//! discusses (Mowry-style) and whose interaction with clustering its
+//! follow-on work [Pai & Adve, TR 9910] studies.
+//!
+//! For each leading reference of an innermost loop body, a non-binding
+//! prefetch is inserted `distance` iterations ahead. Prefetching attacks
+//! the *same* latencies as read-miss clustering but differently: it needs
+//! neither window space nor MSHR-resident loads, yet it costs address
+//! bandwidth and can arrive late or be dropped when MSHRs are full — the
+//! very effects that make prefetching "less effective in ILP systems"
+//! (Section 1). Combining both lets the benchmark harness reproduce that
+//! comparison.
+
+use mempar_analysis::{collect_refs, MissProfile};
+use mempar_ir::{AffineExpr, ArrayRef, Program, Stmt};
+
+use crate::nest::{loop_at, loop_at_mut, NestPath};
+use crate::subst::subst_ref;
+use crate::TransformError;
+
+/// Inserts prefetches into the innermost loop at `path` for every leading
+/// reference expected to miss, targeting `distance` iterations ahead.
+/// Returns how many prefetch statements were inserted.
+///
+/// Regular self-spatial references are prefetched one line ahead per
+/// `distance/L_m` (rounded up to at least one line); irregular references
+/// with an analyzable address (indirect through an affine index) are
+/// prefetched by shifting the *index* reference ahead — pointer chases
+/// (`p = next[p]`) cannot be prefetched and are skipped, exactly the
+/// limitation that motivates clustering them instead.
+pub fn insert_prefetches(
+    prog: &mut Program,
+    path: &NestPath,
+    distance: i64,
+    line_bytes: usize,
+    profile: &MissProfile,
+) -> Result<usize, TransformError> {
+    let l = loop_at(prog, path).ok_or(TransformError::NotALoop)?.clone();
+    if l.step != 1 {
+        return Err(TransformError::UnsupportedStep);
+    }
+    let iv = l.var;
+    let coll = collect_refs(prog, &l.body, iv, line_bytes, profile);
+    let mut targets: Vec<ArrayRef> = Vec::new();
+    for r in coll.leading() {
+        // Skip references that rarely miss.
+        if r.p_miss < 0.05 && r.irregular {
+            continue;
+        }
+        if r.is_write {
+            continue; // write misses are hidden by buffering
+        }
+        let prefetchable = r.r.indices.iter().all(|ix| match &ix.dynamic {
+            None => true,
+            Some(mempar_ir::DynIndex::Indirect { inner, .. }) => inner.is_affine(),
+            Some(mempar_ir::DynIndex::Scalar { .. }) => false, // pointer chase
+        });
+        if !prefetchable {
+            continue;
+        }
+        // Shift the whole reference `ahead` iterations forward (for the
+        // indirect case this shifts the index load, fetching the datum
+        // the future iteration will gather).
+        let ahead = if r.self_spatial {
+            distance.max(r.l_m as i64)
+        } else {
+            distance.max(1)
+        };
+        let shifted = subst_ref(&r.r, iv, &AffineExpr::var(iv).offset(ahead));
+        if !targets.contains(&shifted) {
+            targets.push(shifted);
+        }
+    }
+    let n = targets.len();
+    if n == 0 {
+        return Ok(0);
+    }
+    let lm = loop_at_mut(prog, path).ok_or(TransformError::NotALoop)?;
+    for (k, t) in targets.into_iter().enumerate() {
+        lm.body.insert(k, Stmt::Prefetch { target: t });
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mempar_ir::{run_single, ArrayData, Interp, OpKind, ProgramBuilder, SimMem};
+
+    fn streaming(n: usize) -> (Program, mempar_ir::ArrayId, mempar_ir::ArrayId) {
+        let mut b = ProgramBuilder::new("s");
+        let a = b.array_f64("a", &[n]);
+        let out = b.array_f64("out", &[n]);
+        let i = b.var("i");
+        b.for_const(i, 0, n as i64, |b| {
+            let v = b.load(a, &[b.idx(i)]);
+            let two = b.constf(2.0);
+            let e = b.mul(v, two);
+            b.assign_array(out, &[b.idx(i)], e);
+        });
+        (b.finish(), a, out)
+    }
+
+    #[test]
+    fn inserts_and_preserves_semantics() {
+        let n = 64;
+        let (mut p, a, out) = streaming(n);
+        let run = |p: &Program| {
+            let mut mem = SimMem::new(p, 1);
+            mem.set_array(a, ArrayData::F64((0..n).map(|x| x as f64).collect()));
+            run_single(p, &mut mem);
+            mem.read_f64(out)
+        };
+        let want = run(&p);
+        let k = insert_prefetches(
+            &mut p,
+            &NestPath::top(0),
+            16,
+            64,
+            &MissProfile::pessimistic(),
+        )
+        .expect("loop");
+        assert_eq!(k, 1, "one read stream prefetched");
+        assert_eq!(run(&p), want);
+    }
+
+    #[test]
+    fn prefetch_ops_appear_in_trace_and_clamp() {
+        let n = 32;
+        let (mut p, a, _) = streaming(n);
+        insert_prefetches(&mut p, &NestPath::top(0), 16, 64, &MissProfile::pessimistic())
+            .expect("loop");
+        let mut mem = SimMem::new(&p, 1);
+        mem.set_array(a, ArrayData::f64_fill(n, 1.0));
+        let mut interp = Interp::new(&p, 0, 1);
+        let base = mem.base(a);
+        let mut count = 0;
+        while let Some(op) = interp.next_op(&mut mem) {
+            if let OpKind::Prefetch { addr } = op.kind {
+                count += 1;
+                assert!(
+                    (base..base + (n as u64) * 8).contains(&addr),
+                    "clamped into the array"
+                );
+            }
+        }
+        assert_eq!(count, n, "one prefetch per iteration");
+    }
+
+    #[test]
+    fn pointer_chase_is_not_prefetchable() {
+        let mut b = ProgramBuilder::new("chase");
+        let next = b.array_i64("next", &[64]);
+        let ps = b.scalar_i64("p", 0);
+        let i = b.var("i");
+        b.for_const(i, 0, 16, |b| {
+            let v = b.load_ref(ArrayRef::new(next, vec![mempar_ir::Index::scalar(ps)]));
+            b.assign_scalar(ps, v);
+        });
+        let mut p = b.finish();
+        let k = insert_prefetches(&mut p, &NestPath::top(0), 8, 64, &MissProfile::pessimistic())
+            .expect("loop");
+        assert_eq!(k, 0, "a chase's address is unknowable ahead of time");
+    }
+
+    #[test]
+    fn indirect_gather_prefetches_via_shifted_index() {
+        let mut b = ProgramBuilder::new("gather");
+        let ind = b.array_i64("ind", &[64]);
+        let data = b.array_f64("data", &[256]);
+        let out = b.array_f64("out", &[64]);
+        let i = b.var("i");
+        b.for_const(i, 0, 64, |b| {
+            let iv = ArrayRef::new(ind, vec![mempar_ir::Index::affine(AffineExpr::var(i))]);
+            let v = b.load_ref(ArrayRef::new(data, vec![mempar_ir::Index::indirect(iv)]));
+            b.assign_array(out, &[b.idx(i)], v);
+        });
+        let mut p = b.finish();
+        let k = insert_prefetches(&mut p, &NestPath::top(0), 8, 64, &MissProfile::pessimistic())
+            .expect("loop");
+        // The gather and the index stream are both prefetchable.
+        assert!(k >= 1, "{k}");
+        let mempar_ir::Stmt::Loop(l) = &p.body[0] else { panic!() };
+        assert!(matches!(l.body[0], Stmt::Prefetch { .. }));
+    }
+}

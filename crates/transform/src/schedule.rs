@@ -1,0 +1,427 @@
+//! Miss-packing local instruction (statement) scheduling — the intra-
+//! iteration window-constraint resolution of Section 3.3.
+//!
+//! For loop bodies larger than an instruction window, independent miss
+//! references must sit close together to share a window. This scheduler
+//! reorders the body's statements, subject to conservative dependences,
+//! so that statements containing leading (potentially missing) references
+//! come first. It is the paper's stand-in for balanced scheduling
+//! [Kerns & Eggers], with the window-packing priority the paper argues
+//! balanced scheduling lacks.
+
+use mempar_analysis::{collect_refs, MissProfile};
+use mempar_ir::{Program, Stmt, VarId};
+
+use crate::nest::{loop_at_mut, NestPath};
+use crate::TransformError;
+
+/// Reorders the innermost loop body at `path` to pack statements with
+/// leading miss references at the top. Returns `true` when the order
+/// changed.
+pub fn schedule_for_misses(
+    prog: &mut Program,
+    path: &NestPath,
+    line_bytes: usize,
+) -> Result<bool, TransformError> {
+    let Some(l) = crate::nest::loop_at(prog, path) else {
+        return Err(TransformError::NotALoop);
+    };
+    let var = l.var;
+    let body = l.body.clone();
+    if body.len() < 2 || body.iter().any(|s| !matches!(s, Stmt::AssignArray { .. } | Stmt::AssignScalar { .. })) {
+        return Ok(false);
+    }
+    let order = schedule_order(prog, &body, var, line_bytes);
+    let changed = order.iter().enumerate().any(|(a, &b)| a != b);
+    if changed {
+        let new_body: Vec<Stmt> = order.iter().map(|&i| body[i].clone()).collect();
+        let lm = loop_at_mut(prog, path).ok_or(TransformError::NotALoop)?;
+        lm.body = new_body;
+    }
+    Ok(changed)
+}
+
+/// Reorders the innermost loop body at `path` in the spirit of
+/// *balanced scheduling* (Kerns & Eggers): loads are spread evenly
+/// through the body so each gets equal slack, without modeling the
+/// window. The paper argues this "may miss some opportunities since it
+/// does not explicitly consider window size" — the ablation harness
+/// compares it against [`schedule_for_misses`]. Returns whether the
+/// order changed.
+pub fn schedule_balanced(
+    prog: &mut Program,
+    path: &NestPath,
+) -> Result<bool, TransformError> {
+    let Some(l) = crate::nest::loop_at(prog, path) else {
+        return Err(TransformError::NotALoop);
+    };
+    let body = l.body.clone();
+    if body.len() < 2
+        || body
+            .iter()
+            .any(|s| !matches!(s, Stmt::AssignArray { .. } | Stmt::AssignScalar { .. }))
+    {
+        return Ok(false);
+    }
+    // Partition into load-carrying and compute-only statements, then
+    // interleave them evenly, respecting dependences via repair passes.
+    let n = body.len();
+    let mut is_load_stmt = vec![false; n];
+    for (i, s) in body.iter().enumerate() {
+        s.visit_local_refs(&mut |_, w| {
+            if !w {
+                is_load_stmt[i] = true;
+            }
+        });
+    }
+    let loads: Vec<usize> = (0..n).filter(|&i| is_load_stmt[i]).collect();
+    let others: Vec<usize> = (0..n).filter(|&i| !is_load_stmt[i]).collect();
+    if loads.is_empty() || others.is_empty() {
+        return Ok(false);
+    }
+    // Even interleave: one load, then floor(others/loads) compute, ...
+    let mut desired = Vec::with_capacity(n);
+    let mut oi = 0;
+    for (k, &ld) in loads.iter().enumerate() {
+        desired.push(ld);
+        let upto = ((k + 1) * others.len()) / loads.len();
+        while oi < upto {
+            desired.push(others[oi]);
+            oi += 1;
+        }
+    }
+    while oi < others.len() {
+        desired.push(others[oi]);
+        oi += 1;
+    }
+    // Legalize: greedily emit from `desired`, deferring statements whose
+    // predecessors have not been placed.
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for b_idx in 0..n {
+        for a_idx in 0..b_idx {
+            if stmts_conflict(&body[a_idx], &body[b_idx]) {
+                preds[b_idx].push(a_idx);
+            }
+        }
+    }
+    let mut placed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut pending: Vec<usize> = Vec::new();
+    for &cand in &desired {
+        pending.push(cand);
+        loop {
+            let mut advanced = false;
+            pending.retain(|&i| {
+                if !placed[i] && preds[i].iter().all(|&p| placed[p]) {
+                    placed[i] = true;
+                    order.push(i);
+                    advanced = true;
+                    false
+                } else {
+                    !placed[i]
+                }
+            });
+            if !advanced {
+                break;
+            }
+        }
+    }
+    // Anything still pending goes in original order (dependences force it).
+    for i in 0..n {
+        if !placed[i] {
+            order.push(i);
+        }
+    }
+    let changed = order.iter().enumerate().any(|(a, &b)| a != b);
+    if changed {
+        let new_body: Vec<Stmt> = order.iter().map(|&i| body[i].clone()).collect();
+        let lm = loop_at_mut(prog, path).ok_or(TransformError::NotALoop)?;
+        lm.body = new_body;
+    }
+    Ok(changed)
+}
+
+/// Computes the scheduled order (indices into `body`).
+fn schedule_order(prog: &Program, body: &[Stmt], var: VarId, line_bytes: usize) -> Vec<usize> {
+    let n = body.len();
+    let coll = collect_refs(prog, body, var, line_bytes, &MissProfile::pessimistic());
+    // Statements carrying a leading load reference get priority.
+    let mut is_miss_stmt = vec![false; n];
+    for r in coll.leading() {
+        if !r.is_write {
+            is_miss_stmt[r.stmt_idx] = true;
+        }
+    }
+    // Conservative dependence edges a -> b (a must stay before b).
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for b_idx in 0..n {
+        for a_idx in 0..b_idx {
+            if stmts_conflict(&body[a_idx], &body[b_idx]) {
+                preds[b_idx].push(a_idx);
+            }
+        }
+    }
+    // Kahn's algorithm with priority (miss statements first, then
+    // original order).
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut placed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    while order.len() < n {
+        let ready: Vec<usize> = remaining
+            .iter()
+            .copied()
+            .filter(|&i| preds[i].iter().all(|&p| placed[p]))
+            .collect();
+        debug_assert!(!ready.is_empty(), "dependence graph is acyclic by construction");
+        let pick = ready
+            .iter()
+            .copied()
+            .find(|&i| is_miss_stmt[i])
+            .unwrap_or(ready[0]);
+        placed[pick] = true;
+        order.push(pick);
+        remaining.retain(|&i| i != pick);
+    }
+    order
+}
+
+/// Conservative conflict test: scalar def/use overlap, or same-array
+/// access with at least one write.
+fn stmts_conflict(a: &Stmt, b: &Stmt) -> bool {
+    let (ar, aw_arrays, a_scal_def, a_scal_use) = stmt_effects(a);
+    let (br, bw_arrays, b_scal_def, b_scal_use) = stmt_effects(b);
+    // Scalar dependences (flow, anti, output).
+    if a_scal_def.iter().any(|s| b_scal_use.contains(s) || b_scal_def.contains(s)) {
+        return true;
+    }
+    if a_scal_use.iter().any(|s| b_scal_def.contains(s)) {
+        return true;
+    }
+    // Array dependences: same array with a write on either side.
+    if aw_arrays.iter().any(|x| br.contains(x) || bw_arrays.contains(x)) {
+        return true;
+    }
+    if bw_arrays.iter().any(|x| ar.contains(x)) {
+        return true;
+    }
+    false
+}
+
+type Effects = (
+    Vec<mempar_ir::ArrayId>, // arrays read
+    Vec<mempar_ir::ArrayId>, // arrays written
+    Vec<mempar_ir::ScalarId>, // scalars defined
+    Vec<mempar_ir::ScalarId>, // scalars used
+);
+
+fn stmt_effects(s: &Stmt) -> Effects {
+    let mut read = Vec::new();
+    let mut written = Vec::new();
+    let mut sdef = Vec::new();
+    let mut suse = Vec::new();
+    s.visit_local_refs(&mut |r, w| {
+        if w {
+            written.push(r.array);
+        } else {
+            read.push(r.array);
+        }
+        for ix in &r.indices {
+            if let Some(mempar_ir::DynIndex::Scalar { scalar, .. }) = &ix.dynamic {
+                suse.push(*scalar);
+            }
+        }
+    });
+    match s {
+        Stmt::AssignScalar { lhs, rhs } => {
+            sdef.push(*lhs);
+            collect_scalar_uses(rhs, &mut suse);
+        }
+        Stmt::AssignArray { rhs, .. } => collect_scalar_uses(rhs, &mut suse),
+        _ => {}
+    }
+    (read, written, sdef, suse)
+}
+
+fn collect_scalar_uses(e: &mempar_ir::Expr, out: &mut Vec<mempar_ir::ScalarId>) {
+    match e {
+        mempar_ir::Expr::Scalar(s) => out.push(*s),
+        mempar_ir::Expr::Unary(_, a) => collect_scalar_uses(a, out),
+        mempar_ir::Expr::Binary(_, a, b) => {
+            collect_scalar_uses(a, out);
+            collect_scalar_uses(b, out);
+        }
+        mempar_ir::Expr::Load(r) => {
+            for ix in &r.indices {
+                match &ix.dynamic {
+                    Some(mempar_ir::DynIndex::Scalar { scalar, .. }) => out.push(*scalar),
+                    Some(mempar_ir::DynIndex::Indirect { inner, .. }) => {
+                        for jx in &inner.indices {
+                            if let Some(mempar_ir::DynIndex::Scalar { scalar, .. }) = &jx.dynamic {
+                                out.push(*scalar);
+                            }
+                        }
+                    }
+                    None => {}
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mempar_ir::{run_single, ArrayData, ProgramBuilder, SimMem};
+
+    /// Body: compute-heavy statements interleaved with independent
+    /// record loads (the Mp3d shape).
+    fn mp3d_like() -> (Program, [mempar_ir::ArrayId; 3]) {
+        let mut b = ProgramBuilder::new("mp");
+        let pos = b.array_f64("pos", &[64, 8]);
+        let vel = b.array_f64("vel", &[64, 8]);
+        let out = b.array_f64("out", &[64, 8]);
+        let t1 = b.scalar_f64("t1", 0.0);
+        let t2 = b.scalar_f64("t2", 0.0);
+        let t3 = b.scalar_f64("t3", 0.0);
+        let i = b.var("i");
+        b.for_const(i, 0, 64, |b| {
+            let zero = b.idx_e(mempar_ir::AffineExpr::konst(0));
+            // record load, then compute, then another (independent)
+            // record load buried behind the computation.
+            let p0 = b.load(pos, &[b.idx(i), zero.clone()]);
+            b.assign_scalar(t1, p0);
+            let c1 = b.constf(1.5);
+            let t1v = b.scalar(t1);
+            let m = b.mul(t1v, c1);
+            b.assign_scalar(t2, m);
+            let v0 = b.load(vel, &[b.idx(i), zero.clone()]);
+            b.assign_scalar(t3, v0);
+            let t2v = b.scalar(t2);
+            let t3v = b.scalar(t3);
+            let s = b.add(t2v, t3v);
+            b.assign_array(out, &[b.idx(i), zero], s);
+        });
+        (b.finish(), [pos, vel, out])
+    }
+
+    #[test]
+    fn packs_miss_loads_first_and_preserves_results() {
+        let (mut p, ids) = mp3d_like();
+        let run = |p: &Program| {
+            let mut mem = SimMem::new(p, 1);
+            mem.set_array(ids[0], ArrayData::F64((0..512).map(|x| x as f64).collect()));
+            mem.set_array(ids[1], ArrayData::F64((0..512).map(|x| (x * 2) as f64).collect()));
+            run_single(p, &mut mem);
+            mem.read_f64(ids[2])
+        };
+        let base = run(&p);
+        let changed =
+            schedule_for_misses(&mut p, &NestPath::top(0), 64).expect("schedulable");
+        assert!(changed, "the vel load should move up");
+        assert_eq!(run(&p), base, "scheduling preserves semantics");
+        // First two statements are now the two record loads... statement 0
+        // defines t1 from pos; the vel consumer moved relative to compute.
+        let l = crate::nest::loop_at(&p, &NestPath::top(0)).expect("loop");
+        let mut arrays_in_order = Vec::new();
+        for s in &l.body {
+            s.visit_local_refs(&mut |r, w| {
+                if !w {
+                    arrays_in_order.push(r.array);
+                }
+            });
+        }
+        // vel load should now be among the first loads.
+        assert!(
+            arrays_in_order[..2.min(arrays_in_order.len())].contains(&ids[1]),
+            "{arrays_in_order:?}"
+        );
+    }
+
+    #[test]
+    fn balanced_spreads_clustered_loads_and_preserves() {
+        // Loads packed at the top (the miss-packing order): balanced
+        // scheduling spreads them back out between the compute.
+        let mut b = ProgramBuilder::new("packed");
+        let a = b.array_f64("a", &[64]);
+        let c = b.array_f64("c", &[64]);
+        let out = b.array_f64("out", &[64]);
+        let t1 = b.scalar_f64("t1", 0.0);
+        let t2 = b.scalar_f64("t2", 0.0);
+        let t3 = b.scalar_f64("t3", 0.0);
+        let t4 = b.scalar_f64("t4", 0.0);
+        let i = b.var("i");
+        b.for_const(i, 0, 64, |b| {
+            let va = b.load(a, &[b.idx(i)]);
+            b.assign_scalar(t1, va);
+            let vc = b.load(c, &[b.idx(i)]);
+            b.assign_scalar(t2, vc);
+            let k = b.constf(1.5);
+            let t1v = b.scalar(t1);
+            let m1 = b.mul(t1v, k.clone());
+            b.assign_scalar(t3, m1);
+            let t2v = b.scalar(t2);
+            let m2 = b.mul(t2v, k);
+            b.assign_scalar(t4, m2);
+            let t3v = b.scalar(t3);
+            let t4v = b.scalar(t4);
+            let sum = b.add(t3v, t4v);
+            b.assign_array(out, &[b.idx(i)], sum);
+        });
+        let mut p = b.finish();
+        let run = |p: &Program| {
+            let mut mem = SimMem::new(p, 1);
+            mem.set_array(a, ArrayData::F64((0..64).map(|x| x as f64).collect()));
+            mem.set_array(c, ArrayData::F64((0..64).map(|x| (x * 3) as f64).collect()));
+            run_single(p, &mut mem);
+            mem.read_f64(out)
+        };
+        let want = run(&p);
+        let changed = schedule_balanced(&mut p, &NestPath::top(0)).expect("ok");
+        assert!(changed, "adjacent loads should be spread apart");
+        assert_eq!(run(&p), want, "balanced scheduling preserves semantics");
+    }
+
+    #[test]
+    fn respects_scalar_flow_dependences() {
+        // s = a[i]; b[i] = s: order must hold.
+        let mut b = ProgramBuilder::new("flow");
+        let a = b.array_f64("a", &[8]);
+        let c = b.array_f64("c", &[8]);
+        let s = b.scalar_f64("s", 0.0);
+        let i = b.var("i");
+        b.for_const(i, 0, 8, |b| {
+            let v = b.load(a, &[b.idx(i)]);
+            b.assign_scalar(s, v);
+            let sv = b.scalar(s);
+            b.assign_array(c, &[b.idx(i)], sv);
+        });
+        let mut p = b.finish();
+        let run = |p: &Program| {
+            let mut mem = SimMem::new(p, 1);
+            mem.set_array(a, ArrayData::F64((0..8).map(|x| x as f64).collect()));
+            run_single(p, &mut mem);
+            mem.read_f64(c)
+        };
+        let base = run(&p);
+        schedule_for_misses(&mut p, &NestPath::top(0), 64).expect("ok");
+        assert_eq!(run(&p), base);
+    }
+
+    #[test]
+    fn bodies_with_control_flow_left_alone() {
+        let mut b = ProgramBuilder::new("ctl");
+        let j = b.var("j");
+        let i = b.var("i");
+        let a = b.array_f64("a", &[8, 8]);
+        b.for_const(j, 0, 8, |b| {
+            b.for_const(i, 0, 8, |b| {
+                let one = b.constf(1.0);
+                b.assign_array(a, &[b.idx(j), b.idx(i)], one);
+            });
+        });
+        let mut p = b.finish();
+        let changed = schedule_for_misses(&mut p, &NestPath::top(0), 64).expect("ok");
+        assert!(!changed);
+    }
+}

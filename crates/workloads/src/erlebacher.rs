@@ -1,0 +1,147 @@
+//! Erlebacher — 3-D tridiagonal solver kernels (ADI integration), after
+//! the ICASE program by Thomas Eidson, shared-memory port as in the paper.
+//!
+//! The program computes partial derivatives with compact 3-D sweeps: an
+//! x-direction RHS computation, then forward-elimination and
+//! back-substitution sweeps along z. The z sweeps carry their true
+//! recurrence on the *outer* k loop while the innermost i loop is
+//! self-spatial — the classic unroll-and-jam target (over j).
+
+use mempar_ir::{AffineExpr, ArrayData, Dist, ProgramBuilder};
+
+use crate::workload::Workload;
+
+/// Parameters for [`erlebacher`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ErlebacherParams {
+    /// Cube side (Table 2: 64³ simulated).
+    pub n: usize,
+}
+
+impl ErlebacherParams {
+    /// The paper's simulated input scaled by `scale` (in volume).
+    pub fn scaled(scale: f64) -> Self {
+        ErlebacherParams {
+            n: crate::workload::scaled_dim(64, scale.cbrt(), 16, false),
+        }
+    }
+}
+
+/// Builds the Erlebacher workload.
+pub fn erlebacher(params: ErlebacherParams) -> Workload {
+    let n = params.n;
+    assert!(n >= 4);
+    let ni = n as i64;
+    let mut b = ProgramBuilder::new("erlebacher");
+    let f = b.array_f64("f", &[n, n, n]);
+    let rhs = b.array_f64("rhs", &[n, n, n]);
+    let d_arr = b.array_f64("d", &[n]); // per-plane divisors
+    let k = b.var("k");
+    let j = b.var("j");
+    let i = b.var("i");
+    let k2 = b.var("k2");
+    let j2 = b.var("j2");
+    let i2 = b.var("i2");
+    let k3 = b.var("k3");
+    let j3 = b.var("j3");
+    let i3 = b.var("i3");
+
+    // Phase 1: x-direction RHS (central differences along i).
+    b.for_const(k, 0, ni, |b| {
+        b.for_dist(j, 0, ni, Dist::Block, |b| {
+            b.for_const(i, 1, ni - 1, |b| {
+                let hi = b.load(f, &[b.idx(k), b.idx(j), b.idx_e(AffineExpr::var(i).offset(1))]);
+                let lo = b.load(f, &[b.idx(k), b.idx(j), b.idx_e(AffineExpr::var(i).offset(-1))]);
+                let diff = b.sub(hi, lo);
+                let c = b.constf(0.5);
+                let e = b.mul(diff, c);
+                b.assign_array(rhs, &[b.idx(k), b.idx(j), b.idx(i)], e);
+            });
+        });
+    });
+    b.barrier();
+    // Phase 2: forward elimination along z.
+    b.for_const(k2, 1, ni, |b| {
+        b.for_dist(j2, 0, ni, Dist::Block, |b| {
+            b.for_const(i2, 0, ni, |b| {
+                let cur = b.load(rhs, &[b.idx(k2), b.idx(j2), b.idx(i2)]);
+                let below = b.load(
+                    rhs,
+                    &[b.idx_e(AffineExpr::var(k2).offset(-1)), b.idx(j2), b.idx(i2)],
+                );
+                let c = b.constf(0.4);
+                let scaled = b.mul(below, c);
+                let e = b.sub(cur, scaled);
+                b.assign_array(rhs, &[b.idx(k2), b.idx(j2), b.idx(i2)], e);
+            });
+        });
+    });
+    b.barrier();
+    // Phase 3: back substitution along z (backward sweep).
+    b.for_step(k3, 0, ni - 1, -1, |b| {
+        b.for_dist(j3, 0, ni, Dist::Block, |b| {
+            b.for_const(i3, 0, ni, |b| {
+                let cur = b.load(rhs, &[b.idx(k3), b.idx(j3), b.idx(i3)]);
+                let above = b.load(
+                    rhs,
+                    &[b.idx_e(AffineExpr::var(k3).offset(1)), b.idx(j3), b.idx(i3)],
+                );
+                let dk = b.load(d_arr, &[b.idx(k3)]);
+                let scaled = b.mul(above, dk);
+                let num = b.sub(cur, scaled);
+                let c = b.constf(0.8);
+                let e = b.mul(num, c);
+                b.assign_array(rhs, &[b.idx(k3), b.idx(j3), b.idx(i3)], e);
+            });
+        });
+    });
+    b.barrier();
+    let program = b.finish();
+
+    let cube: Vec<f64> = (0..n * n * n).map(|x| ((x % 37) as f64) * 0.1).collect();
+    let divisors: Vec<f64> = (0..n).map(|x| 0.3 + ((x % 5) as f64) * 0.05).collect();
+    Workload {
+        name: "erlebacher".into(),
+        program,
+        data: vec![
+            (f, ArrayData::F64(cube)),
+            (rhs, ArrayData::Zero),
+            (d_arr, ArrayData::F64(divisors)),
+        ],
+        l2_bytes: 64 * 1024,
+        mp_procs: 16,
+        outputs: vec![rhs],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mempar_ir::{run_parallel_functional, run_single};
+
+    #[test]
+    fn runs_small() {
+        let w = erlebacher(ErlebacherParams { n: 8 });
+        let mut mem = w.memory(1);
+        let s = run_single(&w.program, &mut mem);
+        assert!(s.loads > 0 && s.stores > 0);
+        let out = mem.read_f64(w.outputs[0]);
+        assert!(out.iter().all(|v| v.is_finite()));
+        assert!(out.iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let w = erlebacher(ErlebacherParams { n: 8 });
+        let mut m1 = w.memory(1);
+        run_single(&w.program, &mut m1);
+        let mut m2 = w.memory(2);
+        run_parallel_functional(&w.program, &mut m2, 2);
+        assert_eq!(w.read_outputs(&m1), w.read_outputs(&m2));
+    }
+
+    #[test]
+    fn scaling_changes_size() {
+        assert!(ErlebacherParams::scaled(1.0).n > ErlebacherParams::scaled(0.05).n);
+    }
+}

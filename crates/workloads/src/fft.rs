@@ -1,0 +1,339 @@
+//! FFT — the SPLASH-2 six-step 1-D complex FFT: the N-point transform is
+//! computed on a √N × √N matrix as transpose, row FFTs, twiddle scaling,
+//! transpose, row FFTs, transpose.
+//!
+//! The row FFTs are iterative radix-2 with a bit-reversal gather (an
+//! irregular reference) and per-stage butterfly nests whose coupled
+//! `2m·g + x` subscripts exercise the dependence tester's modular
+//! reasoning; the transposes are the strided-read phases.
+
+use std::f64::consts::PI;
+
+use mempar_ir::{
+    AffineExpr, ArrayData, ArrayId, ArrayRef, Dist, Index, ProgramBuilder, VarId,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::workload::Workload;
+
+/// Parameters for [`fft`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FftParams {
+    /// Points; must be a power of 4 (Table 2: 65536 = 256²).
+    pub points: usize,
+    /// RNG seed for the input signal.
+    pub seed: u64,
+}
+
+impl FftParams {
+    /// The paper's simulated input scaled by `scale`.
+    pub fn scaled(scale: f64) -> Self {
+        let target = (65_536.0 * scale) as usize;
+        let mut points = 256; // minimum 16x16
+        while points * 4 <= target {
+            points *= 4;
+        }
+        FftParams { points, seed: 0xff7 }
+    }
+
+    /// Matrix side (√points).
+    pub fn side(&self) -> usize {
+        let mut s = 1usize;
+        while s * s < self.points {
+            s *= 2;
+        }
+        s
+    }
+}
+
+/// Builds the FFT workload. The transformed signal ends up in the
+/// `b_re`/`b_im` output arrays, ordered `x_hat[k2*side + k1]` row-major.
+///
+/// # Panics
+/// Panics when `points` is not a power of 4 (the matrix must be square
+/// with power-of-two sides).
+pub fn fft(params: FftParams) -> Workload {
+    let l = params.side();
+    assert_eq!(l * l, params.points, "points must be a power of 4");
+    assert!(l >= 16 && l.is_power_of_two(), "side must be >= 16 (8x8 transpose tiles)");
+    let stages = l.trailing_zeros() as usize;
+    let li = l as i64;
+
+    let mut b = ProgramBuilder::new("fft");
+    let a_re = b.array_f64("a_re", &[l, l]);
+    let a_im = b.array_f64("a_im", &[l, l]);
+    let b_re = b.array_f64("b_re", &[l, l]);
+    let b_im = b.array_f64("b_im", &[l, l]);
+    let tw_re = b.array_f64("tw_re", &[l, l]);
+    let tw_im = b.array_f64("tw_im", &[l, l]);
+    let st_re = b.array_f64("st_re", &[stages, l / 2]);
+    let st_im = b.array_f64("st_im", &[stages, l / 2]);
+    let rev = b.array_i64("rev", &[l]);
+    let t_re = b.scalar_f64("t_re", 0.0);
+    let t_im = b.scalar_f64("t_im", 0.0);
+    let u_re = b.scalar_f64("u_re", 0.0);
+    let u_im = b.scalar_f64("u_im", 0.0);
+
+    // ---- helpers -------------------------------------------------------
+    // Blocked transpose, as in the SPLASH-2 FFT: 8x8 tiles keep spatial
+    // locality on both the read and write sides (one miss per line, not
+    // one per element), which is precisely what makes read-miss
+    // clustering worthwhile here.
+    const TB: i64 = 8;
+    let transpose = |b: &mut ProgramBuilder,
+                     tag: &str,
+                     src: (ArrayId, ArrayId),
+                     dst: (ArrayId, ArrayId)| {
+        let rb = b.var(format!("tr_rb{tag}"));
+        let cb = b.var(format!("tr_cb{tag}"));
+        let r0 = b.var(format!("tr_r{tag}"));
+        let c0 = b.var(format!("tr_c{tag}"));
+        let row = |blk: mempar_ir::VarId, off: mempar_ir::VarId| {
+            AffineExpr::scaled_var(blk, TB, 0).add(&AffineExpr::var(off))
+        };
+        b.for_dist(rb, 0, li / TB, Dist::Block, |b| {
+            b.for_const(cb, 0, li / TB, |b| {
+                b.for_const(r0, 0, TB, |b| {
+                    b.for_const(c0, 0, TB, |b| {
+                        let vr = b.load(src.0, &[b.idx_e(row(cb, c0)), b.idx_e(row(rb, r0))]);
+                        b.assign_array(dst.0, &[b.idx_e(row(rb, r0)), b.idx_e(row(cb, c0))], vr);
+                        let vi = b.load(src.1, &[b.idx_e(row(cb, c0)), b.idx_e(row(rb, r0))]);
+                        b.assign_array(dst.1, &[b.idx_e(row(rb, r0)), b.idx_e(row(cb, c0))], vi);
+                    });
+                });
+            });
+        });
+        b.barrier();
+    };
+
+    // Row FFT over `dst` rows: bit-reversal gather from `src` into `dst`,
+    // then in-place butterfly stages.
+    let row_fft = |b: &mut ProgramBuilder,
+                   tag: &str,
+                   src: (ArrayId, ArrayId),
+                   dst: (ArrayId, ArrayId)| {
+        let r = b.var(format!("f_r{tag}"));
+        let c = b.var(format!("f_c{tag}"));
+        let gvars: Vec<VarId> = (0..stages).map(|s| b.var(format!("f_g{tag}_{s}"))).collect();
+        let xvars: Vec<VarId> = (0..stages).map(|s| b.var(format!("f_x{tag}_{s}"))).collect();
+        b.for_dist(r, 0, li, Dist::Block, |b| {
+            // Gather in bit-reversed order.
+            b.for_const(c, 0, li, |b| {
+                let rv = ArrayRef::new(rev, vec![Index::affine(AffineExpr::var(c))]);
+                let gre = b.load_ref(ArrayRef::new(
+                    src.0,
+                    vec![Index::affine(AffineExpr::var(r)), Index::indirect(rv.clone())],
+                ));
+                b.assign_array(dst.0, &[b.idx(r), b.idx(c)], gre);
+                let gim = b.load_ref(ArrayRef::new(
+                    src.1,
+                    vec![Index::affine(AffineExpr::var(r)), Index::indirect(rv)],
+                ));
+                b.assign_array(dst.1, &[b.idx(r), b.idx(c)], gim);
+            });
+            // log2(l) butterfly stages.
+            for s in 0..stages {
+                let m = 1i64 << s;
+                let g = gvars[s];
+                let x = xvars[s];
+                b.for_const(g, 0, li / (2 * m), |b| {
+                    b.for_const(x, 0, m, |b| {
+                        let i0 = |v: VarId| {
+                            AffineExpr::scaled_var(v, 2 * m, 0).add(&AffineExpr::var(x))
+                        };
+                        let hi = |v: VarId| i0(v).offset(m);
+                        let wr = b.load(st_re, &[b.idx_e(AffineExpr::konst(s as i64)), b.idx(x)]);
+                        let wi = b.load(st_im, &[b.idx_e(AffineExpr::konst(s as i64)), b.idx(x)]);
+                        let hre = b.load(dst.0, &[b.idx(r), b.idx_e(hi(g))]);
+                        let him = b.load(dst.1, &[b.idx(r), b.idx_e(hi(g))]);
+                        // t = w * hi
+                        let p1 = b.mul(wr.clone(), hre.clone());
+                        let p2 = b.mul(wi.clone(), him.clone());
+                        let tre = b.sub(p1, p2);
+                        b.assign_scalar(t_re, tre);
+                        let p3 = b.mul(wr, him);
+                        let p4 = b.mul(wi, hre);
+                        let tim = b.add(p3, p4);
+                        b.assign_scalar(t_im, tim);
+                        // u = lo
+                        let lre = b.load(dst.0, &[b.idx(r), b.idx_e(i0(g))]);
+                        b.assign_scalar(u_re, lre);
+                        let lim = b.load(dst.1, &[b.idx(r), b.idx_e(i0(g))]);
+                        b.assign_scalar(u_im, lim);
+                        // lo = u + t ; hi = u - t
+                        let ur = b.scalar(u_re);
+                        let tr = b.scalar(t_re);
+                        let sum_r = b.add(ur.clone(), tr.clone());
+                        b.assign_array(dst.0, &[b.idx(r), b.idx_e(i0(g))], sum_r);
+                        let diff_r = b.sub(ur, tr);
+                        b.assign_array(dst.0, &[b.idx(r), b.idx_e(hi(g))], diff_r);
+                        let ui = b.scalar(u_im);
+                        let ti = b.scalar(t_im);
+                        let sum_i = b.add(ui.clone(), ti.clone());
+                        b.assign_array(dst.1, &[b.idx(r), b.idx_e(i0(g))], sum_i);
+                        let diff_i = b.sub(ui, ti);
+                        b.assign_array(dst.1, &[b.idx(r), b.idx_e(hi(g))], diff_i);
+                    });
+                });
+            }
+        });
+        b.barrier();
+    };
+
+    // ---- the six steps --------------------------------------------------
+    transpose(&mut b, "1", (a_re, a_im), (b_re, b_im)); // 1: B = A^T
+    row_fft(&mut b, "2", (b_re, b_im), (a_re, a_im)); // 2: A = rowfft(B)
+    {
+        // 3: A[j,i] *= tw[j,i]
+        let j = b.var("tw_j");
+        let i = b.var("tw_i");
+        b.for_dist(j, 0, li, Dist::Block, |b| {
+            b.for_const(i, 0, li, |b| {
+                // Both products are computed into scalars before either
+                // store: reusing the load expressions after the a_re
+                // store would re-read the already-updated element.
+                let ar = b.load(a_re, &[b.idx(j), b.idx(i)]);
+                let ai = b.load(a_im, &[b.idx(j), b.idx(i)]);
+                let wr = b.load(tw_re, &[b.idx(j), b.idx(i)]);
+                let wi = b.load(tw_im, &[b.idx(j), b.idx(i)]);
+                let p1 = b.mul(ar.clone(), wr.clone());
+                let p2 = b.mul(ai.clone(), wi.clone());
+                let nre = b.sub(p1, p2);
+                b.assign_scalar(t_re, nre);
+                let p3 = b.mul(ar, wi);
+                let p4 = b.mul(ai, wr);
+                let nim = b.add(p3, p4);
+                b.assign_scalar(t_im, nim);
+                let vr = b.scalar(t_re);
+                b.assign_array(a_re, &[b.idx(j), b.idx(i)], vr);
+                let vi = b.scalar(t_im);
+                b.assign_array(a_im, &[b.idx(j), b.idx(i)], vi);
+            });
+        });
+        b.barrier();
+    }
+    transpose(&mut b, "4", (a_re, a_im), (b_re, b_im)); // 4: B = A^T
+    row_fft(&mut b, "5", (b_re, b_im), (a_re, a_im)); // 5: A = rowfft(B)
+    transpose(&mut b, "6", (a_re, a_im), (b_re, b_im)); // 6: B = A^T (result)
+    let program = b.finish();
+
+    // ---- data ----------------------------------------------------------
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let sig_re: Vec<f64> = (0..l * l).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let sig_im: Vec<f64> = (0..l * l).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    // Bit-reverse table.
+    let mut rev_data = vec![0i64; l];
+    for (i, slot) in rev_data.iter_mut().enumerate() {
+        *slot = (i.reverse_bits() >> (usize::BITS - stages as u32)) as i64;
+    }
+    // Stage twiddles: e^{-2 pi i x / 2m}.
+    let mut st_re_d = vec![0.0f64; stages * (l / 2)];
+    let mut st_im_d = vec![0.0f64; stages * (l / 2)];
+    for s in 0..stages {
+        let m = 1usize << s;
+        for x in 0..m {
+            let ang = -2.0 * PI * (x as f64) / (2.0 * m as f64);
+            st_re_d[s * (l / 2) + x] = ang.cos();
+            st_im_d[s * (l / 2) + x] = ang.sin();
+        }
+    }
+    // Inter-FFT twiddles: tw[c][k1] = e^{-2 pi i c k1 / N}.
+    let nf = (l * l) as f64;
+    let mut tw_re_d = vec![0.0f64; l * l];
+    let mut tw_im_d = vec![0.0f64; l * l];
+    for c in 0..l {
+        for k1 in 0..l {
+            let ang = -2.0 * PI * (c as f64) * (k1 as f64) / nf;
+            tw_re_d[c * l + k1] = ang.cos();
+            tw_im_d[c * l + k1] = ang.sin();
+        }
+    }
+
+    Workload {
+        name: "fft".into(),
+        program,
+        data: vec![
+            (a_re, ArrayData::F64(sig_re)),
+            (a_im, ArrayData::F64(sig_im)),
+            (b_re, ArrayData::Zero),
+            (b_im, ArrayData::Zero),
+            (tw_re, ArrayData::F64(tw_re_d)),
+            (tw_im, ArrayData::F64(tw_im_d)),
+            (st_re, ArrayData::F64(st_re_d)),
+            (st_im, ArrayData::F64(st_im_d)),
+            (rev, ArrayData::I64(rev_data)),
+        ],
+        l2_bytes: 64 * 1024,
+        mp_procs: 16,
+        outputs: vec![b_re, b_im],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mempar_ir::{run_parallel_functional, run_single};
+
+    fn naive_dft(re: &[f64], im: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let n = re.len();
+        let mut or = vec![0.0; n];
+        let mut oi = vec![0.0; n];
+        for (k, (orr, oii)) in or.iter_mut().zip(oi.iter_mut()).enumerate() {
+            for j in 0..n {
+                let ang = -2.0 * PI * (k as f64) * (j as f64) / (n as f64);
+                let (s, c) = ang.sin_cos();
+                *orr += re[j] * c - im[j] * s;
+                *oii += re[j] * s + im[j] * c;
+            }
+        }
+        (or, oi)
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let params = FftParams { points: 256, seed: 42 };
+        let w = fft(params);
+        let mut mem = w.memory(1);
+        // Input viewed as x[r*L + c] from the A matrices.
+        let in_re = mem.read_f64(mempar_ir::ArrayId::from_raw(0));
+        let in_im = mem.read_f64(mempar_ir::ArrayId::from_raw(1));
+        run_single(&w.program, &mut mem);
+        let out_re = mem.read_f64(w.outputs[0]);
+        let out_im = mem.read_f64(w.outputs[1]);
+        let (er, ei) = naive_dft(&in_re, &in_im);
+        for k in 0..256 {
+            assert!(
+                (out_re[k] - er[k]).abs() < 1e-5 && (out_im[k] - ei[k]).abs() < 1e-5,
+                "bin {k}: got ({}, {}), want ({}, {})",
+                out_re[k],
+                out_im[k],
+                er[k],
+                ei[k]
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let w = fft(FftParams { points: 256, seed: 7 });
+        let mut m1 = w.memory(1);
+        run_single(&w.program, &mut m1);
+        let mut m4 = w.memory(4);
+        run_parallel_functional(&w.program, &mut m4, 4);
+        assert_eq!(w.read_outputs(&m1), w.read_outputs(&m4));
+    }
+
+    #[test]
+    fn side_is_sqrt() {
+        assert_eq!(FftParams { points: 65536, seed: 0 }.side(), 256);
+        assert_eq!(FftParams { points: 256, seed: 0 }.side(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of 4")]
+    fn rejects_non_square() {
+        fft(FftParams { points: 512, seed: 0 });
+    }
+}
+

@@ -1,0 +1,162 @@
+//! Latbench — the latency-detection microbenchmark of Section 4.2.
+//!
+//! Based on lmbench's `lat_mem_rd` pointer chase, wrapped in an outer
+//! loop over independent chains with no locality within or across chains.
+//! The chase is a pure address recurrence (`α = 1`); unroll-and-jam on
+//! the chain loop overlaps up to `lp` chases.
+
+use mempar_ir::{ArrayData, ArrayRef, Dist, Index, ProgramBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::workload::Workload;
+
+/// Parameters for [`latbench`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatbenchParams {
+    /// Number of independent pointer chains.
+    pub chains: usize,
+    /// Dereferences per chain.
+    pub chain_len: usize,
+    /// Elements in the chase pool (working set = 8 bytes each; the
+    /// paper's simulated run uses a 6.4 MB pool so every chase misses).
+    pub pool: usize,
+    /// RNG seed (chains are random cycles through the pool).
+    pub seed: u64,
+}
+
+impl LatbenchParams {
+    /// The paper's simulated configuration scaled by `scale`
+    /// (6.4 MB pool, long chains).
+    pub fn scaled(scale: f64) -> Self {
+        let pool = ((800_000.0 * scale) as usize).max(4096);
+        LatbenchParams {
+            chains: 64,
+            chain_len: ((1000.0 * scale.sqrt()) as usize).clamp(64, 1000),
+            pool,
+            seed: 0x1a7_bec4,
+        }
+    }
+}
+
+/// Builds the Latbench workload.
+///
+/// Pseudocode (Section 4.2), with the added outer loop in bold in the
+/// paper:
+///
+/// ```text
+/// for (j = 0; j < chains; j++) {
+///     p = heads[j];
+///     for (i = 0; i < I; i++) p = next[p];   // serialized misses
+///     USE(p)
+/// }
+/// ```
+pub fn latbench(params: LatbenchParams) -> Workload {
+    let LatbenchParams { chains, chain_len, pool, seed } = params;
+    assert!(pool >= 64, "pool too small to defeat the cache");
+    let mut b = ProgramBuilder::new("latbench");
+    let next = b.array_i64("next", &[pool]);
+    let heads = b.array_i64("heads", &[chains]);
+    let sink = b.array_i64("sink", &[chains]);
+    let p_s = b.scalar_i64("p", 0);
+    let j = b.var("j");
+    let i = b.var("i");
+    b.for_dist(j, 0, chains as i64, Dist::Block, |b| {
+        let h = b.load(heads, &[b.idx(j)]);
+        b.assign_scalar(p_s, h);
+        b.for_const(i, 0, chain_len as i64, |b| {
+            let v = b.load_ref(ArrayRef::new(next, vec![Index::scalar(p_s)]));
+            b.assign_scalar(p_s, v);
+        });
+        // USE(p): keep the chased pointer live.
+        let fin = b.scalar(p_s);
+        b.assign_array(sink, &[b.idx(j)], fin);
+    });
+    let program = b.finish();
+
+    // One random cycle through the whole pool (Sattolo's algorithm) so
+    // successive dereferences have no spatial locality; chain heads start
+    // at random, well-separated points of the cycle.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut perm: Vec<i64> = (0..pool as i64).collect();
+    for idx in (1..pool).rev() {
+        let other = rng.gen_range(0..idx);
+        perm.swap(idx, other);
+    }
+    // next[perm[k]] = perm[(k+1) % pool]
+    let mut next_data = vec![0i64; pool];
+    for k in 0..pool {
+        next_data[perm[k] as usize] = perm[(k + 1) % pool];
+    }
+    let head_data: Vec<i64> = (0..chains)
+        .map(|c| perm[(c * (pool / chains)) % pool])
+        .collect();
+
+    Workload {
+        name: "latbench".into(),
+        program,
+        data: vec![
+            (next, ArrayData::I64(next_data)),
+            (heads, ArrayData::I64(head_data)),
+            (sink, ArrayData::Zero),
+        ],
+        l2_bytes: 64 * 1024,
+        mp_procs: 1,
+        outputs: vec![sink],
+    }
+}
+
+/// Statistics helper: the total number of chase dereferences.
+pub fn total_derefs(params: &LatbenchParams) -> u64 {
+    (params.chains * params.chain_len) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mempar_ir::run_single;
+
+    #[test]
+    fn chains_walk_distinct_pool_elements() {
+        let params = LatbenchParams { chains: 4, chain_len: 32, pool: 4096, seed: 7 };
+        let w = latbench(params);
+        let mut mem = w.memory(1);
+        let s = run_single(&w.program, &mut mem);
+        // chase loads + head loads (+ trace overhead ops)
+        assert_eq!(s.loads, (4 * 32) + 4);
+        let sink = mem.read_i64(mempar_ir::ArrayId::from_raw(2));
+        // All chains end at distinct points (one big cycle, separated heads).
+        let mut ends = sink.clone();
+        ends.sort_unstable();
+        ends.dedup();
+        assert_eq!(ends.len(), 4);
+    }
+
+    #[test]
+    fn next_is_a_permutation() {
+        let params = LatbenchParams { chains: 2, chain_len: 4, pool: 512, seed: 3 };
+        let w = latbench(params);
+        let (_, ArrayData::I64(next)) = &w.data[0] else { panic!() };
+        let mut sorted = next.clone();
+        sorted.sort_unstable();
+        let expected: Vec<i64> = (0..512).collect();
+        assert_eq!(sorted, expected, "next must be a permutation (single cycle)");
+    }
+
+    #[test]
+    fn scaled_params_reasonable() {
+        let p = LatbenchParams::scaled(0.1);
+        assert!(p.pool >= 4096);
+        assert!(p.chain_len >= 64);
+        assert_eq!(total_derefs(&p), (p.chains * p.chain_len) as u64);
+    }
+
+    #[test]
+    fn chase_loop_is_structured_for_uaj() {
+        // The program shape: dist outer loop, scalar-bound... const inner.
+        let w = latbench(LatbenchParams { chains: 4, chain_len: 8, pool: 256, seed: 1 });
+        let mempar_ir::Stmt::Loop(outer) = &w.program.body[0] else { panic!() };
+        assert!(outer.dist.is_some(), "chain loop is parallel");
+        assert!(outer.body.iter().any(|s| matches!(s, mempar_ir::Stmt::Loop(_))));
+    }
+}

@@ -1,0 +1,222 @@
+//! LU — blocked dense LU factorization (SPLASH-2), modified as in the
+//! paper to use flags instead of barriers for the diagonal-block
+//! dependence.
+//!
+//! Right-looking blocked factorization without pivoting: per block step,
+//! (1) one processor factors the diagonal block and sets a flag; (2) the
+//! U panel (columns right of the diagonal) and L panel (rows below) are
+//! solved in parallel; (3) the trailing submatrix receives the rank-B
+//! update — the dominant, perfectly parallel kernel whose innermost loop
+//! carries the cache-line recurrence that unroll-and-jam (over the `kk`
+//! reduction loop) resolves. Scalar replacement of the `a[r,kk]`
+//! multipliers provides the CPU-side benefit the paper reports.
+
+use mempar_ir::{AffineExpr, ArrayData, Dist, ProgramBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::workload::Workload;
+
+/// Parameters for [`lu`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LuParams {
+    /// Matrix side (Table 2: 256, block 16).
+    pub n: usize,
+    /// Block size.
+    pub block: usize,
+    /// RNG seed for the matrix contents.
+    pub seed: u64,
+}
+
+impl LuParams {
+    /// The paper's simulated input scaled by `scale` (in area).
+    pub fn scaled(scale: f64) -> Self {
+        let n = crate::workload::scaled_dim(256, scale.sqrt(), 32, true);
+        LuParams { n, block: 16.min(n / 2), seed: 0x1a }
+    }
+}
+
+/// Builds the LU workload.
+///
+/// # Panics
+/// Panics when `n` is not a multiple of `block`.
+pub fn lu(params: LuParams) -> Workload {
+    let LuParams { n, block, seed } = params;
+    assert!(n % block == 0 && block >= 2, "n must be a multiple of block");
+    let nb = n / block;
+    let bi = block as i64;
+    let ni = n as i64;
+
+    let mut b = ProgramBuilder::new("lu");
+    let a = b.array_f64("a", &[n, n]);
+    b.flags(nb);
+    let d = b.var("d");
+    // Fresh variables per phase keep subscripts single-variable.
+    for k in 0..nb {
+        let k0 = (k as i64) * bi; // block start
+        let k1 = k0 + bi; // block end
+        let kk = b.var(format!("kk{k}"));
+        let ii = b.var(format!("ii{k}"));
+        let jj = b.var(format!("jj{k}"));
+
+        // ---- diagonal factorization (one processor) ----
+        b.for_dist(d, 0, 1, Dist::Block, |b| {
+            b.for_affine(kk, AffineExpr::konst(k0), AffineExpr::konst(k1), |b| {
+                b.for_affine(ii, AffineExpr::var(kk).offset(1), AffineExpr::konst(k1), |b| {
+                    let elem = b.load(a, &[b.idx(ii), b.idx(kk)]);
+                    let piv = b.load(a, &[b.idx(kk), b.idx(kk)]);
+                    let l_val = b.div(elem, piv);
+                    b.assign_array(a, &[b.idx(ii), b.idx(kk)], l_val);
+                    b.for_affine(jj, AffineExpr::var(kk).offset(1), AffineExpr::konst(k1), |b| {
+                        let cur = b.load(a, &[b.idx(ii), b.idx(jj)]);
+                        let lik = b.load(a, &[b.idx(ii), b.idx(kk)]);
+                        let ukj = b.load(a, &[b.idx(kk), b.idx(jj)]);
+                        let prod = b.mul(lik, ukj);
+                        let e = b.sub(cur, prod);
+                        b.assign_array(a, &[b.idx(ii), b.idx(jj)], e);
+                    });
+                });
+            });
+            b.flag_set(AffineExpr::konst(k as i64));
+        });
+        b.flag_wait(AffineExpr::konst(k as i64));
+
+        if k + 1 == nb {
+            break;
+        }
+        // ---- U panel: forward-substitute each column right of the diag ----
+        let c = b.var(format!("c{k}"));
+        let kk2 = b.var(format!("kk2_{k}"));
+        let ii2 = b.var(format!("ii2_{k}"));
+        b.for_loop(c, k1, ni, 1, Some(Dist::Block), |b| {
+            b.for_affine(kk2, AffineExpr::konst(k0), AffineExpr::konst(k1 - 1), |b| {
+                b.for_affine(ii2, AffineExpr::var(kk2).offset(1), AffineExpr::konst(k1), |b| {
+                    let cur = b.load(a, &[b.idx(ii2), b.idx(c)]);
+                    let lik = b.load(a, &[b.idx(ii2), b.idx(kk2)]);
+                    let top = b.load(a, &[b.idx(kk2), b.idx(c)]);
+                    let prod = b.mul(lik, top);
+                    let e = b.sub(cur, prod);
+                    b.assign_array(a, &[b.idx(ii2), b.idx(c)], e);
+                });
+            });
+        });
+        // ---- L panel: scale + substitute each row below the diag ----
+        let r2 = b.var(format!("r2_{k}"));
+        let kk3 = b.var(format!("kk3_{k}"));
+        let c2 = b.var(format!("c2_{k}"));
+        b.for_loop(r2, k1, ni, 1, Some(Dist::Block), |b| {
+            b.for_affine(kk3, AffineExpr::konst(k0), AffineExpr::konst(k1), |b| {
+                let elem = b.load(a, &[b.idx(r2), b.idx(kk3)]);
+                let piv = b.load(a, &[b.idx(kk3), b.idx(kk3)]);
+                let l_val = b.div(elem, piv);
+                b.assign_array(a, &[b.idx(r2), b.idx(kk3)], l_val);
+                b.for_affine(c2, AffineExpr::var(kk3).offset(1), AffineExpr::konst(k1), |b| {
+                    let cur = b.load(a, &[b.idx(r2), b.idx(c2)]);
+                    let lrk = b.load(a, &[b.idx(r2), b.idx(kk3)]);
+                    let ukc = b.load(a, &[b.idx(kk3), b.idx(c2)]);
+                    let prod = b.mul(lrk, ukc);
+                    let e = b.sub(cur, prod);
+                    b.assign_array(a, &[b.idx(r2), b.idx(c2)], e);
+                });
+            });
+        });
+        b.barrier();
+        // ---- trailing submatrix rank-B update (the dominant kernel) ----
+        let r3 = b.var(format!("r3_{k}"));
+        let kk4 = b.var(format!("kk4_{k}"));
+        let c3 = b.var(format!("c3_{k}"));
+        b.for_loop(r3, k1, ni, 1, Some(Dist::Block), |b| {
+            b.for_affine(kk4, AffineExpr::konst(k0), AffineExpr::konst(k1), |b| {
+                b.for_affine(c3, AffineExpr::konst(k1), AffineExpr::konst(ni), |b| {
+                    let cur = b.load(a, &[b.idx(r3), b.idx(c3)]);
+                    let lrk = b.load(a, &[b.idx(r3), b.idx(kk4)]);
+                    let ukc = b.load(a, &[b.idx(kk4), b.idx(c3)]);
+                    let prod = b.mul(lrk, ukc);
+                    let e = b.sub(cur, prod);
+                    b.assign_array(a, &[b.idx(r3), b.idx(c3)], e);
+                });
+            });
+        });
+        b.barrier();
+    }
+    let program = b.finish();
+
+    // Diagonally dominant matrix: no pivoting needed, values stay tame.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = vec![0.0f64; n * n];
+    for r in 0..n {
+        for cc in 0..n {
+            data[r * n + cc] = if r == cc {
+                n as f64
+            } else {
+                rng.gen_range(-0.5..0.5)
+            };
+        }
+    }
+    Workload {
+        name: "lu".into(),
+        program,
+        data: vec![(a, ArrayData::F64(data))],
+        l2_bytes: 64 * 1024,
+        mp_procs: 8,
+        outputs: vec![a],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mempar_ir::{run_parallel_functional, run_single};
+
+    /// Checks L*U == original for the factored matrix.
+    fn verify_lu(original: &[f64], factored: &[f64], n: usize) -> f64 {
+        let mut max_err = 0.0f64;
+        for r in 0..n {
+            for c in 0..n {
+                let mut sum = 0.0;
+                for k in 0..=r.min(c) {
+                    let l = if k == r { 1.0 } else { factored[r * n + k] };
+                    let u = factored[k * n + c];
+                    sum += if k == r { u } else { l * u };
+                }
+                max_err = max_err.max((sum - original[r * n + c]).abs());
+            }
+        }
+        max_err
+    }
+
+    #[test]
+    fn factorization_is_correct() {
+        let params = LuParams { n: 32, block: 8, seed: 1 };
+        let w = lu(params);
+        let mut mem = w.memory(1);
+        let original = mem.read_f64(w.outputs[0]);
+        run_single(&w.program, &mut mem);
+        let factored = mem.read_f64(w.outputs[0]);
+        let err = verify_lu(&original, &factored, 32);
+        assert!(err < 1e-9, "LU residual {err}");
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let params = LuParams { n: 32, block: 8, seed: 2 };
+        let w = lu(params);
+        let mut m1 = w.memory(1);
+        run_single(&w.program, &mut m1);
+        let mut m4 = w.memory(4);
+        run_parallel_functional(&w.program, &mut m4, 4);
+        assert_eq!(w.read_outputs(&m1), w.read_outputs(&m4));
+    }
+
+    #[test]
+    fn uses_flags() {
+        let w = lu(LuParams { n: 32, block: 8, seed: 3 });
+        assert_eq!(w.program.num_flags, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of block")]
+    fn rejects_bad_block() {
+        lu(LuParams { n: 30, block: 8, seed: 0 });
+    }
+}

@@ -1,0 +1,160 @@
+//! MST — minimal spanning tree from the Olden benchmarks, dominated by
+//! hash-table lookups that chase linked lists of varying length.
+//!
+//! Each outer iteration walks one bucket's chain (an address recurrence).
+//! The chains have *variable* length, so unroll-and-jam fuses only up to
+//! the minimum of the jammed copies' lengths and finishes each copy in a
+//! remainder loop — exactly the paper's treatment ("only the minimum
+//! length seen in the unrolled copies is fused"). The outer loop is
+//! treated as explicitly parallel, as the paper assumes.
+
+use mempar_ir::{ArrayData, ArrayRef, Dist, Index, ProgramBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::workload::Workload;
+
+/// Parameters for [`mst`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MstParams {
+    /// Graph vertices (Table 2: 1024). Each vertex does a round of hash
+    /// lookups.
+    pub vertices: usize,
+    /// Hash-chain pool size (nodes across all buckets).
+    pub pool: usize,
+    /// Mean chain length.
+    pub mean_chain: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MstParams {
+    /// The paper's input (1024 vertices) scaled by `scale`.
+    pub fn scaled(scale: f64) -> Self {
+        let vertices = ((1024.0 * scale) as usize).max(128);
+        MstParams {
+            vertices,
+            // The hash table must dwarf the (scaled) 1 MB-class cache so
+            // chases miss, as on the paper's input.
+            pool: (vertices * 256).max(32_768),
+            mean_chain: 8,
+            seed: 0x357,
+        }
+    }
+}
+
+/// Builds the MST workload.
+pub fn mst(params: MstParams) -> Workload {
+    let MstParams { vertices, pool, mean_chain, seed } = params;
+    let mut b = ProgramBuilder::new("mst");
+    let bucket_head = b.array_i64("bucket_head", &[vertices]);
+    let chain_len = b.array_i64("chain_len", &[vertices]);
+    let next = b.array_i64("next", &[pool]);
+    let weight = b.array_f64("weight", &[pool]);
+    let best = b.array_f64("best", &[vertices]);
+    let len_s = b.scalar_i64("len", 0);
+    let p_s = b.scalar_i64("p", 0);
+    let min_s = b.scalar_f64("wmin", 0.0);
+    let v = b.var("v");
+    let k = b.var("k");
+
+    b.for_dist(v, 0, vertices as i64, Dist::Block, |b| {
+        let l0 = b.load(chain_len, &[b.idx(v)]);
+        b.assign_scalar(len_s, l0);
+        let h0 = b.load(bucket_head, &[b.idx(v)]);
+        b.assign_scalar(p_s, h0);
+        let big = b.constf(1.0e30);
+        b.assign_scalar(min_s, big);
+        b.for_scalar(k, 0, len_s, |b| {
+            let w = b.load_ref(ArrayRef::new(weight, vec![Index::scalar(p_s)]));
+            let cur = b.scalar(min_s);
+            let m = b.min(cur, w);
+            b.assign_scalar(min_s, m);
+            let nx = b.load_ref(ArrayRef::new(next, vec![Index::scalar(p_s)]));
+            b.assign_scalar(p_s, nx);
+        });
+        let fin = b.scalar(min_s);
+        b.assign_array(best, &[b.idx(v)], fin);
+    });
+    let program = b.finish();
+
+    // Build hash chains through a shuffled pool so chasing has no
+    // spatial locality, with geometric-ish variable lengths.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..pool).collect();
+    for idx in (1..pool).rev() {
+        let other = rng.gen_range(0..=idx);
+        order.swap(idx, other);
+    }
+    let mut next_data = vec![0i64; pool];
+    let mut heads = vec![0i64; vertices];
+    let mut lens = vec![0i64; vertices];
+    let mut cursor = 0usize;
+    for vtx in 0..vertices {
+        let len = rng.gen_range(1..=(2 * mean_chain).max(2)) as usize;
+        let len = len.min(pool - 1);
+        heads[vtx] = order[cursor % pool] as i64;
+        lens[vtx] = len as i64;
+        for s in 0..len {
+            let cur = order[(cursor + s) % pool];
+            let nxt = order[(cursor + s + 1) % pool];
+            next_data[cur] = nxt as i64;
+        }
+        cursor += len + 1;
+    }
+    let weights: Vec<f64> = (0..pool).map(|_| rng.gen_range(0.0..100.0)).collect();
+
+    Workload {
+        name: "mst".into(),
+        program,
+        data: vec![
+            (bucket_head, ArrayData::I64(heads)),
+            (chain_len, ArrayData::I64(lens)),
+            (next, ArrayData::I64(next_data)),
+            (weight, ArrayData::F64(weights)),
+            (best, ArrayData::Zero),
+        ],
+        l2_bytes: 1024 * 1024,
+        mp_procs: 1, // the paper runs MST uniprocessor-only
+        outputs: vec![best],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mempar_ir::run_single;
+
+    #[test]
+    fn finds_minima_over_chains() {
+        let w = mst(MstParams { vertices: 32, pool: 512, mean_chain: 4, seed: 5 });
+        let mut mem = w.memory(1);
+        run_single(&w.program, &mut mem);
+        let best = mem.read_f64(w.outputs[0]);
+        assert!(best.iter().all(|&x| (0.0..=100.0).contains(&x)));
+    }
+
+    #[test]
+    fn chains_have_variable_length() {
+        let w = mst(MstParams { vertices: 64, pool: 1024, mean_chain: 6, seed: 9 });
+        let (_, ArrayData::I64(lens)) = &w.data[1] else { panic!() };
+        let distinct: std::collections::HashSet<i64> = lens.iter().copied().collect();
+        assert!(distinct.len() > 3, "lengths should vary: {distinct:?}");
+        assert!(lens.iter().all(|&l| l >= 1));
+    }
+
+    #[test]
+    fn inner_loop_has_scalar_bound() {
+        let w = mst(MstParams { vertices: 8, pool: 128, mean_chain: 3, seed: 1 });
+        let mempar_ir::Stmt::Loop(outer) = &w.program.body[0] else { panic!() };
+        let inner = outer
+            .body
+            .iter()
+            .find_map(|s| match s {
+                mempar_ir::Stmt::Loop(l) => Some(l),
+                _ => None,
+            })
+            .expect("chase loop");
+        assert!(matches!(inner.hi, mempar_ir::Bound::Scalar(_)));
+    }
+}

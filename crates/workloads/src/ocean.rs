@@ -1,0 +1,138 @@
+//! Ocean — eddy-current simulation kernels (SPLASH-2), represented by
+//! the dominant 5-point stencil relaxation and laplacian phases on
+//! (n+2)² grids.
+//!
+//! The paper finds Ocean the *least* improved application: the stencil
+//! reads `a[j-1,i]`, `a[j+1,i]` already touch multiple cache lines per
+//! iteration, so the base code has some natural miss clustering, and
+//! further unroll-and-jam mostly adds conflict misses.
+
+use mempar_ir::{AffineExpr, ArrayData, Dist, ProgramBuilder};
+
+use crate::workload::Workload;
+
+/// Parameters for [`ocean`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OceanParams {
+    /// Grid side including boundary (Table 2: 258).
+    pub n: usize,
+    /// Relaxation sweeps.
+    pub sweeps: usize,
+}
+
+impl OceanParams {
+    /// The paper's simulated input scaled by `scale` (in area).
+    pub fn scaled(scale: f64) -> Self {
+        OceanParams {
+            n: crate::workload::scaled_dim(258, scale.sqrt(), 34, false),
+            sweeps: 2,
+        }
+    }
+}
+
+/// Builds the Ocean workload.
+pub fn ocean(params: OceanParams) -> Workload {
+    let n = params.n as i64;
+    let mut b = ProgramBuilder::new("ocean");
+    let q = b.array_f64("q", &[params.n, params.n]);
+    let w_arr = b.array_f64("w", &[params.n, params.n]);
+    let psi = b.array_f64("psi", &[params.n, params.n]);
+    let wv_s = b.scalar_f64("wv", 0.0);
+    let t = b.var("t");
+    let j = b.var("j");
+    let i = b.var("i");
+    let j2 = b.var("j2");
+    let i2 = b.var("i2");
+
+    b.for_const(t, 0, params.sweeps as i64, |b| {
+        // Jacobi relaxation step: w = relax(q).
+        b.for_dist(j, 1, n - 1, Dist::Block, |b| {
+            b.for_const(i, 1, n - 1, |b| {
+                let up = b.load(q, &[b.idx_e(AffineExpr::var(j).offset(-1)), b.idx(i)]);
+                let down = b.load(q, &[b.idx_e(AffineExpr::var(j).offset(1)), b.idx(i)]);
+                let left = b.load(q, &[b.idx(j), b.idx_e(AffineExpr::var(i).offset(-1))]);
+                let right = b.load(q, &[b.idx(j), b.idx_e(AffineExpr::var(i).offset(1))]);
+                let s1 = b.add(up, down);
+                let s2 = b.add(left, right);
+                let s = b.add(s1, s2);
+                let c = b.constf(0.25);
+                let e = b.mul(s, c);
+                b.assign_array(w_arr, &[b.idx(j), b.idx(i)], e);
+            });
+        });
+        b.barrier();
+        // Laplacian accumulation into the stream function.
+        b.for_dist(j2, 1, n - 1, Dist::Block, |b| {
+            b.for_const(i2, 1, n - 1, |b| {
+                let wv = b.load(w_arr, &[b.idx(j2), b.idx(i2)]);
+                b.assign_scalar(wv_s, wv);
+                let qv = b.load(q, &[b.idx(j2), b.idx(i2)]);
+                let pv = b.load(psi, &[b.idx(j2), b.idx(i2)]);
+                let w0 = b.scalar(wv_s);
+                let diff = b.sub(w0, qv);
+                let c = b.constf(0.9);
+                let scaled = b.mul(diff, c);
+                let e = b.add(pv, scaled);
+                b.assign_array(psi, &[b.idx(j2), b.idx(i2)], e);
+                let w1 = b.scalar(wv_s);
+                b.assign_array(q, &[b.idx(j2), b.idx(i2)], w1);
+            });
+        });
+        b.barrier();
+    });
+    let program = b.finish();
+
+    // Nonlinear contents: a linear ramp would make the Jacobi average
+    // equal the center everywhere, hiding bugs behind zero updates.
+    let grid: Vec<f64> = (0..params.n * params.n)
+        .map(|x| (((x * x * 7 + x * 31) % 101) as f64) * 0.01)
+        .collect();
+    Workload {
+        name: "ocean".into(),
+        program,
+        data: vec![
+            (q, ArrayData::F64(grid)),
+            (w_arr, ArrayData::Zero),
+            (psi, ArrayData::Zero),
+        ],
+        l2_bytes: 1024 * 1024,
+        mp_procs: 8,
+        outputs: vec![psi, q],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mempar_ir::{run_parallel_functional, run_single};
+
+    #[test]
+    fn stencil_updates_interior() {
+        let w = ocean(OceanParams { n: 10, sweeps: 1 });
+        let mut mem = w.memory(1);
+        run_single(&w.program, &mut mem);
+        let psi = mem.read_f64(w.outputs[0]);
+        // Interior written, boundary untouched.
+        assert_eq!(psi[0], 0.0);
+        assert!(psi[11] != 0.0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let w = ocean(OceanParams { n: 12, sweeps: 2 });
+        let mut m1 = w.memory(1);
+        run_single(&w.program, &mut m1);
+        let mut m4 = w.memory(4);
+        run_parallel_functional(&w.program, &mut m4, 4);
+        assert_eq!(w.read_outputs(&m1), w.read_outputs(&m4));
+    }
+
+    #[test]
+    fn load_count_matches_stencil() {
+        let w = ocean(OceanParams { n: 6, sweeps: 1 });
+        let mut mem = w.memory(1);
+        let s = run_single(&w.program, &mut mem);
+        // 16 interior points x (4 stencil + 3 laplacian) loads.
+        assert_eq!(s.loads, 16 * 7);
+    }
+}

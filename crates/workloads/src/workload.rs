@@ -1,0 +1,84 @@
+//! The common workload wrapper: a program plus its input data.
+
+use mempar_ir::{ArrayData, ArrayId, HomePolicy, Program, SimMem};
+
+/// A benchmark program bundled with its input data and evaluation
+/// parameters (Table 2 of the paper).
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Workload name.
+    pub name: String,
+    /// The base (untransformed) program.
+    pub program: Program,
+    /// Initial array contents.
+    pub data: Vec<(ArrayId, ArrayData)>,
+    /// L2 size the paper pairs with this application (64 KB for
+    /// Erlebacher/FFT/LU/Mp3d, 1 MB for Em3d/MST/Ocean — scaled inputs
+    /// use scaled caches per the Woo et al. methodology).
+    pub l2_bytes: usize,
+    /// Multiprocessor size used in the paper's simulated runs
+    /// (1 = uniprocessor-only workload).
+    pub mp_procs: usize,
+    /// Arrays whose final contents constitute the workload's output
+    /// (compared by the semantic-equivalence tests).
+    pub outputs: Vec<ArrayId>,
+}
+
+impl Workload {
+    /// Builds the simulated memory for an `nprocs` run, with the default
+    /// (block-per-array) NUMA layout.
+    pub fn memory(&self, nprocs: usize) -> SimMem {
+        self.memory_with_policy(nprocs, HomePolicy::BlockPerArray)
+    }
+
+    /// Builds the simulated memory with an explicit NUMA policy.
+    pub fn memory_with_policy(&self, nprocs: usize, policy: HomePolicy) -> SimMem {
+        let mut mem = SimMem::with_policy(&self.program, nprocs, policy);
+        for (a, d) in &self.data {
+            mem.set_array(*a, d.clone());
+        }
+        mem
+    }
+
+    /// Reads the output arrays' contents (for equivalence checks).
+    pub fn read_outputs(&self, mem: &SimMem) -> Vec<Vec<u64>> {
+        self.outputs
+            .iter()
+            .map(|&a| {
+                mem.read_f64(a)
+                    .into_iter()
+                    .map(f64::to_bits)
+                    .collect::<Vec<u64>>()
+            })
+            .collect()
+    }
+}
+
+/// Scales a dimension by `scale`, snapping to at least `min` and, when
+/// `pow2`, to the nearest power of two.
+pub fn scaled_dim(base: usize, scale: f64, min: usize, pow2: bool) -> usize {
+    let raw = ((base as f64) * scale).round().max(min as f64) as usize;
+    if pow2 {
+        let mut p = min.max(1).next_power_of_two();
+        while p * 2 <= raw {
+            p *= 2;
+        }
+        p.max(min)
+    } else {
+        raw.max(min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_dim_snaps() {
+        assert_eq!(scaled_dim(256, 1.0, 16, true), 256);
+        assert_eq!(scaled_dim(256, 0.3, 16, true), 64);
+        assert_eq!(scaled_dim(256, 0.001, 16, true), 16);
+        assert_eq!(scaled_dim(100, 0.5, 10, false), 50);
+        assert_eq!(scaled_dim(100, 0.01, 10, false), 10);
+    }
+}

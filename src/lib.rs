@@ -1,0 +1,8 @@
+//! Workspace umbrella crate: hosts the cross-crate integration tests in
+//! `tests/` (semantic equivalence, paper-claim checks, property suites,
+//! extension tests) and the runnable examples in `examples/`.
+//!
+//! The library surface simply re-exports the [`mempar`] facade; depend on
+//! the individual `mempar-*` crates for real use.
+
+pub use mempar;

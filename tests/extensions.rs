@@ -1,0 +1,144 @@
+//! End-to-end tests of the two extensions the paper sketches:
+//! loop fusion for unnested recurrences (Conclusions) and software
+//! prefetching alongside clustering (Section 1 / TR 9910).
+
+use mempar::{machine_summary, profile_miss_rates, run_program, MachineConfig};
+use mempar_analysis::{analyze_inner_loop, MissProfile};
+use mempar_ir::{run_single, ArrayData, ProgramBuilder, SimMem, Stmt};
+use mempar_transform::{
+    cluster_program, fuse_adjacent_loops, innermost_loops, insert_prefetches, loop_at,
+};
+use mempar_workloads::{erlebacher, latbench, ErlebacherParams, LatbenchParams};
+
+/// Fusing two unnested streaming loops doubles the miss streams per
+/// window — `f` grows — and the fused program runs faster on the
+/// simulated machine.
+#[test]
+fn fusion_improves_unnested_recurrences() {
+    let n = 1 << 15; // two 256 KB streams vs a 64 KB L2
+    let mut b = ProgramBuilder::new("unnested");
+    let a = b.array_f64("a", &[n]);
+    let c = b.array_f64("c", &[n]);
+    let oa = b.array_f64("oa", &[1]);
+    let oc = b.array_f64("oc", &[1]);
+    let s1 = b.scalar_f64("s1", 0.0);
+    let s2 = b.scalar_f64("s2", 0.0);
+    let i = b.var("i");
+    let j = b.var("j");
+    b.for_const(i, 0, n as i64, |b| {
+        let v = b.load(a, &[b.idx(i)]);
+        let acc = b.scalar(s1);
+        let e = b.add(acc, v);
+        b.assign_scalar(s1, e);
+    });
+    b.for_const(j, 0, n as i64, |b| {
+        let v = b.load(c, &[b.idx(j)]);
+        let acc = b.scalar(s2);
+        let e = b.add(acc, v);
+        b.assign_scalar(s2, e);
+    });
+    let v1 = b.scalar(s1);
+    b.assign_array(oa, &[b.idx_e(mempar_ir::AffineExpr::konst(0))], v1);
+    let v2 = b.scalar(s2);
+    b.assign_array(oc, &[b.idx_e(mempar_ir::AffineExpr::konst(0))], v2);
+    let base = b.finish();
+
+    let cfg = MachineConfig::base_simulated(1, 64 * 1024);
+    let m = machine_summary(&cfg);
+
+    // Analysis before/after: f doubles.
+    let f_of = |p: &mempar_ir::Program| {
+        let nest = innermost_loops(p)[0].clone();
+        let l = loop_at(p, &nest).expect("loop");
+        analyze_inner_loop(p, &l.body, l.var, &m, &MissProfile::pessimistic()).f
+    };
+    let f_before = f_of(&base);
+    let mut fused = base.clone();
+    assert_eq!(fuse_adjacent_loops(&mut fused), 1);
+    let f_after = f_of(&fused);
+    assert!(f_after > f_before, "f must grow: {f_before} -> {f_after}");
+
+    // Semantics preserved and time reduced.
+    let data_a = ArrayData::F64((0..n).map(|x| (x % 7) as f64).collect());
+    let data_c = ArrayData::F64((0..n).map(|x| (x % 11) as f64).collect());
+    let run = |p: &mempar_ir::Program| {
+        let mut mem = SimMem::new(p, 1);
+        mem.set_array(a, data_a.clone());
+        mem.set_array(c, data_c.clone());
+        let r = run_program(p, &mut mem, &cfg);
+        (mem.read_f64(oa), mem.read_f64(oc), r.cycles)
+    };
+    let (ba, bc, base_cycles) = run(&base);
+    let (fa, fc, fused_cycles) = run(&fused);
+    assert_eq!(ba, fa);
+    assert_eq!(bc, fc);
+    assert!(
+        fused_cycles < base_cycles,
+        "fusion should overlap the two streams: {base_cycles} -> {fused_cycles}"
+    );
+}
+
+/// Prefetching helps a regular workload, clustering helps more here, and
+/// the combination is at least as good as prefetching alone.
+#[test]
+fn prefetch_and_clustering_compose() {
+    let w = erlebacher(ErlebacherParams { n: 32 });
+    let cfg = MachineConfig::base_simulated(1, 32 * 1024);
+    let mut pm = w.memory(1);
+    let profile = profile_miss_rates(&w.program, &mut pm, &cfg.l2);
+
+    let mut prefetched = w.program.clone();
+    for nest in innermost_loops(&prefetched) {
+        let _ = insert_prefetches(&mut prefetched, &nest, 16, cfg.l2.line_bytes, &profile);
+    }
+    let mut both = w.program.clone();
+    cluster_program(&mut both, &machine_summary(&cfg), &profile);
+    for nest in innermost_loops(&both) {
+        let _ = insert_prefetches(&mut both, &nest, 16, cfg.l2.line_bytes, &profile);
+    }
+
+    let run = |p: &mempar_ir::Program| {
+        let mut mem = w.memory(1);
+        let r = run_program(p, &mut mem, &cfg);
+        (w.read_outputs(&mem), r.cycles, r.counters.prefetches)
+    };
+    let (out_base, cycles_base, pf_base) = run(&w.program);
+    let (out_pf, cycles_pf, pf_count) = run(&prefetched);
+    let (out_both, cycles_both, _) = run(&both);
+    assert_eq!(pf_base, 0);
+    assert!(pf_count > 0, "prefetches must issue");
+    assert_eq!(out_base, out_pf, "prefetching is non-binding");
+    assert_eq!(out_base, out_both);
+    assert!(
+        cycles_pf < cycles_base,
+        "prefetching helps the regular code: {cycles_base} -> {cycles_pf}"
+    );
+    assert!(
+        cycles_both < cycles_base,
+        "the combination also wins: {cycles_base} -> {cycles_both}"
+    );
+}
+
+/// Pointer chases admit no prefetches at all (the address to fetch *is*
+/// the missing value) — the Section 1 motivation for clustering.
+#[test]
+fn chase_has_no_prefetchable_sites() {
+    let w = latbench(LatbenchParams { chains: 8, chain_len: 32, pool: 4096, seed: 1 });
+    let mut p = w.program.clone();
+    let mut inserted = 0;
+    for nest in innermost_loops(&p) {
+        inserted += insert_prefetches(&mut p, &nest, 8, 64, &MissProfile::pessimistic())
+            .unwrap_or(0);
+    }
+    assert_eq!(inserted, 0);
+    // And the program is untouched (no stray statements).
+    let mut m1 = w.memory(1);
+    run_single(&w.program, &mut m1);
+    let mut m2 = w.memory(1);
+    run_single(&p, &mut m2);
+    assert_eq!(w.read_outputs(&m1), w.read_outputs(&m2));
+    assert!(!p
+        .body
+        .iter()
+        .any(|s| matches!(s, Stmt::Prefetch { .. })));
+}

@@ -1,0 +1,155 @@
+//! Property-based tests on the simulator substrate: cache, MSHR,
+//! resource and interconnect invariants under random stimulus.
+
+use mempar_sim::{
+    bank_of, CacheParams, Interleave, LineState, MachineConfig, Mesh, MshrFile, MshrOutcome,
+    NetParams, Resource, TagArray,
+};
+use proptest::prelude::*;
+
+fn small_cache_params(assoc: usize) -> CacheParams {
+    CacheParams {
+        size_bytes: 16 * 64 * assoc.max(1),
+        assoc: assoc.max(1),
+        line_bytes: 64,
+        hit_latency: 1,
+        ports: 1,
+        mshrs: 4,
+    }
+}
+
+proptest! {
+    /// A line just filled always probes present; invalidation always
+    /// removes it; the tag array never "loses" more than capacity.
+    #[test]
+    fn cache_fill_probe_invalidate(
+        assoc in 1usize..5,
+        lines in proptest::collection::vec(0u64..4096, 1..200),
+    ) {
+        let mut c = TagArray::new(&small_cache_params(assoc));
+        for &l in &lines {
+            if c.probe(l) == LineState::Invalid {
+                c.fill(l, LineState::Shared);
+            }
+            prop_assert_ne!(c.peek(l), LineState::Invalid, "line {} just filled", l);
+            // Invalidate and reinstate occasionally (deterministic rule).
+            if l % 7 == 0 {
+                c.invalidate(l);
+                prop_assert_eq!(c.peek(l), LineState::Invalid);
+                c.fill(l, LineState::Modified);
+                prop_assert_eq!(c.peek(l), LineState::Modified);
+            }
+        }
+    }
+
+    /// LRU within a set: after touching `assoc` distinct lines of one
+    /// set, the least-recently-used one is the victim of the next fill.
+    #[test]
+    fn cache_lru_evicts_oldest(assoc in 2usize..5) {
+        let params = small_cache_params(assoc);
+        let sets = params.sets() as u64;
+        let mut c = TagArray::new(&params);
+        // Lines mapping to set 0: multiples of `sets`.
+        for k in 0..assoc as u64 {
+            c.fill(k * sets, LineState::Shared);
+        }
+        // Touch all but line 0 so it becomes LRU.
+        for k in 1..assoc as u64 {
+            c.probe(k * sets);
+        }
+        let v = c.fill((assoc as u64) * sets, LineState::Shared).expect("full set evicts");
+        prop_assert_eq!(v.line, 0);
+    }
+
+    /// The MSHR file never exceeds capacity, coalesces same lines, and
+    /// frees on release.
+    #[test]
+    fn mshr_occupancy_bounds(
+        ops in proptest::collection::vec((0u64..16, proptest::bool::ANY), 1..200),
+    ) {
+        let mut m = MshrFile::new(4);
+        let mut outstanding: Vec<u64> = Vec::new();
+        for &(line, is_write) in &ops {
+            match m.register(line, is_write) {
+                MshrOutcome::Allocated => {
+                    outstanding.push(line);
+                    m.set_fill_time(line, 100);
+                }
+                MshrOutcome::Coalesced { .. } => {
+                    prop_assert!(outstanding.contains(&line));
+                }
+                MshrOutcome::Full => {
+                    prop_assert_eq!(outstanding.len(), 4);
+                    prop_assert!(!outstanding.contains(&line));
+                    // Free one to make room.
+                    let freed = outstanding.remove(0);
+                    m.release(freed);
+                }
+            }
+            let (reads, total) = m.occupancy();
+            prop_assert!(reads <= total);
+            prop_assert!(total <= 4);
+            prop_assert_eq!(total, outstanding.len());
+        }
+    }
+
+    /// Resource reservations are non-overlapping and busy time is
+    /// conserved: total busy equals the sum of requested durations.
+    #[test]
+    fn resource_conserves_time(
+        reqs in proptest::collection::vec((0u64..1000, 1u64..20), 1..60),
+    ) {
+        let mut r = Resource::new();
+        let mut intervals: Vec<(u64, u64)> = Vec::new();
+        let mut total = 0;
+        for &(at, dur) in &reqs {
+            let start = r.reserve(at, dur);
+            prop_assert!(start >= at, "grant may not precede the request");
+            intervals.push((start, start + dur));
+            total += dur;
+        }
+        intervals.sort_unstable();
+        for w in intervals.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "overlap: {:?}", w);
+        }
+        prop_assert_eq!(r.busy_cycles(), total);
+    }
+
+    /// Bank interleavings are total functions onto 0..banks, and
+    /// sequential lines spread over multiple banks.
+    #[test]
+    fn interleavings_are_valid(lines in proptest::collection::vec(0u64..100_000, 1..100)) {
+        for scheme in [Interleave::Sequential, Interleave::Permutation, Interleave::Skewed] {
+            for &l in &lines {
+                prop_assert!(bank_of(l, 8, scheme) < 8);
+            }
+        }
+    }
+
+    /// Mesh messages arrive no earlier than the hop latency allows, and
+    /// monotonically later with distance for a fresh network.
+    #[test]
+    fn mesh_latency_monotone(bytes in 8u32..256) {
+        let params = NetParams { cycle_ratio: 2, flit_bytes: 8, hop_cycles: 2, ni_cycles: 4 };
+        let mut last = 0;
+        for dest in [1usize, 2, 3, 7, 11, 15] {
+            let mut m = Mesh::new(4, &params);
+            let t = m.send(0, dest, bytes, 0);
+            let hops = m.hops(0, dest);
+            prop_assert!(t >= hops * 4, "at least hop latency each");
+            prop_assert!(t >= last, "farther is never faster on an idle mesh");
+            last = t;
+        }
+    }
+
+    /// Machine configurations derived from the base validate for any
+    /// processor count and L2 size we use.
+    #[test]
+    fn configs_validate(nprocs in 1usize..17, l2_pow in 15u32..21) {
+        MachineConfig::base_simulated(nprocs, 1 << l2_pow).validate();
+        MachineConfig::fast_1ghz(nprocs, 1 << l2_pow).validate();
+        if nprocs <= 8 {
+            MachineConfig::exemplar(nprocs).validate();
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! The workhorse property: *any* sequence of framework transformations
+//! applied to randomly generated loop nests preserves program semantics
+//! (bit-identical memory images), and the clustering driver as a whole is
+//! semantics-preserving on random stencil/reduction nests.
+
+use mempar_analysis::{MachineSummary, MissProfile};
+use mempar_ir::{run_single, ArrayData, Program, ProgramBuilder, SimMem};
+use mempar_transform::{
+    cluster_program, inner_unroll, innermost_loops, interchange, scalar_replace,
+    schedule_for_misses, strip_mine, unroll_and_jam, NestPath,
+};
+use proptest::prelude::*;
+
+/// A randomly parameterized two-deep stencil/reduction nest over a
+/// matrix, with offsets chosen so the program is in-bounds.
+#[derive(Debug, Clone)]
+struct NestSpec {
+    n: usize,
+    /// Read offsets (dj, di) relative to (j, i).
+    reads: Vec<(i64, i64)>,
+    /// Write target: same array at (j, i) or a second array.
+    write_self: bool,
+    /// Inner stride multiplier for one read (1 or 2).
+    stride: i64,
+}
+
+fn nest_strategy() -> impl Strategy<Value = NestSpec> {
+    (
+        8usize..24,
+        proptest::collection::vec((-1i64..=1, -2i64..=2), 1..4),
+        proptest::bool::ANY,
+        prop_oneof![Just(1i64), Just(2i64)],
+    )
+        .prop_map(|(n, reads, write_self, stride)| NestSpec { n, reads, write_self, stride })
+}
+
+fn build(spec: &NestSpec) -> (Program, mempar_ir::ArrayId, mempar_ir::ArrayId) {
+    let mut b = ProgramBuilder::new("prop");
+    let a = b.array_f64("a", &[spec.n, 2 * spec.n]);
+    let out = b.array_f64("out", &[spec.n, 2 * spec.n]);
+    let j = b.var("j");
+    let i = b.var("i");
+    let nj = spec.n as i64;
+    let ni = (spec.n as i64) - 2; // headroom for offsets & stride
+    b.for_const(j, 1, nj - 1, |b| {
+        b.for_const(i, 2, ni, |b| {
+            let mut acc = b.constf(1.0);
+            for &(dj, di) in &spec.reads {
+                let v = b.load(
+                    a,
+                    &[
+                        b.idx_e(mempar_ir::AffineExpr::var(j).offset(dj)),
+                        b.idx_e(mempar_ir::AffineExpr::scaled_var(i, spec.stride, di)),
+                    ],
+                );
+                acc = b.add(acc, v);
+            }
+            if spec.write_self {
+                // A forward-carried stencil write (distance >= 0 on j).
+                b.assign_array(a, &[b.idx(j), b.idx(i)], acc);
+            } else {
+                b.assign_array(out, &[b.idx(j), b.idx(i)], acc);
+            }
+        });
+    });
+    (b.finish(), a, out)
+}
+
+fn image_after(prog: &Program, a: mempar_ir::ArrayId, n: usize) -> u64 {
+    let mut mem = SimMem::new(prog, 1);
+    mem.set_array(
+        a,
+        ArrayData::F64((0..n * 2 * n).map(|x| ((x * 37) % 19) as f64 - 9.0).collect()),
+    );
+    run_single(prog, &mut mem);
+    mem.fingerprint()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Unroll-and-jam (any accepted degree) preserves the memory image.
+    #[test]
+    fn uaj_preserves_semantics(spec in nest_strategy(), degree in 2u32..6) {
+        let (base, a, _) = build(&spec);
+        let want = image_after(&base, a, spec.n);
+        let mut t = base.clone();
+        match unroll_and_jam(&mut t, &NestPath::top(0), degree) {
+            Ok(_) => prop_assert_eq!(image_after(&t, a, spec.n), want),
+            Err(_) => {} // rejected as illegal: fine, nothing to check
+        }
+    }
+
+    /// Inner unrolling always succeeds on these nests and preserves
+    /// the memory image.
+    #[test]
+    fn inner_unroll_preserves_semantics(spec in nest_strategy(), degree in 2u32..6) {
+        let (base, a, _) = build(&spec);
+        let want = image_after(&base, a, spec.n);
+        let mut t = base.clone();
+        let inner = innermost_loops(&t)[0].clone();
+        inner_unroll(&mut t, &inner, degree).expect("inner unroll is always legal");
+        prop_assert_eq!(image_after(&t, a, spec.n), want);
+    }
+
+    /// Strip-mining preserves the memory image for any strip size.
+    #[test]
+    fn strip_mine_preserves_semantics(spec in nest_strategy(), strip in 2u32..8) {
+        let (base, a, _) = build(&spec);
+        let want = image_after(&base, a, spec.n);
+        let mut t = base.clone();
+        strip_mine(&mut t, &NestPath::top(0), strip).expect("strip-mine is always legal");
+        prop_assert_eq!(image_after(&t, a, spec.n), want);
+    }
+
+    /// Interchange, when accepted, preserves the memory image.
+    #[test]
+    fn interchange_preserves_semantics(spec in nest_strategy()) {
+        let (base, a, _) = build(&spec);
+        let want = image_after(&base, a, spec.n);
+        let mut t = base.clone();
+        if interchange(&mut t, &NestPath::top(0)).is_ok() {
+            prop_assert_eq!(image_after(&t, a, spec.n), want);
+        }
+    }
+
+    /// Scalar replacement and scheduling preserve the memory image.
+    #[test]
+    fn scalar_replace_and_schedule_preserve(spec in nest_strategy()) {
+        let (base, a, _) = build(&spec);
+        let want = image_after(&base, a, spec.n);
+        let mut t = base.clone();
+        let inner = innermost_loops(&t)[0].clone();
+        let (_, new_path) = scalar_replace(&mut t, &inner).expect("path is a loop");
+        let _ = schedule_for_misses(&mut t, &new_path, 64);
+        prop_assert_eq!(image_after(&t, a, spec.n), want);
+    }
+
+    /// The full clustering driver preserves semantics on random nests.
+    #[test]
+    fn driver_preserves_semantics(spec in nest_strategy()) {
+        let (base, a, _) = build(&spec);
+        let want = image_after(&base, a, spec.n);
+        let mut t = base.clone();
+        let _report = cluster_program(&mut t, &MachineSummary::base(), &MissProfile::pessimistic());
+        prop_assert_eq!(image_after(&t, a, spec.n), want);
+    }
+
+    /// Composition: driver output can be driven again (idempotent-safe)
+    /// without changing semantics.
+    #[test]
+    fn driver_twice_still_preserves(spec in nest_strategy()) {
+        let (base, a, _) = build(&spec);
+        let want = image_after(&base, a, spec.n);
+        let mut t = base.clone();
+        cluster_program(&mut t, &MachineSummary::base(), &MissProfile::pessimistic());
+        cluster_program(&mut t, &MachineSummary::exemplar(), &MissProfile::pessimistic());
+        prop_assert_eq!(image_after(&t, a, spec.n), want);
+    }
+}

@@ -1,0 +1,123 @@
+//! The central correctness property of the whole reproduction: the
+//! clustering transformations are *semantics-preserving*. For every
+//! workload, the base and framework-clustered programs must produce
+//! bit-identical output arrays, sequentially and in parallel.
+
+use mempar::{cluster_workload, MachineConfig};
+use mempar_ir::{run_parallel_functional, run_single};
+use mempar_workloads::App;
+
+fn check_app(app: App, scale: f64) {
+    let w = app.build(scale);
+    let cfg = MachineConfig::base_simulated(1, 32 * 1024);
+    let (clustered, report) = cluster_workload(&w, &cfg);
+
+    // Sequential equivalence.
+    let mut base_mem = w.memory(1);
+    run_single(&w.program, &mut base_mem);
+    let mut clust_mem = w.memory(1);
+    run_single(&clustered, &mut clust_mem);
+    assert_eq!(
+        w.read_outputs(&base_mem),
+        w.read_outputs(&clust_mem),
+        "{}: clustered outputs differ (sequential)\n{}",
+        app.name(),
+        report.summary()
+    );
+
+    // Parallel equivalence at the workload's Table 2 processor count.
+    let nprocs = w.mp_procs.min(4).max(2);
+    let mut base_mp = w.memory(nprocs);
+    run_parallel_functional(&w.program, &mut base_mp, nprocs);
+    let mut clust_mp = w.memory(nprocs);
+    run_parallel_functional(&clustered, &mut clust_mp, nprocs);
+    assert_eq!(
+        w.read_outputs(&base_mp),
+        w.read_outputs(&clust_mp),
+        "{}: clustered outputs differ (parallel x{nprocs})",
+        app.name()
+    );
+    // Parallel == sequential, too.
+    assert_eq!(
+        w.read_outputs(&base_mem),
+        w.read_outputs(&base_mp),
+        "{}: parallel base run differs from sequential",
+        app.name()
+    );
+}
+
+#[test]
+fn latbench_equivalent() {
+    check_app(App::Latbench, 0.02);
+}
+
+#[test]
+fn em3d_equivalent() {
+    check_app(App::Em3d, 0.02);
+}
+
+#[test]
+fn erlebacher_equivalent() {
+    check_app(App::Erlebacher, 0.02);
+}
+
+#[test]
+fn fft_equivalent() {
+    check_app(App::Fft, 0.02);
+}
+
+#[test]
+fn lu_equivalent() {
+    check_app(App::Lu, 0.02);
+}
+
+#[test]
+fn mp3d_equivalent() {
+    check_app(App::Mp3d, 0.02);
+}
+
+#[test]
+fn mst_equivalent() {
+    check_app(App::Mst, 0.02);
+}
+
+#[test]
+fn ocean_equivalent() {
+    check_app(App::Ocean, 0.02);
+}
+
+/// Exemplar-targeted clustering (different window/line size) is also
+/// semantics-preserving.
+#[test]
+fn exemplar_clustering_equivalent() {
+    for app in [App::Latbench, App::Erlebacher, App::Mst] {
+        let w = app.build(0.02);
+        let cfg = MachineConfig::exemplar(1);
+        let (clustered, _) = cluster_workload(&w, &cfg);
+        let mut base_mem = w.memory(1);
+        run_single(&w.program, &mut base_mem);
+        let mut clust_mem = w.memory(1);
+        run_single(&clustered, &mut clust_mem);
+        assert_eq!(
+            w.read_outputs(&base_mem),
+            w.read_outputs(&clust_mem),
+            "{} (exemplar)",
+            app.name()
+        );
+    }
+}
+
+/// Every shipped workload — and its framework-clustered variant — passes
+/// the IR well-formedness validator.
+#[test]
+fn all_workloads_validate() {
+    for app in App::all() {
+        let w = app.build(0.02);
+        let errs = w.program.validate();
+        assert!(errs.is_empty(), "{}: {errs:?}", app.name());
+        let cfg = MachineConfig::base_simulated(1, 32 * 1024);
+        let (clustered, _) = cluster_workload(&w, &cfg);
+        let errs = clustered.validate();
+        assert!(errs.is_empty(), "{} clustered: {errs:?}", app.name());
+    }
+}
