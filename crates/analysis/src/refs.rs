@@ -262,8 +262,8 @@ fn assign_groups(prog: &Program, coll: &mut RefCollection, elems_per_line: i64) 
         }
         // Collect the same-shape cluster containing ref i.
         let mut cluster: Vec<(usize, i64)> = Vec::new();
-        for j in 0..n {
-            if !assigned[j]
+        for (j, &done) in assigned.iter().enumerate() {
+            if !done
                 && !coll.refs[j].irregular
                 && same_shape(&coll.refs[i].r, &coll.refs[j].r)
             {

@@ -6,6 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mempar::{run_pair, MachineConfig};
+use mempar_sim::{run_program_with, SimOptions};
 use mempar_workloads::App;
 
 /// Tiny scale so the whole suite completes in minutes.
@@ -95,6 +96,33 @@ fn bench_fig4_occupancy(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_simulator_inner_loop(c: &mut Criterion) {
+    // The simulator's per-cycle loop itself, under both drivers: the
+    // event-horizon skipping default and the strict one-cycle-at-a-time
+    // reference. Latbench's pointer chase is skip's best case (window-full
+    // dependent misses); FFT at 4 processors is its worst (event-dense).
+    // `benchsim` turns the same comparison into BENCH_sim.json; this group
+    // tracks it under criterion's statistics.
+    let mut g = c.benchmark_group("simulator-inner-loop");
+    g.sample_size(10);
+    for (label, app, mp) in
+        [("latbench-skip", App::Latbench, false), ("latbench-strict", App::Latbench, false),
+         ("fft-mp-skip", App::Fft, true), ("fft-mp-strict", App::Fft, true)]
+    {
+        let cycle_skip = label.ends_with("-skip");
+        let w = app.build(SCALE);
+        let nprocs = if mp { w.mp_procs.max(1) } else { 1 };
+        let cfg = MachineConfig::base_simulated(nprocs, 64 * 1024);
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut mem = w.memory(nprocs);
+                run_program_with(&w.program, &mut mem, &cfg, SimOptions { cycle_skip }).cycles
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_transform_throughput(c: &mut Criterion) {
     // How fast the analysis + transformation pipeline itself runs
     // (compiler-side cost).
@@ -114,6 +142,7 @@ criterion_group!(
     bench_fig3_multiprocessor,
     bench_table3_exemplar,
     bench_fig4_occupancy,
+    bench_simulator_inner_loop,
     bench_transform_throughput
 );
 criterion_main!(benches);

@@ -11,7 +11,7 @@
 //! cache-line-recurrence workload) by default.
 
 use mempar::{machine_summary, profile_miss_rates, run_program, MachineConfig};
-use mempar_bench::parse_args;
+use mempar_bench::{parse_args, run_matrix};
 use mempar_stats::{format_rows, Row};
 use mempar_transform::{
     cluster_program, inner_unroll, innermost_loops, insert_prefetches, schedule_balanced,
@@ -21,18 +21,18 @@ use mempar_workloads::{erlebacher, latbench, mp3d, ErlebacherParams, LatbenchPar
 
 fn main() {
     let args = parse_args();
-    mshr_sweep(args.scale);
-    window_sweep(args.scale);
-    degree_sweep(args.scale);
-    scheduling_comparison(args.scale);
-    prefetch_vs_clustering(args.scale);
+    mshr_sweep(args.scale, args.threads);
+    window_sweep(args.scale, args.threads);
+    degree_sweep(args.scale, args.threads);
+    scheduling_comparison(args.scale, args.threads);
+    prefetch_vs_clustering(args.scale, args.threads);
 }
 
 /// Source order vs balanced scheduling vs the window-aware miss-packing
 /// scheduler, on the unrolled Mp3d move loop (Section 3.3's discussion:
 /// balanced scheduling "may miss some opportunities since it does not
 /// explicitly consider window size").
-fn scheduling_comparison(scale: f64) {
+fn scheduling_comparison(scale: f64, threads: usize) {
     let w = mp3d(Mp3dParams::scaled(scale * 0.5));
     let cfg = MachineConfig::base_simulated(1, mempar_bench::scaled_l2(w.l2_bytes, scale));
     // Unroll the move loop first (both schedulers want material to move).
@@ -51,13 +51,13 @@ fn scheduling_comparison(scale: f64) {
         }
         p
     };
-    let mut rows = Vec::new();
-    for (name, sched) in [("unrolled, source order", 0u8), ("balanced", 1), ("miss-packing", 2)] {
+    let variants = [("unrolled, source order", 0u8), ("balanced", 1), ("miss-packing", 2)];
+    let rows = run_matrix(threads, &variants, |&(name, sched)| {
         let p = prep(sched);
         let mut mem = w.memory(1);
         let r = run_program(&p, &mut mem, &cfg);
-        rows.push(Row::new(name, vec![format!("{}", r.cycles)]));
-    }
+        Row::new(name, vec![format!("{}", r.cycles)])
+    });
     println!(
         "{}",
         format_rows(
@@ -71,7 +71,7 @@ fn scheduling_comparison(scale: f64) {
 /// Prefetching vs clustering vs both — the interaction the paper's
 /// companion work (TR 9910) studies. Run on Erlebacher (regular,
 /// prefetchable) and Latbench (a pointer chase prefetching cannot touch).
-fn prefetch_vs_clustering(scale: f64) {
+fn prefetch_vs_clustering(scale: f64, threads: usize) {
     let mut rows = Vec::new();
     // --- Erlebacher: both techniques apply ---
     {
@@ -97,17 +97,17 @@ fn prefetch_vs_clustering(scale: f64) {
             let _ = insert_prefetches(&mut both, &nest, 16, cfg.l2.line_bytes, &profile);
         }
         variants.push(("cluster+prefetch", both));
-        for (name, prog) in variants {
+        rows.extend(run_matrix(threads, &variants, |(name, prog)| {
             let mut mem = w.memory(1);
-            let r = run_program(&prog, &mut mem, &cfg);
-            rows.push(Row::new(
+            let r = run_program(prog, &mut mem, &cfg);
+            Row::new(
                 format!("erlebacher/{name}"),
                 vec![
                     format!("{}", r.cycles),
                     format!("{}", r.counters.prefetches),
                 ],
-            ));
-        }
+            )
+        }));
     }
     // --- Latbench: the chase defeats prefetching entirely ---
     {
@@ -124,17 +124,18 @@ fn prefetch_vs_clustering(scale: f64) {
         }
         let mut cl = w.program.clone();
         cluster_program(&mut cl, &m, &profile);
-        for (name, prog) in [("base", &w.program), ("prefetch", &pf), ("cluster", &cl)] {
+        let variants = [("base", &w.program), ("prefetch", &pf), ("cluster", &cl)];
+        rows.extend(run_matrix(threads, &variants, |&(name, prog)| {
             let mut mem = w.memory(1);
             let r = run_program(prog, &mut mem, &cfg);
-            rows.push(Row::new(
+            Row::new(
                 format!("latbench/{name}"),
                 vec![
                     format!("{}", r.cycles),
                     format!("{}", r.counters.prefetches),
                 ],
-            ));
-        }
+            )
+        }));
         rows.push(Row::new(
             format!("latbench: {inserted} prefetches insertable (chase)"),
             vec![],
@@ -151,9 +152,9 @@ fn prefetch_vs_clustering(scale: f64) {
 }
 
 /// Clustered speedup as the MSHR count varies (1 MSHR = blocking cache).
-fn mshr_sweep(scale: f64) {
-    let mut rows = Vec::new();
-    for mshrs in [1usize, 2, 4, 8, 10, 16] {
+fn mshr_sweep(scale: f64, threads: usize) {
+    let points = [1usize, 2, 4, 8, 10, 16];
+    let rows = run_matrix(threads, &points, |&mshrs| {
         let w = latbench(LatbenchParams::scaled(scale * 0.5));
         let mut cfg = MachineConfig::base_simulated(1, w.l2_bytes);
         cfg.l2.mshrs = mshrs;
@@ -162,15 +163,15 @@ fn mshr_sweep(scale: f64) {
         }
         cfg.name = format!("mshr-{mshrs}");
         let pair = mempar::run_pair(&w, &cfg);
-        rows.push(Row::new(
+        Row::new(
             format!("{mshrs} MSHRs"),
             vec![
                 format!("{}", pair.base.cycles),
                 format!("{}", pair.clustered.cycles),
                 format!("{:5.1}%", pair.percent_reduction()),
             ],
-        ));
-    }
+        )
+    });
     println!(
         "{}",
         format_rows(
@@ -182,24 +183,24 @@ fn mshr_sweep(scale: f64) {
 }
 
 /// Clustered speedup as the instruction window varies.
-fn window_sweep(scale: f64) {
-    let mut rows = Vec::new();
-    for window in [16usize, 32, 64, 128] {
+fn window_sweep(scale: f64, threads: usize) {
+    let points = [16usize, 32, 64, 128];
+    let rows = run_matrix(threads, &points, |&window| {
         let w = erlebacher(ErlebacherParams::scaled(scale));
         let mut cfg = MachineConfig::base_simulated(1, mempar_bench::scaled_l2(w.l2_bytes, scale));
         cfg.proc.window = window;
         cfg.proc.mem_queue = (window / 2).max(8);
         cfg.name = format!("window-{window}");
         let pair = mempar::run_pair(&w, &cfg);
-        rows.push(Row::new(
+        Row::new(
             format!("W={window}"),
             vec![
                 format!("{}", pair.base.cycles),
                 format!("{}", pair.clustered.cycles),
                 format!("{:5.1}%", pair.percent_reduction()),
             ],
-        ));
-    }
+        )
+    });
     println!(
         "{}",
         format_rows(
@@ -212,7 +213,7 @@ fn window_sweep(scale: f64) {
 
 /// Exhaustive unroll-degree sweep on Latbench's chain loop, marking the
 /// degree the framework's binary search picks.
-fn degree_sweep(scale: f64) {
+fn degree_sweep(scale: f64, threads: usize) {
     let w = latbench(LatbenchParams::scaled(scale * 0.5));
     let cfg = MachineConfig::base_simulated(1, w.l2_bytes);
 
@@ -223,8 +224,8 @@ fn degree_sweep(scale: f64) {
     let report = cluster_program(&mut framework_prog, &machine_summary(&cfg), &profile);
     let chosen = report.decisions.first().map(|d| d.uaj_degree).unwrap_or(1);
 
-    let mut rows = Vec::new();
-    for degree in [1u32, 2, 4, 6, 8, 10, 12, 16] {
+    let degrees = [1u32, 2, 4, 6, 8, 10, 12, 16];
+    let rows = run_matrix(threads, &degrees, |&degree| {
         let mut prog = w.program.clone();
         let inner = innermost_loops(&prog)[0].clone();
         let parent = inner.parent().expect("chain loop");
@@ -233,11 +234,11 @@ fn degree_sweep(scale: f64) {
         }
         let mut mem = w.memory(1);
         let r = run_program(&prog, &mut mem, &cfg);
-        rows.push(Row::new(
+        Row::new(
             format!("degree {degree}{}", if degree == chosen { "  <- framework" } else { "" }),
             vec![format!("{}", r.cycles)],
-        ));
-    }
+        )
+    });
     println!(
         "{}",
         format_rows(

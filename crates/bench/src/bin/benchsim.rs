@@ -1,0 +1,63 @@
+//! Regenerates `BENCH_sim.json`: simulator throughput (simulated cycles
+//! per host second) for a fixed set of experiments, under both the
+//! event-horizon cycle-skipping driver and the strict one-cycle-at-a-time
+//! reference, plus the resulting speedup ratios.
+//!
+//! The runs are timed **serially** (unlike the other harness binaries) so
+//! host contention cannot distort the throughput numbers, and the cycle
+//! counts of the two driver modes are asserted identical — the skipping
+//! optimization must never change results, only speed.
+//!
+//! ```text
+//! cargo run --release -p mempar-bench --bin benchsim -- --scale 0.1
+//! ```
+
+use mempar_bench::{bench_sim_json, parse_args, timed, SimBenchRecord};
+use mempar_sim::{run_program_with, MachineConfig, SimOptions};
+use mempar_workloads::App;
+
+fn main() {
+    let args = parse_args();
+    // Latbench's pointer chase is the headline (window-full dependent
+    // misses — the best case for skipping); Erlebacher and FFT cover a
+    // regular uniprocessor stream and a barrier-synchronized
+    // multiprocessor run.
+    let experiments: &[(&str, App, bool)] = &[
+        ("latbench-up", App::Latbench, false),
+        ("erlebacher-up", App::Erlebacher, false),
+        ("fft-mp", App::Fft, true),
+    ];
+    let mut records: Vec<SimBenchRecord> = Vec::new();
+    for &(name, app, mp) in experiments {
+        let mut cycles_by_mode = Vec::new();
+        for (mode, cycle_skip) in [("strict-cycle", false), ("cycle-skip", true)] {
+            let w = app.build(args.scale);
+            let nprocs = if mp { w.mp_procs.max(1) } else { 1 };
+            let cfg = MachineConfig::base_simulated(nprocs, 64 * 1024);
+            let mut mem = w.memory(nprocs);
+            let (r, secs) = timed(|| {
+                run_program_with(&w.program, &mut mem, &cfg, SimOptions { cycle_skip })
+            });
+            eprintln!(
+                "[{name}] {mode}: {} cycles in {secs:.3}s = {:.0} cycles/sec",
+                r.cycles,
+                r.cycles as f64 / secs.max(1e-12)
+            );
+            cycles_by_mode.push(r.cycles);
+            records.push(SimBenchRecord {
+                experiment: name.to_string(),
+                mode: mode.to_string(),
+                cycles: r.cycles,
+                wall_seconds: secs,
+            });
+        }
+        assert_eq!(
+            cycles_by_mode[0], cycles_by_mode[1],
+            "{name}: cycle-skip changed the simulated cycle count"
+        );
+    }
+    let json = bench_sim_json(args.scale, &records);
+    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+    print!("{json}");
+    eprintln!("wrote BENCH_sim.json");
+}

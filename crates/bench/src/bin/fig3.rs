@@ -8,7 +8,7 @@
 //! cargo run --release -p mempar-bench --bin fig3 -- --mode up --scale 0.1
 //! ```
 
-use mempar_bench::{parse_args, run_app, simulated_config, summarize_pair};
+use mempar_bench::{parse_args, run_app, run_matrix, simulated_config, summarize_pair};
 use mempar_stats::{format_breakdown_table, render_breakdown_bars};
 use mempar_workloads::App;
 
@@ -36,12 +36,16 @@ fn main() {
     if mp {
         apps.retain(|a| a.runs_multiprocessor());
     }
+    // Fan the applications across worker threads; results are collected
+    // in application order, so stdout is identical at any thread count.
+    let pairs = run_matrix(args.threads, &apps, |&app| {
+        let cfg = simulated_config(app, args.scale, mp, ghz);
+        run_app(app, &cfg, args.scale)
+    });
     let mut entries = Vec::new();
     let mut reductions = Vec::new();
-    for app in apps {
-        let cfg = simulated_config(app, args.scale, mp, ghz);
-        let pair = run_app(app, &cfg, args.scale);
-        println!("{}", summarize_pair(&pair));
+    for (app, pair) in apps.iter().zip(&pairs) {
+        println!("{}", summarize_pair(pair));
         println!("  transforms:\n{}", indent(&pair.report.summary()));
         reductions.push(pair.percent_reduction());
         entries.push((

@@ -6,7 +6,7 @@
 //! (read miss parallelism). Figure 4(b): total occupancy including
 //! writes (contention).
 
-use mempar_bench::{parse_args, run_app, simulated_config};
+use mempar_bench::{parse_args, run_app, run_matrix, simulated_config};
 use mempar_stats::{format_occupancy_curves, render_occupancy_chart};
 use mempar_workloads::App;
 
@@ -16,11 +16,13 @@ fn main() {
         // Default: the paper's two extreme applications.
         args.apps = vec![App::Ocean, App::Lu];
     }
-    let mut entries = Vec::new();
-    for app in args.apps.clone() {
+    let pairs = run_matrix(args.threads, &args.apps, |&app| {
         let cfg = simulated_config(app, args.scale, true, false);
-        let pair = run_app(app, &cfg, args.scale);
-        entries.push((format!("{}", app.name()), pair.base.occupancy.clone()));
+        run_app(app, &cfg, args.scale)
+    });
+    let mut entries = Vec::new();
+    for (&app, pair) in args.apps.iter().zip(&pairs) {
+        entries.push((app.name().to_string(), pair.base.occupancy.clone()));
         entries.push((format!("{}(clust)", app.name()), pair.clustered.occupancy.clone()));
         println!(
             "{}: mean read MSHR occupancy {:.2} -> {:.2}",

@@ -4,7 +4,7 @@
 //! (171 ns → 316 ns) and bus/memory-bank utilization (> 85 % clustered).
 
 use mempar::{run_pair, MachineConfig};
-use mempar_bench::parse_args;
+use mempar_bench::{parse_args, run_matrix};
 use mempar_stats::{format_rows, Row};
 use mempar_workloads::{latbench, LatbenchParams};
 
@@ -18,8 +18,12 @@ fn main() {
         params.pool * 8 / 1024
     );
     let w = latbench(params);
-    let cfg = MachineConfig::base_simulated(1, 64 * 1024);
-    let pair = run_pair(&w, &cfg);
+    // Both machine configurations over the worker pool; results come back
+    // in input order (base system first, Exemplar-like second).
+    let cfgs = [MachineConfig::base_simulated(1, 64 * 1024), MachineConfig::exemplar(1)];
+    let mut pairs = run_matrix(args.threads, &cfgs, |cfg| run_pair(&w, cfg));
+    let pair_ex = pairs.pop().expect("exemplar run");
+    let pair = pairs.pop().expect("base run");
     assert!(pair.outputs_match, "clustering changed Latbench results");
 
     println!("\ntransformations applied:\n{}", pair.report.summary());
@@ -78,10 +82,7 @@ fn main() {
         "stall-per-miss speedup: {speedup:.2}x   (paper: 5.34x simulated, 5.77x Exemplar)"
     );
 
-    // The Exemplar-like configuration.
-    let cfg_ex = MachineConfig::exemplar(1);
-    let w2 = latbench(params);
-    let pair_ex = run_pair(&w2, &cfg_ex);
+    // The Exemplar-like configuration (second matrix result).
     let sp_ex = pair_ex.base.avg_read_miss_stall_ns()
         / pair_ex.clustered.avg_read_miss_stall_ns().max(1e-9);
     println!(

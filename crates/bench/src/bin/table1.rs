@@ -2,24 +2,28 @@
 //! [`MachineConfig::base_simulated`], for comparison with the paper.
 
 use mempar::MachineConfig;
+use mempar_bench::{parse_args, run_matrix};
 use mempar_stats::{format_rows, Row};
 
-fn main() {
-    let c = MachineConfig::base_simulated(16, 64 * 1024);
-    let l1 = c.l1.as_ref().expect("base config has an L1");
-    let rows = vec![
-        Row::new("Clock rate", vec![format!("{} MHz", c.proc.clock_mhz)]),
-        Row::new("Fetch rate", vec![format!("{} instructions/cycle", c.proc.width)]),
-        Row::new("Instruction window", vec![format!("{} in-flight", c.proc.window)]),
-        Row::new("Memory queue size", vec![format!("{}", c.proc.mem_queue)]),
-        Row::new("Outstanding branches", vec![format!("{}", c.proc.max_branches)]),
+/// Each Table 1 row as a function of the configuration, so the listing
+/// flows through the same `run_matrix` path as every other harness
+/// binary (and `--threads`/`--help` behave uniformly).
+const ROWS: &[fn(&MachineConfig) -> Row] = &[
+    |c| Row::new("Clock rate", vec![format!("{} MHz", c.proc.clock_mhz)]),
+    |c| Row::new("Fetch rate", vec![format!("{} instructions/cycle", c.proc.width)]),
+    |c| Row::new("Instruction window", vec![format!("{} in-flight", c.proc.window)]),
+    |c| Row::new("Memory queue size", vec![format!("{}", c.proc.mem_queue)]),
+    |c| Row::new("Outstanding branches", vec![format!("{}", c.proc.max_branches)]),
+    |c| {
         Row::new(
             "Functional units",
             vec![format!(
                 "{} ALUs, {} FPUs, {} address units",
                 c.proc.fu.alus, c.proc.fu.fpus, c.proc.fu.addr_units
             )],
-        ),
+        )
+    },
+    |c| {
         Row::new(
             "FU latencies",
             vec![format!(
@@ -30,7 +34,10 @@ fn main() {
                 c.proc.fu.fp_div_latency,
                 c.proc.fu.fp_sqrt_latency
             )],
-        ),
+        )
+    },
+    |c| {
+        let l1 = c.l1.as_ref().expect("base config has an L1");
         Row::new(
             "L1 D-cache",
             vec![format!(
@@ -41,18 +48,19 @@ fn main() {
                 l1.mshrs,
                 l1.line_bytes
             )],
-        ),
+        )
+    },
+    |c| {
         Row::new(
             "L2 cache",
             vec![format!(
                 "64 KB or 1 MB (per app), {}-way, {} port, {} MSHRs, {}B line, pipelined",
                 c.l2.assoc, c.l2.ports, c.l2.mshrs, c.l2.line_bytes
             )],
-        ),
-        Row::new(
-            "Memory banks",
-            vec![format!("{}-way, {:?} interleaving", c.mem.banks, c.mem.interleave)],
-        ),
+        )
+    },
+    |c| Row::new("Memory banks", vec![format!("{}-way, {:?} interleaving", c.mem.banks, c.mem.interleave)]),
+    |c| {
         Row::new(
             "Bus",
             vec![format!(
@@ -60,7 +68,9 @@ fn main() {
                 c.bus.cycle_ratio,
                 c.bus.width_bytes * 8
             )],
-        ),
+        )
+    },
+    |c| {
         Row::new(
             "Network",
             vec![format!(
@@ -69,8 +79,15 @@ fn main() {
                 c.net.flit_bytes * 8,
                 c.net.hop_cycles
             )],
-        ),
-    ];
+        )
+    },
+];
+
+fn main() {
+    let args = parse_args();
+    let c = MachineConfig::base_simulated(16, 64 * 1024);
+    let l1 = c.l1.as_ref().expect("base config has an L1");
+    let rows = run_matrix(args.threads, ROWS, |f| f(&c));
     println!("{}", format_rows("Table 1: base simulated configuration", &["value"], &rows));
     println!(
         "Unloaded latencies (cycles): L1 hit {}, L2 hit {}, local memory ~85,",

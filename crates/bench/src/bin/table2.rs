@@ -2,28 +2,28 @@
 //! input sizes and processor counts, plus the sizes produced at the
 //! requested `--scale`.
 
-use mempar_bench::parse_args;
+use mempar_bench::{parse_args, run_matrix};
 use mempar_stats::{format_rows, Row};
 use mempar_workloads::App;
 
 fn main() {
     let args = parse_args();
-    let rows: Vec<Row> = App::all()
-        .into_iter()
-        .map(|app| {
-            let w = app.build(args.scale);
-            let arrays: usize = w.program.arrays.iter().map(|a| a.len()).sum();
-            Row::new(
-                app.name(),
-                vec![
-                    app.input_desc().to_string(),
-                    format!("{}", w.mp_procs),
-                    format!("{} KB", arrays * 8 / 1024),
-                    format!("{} KB", w.l2_bytes / 1024),
-                ],
-            )
-        })
-        .collect();
+    // Building each workload materializes its (scaled) input data, so
+    // even this catalog listing benefits from the worker pool.
+    let apps = App::all();
+    let rows: Vec<Row> = run_matrix(args.threads, &apps, |&app| {
+        let w = app.build(args.scale);
+        let arrays: usize = w.program.arrays.iter().map(|a| a.len()).sum();
+        Row::new(
+            app.name(),
+            vec![
+                app.input_desc().to_string(),
+                format!("{}", w.mp_procs),
+                format!("{} KB", arrays * 8 / 1024),
+                format!("{} KB", w.l2_bytes / 1024),
+            ],
+        )
+    });
     println!(
         "{}",
         format_rows(

@@ -3,7 +3,7 @@
 //! 32-byte lines), uniprocessor and 8-processor runs.
 
 use mempar::MachineConfig;
-use mempar_bench::{parse_args, run_app};
+use mempar_bench::{parse_args, run_app, run_matrix};
 use mempar_stats::{format_rows, Row};
 use mempar_workloads::App;
 
@@ -19,17 +19,31 @@ fn main() {
         ("MST", f64::NAN, 38.1),
         ("Ocean", -2.9, 21.6),
     ];
-    let mut rows = Vec::new();
-    for app in args.apps.clone() {
-        let up_cfg = MachineConfig::exemplar(1);
-        let up = run_app(app, &up_cfg, args.scale);
-        let mp_red = if app.runs_multiprocessor() && app != App::Mp3d {
+    // One job per (application, machine) cell, fanned across worker
+    // threads and collected in input order for deterministic output.
+    let mut jobs: Vec<(App, bool)> = Vec::new();
+    for &app in &args.apps {
+        jobs.push((app, false));
+        if app.runs_multiprocessor() && app != App::Mp3d {
             // Mp3d is uniprocessor-only on the real machine (Section 4.2).
-            let mp_cfg = MachineConfig::exemplar(8);
-            let mp = run_app(app, &mp_cfg, args.scale);
-            format!("{:5.1}", mp.percent_reduction())
-        } else {
-            "  N/A".to_string()
+            jobs.push((app, true));
+        }
+    }
+    let pairs = run_matrix(args.threads, &jobs, |&(app, mp)| {
+        let cfg = MachineConfig::exemplar(if mp { 8 } else { 1 });
+        run_app(app, &cfg, args.scale)
+    });
+    let mut rows = Vec::new();
+    for &app in &args.apps {
+        let cell = |mp: bool| {
+            jobs.iter()
+                .position(|&j| j == (app, mp))
+                .map(|i| &pairs[i])
+        };
+        let up = cell(false).expect("every app has a uniprocessor run");
+        let mp_red = match cell(true) {
+            Some(mp) => format!("{:5.1}", mp.percent_reduction()),
+            None => "  N/A".to_string(),
         };
         let (pm, pu) = paper
             .iter()

@@ -33,6 +33,8 @@ pub struct HarnessArgs {
     pub mode: String,
     /// Override processor count (0 = use each workload's Table 2 count).
     pub procs: usize,
+    /// Worker threads for the experiment matrix (0 = all cores).
+    pub threads: usize,
 }
 
 impl Default for HarnessArgs {
@@ -42,35 +44,69 @@ impl Default for HarnessArgs {
             apps: App::applications().to_vec(),
             mode: String::new(),
             procs: 0,
+            threads: 0,
         }
     }
 }
 
-/// Parses `--scale`, `--apps`, `--mode` and `--procs` from the process
-/// arguments. Unknown flags abort with a usage message.
+/// The full usage string printed by `--help` and on any argument error.
+pub fn usage() -> String {
+    let bin = std::env::args()
+        .next()
+        .map(|p| {
+            std::path::Path::new(&p)
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or(p.clone())
+        })
+        .unwrap_or_else(|| "harness".into());
+    let apps: Vec<&str> = App::all().iter().map(|a| a.name()).collect();
+    format!(
+        "usage: {bin} [--scale <f>] [--apps <a,b,c>] [--mode <m>] [--procs <n>] [--threads <n>]\n\
+         \n\
+         \x20 --scale <f>    input-size fraction of the paper's Table 2 sizes (default 0.1)\n\
+         \x20 --apps <list>  comma-separated subset of: {}\n\
+         \x20 --mode <m>     binary-specific mode string (fig3: up|mp|up-1ghz|mp-1ghz)\n\
+         \x20 --procs <n>    override processor count (0 = each workload's Table 2 count)\n\
+         \x20 --threads <n>  worker threads for the experiment matrix (0 = all cores)\n\
+         \x20 --help, -h     print this message",
+        apps.join(",")
+    )
+}
+
+/// Prints `msg` and the usage string to stderr, then exits with status 2.
+fn usage_error(msg: &str) -> ! {
+    eprintln!("{msg}\n\n{}", usage());
+    std::process::exit(2);
+}
+
+/// Parses `--scale`, `--apps`, `--mode`, `--procs` and `--threads` from
+/// the process arguments. Unknown flags and malformed values print the
+/// full usage string and exit with status 2.
 pub fn parse_args() -> HarnessArgs {
     let mut out = HarnessArgs::default();
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut take = || {
-            args.next().unwrap_or_else(|| {
-                eprintln!("missing value for {flag}");
-                std::process::exit(2);
-            })
+            args.next()
+                .unwrap_or_else(|| usage_error(&format!("missing value for {flag}")))
         };
         match flag.as_str() {
             "--scale" => {
-                out.scale = take().parse().unwrap_or_else(|_| {
-                    eprintln!("--scale expects a float");
-                    std::process::exit(2);
-                })
+                out.scale = take()
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--scale expects a float"))
             }
             "--mode" => out.mode = take(),
             "--procs" => {
-                out.procs = take().parse().unwrap_or_else(|_| {
-                    eprintln!("--procs expects an integer");
-                    std::process::exit(2);
-                })
+                out.procs = take()
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--procs expects an integer"))
+            }
+            "--threads" => {
+                out.threads = take()
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--threads expects an integer"))
             }
             "--apps" => {
                 let list = take();
@@ -80,26 +116,38 @@ pub fn parse_args() -> HarnessArgs {
                         App::all()
                             .into_iter()
                             .find(|a| a.name().eq_ignore_ascii_case(name))
-                            .unwrap_or_else(|| {
-                                eprintln!("unknown app {name}");
-                                std::process::exit(2);
-                            })
+                            .unwrap_or_else(|| usage_error(&format!("unknown app {name}")))
                     })
                     .collect();
             }
             "--help" | "-h" => {
-                println!(
-                    "flags: --scale <f>  --apps <a,b,c>  --mode <m>  --procs <n>"
-                );
+                println!("{}", usage());
                 std::process::exit(0);
             }
-            other => {
-                eprintln!("unknown flag {other}");
-                std::process::exit(2);
-            }
+            other => usage_error(&format!("unknown flag {other}")),
         }
     }
     out
+}
+
+/// Fans the `jobs` across a thread pool of `threads` workers (0 = all
+/// cores) and returns the results **in input order**, regardless of how
+/// the scheduler interleaved them — output is deterministic for a given
+/// job list even though execution is not.
+///
+/// Each simulation run is itself single-threaded and deterministic, so
+/// the thread count never changes any result, only wall-clock time.
+pub fn run_matrix<T, R, F>(threads: usize, jobs: &[T], run: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool construction cannot fail");
+    pool.run_indexed(jobs.len(), |i| run(&jobs[i]))
 }
 
 /// Runs one application base-vs-clustered on the machine `cfg` at
@@ -143,6 +191,72 @@ pub fn scaled_l2(base_bytes: usize, scale: f64) -> usize {
         size *= 2;
     }
     size
+}
+
+/// One simulator-throughput measurement for `BENCH_sim.json`: how many
+/// simulated cycles an experiment covered and how long that took on the
+/// host.
+#[derive(Debug, Clone)]
+pub struct SimBenchRecord {
+    /// Experiment name (e.g. `latbench-up`).
+    pub experiment: String,
+    /// Driver mode: `cycle-skip` or `strict-cycle`.
+    pub mode: String,
+    /// Simulated cycles covered (summed over the experiment's runs).
+    pub cycles: u64,
+    /// Host wall-clock seconds spent simulating.
+    pub wall_seconds: f64,
+}
+
+impl SimBenchRecord {
+    /// Simulated cycles per host second.
+    pub fn cycles_per_sec(&self) -> f64 {
+        self.cycles as f64 / self.wall_seconds.max(1e-12)
+    }
+}
+
+/// Serializes the records (plus per-experiment skip-vs-strict speedups)
+/// as the `BENCH_sim.json` document. Hand-rolled JSON: the offline build
+/// has no serde.
+pub fn bench_sim_json(scale: f64, records: &[SimBenchRecord]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"scale\": {scale},\n"));
+    s.push_str("  \"experiments\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"experiment\": \"{}\", \"mode\": \"{}\", \"cycles\": {}, \"wall_seconds\": {:.6}, \"cycles_per_sec\": {:.1}}}{}\n",
+            r.experiment,
+            r.mode,
+            r.cycles,
+            r.wall_seconds,
+            r.cycles_per_sec(),
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"speedups\": [\n");
+    let mut lines = Vec::new();
+    for r in records.iter().filter(|r| r.mode == "cycle-skip") {
+        if let Some(strict) = records
+            .iter()
+            .find(|s| s.experiment == r.experiment && s.mode == "strict-cycle")
+        {
+            lines.push(format!(
+                "    {{\"experiment\": \"{}\", \"cycles_per_sec_ratio\": {:.2}}}",
+                r.experiment,
+                r.cycles_per_sec() / strict.cycles_per_sec().max(1e-12)
+            ));
+        }
+    }
+    s.push_str(&lines.join(",\n"));
+    s.push_str("\n  ]\n}\n");
+    s
+}
+
+/// Times `f`, returning its result and the elapsed wall seconds.
+pub fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t = std::time::Instant::now();
+    let r = f();
+    (r, t.elapsed().as_secs_f64())
 }
 
 /// One row of a Figure 3-style summary for stdout.

@@ -73,10 +73,15 @@ pub fn run_pair(w: &Workload, cfg: &MachineConfig) -> RunPair {
     let mut clustered_prog = w.program.clone();
     let report = cluster_program(&mut clustered_prog, &machine_summary(cfg), &profile);
 
+    // The two timed runs are independent — run them concurrently. Each
+    // simulation is fully deterministic, so the join changes wall-clock
+    // time only, never results.
     let mut base_mem = w.memory_with_policy(cfg.nprocs, policy);
-    let base = run_program(&w.program, &mut base_mem, cfg);
     let mut clust_mem = w.memory_with_policy(cfg.nprocs, policy);
-    let clustered = run_program(&clustered_prog, &mut clust_mem, cfg);
+    let (base, clustered) = rayon::join(
+        || run_program(&w.program, &mut base_mem, cfg),
+        || run_program(&clustered_prog, &mut clust_mem, cfg),
+    );
 
     let outputs_match = w.read_outputs(&base_mem) == w.read_outputs(&clust_mem);
     RunPair {

@@ -590,18 +590,14 @@ pub fn run_parallel_functional(prog: &Program, mem: &mut SimMem, nprocs: usize) 
     let mut total = RunSummary::default();
     loop {
         // Release processors whose sync condition is met.
-        for p in 0..nprocs {
-            match states[p] {
-                State::AtBarrier(id) => {
-                    if barrier_counts.get(&id).copied().unwrap_or(0) == nprocs {
-                        states[p] = State::Ready;
-                    }
+        for state in states.iter_mut() {
+            match *state {
+                State::AtBarrier(id)
+                    if barrier_counts.get(&id).copied().unwrap_or(0) == nprocs =>
+                {
+                    *state = State::Ready;
                 }
-                State::AtFlag(f) => {
-                    if flags.contains(&f) {
-                        states[p] = State::Ready;
-                    }
-                }
+                State::AtFlag(f) if flags.contains(&f) => *state = State::Ready,
                 _ => {}
             }
         }
@@ -627,15 +623,11 @@ pub fn run_parallel_functional(prog: &Program, mem: &mut SimMem, nprocs: usize) 
                                 *barrier_counts.entry(id).or_insert(0) += 1;
                                 states[p] = State::AtBarrier(id);
                             }
-                            OpKind::FlagSet { flag } => {
-                                if !flags.contains(&flag) {
-                                    flags.push(flag);
-                                }
+                            OpKind::FlagSet { flag } if !flags.contains(&flag) => {
+                                flags.push(flag);
                             }
-                            OpKind::FlagWait { flag } => {
-                                if !flags.contains(&flag) {
-                                    states[p] = State::AtFlag(flag);
-                                }
+                            OpKind::FlagWait { flag } if !flags.contains(&flag) => {
+                                states[p] = State::AtFlag(flag);
                             }
                             _ => {}
                         }

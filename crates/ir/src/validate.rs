@@ -93,14 +93,14 @@ impl Program {
         for ix in &r.indices {
             match &ix.dynamic {
                 Some(DynIndex::Indirect { inner, .. }) => self.validate_ref(inner, errs),
-                Some(DynIndex::Scalar { scalar, .. }) => {
-                    if scalar.index() >= self.scalars.len() {
-                        errs.push(ValidateError::UndeclaredId {
-                            what: format!("scalar id {}", scalar.index()),
-                        });
-                    }
+                Some(DynIndex::Scalar { scalar, .. })
+                    if scalar.index() >= self.scalars.len() =>
+                {
+                    errs.push(ValidateError::UndeclaredId {
+                        what: format!("scalar id {}", scalar.index()),
+                    });
                 }
-                None => {}
+                _ => {}
             }
         }
     }
@@ -108,12 +108,10 @@ impl Program {
     fn validate_expr(&self, e: &Expr, errs: &mut Vec<ValidateError>) {
         match e {
             Expr::Load(r) => self.validate_ref(r, errs),
-            Expr::Scalar(s) => {
-                if s.index() >= self.scalars.len() {
-                    errs.push(ValidateError::UndeclaredId {
-                        what: format!("scalar id {}", s.index()),
-                    });
-                }
+            Expr::Scalar(s) if s.index() >= self.scalars.len() => {
+                errs.push(ValidateError::UndeclaredId {
+                    what: format!("scalar id {}", s.index()),
+                });
             }
             Expr::Unary(_, a) => self.validate_expr(a, errs),
             Expr::Binary(_, a, b) => {

@@ -25,7 +25,7 @@ impl CacheParams {
 }
 
 /// Functional-unit counts and latencies.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FuParams {
     /// Integer ALUs.
     pub alus: u32,

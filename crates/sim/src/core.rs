@@ -11,9 +11,9 @@
 //! `retired/width` busy time; the remainder is attributed to the first
 //! instruction that could not retire.
 
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
-use mempar_ir::{DynOp, FpUnit, OpKind};
+use mempar_ir::{DynOp, FpUnit, OpKind, SrcList};
 use mempar_stats::{Breakdown, StallClass};
 
 use crate::config::ProcParams;
@@ -28,7 +28,7 @@ struct Entry {
     /// Max ready time of sources resolved so far.
     ready_at: u64,
     /// Sources whose producers had not completed at fetch time.
-    pending: Vec<u32>,
+    pending: SrcList,
     issued: bool,
     /// Completion time (u64::MAX until known).
     complete_at: u64,
@@ -38,6 +38,71 @@ struct Entry {
     fetched_at: u64,
 }
 
+/// Ready times for in-flight destination vregs, stored as an open-slot
+/// tagged table instead of a `HashMap` (the lookup is the hottest line
+/// in the issue scan).
+///
+/// The interpreter allocates dst vregs sequentially and the window
+/// retires in order, so live dsts occupy a contiguous numeric span no
+/// wider than the window: with capacity above that span, `vreg & mask`
+/// is collision-free. A collision between two *live* vregs (possible
+/// only for hand-built traces) triggers a grow-and-rebuild in the core.
+/// Tag 0 means "empty" — vreg 0 is the interpreter's "no register"
+/// sentinel and never appears as a dst.
+#[derive(Debug)]
+struct VregFile {
+    tags: Vec<u32>,
+    times: Vec<u64>,
+    mask: usize,
+}
+
+impl VregFile {
+    fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.next_power_of_two().max(8);
+        VregFile { tags: vec![0; cap], times: vec![0; cap], mask: cap - 1 }
+    }
+
+    fn capacity(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// The recorded ready time, or `None` when the vreg is absent
+    /// (absent = the producer retired = the value is ready).
+    #[inline]
+    fn get(&self, vreg: u32) -> Option<u64> {
+        let slot = vreg as usize & self.mask;
+        if self.tags[slot] == vreg {
+            Some(self.times[slot])
+        } else {
+            None
+        }
+    }
+
+    /// Inserts or updates; returns false when the slot holds a different
+    /// live vreg (caller must grow and retry).
+    #[inline]
+    fn try_insert(&mut self, vreg: u32, time: u64) -> bool {
+        debug_assert_ne!(vreg, 0, "vreg 0 is the empty-slot sentinel");
+        let slot = vreg as usize & self.mask;
+        let tag = self.tags[slot];
+        if tag == 0 || tag == vreg {
+            self.tags[slot] = vreg;
+            self.times[slot] = time;
+            true
+        } else {
+            false
+        }
+    }
+
+    #[inline]
+    fn remove(&mut self, vreg: u32) {
+        let slot = vreg as usize & self.mask;
+        if self.tags[slot] == vreg {
+            self.tags[slot] = 0;
+        }
+    }
+}
+
 /// One simulated processor core.
 #[derive(Debug)]
 pub struct Core {
@@ -45,7 +110,7 @@ pub struct Core {
     pub id: usize,
     params: ProcParams,
     rob: VecDeque<Entry>,
-    vreg_ready: HashMap<u32, u64>,
+    vreg_ready: VregFile,
     unresolved_branches: usize,
     /// In-flight memory ops (loads to completion, stores to global
     /// performance); bounded by the memory queue size.
@@ -66,6 +131,9 @@ pub struct Core {
     pub breakdown: Breakdown,
     /// Retired instruction count.
     pub retired: u64,
+    /// Instructions retired by the most recent [`Core::retire`] call
+    /// (cycle-skip scheduling: a retiring core may retire again next cycle).
+    retired_last_cycle: u32,
     l1_ports: u32,
 }
 
@@ -78,7 +146,7 @@ impl Core {
             id,
             params: params.clone(),
             rob: VecDeque::with_capacity(params.window),
-            vreg_ready: HashMap::with_capacity(4 * params.window),
+            vreg_ready: VregFile::with_capacity(4 * params.window),
             unresolved_branches: 0,
             mem_inflight: BinaryHeap::new(),
             pending_stores: BinaryHeap::new(),
@@ -88,8 +156,17 @@ impl Core {
             halt_cycle: 0,
             breakdown: Breakdown::new(),
             retired: 0,
+            retired_last_cycle: 0,
             l1_ports,
         }
+    }
+
+    /// True when the core retired something last cycle or can fetch now —
+    /// the cheap "will plausibly act next cycle" test. The system loop uses
+    /// this as a fast path: if any core is active, the next cycle is
+    /// interesting and no reorder-buffer scan is needed.
+    pub fn made_progress(&self) -> bool {
+        !self.halted && (self.retired_last_cycle > 0 || self.fetch_room() > 0)
     }
 
     /// Window slots still free this cycle.
@@ -111,16 +188,16 @@ impl Core {
     pub fn fetch(&mut self, op: DynOp, now: u64) {
         assert!(self.rob.len() < self.params.window, "window overflow");
         let mut ready_at = now;
-        let mut pending = Vec::new();
+        let mut pending = SrcList::new();
         for &src in op.srcs.as_slice() {
-            match self.vreg_ready.get(&src) {
+            match self.vreg_ready.get(src) {
                 None => {}
-                Some(&t) if t == READY_UNKNOWN => pending.push(src),
-                Some(&t) => ready_at = ready_at.max(t),
+                Some(READY_UNKNOWN) => pending.push(src),
+                Some(t) => ready_at = ready_at.max(t),
             }
         }
         if let Some(dst) = op.dst {
-            self.vreg_ready.insert(dst, READY_UNKNOWN);
+            self.vreg_set(dst, READY_UNKNOWN);
         }
         if matches!(op.kind, OpKind::Branch) {
             self.unresolved_branches += 1;
@@ -169,7 +246,7 @@ impl Core {
         let mut fpu = 0u32;
         let mut addr = 0u32;
         let mut l1_accesses = 0u32;
-        let fu = self.params.fu.clone();
+        let fu = self.params.fu;
         let width = self.params.width;
 
         // Collect store positions for load disambiguation as we walk.
@@ -192,13 +269,13 @@ impl Core {
                     continue;
                 }
                 if !e.pending.is_empty() {
-                    let mut still = Vec::new();
+                    let mut still = SrcList::new();
                     let mut ready = e.ready_at;
-                    for &src in &e.pending {
-                        match self.vreg_ready.get(&src) {
+                    for &src in e.pending.as_slice() {
+                        match self.vreg_ready.get(src) {
                             None => {}
-                            Some(&t) if t == READY_UNKNOWN => still.push(src),
-                            Some(&t) => ready = ready.max(t),
+                            Some(READY_UNKNOWN) => still.push(src),
+                            Some(t) => ready = ready.max(t),
                         }
                     }
                     e.ready_at = ready;
@@ -321,7 +398,37 @@ impl Core {
         e.issued = true;
         e.complete_at = at;
         if let Some(dst) = e.op.dst {
-            self.vreg_ready.insert(dst, at);
+            self.vreg_set(dst, at);
+        }
+    }
+
+    /// Records `vreg`'s ready time, growing the table on a live-slot
+    /// collision (only hand-built traces with non-sequential vregs hit
+    /// the grow path; see [`VregFile`]).
+    fn vreg_set(&mut self, vreg: u32, time: u64) {
+        while !self.vreg_ready.try_insert(vreg, time) {
+            self.grow_vregs();
+        }
+    }
+
+    /// Rebuilds the vreg table at a larger capacity from the ROB — its
+    /// contents are exactly the in-flight dst ops (unissued ⇒ unknown,
+    /// issued ⇒ the completion time), so nothing else needs migrating.
+    fn grow_vregs(&mut self) {
+        let mut cap = self.vreg_ready.capacity() * 2;
+        'retry: loop {
+            let mut bigger = VregFile::with_capacity(cap);
+            for e in &self.rob {
+                if let Some(dst) = e.op.dst {
+                    let t = if e.issued { e.complete_at } else { READY_UNKNOWN };
+                    if !bigger.try_insert(dst, t) {
+                        cap *= 2;
+                        continue 'retry;
+                    }
+                }
+            }
+            self.vreg_ready = bigger;
+            return;
         }
     }
 
@@ -381,7 +488,7 @@ impl Core {
                 // passed, later-fetched consumers would see it as ready by
                 // absence — safe to drop the map entry.
                 if e.complete_at <= now {
-                    self.vreg_ready.remove(&dst);
+                    self.vreg_ready.remove(dst);
                 }
             }
             self.retired += 1;
@@ -392,6 +499,7 @@ impl Core {
                 break;
             }
         }
+        self.retired_last_cycle = retired;
         // Attribution (Section 5.2): busy = retired/width; remainder to
         // the first instruction that could not retire.
         let frac = f64::from(retired) / f64::from(width);
@@ -410,6 +518,130 @@ impl Core {
             self.breakdown.add_stall(class, rest);
         }
         !self.halted
+    }
+
+    /// The earliest future cycle at which this core might make progress
+    /// (retire, issue, or fetch), or `None` when no local event can ever
+    /// occur (halted, or genuinely stuck waiting on another processor).
+    ///
+    /// Called at the end of a cycle, after retire/issue/fetch have run.
+    /// The cycle-skipping scheduler jumps the clock to the minimum of
+    /// these across cores (and the memory system's fill events); for the
+    /// skip to preserve exact results, every condition that could change
+    /// the core's behavior on an intermediate cycle must map to a
+    /// candidate here. Conservative answers (`now + 1`) are always safe.
+    pub fn next_event_time(&self, sync: &SyncState, now: u64) -> Option<u64> {
+        if self.halted {
+            return None;
+        }
+        // A core that fetched or retired this cycle can generally do so
+        // again next cycle; don't skip over it.
+        if self.made_progress() {
+            return Some(now + 1);
+        }
+        // u64::MAX stands in for "no candidate"; every real candidate is
+        // clamped up to `now + 1` (the earliest actionable cycle).
+        const NO_EVENT: u64 = u64::MAX;
+        let mut next: u64 = NO_EVENT;
+        // Head-of-window synchronization waits resolve at times recorded
+        // in the shared sync state (this runs after every core's retire
+        // stage for the cycle, so arrivals/sets from this cycle are seen).
+        if let Some(head) = self.rob.front() {
+            match head.op.kind {
+                OpKind::Barrier { id } => {
+                    if let Some(t) = sync.barrier_release_time(id) {
+                        next = next.min(t.max(now + 1));
+                    }
+                    // No release time yet: other processors must arrive
+                    // first; their own events bound the skip.
+                }
+                OpKind::FlagWait { flag } => {
+                    if let Some(t) = sync.flag_time(flag) {
+                        next = next.min(t.max(now + 1));
+                    }
+                }
+                _ => {}
+            }
+        }
+        for e in &self.rob {
+            // Nothing beats the very next cycle; stop scanning.
+            if next == now + 1 {
+                break;
+            }
+            if e.issued {
+                if e.complete_at > now {
+                    // Completion: may unblock retirement, dependents, or
+                    // (for branches) the unresolved-branch fetch limit.
+                    next = next.min(e.complete_at.max(now + 1));
+                } else if matches!(e.op.kind, OpKind::Branch) && !e.branch_resolved {
+                    // Completed but the issue scan has not yet marked it
+                    // resolved (width cut the scan short): it will next cycle.
+                    next = now + 1;
+                }
+                continue;
+            }
+            match e.op.kind {
+                // These act only at the head of the retire stage; head
+                // progress is covered by the candidates above.
+                OpKind::Barrier { .. } | OpKind::FlagWait { .. } | OpKind::Halt => {}
+                OpKind::FlagSet { .. } => {
+                    // Issues once earlier stores globally complete.
+                    match self.pending_stores.peek() {
+                        Some(&std::cmp::Reverse(t)) => next = next.min(t.max(now + 1)),
+                        None => next = now + 1,
+                    }
+                }
+                _ => {
+                    // Re-resolve pending sources read-only (entries past
+                    // the issue scan's width cutoff were not updated this
+                    // cycle). A producer still unissued contributes no
+                    // candidate: its own entry's candidates cover it.
+                    let mut ready = e.ready_at;
+                    let mut unknown = false;
+                    for &src in e.pending.as_slice() {
+                        match self.vreg_ready.get(src) {
+                            None => {}
+                            Some(READY_UNKNOWN) => {
+                                unknown = true;
+                                break;
+                            }
+                            Some(t) => ready = ready.max(t),
+                        }
+                    }
+                    if unknown {
+                        continue;
+                    }
+                    if ready > now {
+                        next = next.min(ready);
+                    } else {
+                        // Ready but unissued: blocked on a per-cycle
+                        // resource (FU, port, queue, MSHR, store
+                        // disambiguation, issue width) — retry next cycle.
+                        next = now + 1;
+                    }
+                }
+            }
+        }
+        (next != NO_EVENT).then_some(next)
+    }
+
+    /// Charges `span` stall cycles in bulk — exactly what `span`
+    /// consecutive [`Core::retire`] calls would account on cycles where
+    /// nothing can retire (the cycles the scheduler skipped).
+    pub fn charge_idle(&mut self, span: u64) {
+        if self.halted || span == 0 {
+            return;
+        }
+        let class = match self.rob.front().map(|e| e.op.kind) {
+            Some(OpKind::Load { .. }) => StallClass::DataMemory,
+            Some(OpKind::Store { .. } | OpKind::Prefetch { .. }) => StallClass::DataMemory,
+            Some(OpKind::Barrier { .. } | OpKind::FlagWait { .. } | OpKind::FlagSet { .. }) => {
+                StallClass::Sync
+            }
+            Some(_) => StallClass::Cpu,
+            None => StallClass::Instruction,
+        };
+        self.breakdown.add_stall(class, span as f64);
     }
 
     /// Number of instructions currently in the window.
@@ -431,7 +663,7 @@ impl Core {
                 e.op.kind,
                 e.issued,
                 e.ready_at,
-                e.pending,
+                e.pending.as_slice(),
                 e.complete_at,
                 now,
                 self.mem_inflight.len(),
@@ -620,13 +852,11 @@ mod tests {
     #[test]
     fn branch_limit_bounds_fetch() {
         let (mut core, _mem, _sync) = setup();
+        // A dependence on a never-completing producer keeps the branches
+        // unresolved; the counter is what bounds fetch.
+        core.vreg_set(9999, READY_UNKNOWN);
         for _ in 0..16 {
-            // Unresolvable branches (source never produced... use a
-            // dependence on a never-completing producer: fetch a load
-            // that never issues is complex — instead just check the
-            // counter path with sourceless branches which resolve fast).
             core.fetch(op(OpKind::Branch, &[9999], None), 0);
-            core.vreg_ready.insert(9999, u64::MAX);
         }
         assert_eq!(core.fetch_room(), 0, "16 unresolved branches block fetch");
     }

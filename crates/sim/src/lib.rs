@@ -70,4 +70,4 @@ pub use interconnect::{bank_of, Bus, MemoryBanks, Mesh};
 pub use memsys::{Access, MemSystem};
 pub use resource::{Resource, ResourcePool};
 pub use sync::SyncState;
-pub use system::{run_program, SimResult};
+pub use system::{run_program, run_program_with, SimOptions, SimResult};

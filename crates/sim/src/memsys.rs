@@ -93,7 +93,7 @@ pub struct MemSystem {
     /// True while servicing a software prefetch (suppresses demand-read
     /// statistics so prefetches do not skew latency/miss metrics).
     in_prefetch: bool,
-    home_of_addr: Box<dyn Fn(u64) -> usize>,
+    home_of_addr: Box<dyn Fn(u64) -> usize + Send>,
 }
 
 impl std::fmt::Debug for MemSystem {
@@ -110,7 +110,7 @@ impl MemSystem {
     /// Builds the memory system for `cfg`. `home_of_addr` maps a byte
     /// address to its NUMA home node (derived from the program's
     /// [`SimMem`](mempar_ir::SimMem) layout).
-    pub fn new(cfg: &MachineConfig, home_of_addr: Box<dyn Fn(u64) -> usize>) -> Self {
+    pub fn new(cfg: &MachineConfig, home_of_addr: Box<dyn Fn(u64) -> usize + Send>) -> Self {
         cfg.validate();
         let n = cfg.nprocs;
         let line_shift = cfg.l2.line_bytes.trailing_zeros();
@@ -189,6 +189,22 @@ impl MemSystem {
         for p in 0..self.cfg.nprocs {
             let (r, t) = self.l2[p].mshrs.occupancy();
             self.occupancy[p].sample(r, t);
+        }
+    }
+
+    /// The time of the earliest scheduled fill event, if any. Used by the
+    /// cycle-skipping scheduler to bound how far the clock may jump.
+    pub fn next_event_time(&self) -> Option<u64> {
+        self.events.peek().map(|Reverse(ev)| ev.time)
+    }
+
+    /// Accounts `span` event-free cycles of MSHR occupancy in bulk —
+    /// exactly what `span` consecutive [`MemSystem::tick`] calls would
+    /// record when no fill event falls inside the span.
+    pub fn idle_sample(&mut self, span: u64) {
+        for p in 0..self.cfg.nprocs {
+            let (r, t) = self.l2[p].mshrs.occupancy();
+            self.occupancy[p].sample_n(r, t, span);
         }
     }
 
@@ -340,11 +356,10 @@ impl MemSystem {
         // otherwise snowball the port backlog faster than time advances.
         {
             let peek = self.l2[proc].tags.peek(line);
-            let would_hit = match (is_write, peek) {
-                (false, LineState::Shared | LineState::Modified) => true,
-                (true, LineState::Modified) => true,
-                _ => false,
-            };
+            let would_hit = matches!(
+                (is_write, peek),
+                (false, LineState::Shared | LineState::Modified) | (true, LineState::Modified)
+            );
             if !would_hit
                 && self.l2[proc].mshrs.get(line).is_none()
                 && self.l2[proc].mshrs.free() == 0
@@ -355,11 +370,10 @@ impl MemSystem {
         let start = self.l2[proc].port.reserve(now, 1);
         let t_lookup = start + self.l2[proc].hit_latency;
         let state = self.l2[proc].tags.probe(line);
-        let hit = match (is_write, state) {
-            (false, LineState::Shared | LineState::Modified) => true,
-            (true, LineState::Modified) => true,
-            _ => false,
-        };
+        let hit = matches!(
+            (is_write, state),
+            (false, LineState::Shared | LineState::Modified) | (true, LineState::Modified)
+        );
         if hit {
             return Access::Done { complete_at: t_lookup, l2_miss: false };
         }
@@ -408,9 +422,9 @@ impl MemSystem {
     fn global_upgrade(&mut self, proc: usize, line: u64, t0: u64) -> u64 {
         let grant = self.dir.write_req(line, proc);
         let home = self.effective_home(line);
-        let t_home = self.to_home(proc, home, 8, t0) + self.cfg.dir_cycles as u64;
+        let t_home = self.leg_to_home(proc, home, 8, t0) + self.cfg.dir_cycles as u64;
         let t_acks = self.invalidate_all(proc, home, line, &grant.invalidees, t_home);
-        self.from_home(home, proc, 8, t_acks)
+        self.leg_from_home(home, proc, 8, t_acks)
     }
 
     /// A full miss transaction (read or write). Returns the fill time.
@@ -419,13 +433,13 @@ impl MemSystem {
         let line_bytes = self.cfg.l2.line_bytes as u32;
         if is_write {
             let grant = self.dir.write_req(line, proc);
-            let t_home = self.to_home(proc, home, 8, t0) + self.cfg.dir_cycles as u64;
+            let t_home = self.leg_to_home(proc, home, 8, t0) + self.cfg.dir_cycles as u64;
             let t_acks = self.invalidate_all(proc, home, line, &grant.invalidees, t_home);
             match grant.source {
                 DataSource::Memory => {
                     let t_mem = self.bank_access(home, line, t_acks);
                     self.count_locality(proc, home, false);
-                    self.from_home(home, proc, line_bytes + 8, t_mem)
+                    self.leg_from_home(home, proc, line_bytes + 8, t_mem)
                 }
                 DataSource::CacheToCache { owner } => {
                     self.counters[proc].cache_to_cache += 1;
@@ -434,12 +448,12 @@ impl MemSystem {
             }
         } else {
             let src = self.dir.read_req(line, proc);
-            let t_home = self.to_home(proc, home, 8, t0) + self.cfg.dir_cycles as u64;
+            let t_home = self.leg_to_home(proc, home, 8, t0) + self.cfg.dir_cycles as u64;
             match src {
                 DataSource::Memory => {
                     let t_mem = self.bank_access(home, line, t_home);
                     self.count_locality(proc, home, false);
-                    self.from_home(home, proc, line_bytes + 8, t_mem)
+                    self.leg_from_home(home, proc, line_bytes + 8, t_mem)
                 }
                 DataSource::CacheToCache { owner } => {
                     self.counters[proc].cache_to_cache += 1;
@@ -466,7 +480,7 @@ impl MemSystem {
     }
 
     /// Request leg: requester → home.
-    fn to_home(&mut self, proc: usize, home: usize, bytes: u32, t: u64) -> u64 {
+    fn leg_to_home(&mut self, proc: usize, home: usize, bytes: u32, t: u64) -> u64 {
         match self.cfg.topology {
             Topology::SmpBus => self.buses[0].request(t),
             Topology::Numa => {
@@ -480,7 +494,7 @@ impl MemSystem {
     }
 
     /// Response leg: home → requester.
-    fn from_home(&mut self, home: usize, proc: usize, bytes: u32, t: u64) -> u64 {
+    fn leg_from_home(&mut self, home: usize, proc: usize, bytes: u32, t: u64) -> u64 {
         let fill_overhead = 4; // L2 install
         match self.cfg.topology {
             Topology::SmpBus => self.buses[0].data(t, bytes) + fill_overhead,

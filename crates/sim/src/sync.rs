@@ -24,7 +24,7 @@ pub struct SyncState {
 impl SyncState {
     /// State for `nprocs` processors.
     pub fn new(nprocs: usize) -> Self {
-        assert!(nprocs >= 1 && nprocs <= 64, "1..=64 processors supported");
+        assert!((1..=64).contains(&nprocs), "1..=64 processors supported");
         SyncState { nprocs, barriers: HashMap::new(), flags: HashMap::new() }
     }
 
@@ -45,6 +45,18 @@ impl SyncState {
             .get(&id)
             .and_then(|b| b.release_at)
             .is_some_and(|t| t <= now)
+    }
+
+    /// The cycle barrier `id` releases (None until the last processor has
+    /// arrived). Used by the cycle-skipping scheduler to find the next
+    /// cycle at which a waiting core can make progress.
+    pub fn barrier_release_time(&self, id: u32) -> Option<u64> {
+        self.barriers.get(&id).and_then(|b| b.release_at)
+    }
+
+    /// The cycle `flag` was set (None while unset).
+    pub fn flag_time(&self, flag: u32) -> Option<u64> {
+        self.flags.get(&flag).copied()
     }
 
     /// Sets `flag` at cycle `now` (release side; earlier sets win).

@@ -11,6 +11,26 @@ use crate::sync::SyncState;
 /// Cycles without any retirement before the driver declares deadlock.
 const DEADLOCK_WINDOW: u64 = 4_000_000;
 
+/// Options controlling the simulation driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimOptions {
+    /// Event-horizon cycle skipping: when no core can retire, issue, or
+    /// fetch before the next scheduled event, jump the clock straight to
+    /// that event and account the skipped span in bulk. Results are
+    /// identical to stepping every cycle (the determinism tests assert
+    /// this); simulation speed improves by the dead-cycle fraction.
+    ///
+    /// Defaults to on; building with the `strict-cycle` feature flips the
+    /// default off, giving a reference build that steps every cycle.
+    pub cycle_skip: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions { cycle_skip: !cfg!(feature = "strict-cycle") }
+    }
+}
+
 /// Results of one simulation run.
 #[derive(Debug, Clone)]
 pub struct SimResult {
@@ -76,6 +96,16 @@ impl SimResult {
 /// its arrays initialized; it is consumed functionally during the run
 /// (final contents are the program's output — callers can verify them).
 pub fn run_program(prog: &Program, mem: &mut SimMem, cfg: &MachineConfig) -> SimResult {
+    run_program_with(prog, mem, cfg, SimOptions::default())
+}
+
+/// [`run_program`] with explicit driver options (see [`SimOptions`]).
+pub fn run_program_with(
+    prog: &Program,
+    mem: &mut SimMem,
+    cfg: &MachineConfig,
+    opts: SimOptions,
+) -> SimResult {
     cfg.validate();
     assert_eq!(
         mem.nprocs(),
@@ -149,7 +179,51 @@ pub fn run_program(prog: &Program, mem: &mut SimMem, cfg: &MachineConfig) -> Sim
                 .collect();
             panic!("simulation deadlock at cycle {now}: {}", diag.join("; "));
         }
-        now += 1;
+        if opts.cycle_skip {
+            // Event horizon: the earliest cycle at which anything can
+            // change — a memory fill, or any core retiring, issuing, or
+            // fetching. Dead cycles in between are provably no-ops, so
+            // account them in bulk and jump.
+            // Fast path: if any core just retired or has fetch room, the
+            // very next cycle is interesting — don't scan reorder buffers.
+            // This keeps the skip machinery near-free on event-dense runs
+            // (busy multiprocessor phases) where skips are rare.
+            let mut next: Option<u64> = if cores.iter().any(|c| c.made_progress()) {
+                Some(now + 1)
+            } else {
+                memsys.next_event_time()
+            };
+            if next != Some(now + 1) {
+                for core in &cores {
+                    if let Some(t) = core.next_event_time(&sync, now) {
+                        next = Some(next.map_or(t, |n| n.min(t)));
+                    }
+                    if next == Some(now + 1) {
+                        break;
+                    }
+                }
+            }
+            match next {
+                Some(t) if t > now + 1 => {
+                    let span = t - now - 1;
+                    memsys.idle_sample(span);
+                    for core in cores.iter_mut() {
+                        core.charge_idle(span);
+                    }
+                    now = t;
+                }
+                Some(_) => now += 1,
+                None => {
+                    // No event anywhere: the run can never progress again.
+                    // Jump to the diagnostic horizon so the deadlock check
+                    // above fires with the same cycle number strict
+                    // stepping would report.
+                    now = last_progress_cycle + DEADLOCK_WINDOW + 1;
+                }
+            }
+        } else {
+            now += 1;
+        }
     }
 
     let wall = cores.iter().map(|c| c.halt_cycle).max().unwrap_or(0);

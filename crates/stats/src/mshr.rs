@@ -37,10 +37,18 @@ impl MshrOccupancy {
     /// Panics (debug) when counts exceed capacity — that would mean the
     /// cache model violated its own MSHR limit.
     pub fn sample(&mut self, reads: usize, total: usize) {
+        self.sample_n(reads, total, 1);
+    }
+
+    /// Records `cycles` consecutive cycles at the same occupancy — the
+    /// bulk form used when the simulator skips over event-free spans.
+    /// Exactly equivalent to calling [`MshrOccupancy::sample`] `cycles`
+    /// times (all counters are integers).
+    pub fn sample_n(&mut self, reads: usize, total: usize, cycles: u64) {
         debug_assert!(reads <= total && total <= self.capacity);
-        self.cycles += 1;
-        self.read_hist[reads.min(self.capacity)] += 1;
-        self.total_hist[total.min(self.capacity)] += 1;
+        self.cycles += cycles;
+        self.read_hist[reads.min(self.capacity)] += cycles;
+        self.total_hist[total.min(self.capacity)] += cycles;
     }
 
     /// Merges another histogram (e.g. from another processor's L2).

@@ -300,7 +300,7 @@ fn search_degree(
     let (mut lo, mut hi) = (0usize, candidates.len() - 1);
     let mut best_f = f_small;
     while lo < hi {
-        let mid = (lo + hi + 1) / 2;
+        let mid = (lo + hi).div_ceil(2);
         match f_of(candidates[mid]) {
             Some(f) if f <= target => {
                 lo = mid;

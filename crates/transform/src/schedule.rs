@@ -127,8 +127,8 @@ pub fn schedule_balanced(
         }
     }
     // Anything still pending goes in original order (dependences force it).
-    for i in 0..n {
-        if !placed[i] {
+    for (i, &done) in placed.iter().enumerate() {
+        if !done {
             order.push(i);
         }
     }

@@ -203,11 +203,10 @@ pub fn assigned_scalars(body: &[Stmt]) -> Vec<ScalarId> {
     fn walk(body: &[Stmt], out: &mut Vec<ScalarId>) {
         for s in body {
             match s {
-                Stmt::AssignScalar { lhs, .. } => {
-                    if !out.contains(lhs) {
+                Stmt::AssignScalar { lhs, .. }
+                    if !out.contains(lhs) => {
                         out.push(*lhs);
                     }
-                }
                 Stmt::Loop(l) => walk(&l.body, out),
                 Stmt::If { then_branch, else_branch, .. } => {
                     walk(then_branch, out);
@@ -256,11 +255,10 @@ pub fn first_access_is_def(body: &[Stmt], scalar: ScalarId) -> bool {
                         return Some(true);
                     }
                 }
-                Stmt::AssignArray { lhs, rhs } => {
-                    if expr_reads(rhs, scalar) || ref_reads(lhs, scalar) {
+                Stmt::AssignArray { lhs, rhs }
+                    if (expr_reads(rhs, scalar) || ref_reads(lhs, scalar)) => {
                         return Some(false);
                     }
-                }
                 Stmt::Loop(l) => {
                     if let Bound::Scalar(s) = &l.lo {
                         if *s == scalar {
@@ -276,15 +274,14 @@ pub fn first_access_is_def(body: &[Stmt], scalar: ScalarId) -> bool {
                         return Some(r);
                     }
                 }
-                Stmt::If { then_branch, else_branch, .. } => {
+                Stmt::If { then_branch, else_branch, .. }
                     // Conservative: a def under a guard may not execute;
                     // treat guard-first access as a use (do not privatize).
-                    if walk(then_branch, scalar).is_some()
-                        || walk(else_branch, scalar).is_some()
-                    {
+                    if (walk(then_branch, scalar).is_some()
+                        || walk(else_branch, scalar).is_some())
+                    => {
                         return Some(false);
                     }
-                }
                 _ => {}
             }
         }

@@ -91,7 +91,7 @@ pub fn mst(params: MstParams) -> Workload {
     let mut lens = vec![0i64; vertices];
     let mut cursor = 0usize;
     for vtx in 0..vertices {
-        let len = rng.gen_range(1..=(2 * mean_chain).max(2)) as usize;
+        let len = rng.gen_range(1..=(2 * mean_chain).max(2));
         let len = len.min(pool - 1);
         heads[vtx] = order[cursor % pool] as i64;
         lens[vtx] = len as i64;

@@ -115,7 +115,7 @@ mod tests {
         let (_, AD::I64(idx)) = &w.data[0] else { panic!() };
         let (_, AD::F64(vals)) = &w.data[1] else { panic!() };
         let (_, AD::F64(dense)) = &w.data[2] else { panic!() };
-        let mut want = vec![0.0f64; 8];
+        let mut want = [0.0f64; 8];
         for r in 0..8 {
             for k in 0..4 {
                 want[r] += vals[r * 4 + k] * dense[idx[r * 4 + k] as usize];

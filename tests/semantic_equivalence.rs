@@ -26,7 +26,7 @@ fn check_app(app: App, scale: f64) {
     );
 
     // Parallel equivalence at the workload's Table 2 processor count.
-    let nprocs = w.mp_procs.min(4).max(2);
+    let nprocs = w.mp_procs.clamp(2, 4);
     let mut base_mp = w.memory(nprocs);
     run_parallel_functional(&w.program, &mut base_mp, nprocs);
     let mut clust_mp = w.memory(nprocs);

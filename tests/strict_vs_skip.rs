@@ -1,0 +1,60 @@
+//! Event-horizon cycle skipping must be invisible in the results: every
+//! field of [`SimResult`] — cycle counts, stall breakdowns, memory
+//! counters, latency stats, MSHR occupancy histograms — must be
+//! bit-identical to the strict build that steps the clock one cycle at a
+//! time. The comparison goes through `Debug` formatting, which prints
+//! floats with shortest-roundtrip precision, so any bit-level divergence
+//! shows up.
+
+use mempar_sim::{run_program_with, MachineConfig, SimOptions};
+use mempar_workloads::App;
+
+fn run_debug(app: App, scale: f64, mp: bool, cycle_skip: bool) -> String {
+    let w = app.build(scale);
+    let nprocs = if mp { w.mp_procs.max(1) } else { 1 };
+    let cfg = MachineConfig::base_simulated(nprocs, 64 * 1024);
+    let mut mem = w.memory(nprocs);
+    let r = run_program_with(&w.program, &mut mem, &cfg, SimOptions { cycle_skip });
+    format!("{r:?}")
+}
+
+fn assert_identical(app: App, mp: bool) {
+    let scale = 0.05;
+    let skip = run_debug(app, scale, mp, true);
+    let strict = run_debug(app, scale, mp, false);
+    assert_eq!(
+        skip,
+        strict,
+        "{} ({}) diverges between cycle-skip and strict stepping",
+        app.name(),
+        if mp { "mp" } else { "up" }
+    );
+}
+
+#[test]
+fn latbench_skip_matches_strict() {
+    // Pointer chase: the best case for skipping (window-full stalls on
+    // dependent misses), so also the most likely to expose bulk-account
+    // errors.
+    assert_identical(App::Latbench, false);
+}
+
+#[test]
+fn fft_skip_matches_strict_multiprocessor() {
+    // Barrier-synchronized phases exercise the barrier-release horizon.
+    assert_identical(App::Fft, true);
+}
+
+#[test]
+fn lu_skip_matches_strict_multiprocessor() {
+    // Flag-based pipelined producer/consumer sync exercises the
+    // flag-wait and release-fence (FlagSet) horizons.
+    assert_identical(App::Lu, true);
+}
+
+#[test]
+fn em3d_skip_matches_strict_uniprocessor() {
+    // Irregular-graph streaming: MSHR-saturated phases where the
+    // scheduler must *not* skip (ready-but-retrying loads).
+    assert_identical(App::Em3d, false);
+}

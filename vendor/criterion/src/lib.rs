@@ -1,0 +1,146 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion 0.5 API the workspace's bench
+//! targets use (`criterion_group!`, `criterion_main!`, benchmark groups,
+//! `Bencher::iter`, `black_box`) with plain wall-clock measurement: each
+//! benchmark runs one warm-up iteration and then `sample_size` timed
+//! iterations, printing mean/min per-iteration times. There is no
+//! statistical analysis, HTML report, or baseline comparison.
+
+use std::time::Instant;
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup { _c: self, sample_size: 10 }
+    }
+
+    /// Registers a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, 10, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    _c: &'c mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<N: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&name.to_string(), self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) {
+    // Warm-up pass (also primes lazy state inside the closure).
+    let mut b = Bencher { iters: 1, elapsed_ns: 0.0 };
+    f(&mut b);
+    let mut total = 0.0f64;
+    let mut min = f64::INFINITY;
+    for _ in 0..samples {
+        let mut b = Bencher { iters: 1, elapsed_ns: 0.0 };
+        f(&mut b);
+        let per_iter = b.elapsed_ns / b.iters as f64;
+        total += per_iter;
+        min = min.min(per_iter);
+    }
+    let mean = total / samples as f64;
+    println!("  {name:<40} mean {:>12} min {:>12}", fmt_ns(mean), fmt_ns(min));
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, recording its wall-clock duration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed_ns += start.elapsed().as_nanos() as f64;
+    }
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(2);
+        let mut runs = 0;
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        g.finish();
+        // 1 warm-up + 2 samples.
+        assert_eq!(runs, 3);
+    }
+}

@@ -1,0 +1,231 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no crates.io access, so this vendored
+//! package provides the fork-join subset of rayon's API the workspace
+//! uses — [`join`], [`scope`], and [`ThreadPool`] — implemented directly
+//! on `std::thread::scope`. There is no work stealing: `join` runs its
+//! second closure on a freshly spawned scoped thread, and pools are a
+//! thread-count value that fan-out helpers (see `mempar-bench`'s
+//! `run_matrix`) consult when sizing their worker sets. For the
+//! coarse-grained parallelism in this repository (whole simulator runs
+//! per task, seconds each) spawn cost is noise, so the observable
+//! behavior matches real rayon; swap the workspace dependency back to
+//! the registry crate when network access is available.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `a` and `b` potentially in parallel, returning both results.
+///
+/// `b` runs on a scoped thread while `a` runs on the caller; panics in
+/// either closure propagate to the caller (as in rayon).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = match hb.join() {
+            Ok(v) => v,
+            Err(p) => std::panic::resume_unwind(p),
+        };
+        (ra, rb)
+    })
+}
+
+/// A fork-join scope: closures spawned on it may borrow from the stack.
+#[derive(Debug)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns `f` on the scope.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Creates a scope; all spawned work completes before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// The number of threads pools default to (available parallelism).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced here; kept
+/// for signature compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A new builder with default (auto) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the pool's thread count (0 = auto).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 { current_num_threads() } else { self.num_threads };
+        Ok(ThreadPool { threads: n })
+    }
+}
+
+/// A thread-count-bounded pool. Work runs on scoped threads created per
+/// [`ThreadPool::install`]/[`ThreadPool::run_indexed`] call rather than
+/// on persistent workers; the thread *count* is what callers rely on.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` in the pool's context (this shim: on the caller).
+    pub fn install<R, F: FnOnce() -> R>(&self, f: F) -> R {
+        f()
+    }
+
+    /// Runs `task(i)` for every `i < jobs` across the pool's threads and
+    /// returns the results in index order. Tasks are claimed from a
+    /// shared counter, so scheduling is dynamic but collection is
+    /// deterministic.
+    pub fn run_indexed<R, F>(&self, jobs: usize, task: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let workers = self.threads.min(jobs).max(1);
+        let mut slots: Vec<Option<R>> = (0..jobs).map(|_| None).collect();
+        if workers <= 1 {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                *slot = Some(task(i));
+            }
+            return slots.into_iter().map(|s| s.expect("task ran")).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let task = &task;
+        let next = &next;
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                handles.push(s.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs {
+                            return out;
+                        }
+                        out.push((i, task(i)));
+                    }
+                }));
+            }
+            for h in handles {
+                match h.join() {
+                    Ok(part) => {
+                        for (i, r) in part {
+                            slots[i] = Some(r);
+                        }
+                    }
+                    Err(p) => std::panic::resume_unwind(p),
+                }
+            }
+        });
+        slots.into_iter().map(|s| s.expect("every index claimed")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn join_runs_concurrently() {
+        use std::sync::mpsc;
+        // Each side blocks until the other has started: only true
+        // concurrency completes this.
+        let (txa, rxa) = mpsc::channel();
+        let (txb, rxb) = mpsc::channel();
+        join(
+            move || {
+                txa.send(()).unwrap();
+                rxb.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+            },
+            move || {
+                txb.send(()).unwrap();
+                rxa.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+            },
+        );
+    }
+
+    #[test]
+    fn scope_joins_spawned_work() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn run_indexed_orders_results() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let out = pool.run_indexed(100, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_pool_serializes() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let out = pool.run_indexed(10, |i| i);
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+}
