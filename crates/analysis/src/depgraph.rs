@@ -103,7 +103,12 @@ impl DepGraph {
         // Address dependences through indirect indices.
         for r in &coll.refs {
             for &src in &r.addr_refs {
-                edges.push(DepEdge { from: src, to: r.id, distance: 0, kind: DepKind::Address });
+                edges.push(DepEdge {
+                    from: src,
+                    to: r.id,
+                    distance: 0,
+                    kind: DepKind::Address,
+                });
             }
             // Address dependences through scalars: def reaches uses in the
             // same iteration (later statements) at distance 0, or the next
@@ -125,7 +130,10 @@ impl DepGraph {
                 }
             }
         }
-        DepGraph { nodes: coll.refs.len(), edges }
+        DepGraph {
+            nodes: coll.refs.len(),
+            edges,
+        }
     }
 
     fn succ(&self, n: usize) -> impl Iterator<Item = &DepEdge> {
@@ -167,11 +175,16 @@ impl DepGraph {
                     .map(|w| (w[0], w[1]))
                     .chain(std::iter::once((at, start)))
                     .any(|(a, b)| {
-                        self.edges.iter().any(|x| {
-                            x.from == a && x.to == b && x.kind == DepKind::Address
-                        })
+                        self.edges
+                            .iter()
+                            .any(|x| x.from == a && x.to == b && x.kind == DepKind::Address)
                     });
-                out.push(Recurrence { nodes: path.clone(), distance, leading, is_address });
+                out.push(Recurrence {
+                    nodes: path.clone(),
+                    distance,
+                    leading,
+                    is_address,
+                });
             } else if e.to > start && !path.contains(&e.to) {
                 path.push(e.to);
                 *dist += e.distance;
@@ -204,9 +217,16 @@ pub fn summarize_recurrences(coll: &RefCollection) -> RecurrenceSummary {
         .into_iter()
         .filter(|r| r.leading > 0)
         .collect();
-    let alpha = recurrences.iter().map(Recurrence::alpha).fold(0.0, f64::max);
+    let alpha = recurrences
+        .iter()
+        .map(Recurrence::alpha)
+        .fold(0.0, f64::max);
     let has_address_recurrence = recurrences.iter().any(|r| r.is_address);
-    RecurrenceSummary { recurrences, alpha, has_address_recurrence }
+    RecurrenceSummary {
+        recurrences,
+        alpha,
+        has_address_recurrence,
+    }
 }
 
 #[cfg(test)]
@@ -313,7 +333,13 @@ mod tests {
         let i = b.var("i");
         b.for_const(j, 0, 64, |b| {
             b.for_const(i, 0, 64, |b| {
-                let inner = ArrayRef::new(a, vec![Index::affine(AffineExpr::var(j)), Index::affine(AffineExpr::var(i))]);
+                let inner = ArrayRef::new(
+                    a,
+                    vec![
+                        Index::affine(AffineExpr::var(j)),
+                        Index::affine(AffineExpr::var(i)),
+                    ],
+                );
                 let v = b.load_ref(ArrayRef::new(data, vec![Index::indirect(inner)]));
                 let acc = b.scalar(s);
                 let e = b.add(acc, v);
@@ -336,9 +362,19 @@ mod tests {
 
     #[test]
     fn alpha_counts_leading_over_distance() {
-        let r = Recurrence { nodes: vec![0, 1], distance: 2, leading: 1, is_address: false };
+        let r = Recurrence {
+            nodes: vec![0, 1],
+            distance: 2,
+            leading: 1,
+            is_address: false,
+        };
         assert!((r.alpha() - 0.5).abs() < 1e-12);
-        let r2 = Recurrence { nodes: vec![0], distance: 0, leading: 2, is_address: true };
+        let r2 = Recurrence {
+            nodes: vec![0],
+            distance: 0,
+            leading: 2,
+            is_address: true,
+        };
         assert_eq!(r2.alpha(), 2.0);
     }
 }

@@ -29,13 +29,25 @@ impl MachineSummary {
     /// The paper's base simulated machine: 64-entry window, 10 MSHRs,
     /// 64-byte lines.
     pub fn base() -> Self {
-        MachineSummary { window: 64, procs: 1, mshrs: 10, line_bytes: 64, max_unroll: 16 }
+        MachineSummary {
+            window: 64,
+            procs: 1,
+            mshrs: 10,
+            line_bytes: 64,
+            max_unroll: 16,
+        }
     }
 
     /// An Exemplar-like machine: 56-entry window, 10 outstanding misses,
     /// 32-byte lines.
     pub fn exemplar() -> Self {
-        MachineSummary { window: 56, procs: 1, mshrs: 10, line_bytes: 32, max_unroll: 16 }
+        MachineSummary {
+            window: 56,
+            procs: 1,
+            mshrs: 10,
+            line_bytes: 32,
+            max_unroll: 16,
+        }
     }
 }
 
@@ -128,7 +140,13 @@ pub fn analyze_inner_loop(
             }
         })
         .sum();
-    NestAnalysis { refs, recurrences, body_ops, f, misses_per_iter }
+    NestAnalysis {
+        refs,
+        recurrences,
+        body_ops,
+        f,
+        misses_per_iter,
+    }
 }
 
 /// Equations 1–4: `f = f_reg + f_irreg` with

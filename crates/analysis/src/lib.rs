@@ -62,4 +62,6 @@ pub use depgraph::{
     summarize_recurrences, DepEdge, DepGraph, DepKind, Recurrence, RecurrenceSummary,
 };
 pub use framework::{analyze_inner_loop, estimate_f, MachineSummary, NestAnalysis};
-pub use refs::{collect_refs, flat_offset, flat_stride, MissProfile, RefCollection, RefInfo, ScalarDef};
+pub use refs::{
+    collect_refs, flat_offset, flat_stride, MissProfile, RefCollection, RefInfo, ScalarDef,
+};

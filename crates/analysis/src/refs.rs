@@ -21,7 +21,10 @@ impl MissProfile {
     /// A profile that assumes every irregular leading instance misses
     /// (the most aggressive assumption).
     pub fn pessimistic() -> Self {
-        MissProfile { per_array: Vec::new(), default_p: 1.0 }
+        MissProfile {
+            per_array: Vec::new(),
+            default_p: 1.0,
+        }
     }
 
     /// Records the measured miss rate of references to `a`.
@@ -136,9 +139,7 @@ fn same_shape(a: &ArrayRef, b: &ArrayRef) -> bool {
         return false;
     }
     a.indices.iter().zip(&b.indices).all(|(x, y)| {
-        x.dynamic.is_none()
-            && y.dynamic.is_none()
-            && x.affine.sub(&y.affine).is_const()
+        x.dynamic.is_none() && y.dynamic.is_none() && x.affine.sub(&y.affine).is_const()
     })
 }
 
@@ -167,8 +168,7 @@ pub fn collect_refs(
             let flat = stride.unwrap_or(0);
             let bytes_per_iter = flat.unsigned_abs().saturating_mul(8);
             let self_temporal = !irregular && flat == 0;
-            let self_spatial =
-                !irregular && flat != 0 && (bytes_per_iter as usize) < line_bytes;
+            let self_spatial = !irregular && flat != 0 && (bytes_per_iter as usize) < line_bytes;
             let l_m = if self_spatial {
                 (elems_per_line / flat.abs()).max(1) as u32
             } else {
@@ -204,7 +204,11 @@ pub fn collect_refs(
                 l_m,
                 group: id, // refined below
                 leading: false,
-                p_miss: if irregular { profile.p_for(r.array) } else { 1.0 },
+                p_miss: if irregular {
+                    profile.p_for(r.array)
+                } else {
+                    1.0
+                },
                 addr_scalars,
                 addr_refs,
             });
@@ -227,7 +231,11 @@ pub fn collect_refs(
                 rhs.visit_refs(&mut |r| {
                     srcs.push(add_ref(&mut out, r, false));
                 });
-                out.scalar_defs.push(ScalarDef { scalar: *lhs, stmt_idx, src_refs: srcs });
+                out.scalar_defs.push(ScalarDef {
+                    scalar: *lhs,
+                    stmt_idx,
+                    src_refs: srcs,
+                });
             }
             // Nested loops/guards are not part of *this* innermost body.
             _ => {}
@@ -263,10 +271,7 @@ fn assign_groups(prog: &Program, coll: &mut RefCollection, elems_per_line: i64) 
         // Collect the same-shape cluster containing ref i.
         let mut cluster: Vec<(usize, i64)> = Vec::new();
         for (j, &done) in assigned.iter().enumerate() {
-            if !done
-                && !coll.refs[j].irregular
-                && same_shape(&coll.refs[i].r, &coll.refs[j].r)
-            {
+            if !done && !coll.refs[j].irregular && same_shape(&coll.refs[i].r, &coll.refs[j].r) {
                 if let Some(off) = flat_offset(prog, &coll.refs[j].r) {
                     cluster.push((j, off));
                 }
@@ -345,8 +350,12 @@ mod tests {
             });
         });
         let p = b.finish();
-        let mempar_ir::Stmt::Loop(outer) = &p.body[0] else { panic!() };
-        let mempar_ir::Stmt::Loop(inner) = &outer.body[0] else { panic!() };
+        let mempar_ir::Stmt::Loop(outer) = &p.body[0] else {
+            panic!()
+        };
+        let mempar_ir::Stmt::Loop(inner) = &outer.body[0] else {
+            panic!()
+        };
         let body = inner.body.clone();
         (p, i, body)
     }
@@ -358,18 +367,28 @@ mod tests {
         // 4 refs: load b, load a[j,i], load a[j,i-1], store b.
         assert_eq!(coll.refs.len(), 4);
         // a[j,i] and a[j,i-1] are one group; a[j,i] leads.
-        let a_loads: Vec<&RefInfo> =
-            coll.refs.iter().filter(|r| p.array(r.array).name == "a").collect();
+        let a_loads: Vec<&RefInfo> = coll
+            .refs
+            .iter()
+            .filter(|r| p.array(r.array).name == "a")
+            .collect();
         assert_eq!(a_loads.len(), 2);
         assert_eq!(a_loads[0].group, a_loads[1].group);
         let leader = a_loads.iter().find(|r| r.leading).expect("one leader");
-        assert_eq!(leader.r.indices[1].affine.constant_term(), 0, "a[j,i] leads");
+        assert_eq!(
+            leader.r.indices[1].affine.constant_term(),
+            0,
+            "a[j,i] leads"
+        );
         // Stride-1 f64 on 64-byte lines: L_m = 8.
         assert_eq!(leader.l_m, 8);
         assert!(leader.self_spatial);
         // b[j,2i]: stride 2, still self-spatial, L_m = 4; load+store one group.
-        let b_refs: Vec<&RefInfo> =
-            coll.refs.iter().filter(|r| p.array(r.array).name == "b").collect();
+        let b_refs: Vec<&RefInfo> = coll
+            .refs
+            .iter()
+            .filter(|r| p.array(r.array).name == "b")
+            .collect();
         assert_eq!(b_refs[0].group, b_refs[1].group);
         let b_leader = b_refs.iter().find(|r| r.leading).expect("leader");
         assert_eq!(b_leader.l_m, 4);
@@ -395,8 +414,12 @@ mod tests {
             });
         });
         let p = b.finish();
-        let mempar_ir::Stmt::Loop(outer) = &p.body[0] else { panic!() };
-        let mempar_ir::Stmt::Loop(inner) = &outer.body[0] else { panic!() };
+        let mempar_ir::Stmt::Loop(outer) = &p.body[0] else {
+            panic!()
+        };
+        let mempar_ir::Stmt::Loop(inner) = &outer.body[0] else {
+            panic!()
+        };
         let coll = collect_refs(&p, &inner.body, i, 64, &MissProfile::pessimistic());
         let r = &coll.refs[0];
         assert!(!r.self_spatial);
@@ -421,7 +444,9 @@ mod tests {
             b.assign_scalar(s, e);
         });
         let p = b.finish();
-        let mempar_ir::Stmt::Loop(l) = &p.body[0] else { panic!() };
+        let mempar_ir::Stmt::Loop(l) = &p.body[0] else {
+            panic!()
+        };
         let mut prof = MissProfile::pessimistic();
         prof.set(data, 0.5);
         let coll = collect_refs(&p, &l.body, i, 64, &prof);
@@ -448,7 +473,9 @@ mod tests {
             b.assign_scalar(ps, v);
         });
         let p = b.finish();
-        let mempar_ir::Stmt::Loop(l) = &p.body[0] else { panic!() };
+        let mempar_ir::Stmt::Loop(l) = &p.body[0] else {
+            panic!()
+        };
         let coll = collect_refs(&p, &l.body, i, 64, &MissProfile::pessimistic());
         assert_eq!(coll.refs.len(), 1);
         assert!(coll.refs[0].irregular);
@@ -485,7 +512,9 @@ mod tests {
             b.assign_scalar(s, acc);
         });
         let p = b.finish();
-        let mempar_ir::Stmt::Loop(l) = &p.body[0] else { panic!() };
+        let mempar_ir::Stmt::Loop(l) = &p.body[0] else {
+            panic!()
+        };
         let coll = collect_refs(&p, &l.body, i, 64, &MissProfile::pessimistic());
         // Offsets span 0..=30 elements = 4 cache lines -> 4 leaders.
         assert_eq!(coll.leading().count(), 4, "one leader per line span");
@@ -506,7 +535,9 @@ mod tests {
             b.assign_scalar(s, e);
         });
         let p = b.finish();
-        let mempar_ir::Stmt::Loop(l) = &p.body[0] else { panic!() };
+        let mempar_ir::Stmt::Loop(l) = &p.body[0] else {
+            panic!()
+        };
         let coll = collect_refs(&p, &l.body, i, 64, &MissProfile::pessimistic());
         let leader = coll.leading().next().expect("one group");
         assert_eq!(coll.leading().count(), 1);
@@ -519,7 +550,10 @@ mod tests {
 
     #[test]
     fn profile_lookup() {
-        let mut prof = MissProfile { per_array: vec![], default_p: 0.3 };
+        let mut prof = MissProfile {
+            per_array: vec![],
+            default_p: 0.3,
+        };
         let a = ArrayId::from_raw(0);
         assert_eq!(prof.p_for(a), 0.3);
         prof.set(a, 0.9);

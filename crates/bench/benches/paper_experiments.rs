@@ -105,10 +105,12 @@ fn bench_simulator_inner_loop(c: &mut Criterion) {
     // tracks it under criterion's statistics.
     let mut g = c.benchmark_group("simulator-inner-loop");
     g.sample_size(10);
-    for (label, app, mp) in
-        [("latbench-skip", App::Latbench, false), ("latbench-strict", App::Latbench, false),
-         ("fft-mp-skip", App::Fft, true), ("fft-mp-strict", App::Fft, true)]
-    {
+    for (label, app, mp) in [
+        ("latbench-skip", App::Latbench, false),
+        ("latbench-strict", App::Latbench, false),
+        ("fft-mp-skip", App::Fft, true),
+        ("fft-mp-strict", App::Fft, true),
+    ] {
         let cycle_skip = label.ends_with("-skip");
         let w = app.build(SCALE);
         let nprocs = if mp { w.mp_procs.max(1) } else { 1 };

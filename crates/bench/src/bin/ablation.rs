@@ -51,7 +51,11 @@ fn scheduling_comparison(scale: f64, threads: usize) {
         }
         p
     };
-    let variants = [("unrolled, source order", 0u8), ("balanced", 1), ("miss-packing", 2)];
+    let variants = [
+        ("unrolled, source order", 0u8),
+        ("balanced", 1),
+        ("miss-packing", 2),
+    ];
     let rows = run_matrix(threads, &variants, |&(name, sched)| {
         let p = prep(sched);
         let mut mem = w.memory(1);
@@ -119,8 +123,8 @@ fn prefetch_vs_clustering(scale: f64, threads: usize) {
         let mut pf = w.program.clone();
         let mut inserted = 0;
         for nest in innermost_loops(&pf) {
-            inserted += insert_prefetches(&mut pf, &nest, 8, cfg.l2.line_bytes, &profile)
-                .unwrap_or(0);
+            inserted +=
+                insert_prefetches(&mut pf, &nest, 8, cfg.l2.line_bytes, &profile).unwrap_or(0);
         }
         let mut cl = w.program.clone();
         cluster_program(&mut cl, &m, &profile);
@@ -235,7 +239,14 @@ fn degree_sweep(scale: f64, threads: usize) {
         let mut mem = w.memory(1);
         let r = run_program(&prog, &mut mem, &cfg);
         Row::new(
-            format!("degree {degree}{}", if degree == chosen { "  <- framework" } else { "" }),
+            format!(
+                "degree {degree}{}",
+                if degree == chosen {
+                    "  <- framework"
+                } else {
+                    ""
+                }
+            ),
             vec![format!("{}", r.cycles)],
         )
     });

@@ -35,9 +35,8 @@ fn main() {
             let nprocs = if mp { w.mp_procs.max(1) } else { 1 };
             let cfg = MachineConfig::base_simulated(nprocs, 64 * 1024);
             let mut mem = w.memory(nprocs);
-            let (r, secs) = timed(|| {
-                run_program_with(&w.program, &mut mem, &cfg, SimOptions { cycle_skip })
-            });
+            let (r, secs) =
+                timed(|| run_program_with(&w.program, &mut mem, &cfg, SimOptions { cycle_skip }));
             eprintln!(
                 "[{name}] {mode}: {} cycles in {secs:.3}s = {:.0} cycles/sec",
                 r.cycles,

@@ -14,7 +14,11 @@ use mempar_workloads::App;
 
 fn main() {
     let args = parse_args();
-    let mode = if args.mode.is_empty() { "up".to_string() } else { args.mode.clone() };
+    let mode = if args.mode.is_empty() {
+        "up".to_string()
+    } else {
+        args.mode.clone()
+    };
     let (mp, ghz) = match mode.as_str() {
         "up" => (false, false),
         "mp" => (true, false),
@@ -67,7 +71,11 @@ fn main() {
         println!(
             "execution time reduction: {min:.0}%..{max:.0}%, average {avg:.0}%  \
              (paper: {} )",
-            if mp { "5-39%, avg 20% (mp)" } else { "11-49%, avg 30% (up)" }
+            if mp {
+                "5-39%, avg 20% (mp)"
+            } else {
+                "11-49%, avg 30% (up)"
+            }
         );
     }
     let _ = App::all();

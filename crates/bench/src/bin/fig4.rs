@@ -23,7 +23,10 @@ fn main() {
     let mut entries = Vec::new();
     for (&app, pair) in args.apps.iter().zip(&pairs) {
         entries.push((app.name().to_string(), pair.base.occupancy.clone()));
-        entries.push((format!("{}(clust)", app.name()), pair.clustered.occupancy.clone()));
+        entries.push((
+            format!("{}(clust)", app.name()),
+            pair.clustered.occupancy.clone(),
+        ));
         println!(
             "{}: mean read MSHR occupancy {:.2} -> {:.2}",
             app.name(),
@@ -35,7 +38,10 @@ fn main() {
     println!(
         "{}",
         format_occupancy_curves(
-            &format!("Figure 4(a): read L2 MSHR occupancy (fraction of time >= N), scale {}", args.scale),
+            &format!(
+                "Figure 4(a): read L2 MSHR occupancy (fraction of time >= N), scale {}",
+                args.scale
+            ),
             &entries,
             true
         )

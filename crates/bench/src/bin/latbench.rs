@@ -20,7 +20,10 @@ fn main() {
     let w = latbench(params);
     // Both machine configurations over the worker pool; results come back
     // in input order (base system first, Exemplar-like second).
-    let cfgs = [MachineConfig::base_simulated(1, 64 * 1024), MachineConfig::exemplar(1)];
+    let cfgs = [
+        MachineConfig::base_simulated(1, 64 * 1024),
+        MachineConfig::exemplar(1),
+    ];
     let mut pairs = run_matrix(args.threads, &cfgs, |cfg| run_pair(&w, cfg));
     let pair_ex = pairs.pop().expect("exemplar run");
     let pair = pairs.pop().expect("base run");
@@ -74,13 +77,15 @@ fn main() {
     ];
     println!(
         "{}",
-        format_rows("Section 5.1 — Latbench (simulated base system)", &["base", "clust"], &rows)
+        format_rows(
+            "Section 5.1 — Latbench (simulated base system)",
+            &["base", "clust"],
+            &rows
+        )
     );
     let speedup =
         pair.base.avg_read_miss_stall_ns() / pair.clustered.avg_read_miss_stall_ns().max(1e-9);
-    println!(
-        "stall-per-miss speedup: {speedup:.2}x   (paper: 5.34x simulated, 5.77x Exemplar)"
-    );
+    println!("stall-per-miss speedup: {speedup:.2}x   (paper: 5.34x simulated, 5.77x Exemplar)");
 
     // The Exemplar-like configuration (second matrix result).
     let sp_ex = pair_ex.base.avg_read_miss_stall_ns()

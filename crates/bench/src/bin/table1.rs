@@ -10,10 +10,25 @@ use mempar_stats::{format_rows, Row};
 /// binary (and `--threads`/`--help` behave uniformly).
 const ROWS: &[fn(&MachineConfig) -> Row] = &[
     |c| Row::new("Clock rate", vec![format!("{} MHz", c.proc.clock_mhz)]),
-    |c| Row::new("Fetch rate", vec![format!("{} instructions/cycle", c.proc.width)]),
-    |c| Row::new("Instruction window", vec![format!("{} in-flight", c.proc.window)]),
+    |c| {
+        Row::new(
+            "Fetch rate",
+            vec![format!("{} instructions/cycle", c.proc.width)],
+        )
+    },
+    |c| {
+        Row::new(
+            "Instruction window",
+            vec![format!("{} in-flight", c.proc.window)],
+        )
+    },
     |c| Row::new("Memory queue size", vec![format!("{}", c.proc.mem_queue)]),
-    |c| Row::new("Outstanding branches", vec![format!("{}", c.proc.max_branches)]),
+    |c| {
+        Row::new(
+            "Outstanding branches",
+            vec![format!("{}", c.proc.max_branches)],
+        )
+    },
     |c| {
         Row::new(
             "Functional units",
@@ -59,7 +74,15 @@ const ROWS: &[fn(&MachineConfig) -> Row] = &[
             )],
         )
     },
-    |c| Row::new("Memory banks", vec![format!("{}-way, {:?} interleaving", c.mem.banks, c.mem.interleave)]),
+    |c| {
+        Row::new(
+            "Memory banks",
+            vec![format!(
+                "{}-way, {:?} interleaving",
+                c.mem.banks, c.mem.interleave
+            )],
+        )
+    },
     |c| {
         Row::new(
             "Bus",
@@ -88,7 +111,10 @@ fn main() {
     let c = MachineConfig::base_simulated(16, 64 * 1024);
     let l1 = c.l1.as_ref().expect("base config has an L1");
     let rows = run_matrix(args.threads, ROWS, |f| f(&c));
-    println!("{}", format_rows("Table 1: base simulated configuration", &["value"], &rows));
+    println!(
+        "{}",
+        format_rows("Table 1: base simulated configuration", &["value"], &rows)
+    );
     println!(
         "Unloaded latencies (cycles): L1 hit {}, L2 hit {}, local memory ~85,",
         l1.hit_latency, c.l2.hit_latency

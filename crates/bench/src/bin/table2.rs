@@ -27,7 +27,10 @@ fn main() {
     println!(
         "{}",
         format_rows(
-            &format!("Table 2: workloads (simulated sizes; data at scale {})", args.scale),
+            &format!(
+                "Table 2: workloads (simulated sizes; data at scale {})",
+                args.scale
+            ),
             &["paper input", "procs", "data@scale", "L2"],
             &rows
         )

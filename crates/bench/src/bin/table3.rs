@@ -35,11 +35,7 @@ fn main() {
     });
     let mut rows = Vec::new();
     for &app in &args.apps {
-        let cell = |mp: bool| {
-            jobs.iter()
-                .position(|&j| j == (app, mp))
-                .map(|i| &pairs[i])
-        };
+        let cell = |mp: bool| jobs.iter().position(|&j| j == (app, mp)).map(|i| &pairs[i]);
         let up = cell(false).expect("every app has a uniprocessor run");
         let mp_red = match cell(true) {
             Some(mp) => format!("{:5.1}", mp.percent_reduction()),
@@ -55,7 +51,11 @@ fn main() {
             vec![
                 mp_red,
                 format!("{:5.1}", up.percent_reduction()),
-                if pm.is_nan() { "  N/A".into() } else { format!("{pm:5.1}") },
+                if pm.is_nan() {
+                    "  N/A".into()
+                } else {
+                    format!("{pm:5.1}")
+                },
                 format!("{pu:5.1}"),
             ],
         ));

@@ -127,6 +127,9 @@ pub fn parse_args() -> HarnessArgs {
             other => usage_error(&format!("unknown flag {other}")),
         }
     }
+    if !out.scale.is_finite() || out.scale <= 0.0 {
+        usage_error("--scale expects a positive float");
+    }
     out
 }
 
@@ -163,7 +166,10 @@ pub fn run_app(app: App, cfg: &MachineConfig, scale: f64) -> RunPair {
     );
     let pair = run_pair(&w, cfg);
     if !pair.outputs_match {
-        eprintln!("WARNING: {} outputs differ between base and clustered!", app.name());
+        eprintln!(
+            "WARNING: {} outputs differ between base and clustered!",
+            app.name()
+        );
     }
     pair
 }

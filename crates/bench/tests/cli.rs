@@ -1,0 +1,67 @@
+//! Error-path tests for the shared `parse_args` CLI, driven through a
+//! real binary so the exit status and stderr contract is what users see.
+//!
+//! All harness binaries share `mempar_bench::parse_args`, so one binary
+//! (`table2`) stands in for all of them.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_table2"))
+        .args(args)
+        .output()
+        .expect("spawn table2")
+}
+
+fn assert_usage_exit(args: &[&str], needle: &str) {
+    let out = run(args);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "args {args:?}: expected exit 2, got {:?}",
+        out.status
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains(needle),
+        "args {args:?}: stderr missing {needle:?}:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("usage:"),
+        "args {args:?}: stderr missing usage string:\n{stderr}"
+    );
+}
+
+#[test]
+fn unknown_flag_exits_2_with_usage() {
+    assert_usage_exit(&["--bogus"], "unknown flag --bogus");
+}
+
+#[test]
+fn malformed_threads_exits_2_with_usage() {
+    assert_usage_exit(&["--threads", "many"], "--threads expects an integer");
+}
+
+#[test]
+fn zero_scale_exits_2_with_usage() {
+    assert_usage_exit(&["--scale", "0"], "--scale expects a positive float");
+    assert_usage_exit(&["--scale", "-1.5"], "--scale expects a positive float");
+    assert_usage_exit(&["--scale", "nan"], "--scale expects a positive float");
+}
+
+#[test]
+fn missing_value_exits_2_with_usage() {
+    assert_usage_exit(&["--scale"], "missing value for --scale");
+}
+
+#[test]
+fn unknown_app_exits_2_with_usage() {
+    assert_usage_exit(&["--apps", "NotAnApp"], "unknown app NotAnApp");
+}
+
+#[test]
+fn help_exits_0_and_prints_usage_to_stdout() {
+    let out = run(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage:"));
+}

@@ -102,7 +102,12 @@ mod tests {
 
     #[test]
     fn latbench_pair_speeds_up_and_matches() {
-        let w = latbench(LatbenchParams { chains: 16, chain_len: 64, pool: 1 << 15, seed: 3 });
+        let w = latbench(LatbenchParams {
+            chains: 16,
+            chain_len: 64,
+            pool: 1 << 15,
+            seed: 3,
+        });
         let cfg = MachineConfig::base_simulated(1, w.l2_bytes);
         let pair = run_pair(&w, &cfg);
         assert!(pair.outputs_match, "clustering must preserve results");

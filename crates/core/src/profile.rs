@@ -28,7 +28,14 @@ pub fn profile_miss_rates(prog: &Program, mem: &mut SimMem, cache: &CacheParams)
         let line = addr >> shift;
         let hit = tags.probe(line) != LineState::Invalid;
         if !hit {
-            tags.fill(line, if is_write { LineState::Modified } else { LineState::Shared });
+            tags.fill(
+                line,
+                if is_write {
+                    LineState::Modified
+                } else {
+                    LineState::Shared
+                },
+            );
         }
         if let Some(a) = mem.array_of_addr(addr) {
             accesses[a.index()] += 1;
@@ -110,7 +117,11 @@ mod tests {
             ArrayData::I64((0..4096i64).map(|x| (x * 8191) % (table as i64)).collect()),
         );
         let prof = profile_miss_rates(&p, &mut mem, &cache_64k());
-        assert!(prof.p_for(data) > 0.9, "scattered gather should miss: {}", prof.p_for(data));
+        assert!(
+            prof.p_for(data) > 0.9,
+            "scattered gather should miss: {}",
+            prof.p_for(data)
+        );
         // The index stream itself is spatial.
         assert!(prof.p_for(ind) < 0.2);
     }

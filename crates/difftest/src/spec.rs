@@ -1,0 +1,908 @@
+//! The shrinkable program specification behind the adversarial
+//! generator.
+//!
+//! A [`ProgSpec`] is a loop-nest *skeleton*: loops with
+//! constant/affine/scalar bounds, guarded branches, stores with affine +
+//! indirect + pointer-carried indices, scalar reductions and pointer
+//! chases. It deliberately carries **no array extents** — those are
+//! computed at materialization time by a conservative interval analysis
+//! of every index in the spec, so *any* spec (including every mutation
+//! the shrinker produces) materializes to an in-bounds program.
+//! References to out-of-scope loop variables (created when the shrinker
+//! unwraps a loop) simply drop out of the affine part; the spec space is
+//! closed under mutation.
+//!
+//! Materialization is a pure function of the spec: the same spec always
+//! yields the same program and the same deterministic initial data, so a
+//! pretty-printed spec is a complete reproducer.
+
+use mempar_ir::{
+    AffineExpr, ArrayData, ArrayId, ArrayRef, BinOp, Bound, CmpOp, Cond, Dist, DynIndex, Expr,
+    Index, Loop, Program, ProgramBuilder, ScalarId, SimMem, Stmt, UnOp, VarId,
+};
+
+/// Values stored in indirection arrays (and chased pointers) live in
+/// `[0, IND_RANGE)`; data-array extents absorb `scale * (IND_RANGE - 1)`.
+pub const IND_RANGE: i64 = 6;
+
+/// What the differential harness may soundly check for a spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Anything goes (self-updating stencils, aliasing views, chases
+    /// through mutated state): checked against the sequential
+    /// interpreter oracle only.
+    Seq,
+    /// Writes go only to write-only output arrays and array reads come
+    /// only from read-only inputs, so a redundant SPMD run is
+    /// deterministic: additionally checked under
+    /// [`mempar_ir::run_parallel_functional`].
+    ParClean,
+    /// Top-level loops are explicitly distributed with partitioned
+    /// writes (`out[var, ...]`), phases separated by barriers — the
+    /// Mp3d/MST class from the paper. Checked sequentially and in
+    /// parallel, and exercises the "explicitly parallel is trusted"
+    /// legality path.
+    Dist,
+}
+
+impl Mode {
+    /// Whether the parallel-functional oracle applies.
+    pub fn parallel_checked(self) -> bool {
+        !matches!(self, Mode::Seq)
+    }
+}
+
+/// Which array pool a reference targets. Pool indices out of range clamp
+/// to the last member (identically in the sizing and emission walks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SArr {
+    /// `d<k>`: f64 arrays, readable everywhere; writable only in
+    /// [`Mode::Seq`].
+    Data(usize),
+    /// `o<k>`: f64 arrays, the only legal store targets in
+    /// [`Mode::ParClean`] / [`Mode::Dist`].
+    Out(usize),
+}
+
+/// Dynamic index components.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SDyn {
+    /// `scale * ind<k>[coeff*var + off]` — index-array indirection.
+    Ind {
+        /// Indirection array number.
+        ind: usize,
+        /// Loop var of the inner (affine) index, if any.
+        inner_var: Option<u32>,
+        /// Coefficient on `inner_var`.
+        inner_coeff: i64,
+        /// Constant offset of the inner index.
+        inner_off: i64,
+        /// Multiplier on the loaded value (kept positive and small).
+        scale: i64,
+    },
+    /// `scale * p<k>` — pointer-carried index (chased scalar).
+    Ptr {
+        /// Pointer scalar number.
+        ptr: usize,
+        /// Multiplier on the pointer value.
+        scale: i64,
+    },
+}
+
+impl SDyn {
+    fn scale(&self) -> i64 {
+        match *self {
+            SDyn::Ind { scale, .. } | SDyn::Ptr { scale, .. } => scale,
+        }
+    }
+}
+
+/// One dimension of an index: affine terms over loop variables plus an
+/// optional dynamic (indirect / pointer-carried) part.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SIndex {
+    /// `(loop var, coefficient)` pairs; out-of-scope vars drop out.
+    pub terms: Vec<(u32, i64)>,
+    /// Constant offset (pre-shift; materialization re-bases to zero).
+    pub off: i64,
+    /// Optional dynamic component.
+    pub dynamic: Option<SDyn>,
+}
+
+impl SIndex {
+    /// A plain `var` index.
+    pub fn var(v: u32) -> Self {
+        SIndex {
+            terms: vec![(v, 1)],
+            off: 0,
+            dynamic: None,
+        }
+    }
+
+    /// A constant index.
+    pub fn konst(c: i64) -> Self {
+        SIndex {
+            terms: Vec::new(),
+            off: c,
+            dynamic: None,
+        }
+    }
+}
+
+/// Binary ops available to generated expressions. Division and square
+/// root are deliberately absent so generated values cannot become NaN
+/// and reductions stay exact dyadic rationals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `min`
+    Min,
+    /// `max`
+    Max,
+}
+
+impl SOp {
+    fn to_ir(self) -> BinOp {
+        match self {
+            SOp::Add => BinOp::Add,
+            SOp::Sub => BinOp::Sub,
+            SOp::Mul => BinOp::Mul,
+            SOp::Min => BinOp::Min,
+            SOp::Max => BinOp::Max,
+        }
+    }
+}
+
+/// Expression tree for right-hand sides.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SExpr {
+    /// Array load.
+    Load {
+        /// Source array.
+        arr: SArr,
+        /// One index per dimension of the source.
+        idx: Vec<SIndex>,
+    },
+    /// Read of f64 scalar `f<k>`.
+    ScalarF(usize),
+    /// Read of pointer scalar `p<k>` (an i64; mixes int into FP math).
+    Ptr(usize),
+    /// Loop variable as a value (out-of-scope vars materialize as 0).
+    Var(u32),
+    /// FP constant.
+    ConstF(f64),
+    /// Binary node.
+    Bin(SOp, Box<SExpr>, Box<SExpr>),
+    /// Negation.
+    Neg(Box<SExpr>),
+}
+
+/// Guard condition `coeff*var + off  OP  0` (affine, like the IR's).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SCond {
+    /// Guarded loop variable (out of scope ⇒ the term drops to 0).
+    pub var: u32,
+    /// Coefficient on `var`.
+    pub coeff: i64,
+    /// Constant offset.
+    pub off: i64,
+    /// Comparison against zero.
+    pub op: CmpOp,
+}
+
+/// Loop bounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SBound {
+    /// Constant.
+    Const(i64),
+    /// `coeff*var + off` over an enclosing loop variable (triangular /
+    /// trapezoidal nests). Out of scope ⇒ just `off`.
+    Affine {
+        /// Enclosing loop variable.
+        var: u32,
+        /// Coefficient.
+        coeff: i64,
+        /// Offset.
+        off: i64,
+    },
+    /// Value of bound scalar `n<k>` (read at loop entry).
+    ScalarB(usize),
+}
+
+/// A loop in the skeleton.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SLoop {
+    /// Spec-scoped variable number (unique per generated loop).
+    pub var: u32,
+    /// Lower bound.
+    pub lo: SBound,
+    /// Upper bound.
+    pub hi: SBound,
+    /// Step; nonzero (negative = backwards).
+    pub step: i64,
+    /// Processor distribution (only in [`Mode::Dist`] specs).
+    pub dist: Option<Dist>,
+    /// Loop body.
+    pub body: Vec<SStmt>,
+}
+
+/// Statements in the skeleton.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SStmt {
+    /// A (possibly nested) loop.
+    Loop(SLoop),
+    /// `target[idx...] = rhs`
+    Store {
+        /// Target array.
+        target: SArr,
+        /// One index per dimension.
+        idx: Vec<SIndex>,
+        /// Value stored.
+        rhs: SExpr,
+    },
+    /// `f<scalar> = rhs` — reduction accumulate or private temp def.
+    SetF {
+        /// f64 scalar number.
+        scalar: usize,
+        /// Value.
+        rhs: SExpr,
+    },
+    /// `p<ptr> = ind<ind>[p<ptr>]` — pointer chase.
+    Chase {
+        /// Pointer scalar number.
+        ptr: usize,
+        /// Indirection array number.
+        ind: usize,
+    },
+    /// Guarded branch.
+    If {
+        /// Condition.
+        cond: SCond,
+        /// Taken branch.
+        then_s: Vec<SStmt>,
+        /// Fallthrough branch.
+        else_s: Vec<SStmt>,
+    },
+    /// Global barrier (between top-level phases in [`Mode::Dist`]).
+    Barrier,
+}
+
+/// A complete generated program specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgSpec {
+    /// Generator seed (reproducer bookkeeping only — materialization is
+    /// a pure function of the spec).
+    pub seed: u64,
+    /// Oracle mode.
+    pub mode: Mode,
+    /// Processor count for the parallel-functional oracle.
+    pub nprocs: usize,
+    /// Rank (1 or 2) of each data array `d<k>`.
+    pub data_rank: Vec<usize>,
+    /// Rank (1 or 2) of each output array `o<k>`.
+    pub out_rank: Vec<usize>,
+    /// Number of indirection arrays `ind<k>`.
+    pub n_ind: usize,
+    /// Number of f64 scalars `f<k>`.
+    pub n_fscalars: usize,
+    /// Number of pointer scalars `p<k>` (init 0).
+    pub n_ptrs: usize,
+    /// Values of loop-bound scalars `n<k>`.
+    pub bound_scalars: Vec<i64>,
+    /// Top-level statements.
+    pub stmts: Vec<SStmt>,
+}
+
+/// A materialized spec: the program plus deterministic initial data.
+#[derive(Debug, Clone)]
+pub struct Built {
+    /// The in-bounds-by-construction program.
+    pub prog: Program,
+    /// Oracle mode carried over from the spec.
+    pub mode: Mode,
+    /// Parallel-oracle processor count.
+    pub nprocs: usize,
+    /// Non-zero initial array contents (data + ind arrays).
+    pub init: Vec<(ArrayId, ArrayData)>,
+}
+
+impl Built {
+    /// Fresh memory with the canonical initial data installed.
+    pub fn memory(&self, nprocs: usize) -> SimMem {
+        let mut mem = SimMem::new(&self.prog, nprocs);
+        for (id, data) in &self.init {
+            mem.set_array(*id, data.clone());
+        }
+        mem
+    }
+}
+
+/// Deterministic f64 init for element `k` of data array `a`: exact
+/// dyadic multiples of 0.5 in `[-4.5, 4.5]`, so sums and small products
+/// are exactly representable and reassociation-safe.
+pub fn data_init(a: usize, k: usize) -> f64 {
+    (((k * 37 + a * 101 + 3) % 19) as f64 - 9.0) * 0.5
+}
+
+/// Deterministic init for element `k` of indirection array `a`: always
+/// in `[0, IND_RANGE)` so indirect indices and chases stay in bounds.
+pub fn ind_init(a: usize, k: usize) -> i64 {
+    ((k * 13 + a * 7 + 5) % IND_RANGE as usize) as i64
+}
+
+/// Deterministic init for f64 scalar `k` (exact dyadic).
+pub fn fscalar_init(k: usize) -> f64 {
+    ((k % 7) as f64 - 3.0) * 0.5
+}
+
+/// Inclusive interval.
+type Iv = (i64, i64);
+
+fn iv_add(a: Iv, b: Iv) -> Iv {
+    (a.0 + b.0, a.1 + b.1)
+}
+
+fn iv_scale(a: Iv, c: i64) -> Iv {
+    if c >= 0 {
+        (a.0 * c, a.1 * c)
+    } else {
+        (a.1 * c, a.0 * c)
+    }
+}
+
+/// Scope stack of `(spec var, value interval)` maintained identically by
+/// the sizing and emission walks.
+#[derive(Debug, Default)]
+struct Scopes(Vec<(u32, Iv)>);
+
+impl Scopes {
+    fn lookup(&self, v: u32) -> Option<Iv> {
+        self.0
+            .iter()
+            .rev()
+            .find(|&&(w, _)| w == v)
+            .map(|&(_, iv)| iv)
+    }
+}
+
+fn clamp(k: usize, n: usize) -> usize {
+    debug_assert!(n > 0);
+    k.min(n - 1)
+}
+
+impl ProgSpec {
+    fn n_data(&self) -> usize {
+        self.data_rank.len().max(1)
+    }
+
+    fn n_out(&self) -> usize {
+        self.out_rank.len().max(1)
+    }
+
+    fn n_ind_eff(&self) -> usize {
+        self.n_ind.max(1)
+    }
+
+    fn n_f_eff(&self) -> usize {
+        self.n_fscalars.max(1)
+    }
+
+    fn n_ptr_eff(&self) -> usize {
+        self.n_ptrs.max(1)
+    }
+
+    fn n_bound_eff(&self) -> usize {
+        self.bound_scalars.len().max(1)
+    }
+
+    fn bound_scalar_val(&self, k: usize) -> i64 {
+        self.bound_scalars
+            .get(clamp(k, self.n_bound_eff()))
+            .copied()
+            .unwrap_or(2)
+    }
+}
+
+fn bound_iv(b: &SBound, scopes: &Scopes, spec: &ProgSpec) -> Iv {
+    match *b {
+        SBound::Const(c) => (c, c),
+        SBound::Affine { var, coeff, off } => match scopes.lookup(var) {
+            Some(iv) => iv_add(iv_scale(iv, coeff), (off, off)),
+            None => (off, off),
+        },
+        SBound::ScalarB(k) => {
+            let v = spec.bound_scalar_val(k);
+            (v, v)
+        }
+    }
+}
+
+/// The value interval a loop variable ranges over: the interpreter keeps
+/// a loop variable inside `[lo, hi - 1]` for either step sign, and empty
+/// loops access nothing, so `[lo_min, max(hi_max - 1, lo_min)]` is a
+/// sound superset.
+fn loop_var_iv(l: &SLoop, scopes: &Scopes, spec: &ProgSpec) -> Iv {
+    let lo = bound_iv(&l.lo, scopes, spec);
+    let hi = bound_iv(&l.hi, scopes, spec);
+    (lo.0, (hi.1 - 1).max(lo.0))
+}
+
+/// Conservative interval of one index dimension, pre-shift.
+fn index_iv(ix: &SIndex, scopes: &Scopes) -> Iv {
+    let mut iv = (ix.off, ix.off);
+    for &(v, c) in &ix.terms {
+        if let Some(r) = scopes.lookup(v) {
+            iv = iv_add(iv, iv_scale(r, c));
+        }
+    }
+    if let Some(d) = &ix.dynamic {
+        // Dynamic values live in [0, IND_RANGE).
+        iv = iv_add(iv, iv_scale((0, IND_RANGE - 1), d.scale()));
+    }
+    iv
+}
+
+/// Interval of the *inner* (affine) index of an indirection.
+fn ind_inner_iv(d: &SDyn, scopes: &Scopes) -> Iv {
+    match *d {
+        SDyn::Ind {
+            inner_var,
+            inner_coeff,
+            inner_off,
+            ..
+        } => {
+            let base = (inner_off, inner_off);
+            match inner_var.and_then(|v| scopes.lookup(v)) {
+                Some(r) => iv_add(iv_scale(r, inner_coeff), base),
+                None => base,
+            }
+        }
+        SDyn::Ptr { .. } => (0, IND_RANGE - 1),
+    }
+}
+
+/// Per-(array, dim) extent requirements harvested by the sizing walk.
+struct Extents {
+    data: Vec<Vec<usize>>,
+    out: Vec<Vec<usize>>,
+    ind: Vec<usize>,
+}
+
+impl Extents {
+    fn new(spec: &ProgSpec) -> Self {
+        Extents {
+            data: (0..spec.n_data())
+                .map(|k| vec![1; spec.data_rank.get(k).copied().unwrap_or(1)])
+                .collect(),
+            out: (0..spec.n_out())
+                .map(|k| vec![1; spec.out_rank.get(k).copied().unwrap_or(1)])
+                .collect(),
+            // Chases need every stored value in [0, IND_RANGE) to be a
+            // valid index.
+            ind: vec![IND_RANGE as usize; spec.n_ind_eff()],
+        }
+    }
+
+    fn need(&mut self, spec: &ProgSpec, arr: SArr, dim: usize, ext: usize) {
+        let slot = match arr {
+            SArr::Data(k) => self.data[clamp(k, spec.n_data())].get_mut(dim),
+            SArr::Out(k) => self.out[clamp(k, spec.n_out())].get_mut(dim),
+        };
+        if let Some(s) = slot {
+            *s = (*s).max(ext);
+        }
+    }
+
+    fn need_ind(&mut self, spec: &ProgSpec, k: usize, ext: usize) {
+        let slot = clamp(k, spec.n_ind_eff());
+        self.ind[slot] = self.ind[slot].max(ext);
+    }
+}
+
+/// Sizing walk: records the extent every reference needs.
+fn size_ref(spec: &ProgSpec, arr: SArr, idx: &[SIndex], scopes: &Scopes, ext: &mut Extents) {
+    for (d, ix) in idx.iter().enumerate() {
+        let (mn, mx) = index_iv(ix, scopes);
+        ext.need(spec, arr, d, (mx - mn + 1).max(1) as usize);
+        if let Some(dy @ SDyn::Ind { ind, .. }) = &ix.dynamic {
+            let (imn, imx) = ind_inner_iv(dy, scopes);
+            ext.need_ind(spec, *ind, (imx - imn + 1).max(1) as usize);
+        }
+    }
+}
+
+fn size_expr(spec: &ProgSpec, e: &SExpr, scopes: &Scopes, ext: &mut Extents) {
+    match e {
+        SExpr::Load { arr, idx } => size_ref(spec, *arr, idx, scopes, ext),
+        SExpr::Bin(_, a, b) => {
+            size_expr(spec, a, scopes, ext);
+            size_expr(spec, b, scopes, ext);
+        }
+        SExpr::Neg(a) => size_expr(spec, a, scopes, ext),
+        _ => {}
+    }
+}
+
+fn size_body(spec: &ProgSpec, body: &[SStmt], scopes: &mut Scopes, ext: &mut Extents) {
+    for s in body {
+        match s {
+            SStmt::Loop(l) => {
+                let iv = loop_var_iv(l, scopes, spec);
+                scopes.0.push((l.var, iv));
+                size_body(spec, &l.body, scopes, ext);
+                scopes.0.pop();
+            }
+            SStmt::Store { target, idx, rhs } => {
+                size_ref(spec, *target, idx, scopes, ext);
+                size_expr(spec, rhs, scopes, ext);
+            }
+            SStmt::SetF { rhs, .. } => size_expr(spec, rhs, scopes, ext),
+            SStmt::Chase { .. } | SStmt::Barrier => {}
+            SStmt::If { then_s, else_s, .. } => {
+                size_body(spec, then_s, scopes, ext);
+                size_body(spec, else_s, scopes, ext);
+            }
+        }
+    }
+}
+
+/// Ids allocated at declaration time.
+struct Ids {
+    data: Vec<ArrayId>,
+    out: Vec<ArrayId>,
+    ind: Vec<ArrayId>,
+    fscalars: Vec<ScalarId>,
+    ptrs: Vec<ScalarId>,
+    bounds: Vec<ScalarId>,
+    vars: std::collections::HashMap<u32, VarId>,
+}
+
+impl Ids {
+    fn arr(&self, spec: &ProgSpec, arr: SArr) -> ArrayId {
+        match arr {
+            SArr::Data(k) => self.data[clamp(k, spec.n_data())],
+            SArr::Out(k) => self.out[clamp(k, spec.n_out())],
+        }
+    }
+
+    fn ptr(&self, spec: &ProgSpec, k: usize) -> ScalarId {
+        self.ptrs[clamp(k, spec.n_ptr_eff())]
+    }
+}
+
+fn emit_index(spec: &ProgSpec, ix: &SIndex, scopes: &Scopes, ids: &Ids) -> Index {
+    let (mn, _) = index_iv(ix, scopes);
+    // Shift by -mn so the materialized index range starts at zero.
+    let mut e = AffineExpr::konst(ix.off - mn);
+    for &(v, c) in &ix.terms {
+        if scopes.lookup(v).is_some() {
+            e = e.add(&AffineExpr::scaled_var(ids.vars[&v], c, 0));
+        }
+    }
+    let dynamic = ix.dynamic.as_ref().map(|d| match *d {
+        SDyn::Ind {
+            ind,
+            inner_var,
+            inner_coeff,
+            inner_off,
+            scale,
+        } => {
+            let (imn, _) = ind_inner_iv(d, scopes);
+            let mut inner = AffineExpr::konst(inner_off - imn);
+            if let Some(v) = inner_var {
+                if scopes.lookup(v).is_some() {
+                    inner = inner.add(&AffineExpr::scaled_var(ids.vars[&v], inner_coeff, 0));
+                }
+            }
+            let arr = ids.ind[clamp(ind, spec.n_ind_eff())];
+            DynIndex::Indirect {
+                inner: Box::new(ArrayRef::new(arr, vec![Index::affine(inner)])),
+                scale,
+            }
+        }
+        SDyn::Ptr { ptr, scale } => DynIndex::Scalar {
+            scalar: ids.ptr(spec, ptr),
+            scale,
+        },
+    });
+    Index { affine: e, dynamic }
+}
+
+fn emit_expr(spec: &ProgSpec, e: &SExpr, scopes: &Scopes, ids: &Ids) -> Expr {
+    match e {
+        SExpr::Load { arr, idx } => {
+            let indices: Vec<Index> = idx
+                .iter()
+                .map(|ix| emit_index(spec, ix, scopes, ids))
+                .collect();
+            Expr::Load(ArrayRef::new(ids.arr(spec, *arr), indices))
+        }
+        SExpr::ScalarF(k) => Expr::Scalar(ids.fscalars[clamp(*k, spec.n_f_eff())]),
+        SExpr::Ptr(k) => Expr::Scalar(ids.ptr(spec, *k)),
+        SExpr::Var(v) => match scopes.lookup(*v) {
+            Some(_) => Expr::LoopVar(ids.vars[v]),
+            None => Expr::ConstI(0),
+        },
+        SExpr::ConstF(x) => Expr::ConstF(*x),
+        SExpr::Bin(op, x, y) => Expr::bin(
+            op.to_ir(),
+            emit_expr(spec, x, scopes, ids),
+            emit_expr(spec, y, scopes, ids),
+        ),
+        SExpr::Neg(x) => Expr::Unary(UnOp::Neg, Box::new(emit_expr(spec, x, scopes, ids))),
+    }
+}
+
+fn emit_bound(spec: &ProgSpec, b: &SBound, scopes: &Scopes, ids: &Ids) -> Bound {
+    match *b {
+        SBound::Const(c) => Bound::Const(c),
+        SBound::Affine { var, coeff, off } => match scopes.lookup(var) {
+            Some(_) => Bound::Affine(AffineExpr::scaled_var(ids.vars[&var], coeff, off)),
+            None => Bound::Const(off),
+        },
+        SBound::ScalarB(k) => Bound::Scalar(ids.bounds[clamp(k, spec.n_bound_eff())]),
+    }
+}
+
+fn emit_body(spec: &ProgSpec, body: &[SStmt], scopes: &mut Scopes, ids: &Ids) -> Vec<Stmt> {
+    let mut out = Vec::with_capacity(body.len());
+    for s in body {
+        match s {
+            SStmt::Loop(l) => {
+                let iv = loop_var_iv(l, scopes, spec);
+                let lo = emit_bound(spec, &l.lo, scopes, ids);
+                let hi = emit_bound(spec, &l.hi, scopes, ids);
+                scopes.0.push((l.var, iv));
+                let inner = emit_body(spec, &l.body, scopes, ids);
+                scopes.0.pop();
+                out.push(Stmt::Loop(Loop {
+                    var: ids.vars[&l.var],
+                    lo,
+                    hi,
+                    step: if l.step == 0 { 1 } else { l.step },
+                    dist: l.dist,
+                    body: inner,
+                }));
+            }
+            SStmt::Store { target, idx, rhs } => {
+                let indices: Vec<Index> = idx
+                    .iter()
+                    .map(|ix| emit_index(spec, ix, scopes, ids))
+                    .collect();
+                out.push(Stmt::AssignArray {
+                    lhs: ArrayRef::new(ids.arr(spec, *target), indices),
+                    rhs: emit_expr(spec, rhs, scopes, ids),
+                });
+            }
+            SStmt::SetF { scalar, rhs } => out.push(Stmt::AssignScalar {
+                lhs: ids.fscalars[clamp(*scalar, spec.n_f_eff())],
+                rhs: emit_expr(spec, rhs, scopes, ids),
+            }),
+            SStmt::Chase { ptr, ind } => {
+                let p = ids.ptr(spec, *ptr);
+                let arr = ids.ind[clamp(*ind, spec.n_ind_eff())];
+                out.push(Stmt::AssignScalar {
+                    lhs: p,
+                    rhs: Expr::Load(ArrayRef::new(arr, vec![Index::scalar(p)])),
+                });
+            }
+            SStmt::If {
+                cond,
+                then_s,
+                else_s,
+            } => {
+                let lhs = match scopes.lookup(cond.var) {
+                    Some(_) => AffineExpr::scaled_var(ids.vars[&cond.var], cond.coeff, cond.off),
+                    None => AffineExpr::konst(cond.off),
+                };
+                let then_branch = emit_body(spec, then_s, scopes, ids);
+                let else_branch = emit_body(spec, else_s, scopes, ids);
+                out.push(Stmt::If {
+                    cond: Cond::new(lhs, cond.op),
+                    then_branch,
+                    else_branch,
+                });
+            }
+            SStmt::Barrier => out.push(Stmt::Barrier),
+        }
+    }
+    out
+}
+
+fn collect_vars(body: &[SStmt], acc: &mut Vec<u32>) {
+    for s in body {
+        match s {
+            SStmt::Loop(l) => {
+                if !acc.contains(&l.var) {
+                    acc.push(l.var);
+                }
+                collect_vars(&l.body, acc);
+            }
+            SStmt::If { then_s, else_s, .. } => {
+                collect_vars(then_s, acc);
+                collect_vars(else_s, acc);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Materializes a spec into an in-bounds program with deterministic
+/// initial data. Pure: same spec ⇒ same [`Built`].
+pub fn materialize(spec: &ProgSpec) -> Built {
+    // Pass 1: conservative extents for every reference.
+    let mut ext = Extents::new(spec);
+    size_body(spec, &spec.stmts, &mut Scopes::default(), &mut ext);
+
+    // Pass 2: declarations.
+    let mut b = ProgramBuilder::new(format!("gen_{:016x}", spec.seed));
+    let mut ids = Ids {
+        data: Vec::new(),
+        out: Vec::new(),
+        ind: Vec::new(),
+        fscalars: Vec::new(),
+        ptrs: Vec::new(),
+        bounds: Vec::new(),
+        vars: std::collections::HashMap::new(),
+    };
+    for (k, dims) in ext.data.iter().enumerate() {
+        ids.data.push(b.array_f64(format!("d{k}"), dims));
+    }
+    for (k, dims) in ext.out.iter().enumerate() {
+        ids.out.push(b.array_f64(format!("o{k}"), dims));
+    }
+    for (k, n) in ext.ind.iter().enumerate() {
+        ids.ind.push(b.array_i64(format!("ind{k}"), &[*n]));
+    }
+    for k in 0..spec.n_f_eff() {
+        ids.fscalars
+            .push(b.scalar_f64(format!("f{k}"), fscalar_init(k)));
+    }
+    for k in 0..spec.n_ptr_eff() {
+        ids.ptrs.push(b.scalar_i64(format!("p{k}"), 0));
+    }
+    for k in 0..spec.n_bound_eff() {
+        ids.bounds
+            .push(b.scalar_i64(format!("n{k}"), spec.bound_scalar_val(k)));
+    }
+    let mut vars = Vec::new();
+    collect_vars(&spec.stmts, &mut vars);
+    for v in vars {
+        ids.vars.insert(v, b.var(format!("v{v}")));
+    }
+
+    // Pass 3: emission (same interval walk as sizing).
+    let body = emit_body(spec, &spec.stmts, &mut Scopes::default(), &ids);
+    let mut prog = b.finish();
+    prog.body = body;
+
+    // Deterministic initial contents.
+    let mut init = Vec::new();
+    for (k, dims) in ext.data.iter().enumerate() {
+        let n: usize = dims.iter().product();
+        init.push((
+            ids.data[k],
+            ArrayData::F64((0..n).map(|i| data_init(k, i)).collect()),
+        ));
+    }
+    for (k, n) in ext.ind.iter().enumerate() {
+        init.push((
+            ids.ind[k],
+            ArrayData::I64((0..*n).map(|i| ind_init(k, i)).collect()),
+        ));
+    }
+
+    Built {
+        prog,
+        mode: spec.mode,
+        nprocs: spec.nprocs.max(2),
+        init,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mempar_ir::run_single;
+
+    fn tiny_spec() -> ProgSpec {
+        ProgSpec {
+            seed: 1,
+            mode: Mode::Seq,
+            nprocs: 2,
+            data_rank: vec![1],
+            out_rank: vec![1],
+            n_ind: 1,
+            n_fscalars: 1,
+            n_ptrs: 1,
+            bound_scalars: vec![5],
+            stmts: vec![SStmt::Loop(SLoop {
+                var: 0,
+                lo: SBound::Const(0),
+                hi: SBound::ScalarB(0),
+                step: 1,
+                dist: None,
+                body: vec![SStmt::Store {
+                    target: SArr::Out(0),
+                    idx: vec![SIndex {
+                        terms: vec![(0, 2)],
+                        off: -3,
+                        dynamic: Some(SDyn::Ind {
+                            ind: 0,
+                            inner_var: Some(0),
+                            inner_coeff: 1,
+                            inner_off: 0,
+                            scale: 2,
+                        }),
+                    }],
+                    rhs: SExpr::Bin(
+                        SOp::Add,
+                        Box::new(SExpr::Load {
+                            arr: SArr::Data(0),
+                            idx: vec![SIndex::var(0)],
+                        }),
+                        Box::new(SExpr::Var(0)),
+                    ),
+                }],
+            })],
+        }
+    }
+
+    #[test]
+    fn materialized_spec_validates_and_runs() {
+        let built = materialize(&tiny_spec());
+        assert!(
+            built.prog.validate().is_empty(),
+            "{:?}",
+            built.prog.validate()
+        );
+        let mut mem = built.memory(1);
+        let s = run_single(&built.prog, &mut mem);
+        assert_eq!(s.stores, 5);
+    }
+
+    #[test]
+    fn negative_offsets_are_rebased_in_bounds() {
+        let mut spec = tiny_spec();
+        // An aggressively negative offset with a backwards loop.
+        if let SStmt::Loop(l) = &mut spec.stmts[0] {
+            l.step = -1;
+            if let SStmt::Store { idx, .. } = &mut l.body[0] {
+                idx[0].off = -100;
+            }
+        }
+        let built = materialize(&spec);
+        assert!(built.prog.validate().is_empty());
+        let mut mem = built.memory(1);
+        run_single(&built.prog, &mut mem);
+    }
+
+    #[test]
+    fn out_of_scope_vars_drop_out() {
+        let mut spec = tiny_spec();
+        // Reference loop var 7, which no loop defines.
+        if let SStmt::Loop(l) = &mut spec.stmts[0] {
+            if let SStmt::Store { idx, .. } = &mut l.body[0] {
+                idx[0].terms.push((7, 4));
+            }
+        }
+        let built = materialize(&spec);
+        assert!(built.prog.validate().is_empty());
+        let mut mem = built.memory(1);
+        run_single(&built.prog, &mut mem);
+    }
+
+    #[test]
+    fn materialize_is_pure() {
+        let a = materialize(&tiny_spec());
+        let b = materialize(&tiny_spec());
+        assert_eq!(a.prog, b.prog);
+        let (ma, mb) = (a.memory(1), b.memory(1));
+        assert_eq!(ma.fingerprint(), mb.fingerprint());
+    }
+}

@@ -38,7 +38,10 @@ impl ProgramBuilder {
     /// Starts a new program with the given name.
     pub fn new(name: impl Into<String>) -> Self {
         ProgramBuilder {
-            prog: Program { name: name.into(), ..Program::default() },
+            prog: Program {
+                name: name.into(),
+                ..Program::default()
+            },
             stack: vec![Vec::new()],
         }
     }
@@ -53,10 +56,19 @@ impl ProgramBuilder {
         self.declare_array(name, dims, ElemType::I64)
     }
 
-    fn declare_array(&mut self, name: impl Into<String>, dims: &[usize], elem: ElemType) -> ArrayId {
+    fn declare_array(
+        &mut self,
+        name: impl Into<String>,
+        dims: &[usize],
+        elem: ElemType,
+    ) -> ArrayId {
         assert!(!dims.is_empty(), "arrays need at least one dimension");
         let id = ArrayId::from_raw(self.prog.arrays.len() as u32);
-        self.prog.arrays.push(ArrayDecl { name: name.into(), dims: dims.to_vec(), elem });
+        self.prog.arrays.push(ArrayDecl {
+            name: name.into(),
+            dims: dims.to_vec(),
+            elem,
+        });
         id
     }
 
@@ -257,7 +269,14 @@ impl ProgramBuilder {
     }
 
     /// A parallel loop distributed over processors.
-    pub fn for_dist(&mut self, var: VarId, lo: i64, hi: i64, dist: Dist, f: impl FnOnce(&mut Self)) {
+    pub fn for_dist(
+        &mut self,
+        var: VarId,
+        lo: i64,
+        hi: i64,
+        dist: Dist,
+        f: impl FnOnce(&mut Self),
+    ) {
         self.for_loop(var, lo, hi, 1, Some(dist), f);
     }
 
@@ -269,7 +288,14 @@ impl ProgramBuilder {
         hi: impl Into<AffineExpr>,
         f: impl FnOnce(&mut Self),
     ) {
-        self.for_loop(var, Bound::from(lo.into()), Bound::from(hi.into()), 1, None, f);
+        self.for_loop(
+            var,
+            Bound::from(lo.into()),
+            Bound::from(hi.into()),
+            1,
+            None,
+            f,
+        );
     }
 
     /// `for var in lo..n` where `n` is a scalar read at loop entry.
@@ -282,7 +308,11 @@ impl ProgramBuilder {
         self.stack.push(Vec::new());
         f(self);
         let then_branch = self.stack.pop().expect("matching push");
-        self.push_stmt(Stmt::If { cond, then_branch, else_branch: Vec::new() });
+        self.push_stmt(Stmt::If {
+            cond,
+            then_branch,
+            else_branch: Vec::new(),
+        });
     }
 
     /// `if cond { ... } else { ... }`
@@ -298,7 +328,11 @@ impl ProgramBuilder {
         self.stack.push(Vec::new());
         f_else(self);
         let else_branch = self.stack.pop().expect("matching push");
-        self.push_stmt(Stmt::If { cond, then_branch, else_branch });
+        self.push_stmt(Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        });
     }
 
     /// Finalizes and returns the program.
@@ -331,9 +365,13 @@ mod tests {
         });
         let p = b.finish();
         assert_eq!(p.body.len(), 1);
-        let Stmt::Loop(outer) = &p.body[0] else { panic!("expected loop") };
+        let Stmt::Loop(outer) = &p.body[0] else {
+            panic!("expected loop")
+        };
         assert_eq!(outer.var, j);
-        let Stmt::Loop(inner) = &outer.body[0] else { panic!("expected inner loop") };
+        let Stmt::Loop(inner) = &outer.body[0] else {
+            panic!("expected inner loop")
+        };
         assert_eq!(inner.var, i);
         assert_eq!(inner.body.len(), 1);
     }
@@ -359,7 +397,14 @@ mod tests {
         });
         let p = b.finish();
         let Stmt::Loop(l) = &p.body[0] else { panic!() };
-        let Stmt::If { then_branch, else_branch, .. } = &l.body[0] else { panic!() };
+        let Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } = &l.body[0]
+        else {
+            panic!()
+        };
         assert_eq!(then_branch.len(), 1);
         assert_eq!(else_branch.len(), 1);
     }

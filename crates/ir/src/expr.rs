@@ -19,17 +19,26 @@ pub struct AffineExpr {
 impl AffineExpr {
     /// The constant expression `c`.
     pub fn konst(c: i64) -> Self {
-        AffineExpr { coeffs: Vec::new(), konst: c }
+        AffineExpr {
+            coeffs: Vec::new(),
+            konst: c,
+        }
     }
 
     /// The expression `v` (a bare loop variable).
     pub fn var(v: VarId) -> Self {
-        AffineExpr { coeffs: vec![(v, 1)], konst: 0 }
+        AffineExpr {
+            coeffs: vec![(v, 1)],
+            konst: 0,
+        }
     }
 
     /// The expression `scale * v + offset`.
     pub fn scaled_var(v: VarId, scale: i64, offset: i64) -> Self {
-        let mut e = AffineExpr { coeffs: vec![(v, scale)], konst: offset };
+        let mut e = AffineExpr {
+            coeffs: vec![(v, scale)],
+            konst: offset,
+        };
         e.normalize();
         e
     }
@@ -127,12 +136,7 @@ impl AffineExpr {
 
     /// Evaluates the expression with `lookup` supplying variable values.
     pub fn eval(&self, mut lookup: impl FnMut(VarId) -> i64) -> i64 {
-        self.konst
-            + self
-                .coeffs
-                .iter()
-                .map(|&(v, c)| c * lookup(v))
-                .sum::<i64>()
+        self.konst + self.coeffs.iter().map(|&(v, c)| c * lookup(v)).sum::<i64>()
     }
 
     /// Variables referenced (with nonzero coefficient).

@@ -17,9 +17,7 @@ use std::collections::VecDeque;
 
 use crate::expr::{BinOp, Cond, Expr, UnOp};
 use crate::mem::SimMem;
-use crate::program::{
-    ArrayRef, Bound, Dist, DynIndex, ElemType, Loop, Program, Stmt, VarId,
-};
+use crate::program::{ArrayRef, Bound, Dist, DynIndex, ElemType, Loop, Program, Stmt, VarId};
 use crate::trace::{DynOp, FpUnit, OpKind, SrcList};
 
 /// A dynamically-typed value (scalars, expression results).
@@ -134,7 +132,10 @@ impl<'p> Interp<'p> {
             var_vregs: vec![0; prog.var_names.len()],
             next_vreg: 1,
             buf: VecDeque::with_capacity(64),
-            stack: vec![Frame::Seq { stmts: &prog.body, pos: 0 }],
+            stack: vec![Frame::Seq {
+                stmts: &prog.body,
+                pos: 0,
+            }],
             barriers_seen: 0,
             halted: false,
         }
@@ -204,7 +205,15 @@ impl<'p> Interp<'p> {
                 *pos += 1;
                 self.exec_stmt(stmt, mem);
             }
-            Frame::LoopIter { lp, k, k_end, k_stride, var0, var_step, bound_vreg } => {
+            Frame::LoopIter {
+                lp,
+                k,
+                k_end,
+                k_stride,
+                var0,
+                var_step,
+                bound_vreg,
+            } => {
                 if *k >= *k_end {
                     self.stack.pop();
                     return;
@@ -237,7 +246,10 @@ impl<'p> Interp<'p> {
         self.emit(OpKind::Branch, bsrcs, None);
         self.var_vals[var.index()] = value;
         self.var_vregs[var.index()] = counter;
-        self.stack.push(Frame::Seq { stmts: &lp.body, pos: 0 });
+        self.stack.push(Frame::Seq {
+            stmts: &lp.body,
+            pos: 0,
+        });
     }
 
     fn exec_stmt(&mut self, stmt: &'p Stmt, mem: &mut SimMem) {
@@ -267,11 +279,18 @@ impl<'p> Interp<'p> {
                 self.scalar_vregs[lhs.index()] = vreg;
             }
             Stmt::Loop(lp) => self.enter_loop(lp),
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let taken = self.eval_cond(cond);
                 let branch = if taken { then_branch } else { else_branch };
                 if !branch.is_empty() {
-                    self.stack.push(Frame::Seq { stmts: branch, pos: 0 });
+                    self.stack.push(Frame::Seq {
+                        stmts: branch,
+                        pos: 0,
+                    });
                 }
             }
             Stmt::Barrier => {
@@ -324,9 +343,17 @@ impl<'p> Interp<'p> {
                     }
                 }
                 Some(DynIndex::Indirect { inner, scale }) => {
-                    let (iv, ireg) = self.load_ref(inner, mem);
+                    // The index load feeding a prefetch address is part
+                    // of the non-faulting prefetch: transforms shift it
+                    // past the loop bounds too, so clamp its resolution
+                    // like the target's own dimensions.
+                    let (iaddr, isrcs) = self.resolve_ref_clamped(inner, mem);
+                    let bits = mem.load_bits(iaddr);
+                    let dst = self.fresh();
+                    self.emit(OpKind::Load { addr: iaddr }, isrcs, Some(dst));
+                    let iv = Val::from_bits(bits, self.prog.array(inner.array).elem);
                     v += iv.as_i64() * scale;
-                    srcs.push(ireg);
+                    srcs.push(dst);
                 }
             }
             let v = v.clamp(0, decl.dims[d] as i64 - 1);
@@ -373,7 +400,11 @@ impl<'p> Interp<'p> {
                 let n = n as i64;
                 let chunk = (trip + n - 1) / n;
                 let start = (self.proc_id as i64) * chunk;
-                (start.min(trip), ((start + chunk).min(trip)).max(start.min(trip)), 1)
+                (
+                    start.min(trip),
+                    ((start + chunk).min(trip)).max(start.min(trip)),
+                    1,
+                )
             }
             (Some(Dist::Cyclic), n) => (self.proc_id as i64, trip, n as i64),
         };
@@ -490,14 +521,23 @@ impl<'p> Interp<'p> {
             Expr::Unary(op, a) => {
                 let (av, areg) = self.eval(a, mem);
                 let (val, kind) = match (op, av) {
-                    (UnOp::Neg, Val::F(x)) => (Val::F(-x), OpKind::Fp { unit: FpUnit::Arith }),
-                    (UnOp::Neg, Val::I(x)) => (Val::I(-x), OpKind::Int),
-                    (UnOp::Abs, Val::F(x)) => (Val::F(x.abs()), OpKind::Fp { unit: FpUnit::Arith }),
-                    (UnOp::Abs, Val::I(x)) => (Val::I(x.abs()), OpKind::Int),
-                    (UnOp::Sqrt, v) => (
-                        Val::F(v.as_f64().sqrt()),
-                        OpKind::Fp { unit: FpUnit::Sqrt },
+                    (UnOp::Neg, Val::F(x)) => (
+                        Val::F(-x),
+                        OpKind::Fp {
+                            unit: FpUnit::Arith,
+                        },
                     ),
+                    (UnOp::Neg, Val::I(x)) => (Val::I(-x), OpKind::Int),
+                    (UnOp::Abs, Val::F(x)) => (
+                        Val::F(x.abs()),
+                        OpKind::Fp {
+                            unit: FpUnit::Arith,
+                        },
+                    ),
+                    (UnOp::Abs, Val::I(x)) => (Val::I(x.abs()), OpKind::Int),
+                    (UnOp::Sqrt, v) => {
+                        (Val::F(v.as_f64().sqrt()), OpKind::Fp { unit: FpUnit::Sqrt })
+                    }
                 };
                 let dst = self.fresh();
                 let mut srcs = SrcList::new();
@@ -540,7 +580,9 @@ impl<'p> Interp<'p> {
                 };
                 let kind = match (float, op) {
                     (true, BinOp::Div) => OpKind::Fp { unit: FpUnit::Div },
-                    (true, _) => OpKind::Fp { unit: FpUnit::Arith },
+                    (true, _) => OpKind::Fp {
+                        unit: FpUnit::Arith,
+                    },
                     (false, BinOp::Mul) | (false, BinOp::Div) => OpKind::IntMul,
                     (false, _) => OpKind::Int,
                 };
@@ -586,15 +628,14 @@ pub fn run_parallel_functional(prog: &Program, mem: &mut SimMem, nprocs: usize) 
     let mut interps: Vec<Interp> = (0..nprocs).map(|p| Interp::new(prog, p, nprocs)).collect();
     let mut states = vec![State::Ready; nprocs];
     let mut flags: Vec<u32> = Vec::new();
-    let mut barrier_counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    let mut barrier_counts: std::collections::HashMap<u32, usize> =
+        std::collections::HashMap::new();
     let mut total = RunSummary::default();
     loop {
         // Release processors whose sync condition is met.
         for state in states.iter_mut() {
             match *state {
-                State::AtBarrier(id)
-                    if barrier_counts.get(&id).copied().unwrap_or(0) == nprocs =>
-                {
+                State::AtBarrier(id) if barrier_counts.get(&id).copied().unwrap_or(0) == nprocs => {
                     *state = State::Ready;
                 }
                 State::AtFlag(f) if flags.contains(&f) => *state = State::Ready,
@@ -647,9 +688,7 @@ pub fn run_parallel_functional(prog: &Program, mem: &mut SimMem, nprocs: usize) 
         // released, the program deadlocked.
         if !progressed {
             let releasable = states.iter().any(|s| match *s {
-                State::AtBarrier(id) => {
-                    barrier_counts.get(&id).copied().unwrap_or(0) == nprocs
-                }
+                State::AtBarrier(id) => barrier_counts.get(&id).copied().unwrap_or(0) == nprocs,
                 State::AtFlag(f) => flags.contains(&f),
                 _ => false,
             });
@@ -757,7 +796,10 @@ mod tests {
         let p = b.finish();
         let mut mem = SimMem::new(&p, 1);
         mem.set_array(ind, ArrayData::I64(vec![9, 0, 3, 3]));
-        mem.set_array(data, ArrayData::F64((0..10).map(|x| x as f64 * 10.0).collect()));
+        mem.set_array(
+            data,
+            ArrayData::F64((0..10).map(|x| x as f64 * 10.0).collect()),
+        );
         let sum = run_single(&p, &mut mem);
         assert_eq!(mem.read_f64(c), vec![90.0, 0.0, 30.0, 30.0]);
         assert_eq!(sum.loads, 8); // one index + one data load per iteration

@@ -68,5 +68,5 @@ pub use program::{
     ArrayDecl, ArrayId, ArrayRef, Bound, Dist, DynIndex, ElemType, Index, Loop, Program,
     ScalarDecl, ScalarId, Stmt, VarId,
 };
-pub use trace::{DynOp, FpUnit, OpKind, SrcList, MAX_SRCS};
+pub use trace::{DynOp, FpUnit, OpKind, SrcList, TraceDigest, MAX_SRCS};
 pub use validate::ValidateError;

@@ -198,7 +198,10 @@ impl SimMem {
         let r = &self.regions[a.index()];
         let start = (r.base / ELEM_BYTES) as usize;
         let n = (r.bytes / ELEM_BYTES) as usize;
-        self.data[start..start + n].iter().map(|&b| b as i64).collect()
+        self.data[start..start + n]
+            .iter()
+            .map(|&b| b as i64)
+            .collect()
     }
 
     /// A fingerprint of the whole memory image — used by the semantic
@@ -251,10 +254,7 @@ impl SimMem {
             HomePolicy::PageInterleave => ((addr / PAGE_BYTES) as usize) % self.nprocs,
             HomePolicy::BlockPerArray => {
                 // Find the containing region; binary search over sorted bases.
-                let idx = match self
-                    .regions
-                    .binary_search_by(|r| r.base.cmp(&addr))
-                {
+                let idx = match self.regions.binary_search_by(|r| r.base.cmp(&addr)) {
                     Ok(i) => i,
                     Err(0) => return 0,
                     Err(i) => i - 1,

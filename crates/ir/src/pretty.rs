@@ -22,12 +22,7 @@ impl Program {
         let pad = "  ".repeat(depth);
         match s {
             Stmt::AssignArray { lhs, rhs } => {
-                let _ = writeln!(
-                    out,
-                    "{pad}{} = {};",
-                    self.fmt_ref(lhs),
-                    self.fmt_expr(rhs)
-                );
+                let _ = writeln!(out, "{pad}{} = {};", self.fmt_ref(lhs), self.fmt_expr(rhs));
             }
             Stmt::AssignScalar { lhs, rhs } => {
                 let _ = writeln!(
@@ -44,7 +39,11 @@ impl Program {
                 }
                 let _ = writeln!(out, "{pad}}}");
             }
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let op = match cond.op {
                     CmpOp::Lt => "<",
                     CmpOp::Le => "<=",
@@ -122,9 +121,7 @@ impl Program {
         if e.constant_term() != 0 || parts.is_empty() {
             parts.push(e.constant_term().to_string());
         }
-        parts
-            .join(" + ")
-            .replace("+ -", "- ")
+        parts.join(" + ").replace("+ -", "- ")
     }
 
     fn fmt_ref(&self, r: &ArrayRef) -> String {
@@ -187,8 +184,12 @@ impl Program {
                     BinOp::Sub => "-",
                     BinOp::Mul => "*",
                     BinOp::Div => "/",
-                    BinOp::Min => return format!("min({}, {})", self.fmt_expr(a), self.fmt_expr(b)),
-                    BinOp::Max => return format!("max({}, {})", self.fmt_expr(a), self.fmt_expr(b)),
+                    BinOp::Min => {
+                        return format!("min({}, {})", self.fmt_expr(a), self.fmt_expr(b))
+                    }
+                    BinOp::Max => {
+                        return format!("max({}, {})", self.fmt_expr(a), self.fmt_expr(b))
+                    }
                 };
                 format!("({} {sym} {})", self.fmt_expr(a), self.fmt_expr(b))
             }

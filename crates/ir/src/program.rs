@@ -130,14 +130,20 @@ pub struct Index {
 impl Index {
     /// A purely affine index.
     pub fn affine(e: impl Into<AffineExpr>) -> Self {
-        Index { affine: e.into(), dynamic: None }
+        Index {
+            affine: e.into(),
+            dynamic: None,
+        }
     }
 
     /// An index that is `scalar` (plus optional affine offset).
     pub fn scalar(s: ScalarId) -> Self {
         Index {
             affine: AffineExpr::konst(0),
-            dynamic: Some(DynIndex::Scalar { scalar: s, scale: 1 }),
+            dynamic: Some(DynIndex::Scalar {
+                scalar: s,
+                scale: 1,
+            }),
         }
     }
 
@@ -145,7 +151,10 @@ impl Index {
     pub fn indirect(r: ArrayRef) -> Self {
         Index {
             affine: AffineExpr::konst(0),
-            dynamic: Some(DynIndex::Indirect { inner: Box::new(r), scale: 1 }),
+            dynamic: Some(DynIndex::Indirect {
+                inner: Box::new(r),
+                scale: 1,
+            }),
         }
     }
 
@@ -419,7 +428,10 @@ mod tests {
             body: vec![],
         };
         assert_eq!(l.const_trip_count(), Some(4));
-        let back = Loop { step: -1, ..l.clone() };
+        let back = Loop {
+            step: -1,
+            ..l.clone()
+        };
         assert_eq!(back.const_trip_count(), Some(10));
         let empty = Loop {
             lo: Bound::Const(5),

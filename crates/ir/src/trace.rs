@@ -181,7 +181,188 @@ pub struct DynOp {
 impl DynOp {
     /// An op with no sources and no destination.
     pub fn nullary(kind: OpKind) -> Self {
-        DynOp { kind, srcs: SrcList::new(), dst: None }
+        DynOp {
+            kind,
+            srcs: SrcList::new(),
+            dst: None,
+        }
+    }
+
+    /// A stable single-line rendering (`LOAD 0x2140 [v3 v7] -> v9`) used
+    /// by golden-trace snapshots; any change to this format invalidates
+    /// committed snapshots, so extend it rather than reshuffling it.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut s = match self.kind {
+            OpKind::Load { addr } => format!("LOAD 0x{addr:x}"),
+            OpKind::Store { addr } => format!("STORE 0x{addr:x}"),
+            OpKind::Fp { unit } => match unit {
+                FpUnit::Arith => "FP".to_string(),
+                FpUnit::Div => "FDIV".to_string(),
+                FpUnit::Sqrt => "FSQRT".to_string(),
+            },
+            OpKind::Int => "INT".to_string(),
+            OpKind::IntMul => "IMUL".to_string(),
+            OpKind::Branch => "BR".to_string(),
+            OpKind::Barrier { id } => format!("BARRIER #{id}"),
+            OpKind::FlagSet { flag } => format!("FLAGSET {flag}"),
+            OpKind::FlagWait { flag } => format!("FLAGWAIT {flag}"),
+            OpKind::Prefetch { addr } => format!("PREFETCH 0x{addr:x}"),
+            OpKind::Halt => "HALT".to_string(),
+        };
+        if !self.srcs.is_empty() {
+            s.push_str(" [");
+            for (k, v) in self.srcs.as_slice().iter().enumerate() {
+                if k > 0 {
+                    s.push(' ');
+                }
+                let _ = write!(s, "v{v}");
+            }
+            s.push(']');
+        }
+        if let Some(d) = self.dst {
+            let _ = write!(s, " -> v{d}");
+        }
+        s
+    }
+}
+
+/// Order-sensitive digest of a dynamic-op stream: per-kind counts plus an
+/// FNV-1a hash over a stable encoding of every op (kind, address/id,
+/// sources, destination). Two runs produce equal digests iff they fetched
+/// the same ops with the same operands in the same order — the primitive
+/// behind the golden-trace regression gates in `crates/difftest`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceDigest {
+    /// Total ops absorbed (including `Halt`).
+    pub ops: u64,
+    /// Data loads.
+    pub loads: u64,
+    /// Data stores.
+    pub stores: u64,
+    /// Floating-point ops (all unit classes).
+    pub fp: u64,
+    /// Integer ALU + multiply ops.
+    pub int: u64,
+    /// Branches.
+    pub branches: u64,
+    /// Barriers, flag sets and flag waits.
+    pub sync: u64,
+    /// Software prefetches.
+    pub prefetches: u64,
+    hash: u64,
+}
+
+impl Default for TraceDigest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceDigest {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// An empty digest.
+    pub fn new() -> Self {
+        TraceDigest {
+            ops: 0,
+            loads: 0,
+            stores: 0,
+            fp: 0,
+            int: 0,
+            branches: 0,
+            sync: 0,
+            prefetches: 0,
+            hash: Self::FNV_OFFSET,
+        }
+    }
+
+    fn mix(&mut self, word: u64) {
+        for b in word.to_le_bytes() {
+            self.hash ^= b as u64;
+            self.hash = self.hash.wrapping_mul(Self::FNV_PRIME);
+        }
+    }
+
+    /// Folds one op into the digest.
+    pub fn absorb(&mut self, op: &DynOp) {
+        self.ops += 1;
+        let (tag, payload): (u64, u64) = match op.kind {
+            OpKind::Load { addr } => {
+                self.loads += 1;
+                (1, addr)
+            }
+            OpKind::Store { addr } => {
+                self.stores += 1;
+                (2, addr)
+            }
+            OpKind::Fp { unit } => {
+                self.fp += 1;
+                let u = match unit {
+                    FpUnit::Arith => 0,
+                    FpUnit::Div => 1,
+                    FpUnit::Sqrt => 2,
+                };
+                (3, u)
+            }
+            OpKind::Int => {
+                self.int += 1;
+                (4, 0)
+            }
+            OpKind::IntMul => {
+                self.int += 1;
+                (5, 0)
+            }
+            OpKind::Branch => {
+                self.branches += 1;
+                (6, 0)
+            }
+            OpKind::Barrier { id } => {
+                self.sync += 1;
+                (7, id as u64)
+            }
+            OpKind::FlagSet { flag } => {
+                self.sync += 1;
+                (8, flag as u64)
+            }
+            OpKind::FlagWait { flag } => {
+                self.sync += 1;
+                (9, flag as u64)
+            }
+            OpKind::Prefetch { addr } => {
+                self.prefetches += 1;
+                (10, addr)
+            }
+            OpKind::Halt => (11, 0),
+        };
+        self.mix(tag);
+        self.mix(payload);
+        for &s in op.srcs.as_slice() {
+            self.mix(s as u64);
+        }
+        self.mix(op.dst.map_or(u64::MAX, |d| d as u64));
+    }
+
+    /// The accumulated stream hash.
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// A stable multi-line rendering for snapshot files.
+    pub fn render(&self) -> String {
+        format!(
+            "ops {}\nloads {}\nstores {}\nfp {}\nint {}\nbranches {}\nsync {}\nprefetches {}\nstream-hash {:016x}",
+            self.ops,
+            self.loads,
+            self.stores,
+            self.fp,
+            self.int,
+            self.branches,
+            self.sync,
+            self.prefetches,
+            self.hash,
+        )
     }
 }
 
@@ -224,6 +405,51 @@ mod tests {
         assert_eq!(FpUnit::Arith.base_latency(), 3);
         assert_eq!(FpUnit::Div.base_latency(), 16);
         assert_eq!(FpUnit::Sqrt.base_latency(), 33);
+    }
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        let a = DynOp::nullary(OpKind::Load { addr: 8 });
+        let b = DynOp::nullary(OpKind::Store { addr: 8 });
+        let mut ab = TraceDigest::new();
+        ab.absorb(&a);
+        ab.absorb(&b);
+        let mut ba = TraceDigest::new();
+        ba.absorb(&b);
+        ba.absorb(&a);
+        assert_eq!(ab.ops, 2);
+        assert_eq!(ab.loads, 1);
+        assert_eq!(ab.stores, 1);
+        assert_ne!(ab.hash(), ba.hash(), "hash must see order");
+        assert_eq!(ab, ab);
+    }
+
+    #[test]
+    fn digest_sees_operands() {
+        let plain = DynOp::nullary(OpKind::Int);
+        let with_dst = DynOp {
+            dst: Some(3),
+            ..plain
+        };
+        let mut d1 = TraceDigest::new();
+        d1.absorb(&plain);
+        let mut d2 = TraceDigest::new();
+        d2.absorb(&with_dst);
+        assert_ne!(d1.hash(), d2.hash());
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let op = DynOp {
+            kind: OpKind::Load { addr: 0x2140 },
+            srcs: [3u32, 7].into_iter().collect(),
+            dst: Some(9),
+        };
+        assert_eq!(op.render(), "LOAD 0x2140 [v3 v7] -> v9");
+        assert_eq!(DynOp::nullary(OpKind::Halt).render(), "HALT");
+        let mut d = TraceDigest::new();
+        d.absorb(&op);
+        assert!(d.render().starts_with("ops 1\nloads 1\n"));
     }
 
     #[test]

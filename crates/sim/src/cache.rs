@@ -53,7 +53,11 @@ impl TagArray {
             sets,
             assoc: params.assoc,
             ways: vec![
-                Way { line: 0, state: LineState::Invalid, lru: 0 };
+                Way {
+                    line: 0,
+                    state: LineState::Invalid,
+                    lru: 0
+                };
                 sets * params.assoc
             ],
             stamp: 0,
@@ -119,9 +123,16 @@ impl TagArray {
             }
         }
         let old = self.ways[victim_idx];
-        self.ways[victim_idx] = Way { line, state, lru: self.stamp };
+        self.ways[victim_idx] = Way {
+            line,
+            state,
+            lru: self.stamp,
+        };
         if old.state != LineState::Invalid {
-            Some(Victim { line: old.line, dirty: old.state == LineState::Modified })
+            Some(Victim {
+                line: old.line,
+                dirty: old.state == LineState::Modified,
+            })
         } else {
             None
         }
@@ -204,7 +215,10 @@ impl MshrFile {
     /// A file with `cap` registers.
     pub fn new(cap: usize) -> Self {
         assert!(cap > 0);
-        MshrFile { cap, entries: Vec::with_capacity(cap) }
+        MshrFile {
+            cap,
+            entries: Vec::with_capacity(cap),
+        }
     }
 
     /// Registers a miss on `line`; `is_write` marks write misses.
@@ -296,7 +310,7 @@ mod tests {
     #[test]
     fn lru_eviction_within_set() {
         let mut c = small_cache(); // 2 sets x 2 ways
-        // Lines 0, 2, 4 map to set 0.
+                                   // Lines 0, 2, 4 map to set 0.
         c.fill(0, LineState::Shared);
         c.fill(2, LineState::Shared);
         c.probe(0); // make line 0 most recent

@@ -209,7 +209,7 @@ impl MachineConfig {
                 interleave: Interleave::Permutation,
             },
             bus: BusParams {
-                cycle_ratio: 3, // 167 MHz under 500 MHz
+                cycle_ratio: 3,  // 167 MHz under 500 MHz
                 width_bytes: 32, // 256 bits
                 addr_cycles: 1,
             },
@@ -387,7 +387,11 @@ mod tests {
 
     #[test]
     fn bus_cycle_math() {
-        let b = BusParams { cycle_ratio: 3, width_bytes: 32, addr_cycles: 1 };
+        let b = BusParams {
+            cycle_ratio: 3,
+            width_bytes: 32,
+            addr_cycles: 1,
+        };
         assert_eq!(b.request_cycles(), 3);
         assert_eq!(b.data_cycles(64), 6);
         assert_eq!(b.data_cycles(8), 3);

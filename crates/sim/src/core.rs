@@ -59,7 +59,11 @@ struct VregFile {
 impl VregFile {
     fn with_capacity(capacity: usize) -> Self {
         let cap = capacity.next_power_of_two().max(8);
-        VregFile { tags: vec![0; cap], times: vec![0; cap], mask: cap - 1 }
+        VregFile {
+            tags: vec![0; cap],
+            times: vec![0; cap],
+            mask: cap - 1,
+        }
     }
 
     fn capacity(&self) -> usize {
@@ -420,7 +424,11 @@ impl Core {
             let mut bigger = VregFile::with_capacity(cap);
             for e in &self.rob {
                 if let Some(dst) = e.op.dst {
-                    let t = if e.issued { e.complete_at } else { READY_UNKNOWN };
+                    let t = if e.issued {
+                        e.complete_at
+                    } else {
+                        READY_UNKNOWN
+                    };
                     if !bigger.try_insert(dst, t) {
                         cap *= 2;
                         continue 'retry;
@@ -437,7 +445,11 @@ impl Core {
             let e = &self.rob[j];
             if let OpKind::Store { addr: sa } = e.op.kind {
                 if sa == addr {
-                    return if e.issued { StoreCheck::Forward } else { StoreCheck::MustWait };
+                    return if e.issued {
+                        StoreCheck::Forward
+                    } else {
+                        StoreCheck::MustWait
+                    };
                 }
             }
         }
@@ -651,7 +663,10 @@ impl Core {
 
     /// Oldest unretired op's age in cycles (diagnostics/deadlock checks).
     pub fn head_age(&self, now: u64) -> u64 {
-        self.rob.front().map(|e| now.saturating_sub(e.fetched_at)).unwrap_or(0)
+        self.rob
+            .front()
+            .map(|e| now.saturating_sub(e.fetched_at))
+            .unwrap_or(0)
     }
 
     /// Debug description of the window head (deadlock diagnostics).
@@ -698,7 +713,11 @@ mod tests {
     }
 
     fn op(kind: OpKind, srcs: &[u32], dst: Option<u32>) -> DynOp {
-        DynOp { kind, srcs: srcs.iter().copied().collect::<SrcList>(), dst }
+        DynOp {
+            kind,
+            srcs: srcs.iter().copied().collect::<SrcList>(),
+            dst,
+        }
     }
 
     /// Runs until the core halts; returns cycles taken.
@@ -725,7 +744,9 @@ mod tests {
     #[test]
     fn independent_ints_pipeline() {
         let (mut core, mut mem, mut sync) = setup();
-        let mut ops: Vec<DynOp> = (0..100).map(|i| op(OpKind::Int, &[], Some(i + 1))).collect();
+        let mut ops: Vec<DynOp> = (0..100)
+            .map(|i| op(OpKind::Int, &[], Some(i + 1)))
+            .collect();
         ops.push(DynOp::nullary(OpKind::Halt));
         let cycles = run(&mut core, &mut mem, &mut sync, ops);
         // 100 int ops on 2 ALUs: ~50 cycles + pipeline fill.
@@ -739,7 +760,13 @@ mod tests {
         let mut ops = Vec::new();
         for i in 0..50u32 {
             let srcs: &[u32] = if i == 0 { &[] } else { &[i] };
-            ops.push(op(OpKind::Fp { unit: FpUnit::Arith }, srcs, Some(i + 1)));
+            ops.push(op(
+                OpKind::Fp {
+                    unit: FpUnit::Arith,
+                },
+                srcs,
+                Some(i + 1),
+            ));
         }
         ops.push(DynOp::nullary(OpKind::Halt));
         let cycles = run(&mut core, &mut mem, &mut sync, ops);
@@ -773,7 +800,13 @@ mod tests {
         let (mut core, mut mem, mut sync) = setup();
         let mut ops = Vec::new();
         for i in 0..n {
-            ops.push(op(OpKind::Load { addr: 0x100000 + u64::from(i) * 4096 }, &[], Some(i + 1)));
+            ops.push(op(
+                OpKind::Load {
+                    addr: 0x100000 + u64::from(i) * 4096,
+                },
+                &[],
+                Some(i + 1),
+            ));
         }
         ops.push(DynOp::nullary(OpKind::Halt));
         let clustered = run(&mut core, &mut mem, &mut sync, ops);
@@ -783,7 +816,9 @@ mod tests {
         for i in 0..n {
             let srcs: &[u32] = if i == 0 { &[] } else { &[i] };
             ops2.push(op(
-                OpKind::Load { addr: 0x200000 + u64::from(i) * 4096 },
+                OpKind::Load {
+                    addr: 0x200000 + u64::from(i) * 4096,
+                },
                 srcs,
                 Some(i + 1),
             ));
@@ -843,7 +878,16 @@ mod tests {
             if core.fetch_room() == 0 {
                 break;
             }
-            core.fetch(op(OpKind::Fp { unit: FpUnit::Arith }, &[i], Some(i + 1000)), 0);
+            core.fetch(
+                op(
+                    OpKind::Fp {
+                        unit: FpUnit::Arith,
+                    },
+                    &[i],
+                    Some(i + 1000),
+                ),
+                0,
+            );
             fetched += 1;
         }
         assert_eq!(fetched, 64, "window size bounds in-flight ops");

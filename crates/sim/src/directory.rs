@@ -90,7 +90,11 @@ impl Directory {
         }
         e.sharers = 0;
         e.owner = Some(proc as u8);
-        WriteGrant { source, invalidees, upgrade }
+        WriteGrant {
+            source,
+            invalidees,
+            upgrade,
+        }
     }
 
     /// Records that `proc` evicted its copy of `line`.
@@ -108,7 +112,9 @@ impl Directory {
 
     /// Current owner of `line`, if modified in a cache.
     pub fn owner(&self, line: u64) -> Option<usize> {
-        self.entries.get(&line).and_then(|e| e.owner.map(|o| o as usize))
+        self.entries
+            .get(&line)
+            .and_then(|e| e.owner.map(|o| o as usize))
     }
 
     /// Number of sharers of `line`.

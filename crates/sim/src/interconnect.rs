@@ -32,13 +32,17 @@ pub struct MemoryBanks {
 impl MemoryBanks {
     /// Builds the banks for one node.
     pub fn new(params: &MemParams) -> Self {
-        MemoryBanks { pool: ResourcePool::new(params.banks), params: params.clone() }
+        MemoryBanks {
+            pool: ResourcePool::new(params.banks),
+            params: params.clone(),
+        }
     }
 
     /// Reserves the bank that owns `line`; returns the access end time.
     pub fn access(&mut self, line: u64, at: u64) -> u64 {
         let bank = bank_of(line, self.params.banks, self.params.interleave);
-        self.pool.reserve_unit(bank, at, self.params.bank_cycles as u64)
+        self.pool
+            .reserve_unit(bank, at, self.params.bank_cycles as u64)
             + self.params.bank_cycles as u64
     }
 
@@ -153,7 +157,11 @@ impl Mesh {
             x = nx;
         }
         while y != y1 {
-            let (dir, ny) = if y < y1 { (SOUTH, y + 1) } else { (NORTH, y - 1) };
+            let (dir, ny) = if y < y1 {
+                (SOUTH, y + 1)
+            } else {
+                (NORTH, y - 1)
+            };
             let link = (y * self.side + x) * 4 + dir;
             t = self.links[link].reserve(t, occupancy) + hop_lat;
             y = ny;
@@ -168,12 +176,21 @@ mod tests {
     use super::*;
 
     fn net() -> NetParams {
-        NetParams { cycle_ratio: 2, flit_bytes: 8, hop_cycles: 2, ni_cycles: 8 }
+        NetParams {
+            cycle_ratio: 2,
+            flit_bytes: 8,
+            hop_cycles: 2,
+            ni_cycles: 8,
+        }
     }
 
     #[test]
     fn bank_selection_covers_all_banks() {
-        for scheme in [Interleave::Sequential, Interleave::Permutation, Interleave::Skewed] {
+        for scheme in [
+            Interleave::Sequential,
+            Interleave::Permutation,
+            Interleave::Skewed,
+        ] {
             let mut seen = [false; 4];
             for line in 0..64u64 {
                 seen[bank_of(line, 4, scheme)] = true;
@@ -199,7 +216,11 @@ mod tests {
 
     #[test]
     fn banks_serialize_same_bank() {
-        let mp = MemParams { banks: 4, bank_cycles: 10, interleave: Interleave::Sequential };
+        let mp = MemParams {
+            banks: 4,
+            bank_cycles: 10,
+            interleave: Interleave::Sequential,
+        };
         let mut b = MemoryBanks::new(&mp);
         let t1 = b.access(0, 0);
         let t2 = b.access(4, 0); // same bank (line 4 % 4 == 0)
@@ -211,7 +232,11 @@ mod tests {
 
     #[test]
     fn bus_phases_queue() {
-        let bp = BusParams { cycle_ratio: 3, width_bytes: 32, addr_cycles: 1 };
+        let bp = BusParams {
+            cycle_ratio: 3,
+            width_bytes: 32,
+            addr_cycles: 1,
+        };
         let mut bus = Bus::new(&bp);
         let r = bus.request(0);
         assert_eq!(r, 3);

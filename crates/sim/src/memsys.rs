@@ -40,7 +40,11 @@ pub enum Access {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum EventKind {
     /// Install `line` in proc's L2 with the given state and free its MSHR.
-    FillL2 { proc: u32, line: u64, modified: bool },
+    FillL2 {
+        proc: u32,
+        line: u64,
+        modified: bool,
+    },
     /// Install `line` in proc's L1 and free its L1 MSHR.
     FillL1 { proc: u32, line: u64 },
 }
@@ -138,10 +142,7 @@ impl MemSystem {
                 (0..n).map(|_| Bus::new(&cfg.bus)).collect(),
                 (0..n).map(|_| MemoryBanks::new(&cfg.mem)).collect(),
             ),
-            Topology::SmpBus => (
-                vec![Bus::new(&cfg.bus)],
-                vec![MemoryBanks::new(&cfg.mem)],
-            ),
+            Topology::SmpBus => (vec![Bus::new(&cfg.bus)], vec![MemoryBanks::new(&cfg.mem)]),
         };
         MemSystem {
             line_shift,
@@ -169,7 +170,11 @@ impl MemSystem {
 
     fn schedule(&mut self, time: u64, kind: EventKind) {
         self.seq += 1;
-        self.events.push(Reverse(Event { time, seq: self.seq, kind }));
+        self.events.push(Reverse(Event {
+            time,
+            seq: self.seq,
+            kind,
+        }));
     }
 
     /// Processes all fills due at or before `now` and samples MSHR
@@ -182,7 +187,11 @@ impl MemSystem {
             }
             let Reverse(ev) = self.events.pop().expect("peeked");
             match ev.kind {
-                EventKind::FillL2 { proc, line, modified } => self.apply_l2_fill(proc as usize, line, modified, ev.time),
+                EventKind::FillL2 {
+                    proc,
+                    line,
+                    modified,
+                } => self.apply_l2_fill(proc as usize, line, modified, ev.time),
                 EventKind::FillL1 { proc, line } => self.apply_l1_fill(proc as usize, line),
             }
         }
@@ -218,7 +227,11 @@ impl MemSystem {
             }
             return;
         }
-        let state = if modified { LineState::Modified } else { LineState::Shared };
+        let state = if modified {
+            LineState::Modified
+        } else {
+            LineState::Shared
+        };
         if let Some(victim) = self.l2[proc].tags.fill(line, state) {
             self.evict_line(proc, victim.line, victim.dirty, now);
         }
@@ -302,7 +315,10 @@ impl MemSystem {
         if l1_state != LineState::Invalid {
             // Presence in L1; exclusivity is tracked at the L2.
             if !is_write || self.l2[proc].tags.peek(line) == LineState::Modified {
-                return Access::Done { complete_at: now + l1_lat, l2_miss: false };
+                return Access::Done {
+                    complete_at: now + l1_lat,
+                    l2_miss: false,
+                };
             }
             // Write to a shared line: upgrade through the L2 path.
             return self.access_l2(proc, line, true, now + l1_lat, now);
@@ -318,7 +334,10 @@ impl MemSystem {
                 if is_write && self.l2[proc].tags.peek(line) != LineState::Modified {
                     return self.access_l2(proc, line, true, fill_at, now);
                 }
-                Access::Done { complete_at: fill_at + 1, l2_miss: false }
+                Access::Done {
+                    complete_at: fill_at + 1,
+                    l2_miss: false,
+                }
             }
             MshrOutcome::Full => Access::Retry,
             MshrOutcome::Allocated => {
@@ -330,11 +349,23 @@ impl MemSystem {
                         self.l1[proc].mshrs.release(line);
                         Access::Retry
                     }
-                    Access::Done { complete_at, l2_miss } => {
+                    Access::Done {
+                        complete_at,
+                        l2_miss,
+                    } => {
                         // L1 fill arrives with the data.
                         self.l1[proc].mshrs.set_fill_time(line, complete_at);
-                        self.schedule(complete_at, EventKind::FillL1 { proc: proc as u32, line });
-                        Access::Done { complete_at: complete_at + 1, l2_miss }
+                        self.schedule(
+                            complete_at,
+                            EventKind::FillL1 {
+                                proc: proc as u32,
+                                line,
+                            },
+                        );
+                        Access::Done {
+                            complete_at: complete_at + 1,
+                            l2_miss,
+                        }
                     }
                 }
             }
@@ -375,7 +406,10 @@ impl MemSystem {
             (false, LineState::Shared | LineState::Modified) | (true, LineState::Modified)
         );
         if hit {
-            return Access::Done { complete_at: t_lookup, l2_miss: false };
+            return Access::Done {
+                complete_at: t_lookup,
+                l2_miss: false,
+            };
         }
         let upgrade = is_write && state == LineState::Shared;
         match self.l2[proc].mshrs.register(line, is_write) {
@@ -388,10 +422,23 @@ impl MemSystem {
                     let t = self.global_transaction(proc, line, true, fill_at);
                     // Extend the MSHR's life to the upgrade completion.
                     self.l2[proc].mshrs.set_fill_time(line, t);
-                    self.schedule(t, EventKind::FillL2 { proc: proc as u32, line, modified: true });
-                    return Access::Done { complete_at: t, l2_miss: true };
+                    self.schedule(
+                        t,
+                        EventKind::FillL2 {
+                            proc: proc as u32,
+                            line,
+                            modified: true,
+                        },
+                    );
+                    return Access::Done {
+                        complete_at: t,
+                        l2_miss: true,
+                    };
                 }
-                Access::Done { complete_at: fill_at, l2_miss: true }
+                Access::Done {
+                    complete_at: fill_at,
+                    l2_miss: true,
+                }
             }
             MshrOutcome::Full => Access::Retry,
             MshrOutcome::Allocated => {
@@ -407,12 +454,19 @@ impl MemSystem {
                 self.l2[proc].mshrs.set_fill_time(line, fill_at);
                 self.schedule(
                     fill_at,
-                    EventKind::FillL2 { proc: proc as u32, line, modified: is_write },
+                    EventKind::FillL2 {
+                        proc: proc as u32,
+                        line,
+                        modified: is_write,
+                    },
                 );
                 if !is_write && !self.in_prefetch {
                     self.read_latency[proc].record((fill_at - issued_at) as f64);
                 }
-                Access::Done { complete_at: fill_at, l2_miss: true }
+                Access::Done {
+                    complete_at: fill_at,
+                    l2_miss: true,
+                }
             }
         }
     }
@@ -552,9 +606,8 @@ impl MemSystem {
                 // its data array — the protocol overhead that makes
                 // cache-to-cache the slowest miss class (210-310 cycles
                 // vs 180-260 remote in Section 4.1).
-                let t_owner = self.l2[owner].port.reserve(t_fwd, 1)
-                    + 2 * lookup
-                    + self.cfg.dir_cycles as u64;
+                let t_owner =
+                    self.l2[owner].port.reserve(t_fwd, 1) + 2 * lookup + self.cfg.dir_cycles as u64;
                 self.mesh.send(owner, proc, line_bytes + 8, t_owner) + 4
             }
         }
@@ -562,7 +615,14 @@ impl MemSystem {
 
     /// Sends invalidations to every processor in `invalidees`, applying
     /// them to their caches, and returns when all acks have reached home.
-    fn invalidate_all(&mut self, _proc: usize, home: usize, line: u64, invalidees: &[usize], t: u64) -> u64 {
+    fn invalidate_all(
+        &mut self,
+        _proc: usize,
+        home: usize,
+        line: u64,
+        invalidees: &[usize],
+        t: u64,
+    ) -> u64 {
         let mut done = t;
         for &victim in invalidees {
             self.counters[victim].invalidations += 1;
@@ -663,7 +723,11 @@ mod tests {
         let mut m = uni();
         let a = 0x10000u64;
         let r = m.access(0, a, false, 0);
-        let Access::Done { complete_at: t_miss, l2_miss } = r else {
+        let Access::Done {
+            complete_at: t_miss,
+            l2_miss,
+        } = r
+        else {
             panic!("unexpected retry")
         };
         assert!(l2_miss);
@@ -673,7 +737,13 @@ mod tests {
         m.tick(t_miss + 1);
         let now = t_miss + 2;
         let r2 = m.access(0, a, false, now);
-        let Access::Done { complete_at, l2_miss } = r2 else { panic!() };
+        let Access::Done {
+            complete_at,
+            l2_miss,
+        } = r2
+        else {
+            panic!()
+        };
         assert!(!l2_miss);
         assert_eq!(complete_at, now + 1, "L1 hit after fill");
     }
@@ -683,8 +753,18 @@ mod tests {
         let mut m = uni();
         let r1 = m.access(0, 0x20000, false, 0);
         let r2 = m.access(0, 0x20008, false, 0); // same 64B line
-        let Access::Done { complete_at: t1, .. } = r1 else { panic!() };
-        let Access::Done { complete_at: t2, .. } = r2 else { panic!() };
+        let Access::Done {
+            complete_at: t1, ..
+        } = r1
+        else {
+            panic!()
+        };
+        let Access::Done {
+            complete_at: t2, ..
+        } = r2
+        else {
+            panic!()
+        };
         // The second access rides the first's fill (plus L1 handoff).
         assert!(t2 <= t1 + 8, "t1={t1} t2={t2}");
         assert_eq!(m.counters(0).l2_misses, 1);
@@ -697,7 +777,9 @@ mod tests {
         let mut times = Vec::new();
         for i in 0..4u64 {
             let r = m.access(0, 0x40000 + i * 64, false, 0);
-            let Access::Done { complete_at, .. } = r else { panic!() };
+            let Access::Done { complete_at, .. } = r else {
+                panic!()
+            };
             times.push(complete_at);
         }
         // Four misses overlap: the last finishes far sooner than 4x the first.
@@ -746,17 +828,27 @@ mod tests {
     fn write_after_read_line_upgrades() {
         let mut m = uni();
         let a = 0xb0000u64;
-        let Access::Done { complete_at: t, .. } = m.access(0, a, false, 0) else { panic!() };
+        let Access::Done { complete_at: t, .. } = m.access(0, a, false, 0) else {
+            panic!()
+        };
         m.tick(t + 1);
         // Write hits L1 presence but the L2 line is only Shared: upgrade.
-        let Access::Done { complete_at: t2, l2_miss } = m.access(0, a, true, t + 2) else {
+        let Access::Done {
+            complete_at: t2,
+            l2_miss,
+        } = m.access(0, a, true, t + 2)
+        else {
             panic!()
         };
         assert!(l2_miss, "upgrade counted as external transaction");
         assert!(t2 > t + 3);
         m.tick(t2 + 1);
         // Second write now hits exclusively.
-        let Access::Done { complete_at: t3, l2_miss } = m.access(0, a, true, t2 + 2) else {
+        let Access::Done {
+            complete_at: t3,
+            l2_miss,
+        } = m.access(0, a, true, t2 + 2)
+        else {
             panic!()
         };
         assert!(!l2_miss);
@@ -775,10 +867,18 @@ mod tests {
         // line homes: lines 0.. are at node 0.
         let local_addr = 0u64; // home 0, requester 0
         let remote_addr = 1u64 << 20; // home 1
-        let Access::Done { complete_at: t_local, .. } = m.access(0, local_addr, false, 0) else {
+        let Access::Done {
+            complete_at: t_local,
+            ..
+        } = m.access(0, local_addr, false, 0)
+        else {
             panic!()
         };
-        let Access::Done { complete_at: t_remote, .. } = m.access(0, remote_addr, false, 0) else {
+        let Access::Done {
+            complete_at: t_remote,
+            ..
+        } = m.access(0, remote_addr, false, 0)
+        else {
             panic!()
         };
         assert!(
@@ -793,11 +893,19 @@ mod tests {
     fn cache_to_cache_transfer() {
         let mut m = mp4();
         let a = 0u64; // home node 0
-        // Proc 1 writes the line (becomes owner).
-        let Access::Done { complete_at: t1, .. } = m.access(1, a, true, 0) else { panic!() };
+                      // Proc 1 writes the line (becomes owner).
+        let Access::Done {
+            complete_at: t1, ..
+        } = m.access(1, a, true, 0)
+        else {
+            panic!()
+        };
         m.tick(t1 + 1);
         // Proc 2 reads: must be served cache-to-cache from proc 1.
-        let Access::Done { complete_at: t2, .. } = m.access(2, a, false, t1 + 2) else {
+        let Access::Done {
+            complete_at: t2, ..
+        } = m.access(2, a, false, t1 + 2)
+        else {
             panic!()
         };
         assert!(t2 > t1);
@@ -808,14 +916,28 @@ mod tests {
     fn write_invalidates_remote_copies() {
         let mut m = mp4();
         let a = 0u64;
-        let Access::Done { complete_at: t0, .. } = m.access(1, a, false, 0) else { panic!() };
+        let Access::Done {
+            complete_at: t0, ..
+        } = m.access(1, a, false, 0)
+        else {
+            panic!()
+        };
         m.tick(t0 + 1);
         // Proc 1 has it shared; proc 2 writes.
-        let Access::Done { complete_at: t1, .. } = m.access(2, a, true, t0 + 2) else { panic!() };
+        let Access::Done {
+            complete_at: t1, ..
+        } = m.access(2, a, true, t0 + 2)
+        else {
+            panic!()
+        };
         m.tick(t1 + 1);
         assert_eq!(m.counters(1).invalidations, 1);
         // Proc 1's next read is a (coherence) miss served c2c from proc 2.
-        let Access::Done { complete_at: _t2, l2_miss } = m.access(1, a, false, t1 + 2) else {
+        let Access::Done {
+            complete_at: _t2,
+            l2_miss,
+        } = m.access(1, a, false, t1 + 2)
+        else {
             panic!()
         };
         assert!(l2_miss);
@@ -826,12 +948,19 @@ mod tests {
     fn exemplar_single_level_works() {
         let cfg = MachineConfig::exemplar(2);
         let mut m = MemSystem::new(&cfg, Box::new(|_| 0));
-        let Access::Done { complete_at, l2_miss } = m.access(0, 0x1000, false, 0) else {
+        let Access::Done {
+            complete_at,
+            l2_miss,
+        } = m.access(0, 0x1000, false, 0)
+        else {
             panic!()
         };
         assert!(l2_miss);
         m.tick(complete_at + 1);
-        let Access::Done { complete_at: t2, l2_miss } = m.access(0, 0x1000, false, complete_at + 2)
+        let Access::Done {
+            complete_at: t2,
+            l2_miss,
+        } = m.access(0, 0x1000, false, complete_at + 2)
         else {
             panic!()
         };
@@ -847,13 +976,20 @@ mod tests {
         // Home by 1 MB address block across 16 nodes.
         let mut m = MemSystem::new(&cfg, Box::new(|addr| ((addr >> 20) as usize) % 16));
         // Local: proc 0 reads an address homed at node 0.
-        let Access::Done { complete_at: local, .. } = m.access(0, 64, false, 0) else {
+        let Access::Done {
+            complete_at: local, ..
+        } = m.access(0, 64, false, 0)
+        else {
             panic!()
         };
         assert!((60..=110).contains(&local), "local {local}");
         // Remote: proc 0 reads an address homed at a far node.
         let far_addr = 15u64 << 20;
-        let Access::Done { complete_at: remote, .. } = m.access(0, far_addr, false, 1000) else {
+        let Access::Done {
+            complete_at: remote,
+            ..
+        } = m.access(0, far_addr, false, 1000)
+        else {
             panic!()
         };
         let remote_lat = remote - 1000;
@@ -866,11 +1002,17 @@ mod tests {
         // fetch (0->15->10->0 = 12 hops, like 0->15->0): proc 10 dirties
         // a line homed at node 15; proc 0 reads.
         let shared = (15u64 << 20) + 4096;
-        let Access::Done { complete_at: t1, .. } = m.access(10, shared, true, 2000) else {
+        let Access::Done {
+            complete_at: t1, ..
+        } = m.access(10, shared, true, 2000)
+        else {
             panic!()
         };
         m.tick(t1 + 1);
-        let Access::Done { complete_at: c2c, .. } = m.access(0, shared, false, t1 + 2) else {
+        let Access::Done {
+            complete_at: c2c, ..
+        } = m.access(0, shared, false, t1 + 2)
+        else {
             panic!()
         };
         let c2c_lat = c2c - (t1 + 2);
@@ -896,7 +1038,10 @@ mod tests {
         let Access::Done { complete_at, .. } = m.access(0, 0xd0000, false, 2) else {
             panic!()
         };
-        let Access::Done { complete_at: cold, .. } = m.access(0, 0xe0000, false, 2) else {
+        let Access::Done {
+            complete_at: cold, ..
+        } = m.access(0, 0xe0000, false, 2)
+        else {
             panic!()
         };
         assert!(

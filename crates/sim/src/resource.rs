@@ -43,7 +43,10 @@ impl Resource {
 
     /// Utilization over `elapsed` observed cycles.
     pub fn utilization(&self, elapsed: u64) -> Utilization {
-        Utilization { busy: self.busy_cycles.min(elapsed), total: elapsed }
+        Utilization {
+            busy: self.busy_cycles.min(elapsed),
+            total: elapsed,
+        }
     }
 }
 
@@ -58,7 +61,9 @@ impl ResourcePool {
     /// A pool of `n` idle units.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "resource pool needs at least one unit");
-        ResourcePool { units: vec![Resource::new(); n] }
+        ResourcePool {
+            units: vec![Resource::new(); n],
+        }
     }
 
     /// Number of units.
@@ -96,7 +101,10 @@ impl ResourcePool {
     /// Aggregate utilization over `elapsed` cycles (capacity = n·elapsed).
     pub fn utilization(&self, elapsed: u64) -> Utilization {
         let cap = elapsed * self.units.len() as u64;
-        Utilization { busy: self.busy_cycles().min(cap), total: cap }
+        Utilization {
+            busy: self.busy_cycles().min(cap),
+            total: cap,
+        }
     }
 }
 

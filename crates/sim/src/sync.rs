@@ -25,7 +25,11 @@ impl SyncState {
     /// State for `nprocs` processors.
     pub fn new(nprocs: usize) -> Self {
         assert!((1..=64).contains(&nprocs), "1..=64 processors supported");
-        SyncState { nprocs, barriers: HashMap::new(), flags: HashMap::new() }
+        SyncState {
+            nprocs,
+            barriers: HashMap::new(),
+            flags: HashMap::new(),
+        }
     }
 
     /// Marks `proc` as arrived at barrier `id` (idempotent). When the last

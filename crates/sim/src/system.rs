@@ -27,7 +27,9 @@ pub struct SimOptions {
 
 impl Default for SimOptions {
     fn default() -> Self {
-        SimOptions { cycle_skip: !cfg!(feature = "strict-cycle") }
+        SimOptions {
+            cycle_skip: !cfg!(feature = "strict-cycle"),
+        }
     }
 }
 
@@ -116,7 +118,9 @@ pub fn run_program_with(
     let home = mem.home_map();
     let mut memsys = MemSystem::new(cfg, Box::new(move |line_addr| home.home_node(line_addr)));
     let l1_ports = cfg.l1.as_ref().map(|l| l.ports).unwrap_or(cfg.l2.ports);
-    let mut cores: Vec<Core> = (0..nprocs).map(|p| Core::new(p, &cfg.proc, l1_ports)).collect();
+    let mut cores: Vec<Core> = (0..nprocs)
+        .map(|p| Core::new(p, &cfg.proc, l1_ports))
+        .collect();
     let mut interps: Vec<Interp> = (0..nprocs).map(|p| Interp::new(prog, p, nprocs)).collect();
     let mut sync = SyncState::new(nprocs);
 
@@ -286,7 +290,11 @@ mod tests {
         assert_eq!(r.counters.l2_read_misses, 512);
         // Breakdown components sum to wall time (1 processor).
         let b = r.mean_breakdown();
-        assert!((b.total() - r.cycles as f64).abs() < 2.0, "b={b:?} wall={}", r.cycles);
+        assert!(
+            (b.total() - r.cycles as f64).abs() < 2.0,
+            "b={b:?} wall={}",
+            r.cycles
+        );
         assert!(b.data > 0.0, "streaming misses must show as data stall");
     }
 
@@ -338,12 +346,17 @@ mod tests {
         // Cyclic distribution of a triangular loop: proc 0 gets iterations
         // 0..n/2 with tiny bodies... simpler: proc 0 does nothing extra.
         b.for_dist(j, 0, 2, Dist::Block, |b| {
-            b.for_affine(i, AffineExpr::konst(0), AffineExpr::scaled_var(j, (n / 2) as i64, 0), |b| {
-                let v = b.load(a, &[b.idx(i)]);
-                let acc = b.scalar(s);
-                let e = b.add(acc, v);
-                b.assign_scalar(s, e);
-            });
+            b.for_affine(
+                i,
+                AffineExpr::konst(0),
+                AffineExpr::scaled_var(j, (n / 2) as i64, 0),
+                |b| {
+                    let v = b.load(a, &[b.idx(i)]);
+                    let acc = b.scalar(s);
+                    let e = b.add(acc, v);
+                    b.assign_scalar(s, e);
+                },
+            );
         });
         b.barrier();
         let p = b.finish();

@@ -117,7 +117,13 @@ mod tests {
     use super::*;
 
     fn sample() -> Breakdown {
-        Breakdown { busy: 50.0, cpu_stall: 10.0, data: 30.0, sync: 5.0, instr: 5.0 }
+        Breakdown {
+            busy: 50.0,
+            cpu_stall: 10.0,
+            data: 30.0,
+            sync: 5.0,
+            instr: 5.0,
+        }
     }
 
     #[test]
@@ -143,7 +149,13 @@ mod tests {
     #[test]
     fn normalization() {
         let base = sample();
-        let clust = Breakdown { busy: 50.0, cpu_stall: 10.0, data: 10.0, sync: 5.0, instr: 5.0 };
+        let clust = Breakdown {
+            busy: 50.0,
+            cpu_stall: 10.0,
+            data: 10.0,
+            sync: 5.0,
+            instr: 5.0,
+        };
         assert_eq!(clust.normalized_to(&base), 80.0);
         assert_eq!(clust.percent_reduction_from(&base), 20.0);
     }

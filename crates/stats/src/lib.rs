@@ -21,6 +21,6 @@ mod plot;
 mod table;
 
 pub use breakdown::{Breakdown, StallClass};
-pub use plot::{render_breakdown_bars, render_occupancy_chart};
 pub use mshr::{LatencyStat, MemCounters, MshrOccupancy, Utilization};
+pub use plot::{render_breakdown_bars, render_occupancy_chart};
 pub use table::{format_breakdown_table, format_occupancy_curves, format_rows, Row};

@@ -108,7 +108,9 @@ impl MshrOccupancy {
 
     /// The full "fraction of time ≥ N" curve for reads + writes.
     pub fn total_curve(&self) -> Vec<f64> {
-        (0..=self.capacity).map(|n| self.total_at_least(n)).collect()
+        (0..=self.capacity)
+            .map(|n| self.total_at_least(n))
+            .collect()
     }
 }
 
@@ -299,8 +301,16 @@ mod tests {
 
     #[test]
     fn counters_merge() {
-        let mut a = MemCounters { loads: 1, l2_misses: 2, ..Default::default() };
-        let b = MemCounters { loads: 3, cache_to_cache: 1, ..Default::default() };
+        let mut a = MemCounters {
+            loads: 1,
+            l2_misses: 2,
+            ..Default::default()
+        };
+        let b = MemCounters {
+            loads: 3,
+            cache_to_cache: 1,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.loads, 4);
         assert_eq!(a.l2_misses, 2);

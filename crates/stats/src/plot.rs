@@ -24,12 +24,7 @@ pub fn render_breakdown_bars(
         let denom = base.total().max(1e-12);
         for (tag, b) in [("base", base), ("clust", clust)] {
             let mut bar = String::new();
-            for (ch, amount) in [
-                ('D', b.data),
-                ('S', b.sync),
-                ('C', b.cpu()),
-                ('I', b.instr),
-            ] {
+            for (ch, amount) in [('D', b.data), ('S', b.sync), ('C', b.cpu()), ('I', b.instr)] {
                 let cells = ((amount / denom) * width as f64).round() as usize;
                 bar.extend(std::iter::repeat_n(ch, cells));
             }
@@ -53,7 +48,11 @@ pub fn render_occupancy_chart(
 ) -> String {
     let mut out = format!("{title}\n");
     for (label, occ) in entries {
-        let curve = if reads { occ.read_curve() } else { occ.total_curve() };
+        let curve = if reads {
+            occ.read_curve()
+        } else {
+            occ.total_curve()
+        };
         out.push_str(&format!("{label}:\n"));
         for level in (1..=10).rev() {
             let threshold = level as f64 / 10.0;
@@ -64,7 +63,10 @@ pub fn render_occupancy_chart(
             out.push_str(&format!("  {:>3}% |{row}\n", level * 10));
         }
         let axis: String = (0..curve.len()).map(|n| format!("{n:>3}")).collect();
-        out.push_str(&format!("       +{}\n        {axis}  (>= N MSHRs)\n", "-".repeat(curve.len() * 3)));
+        out.push_str(&format!(
+            "       +{}\n        {axis}  (>= N MSHRs)\n",
+            "-".repeat(curve.len() * 3)
+        ));
     }
     out
 }
@@ -75,8 +77,20 @@ mod tests {
 
     #[test]
     fn bars_scale_with_components() {
-        let base = Breakdown { busy: 25.0, cpu_stall: 0.0, data: 75.0, sync: 0.0, instr: 0.0 };
-        let clust = Breakdown { busy: 25.0, cpu_stall: 0.0, data: 25.0, sync: 0.0, instr: 0.0 };
+        let base = Breakdown {
+            busy: 25.0,
+            cpu_stall: 0.0,
+            data: 75.0,
+            sync: 0.0,
+            instr: 0.0,
+        };
+        let clust = Breakdown {
+            busy: 25.0,
+            cpu_stall: 0.0,
+            data: 25.0,
+            sync: 0.0,
+            instr: 0.0,
+        };
         let s = render_breakdown_bars("t", &[("app".into(), base, clust)], 40);
         // base: 30 cells of D, 10 of C; clust: 10 D, 10 C.
         assert!(s.contains(&"D".repeat(30)), "{s}");
@@ -87,7 +101,13 @@ mod tests {
 
     #[test]
     fn bars_include_all_categories() {
-        let b = Breakdown { busy: 25.0, cpu_stall: 25.0, data: 25.0, sync: 15.0, instr: 10.0 };
+        let b = Breakdown {
+            busy: 25.0,
+            cpu_stall: 25.0,
+            data: 25.0,
+            sync: 15.0,
+            instr: 10.0,
+        };
         let s = render_breakdown_bars("t", &[("x".into(), b, b)], 20);
         for ch in ["D", "S", "C", "I"] {
             assert!(s.contains(ch), "missing {ch} in {s}");

@@ -15,7 +15,10 @@ pub struct Row {
 impl Row {
     /// Builds a row from a label and preformatted cells.
     pub fn new(label: impl Into<String>, cells: Vec<String>) -> Self {
-        Row { label: label.into(), cells }
+        Row {
+            label: label.into(),
+            cells,
+        }
     }
 }
 
@@ -84,14 +87,22 @@ pub fn format_breakdown_table(title: &str, entries: &[(String, Breakdown, Breakd
 
 /// Formats Figure 4-style occupancy curves: fraction of time at least N
 /// MSHRs are occupied, for each labeled histogram.
-pub fn format_occupancy_curves(title: &str, entries: &[(String, MshrOccupancy)], reads: bool) -> String {
+pub fn format_occupancy_curves(
+    title: &str,
+    entries: &[(String, MshrOccupancy)],
+    reads: bool,
+) -> String {
     let cap = entries.first().map(|(_, m)| m.capacity()).unwrap_or(0);
     let header: Vec<String> = (0..=cap).map(|n| format!(">={n}")).collect();
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     let rows: Vec<Row> = entries
         .iter()
         .map(|(label, m)| {
-            let curve = if reads { m.read_curve() } else { m.total_curve() };
+            let curve = if reads {
+                m.read_curve()
+            } else {
+                m.total_curve()
+            };
             Row::new(
                 label.clone(),
                 curve.iter().map(|f| format!("{f:5.3}")).collect(),
@@ -123,8 +134,20 @@ mod tests {
 
     #[test]
     fn breakdown_table_contains_reduction() {
-        let base = Breakdown { busy: 50.0, cpu_stall: 0.0, data: 50.0, sync: 0.0, instr: 0.0 };
-        let clust = Breakdown { busy: 50.0, cpu_stall: 0.0, data: 25.0, sync: 0.0, instr: 0.0 };
+        let base = Breakdown {
+            busy: 50.0,
+            cpu_stall: 0.0,
+            data: 50.0,
+            sync: 0.0,
+            instr: 0.0,
+        };
+        let clust = Breakdown {
+            busy: 50.0,
+            cpu_stall: 0.0,
+            data: 25.0,
+            sync: 0.0,
+            instr: 0.0,
+        };
         let t = format_breakdown_table("fig", &[("app".into(), base, clust)]);
         assert!(t.contains("app/base"));
         assert!(t.contains("app/clust"));

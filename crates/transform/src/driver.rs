@@ -61,9 +61,9 @@ pub struct ClusterReport {
 impl ClusterReport {
     /// True when any transformation was applied.
     pub fn any_transformed(&self) -> bool {
-        self.decisions.iter().any(|d| {
-            d.uaj_degree > 1 || d.inner_unroll > 1 || d.scheduled || d.scalar_replaced > 0
-        })
+        self.decisions
+            .iter()
+            .any(|d| d.uaj_degree > 1 || d.inner_unroll > 1 || d.scheduled || d.scalar_replaced > 0)
     }
 
     /// One-line-per-nest human-readable summary.
@@ -107,10 +107,7 @@ pub fn cluster_program(
     for path in nests {
         // Skip nests whose enclosing loop we already transformed (a jam
         // rewrites every inner loop it contains).
-        if consumed_parents
-            .iter()
-            .any(|p| path.0.starts_with(&p.0))
-        {
+        if consumed_parents.iter().any(|p| path.0.starts_with(&p.0)) {
             continue;
         }
         if let Some(d) = cluster_nest(prog, &path, m, profile) {
@@ -140,7 +137,10 @@ fn cluster_nest(
     let nest_desc = format!(
         "{}({})",
         prog.name,
-        vars.iter().map(|&v| prog.var_name(v).to_string()).collect::<Vec<_>>().join(",")
+        vars.iter()
+            .map(|&v| prog.var_name(v).to_string())
+            .collect::<Vec<_>>()
+            .join(",")
     );
     let mut decision = NestDecision {
         path: path.clone(),
@@ -174,7 +174,9 @@ fn cluster_nest(
             decision.uaj_skip_reason = Some("no enclosing loop to unroll".into());
         }
         while let Some(parent) = cand {
-            let Some(pl) = loop_at(prog, &parent) else { break };
+            let Some(pl) = loop_at(prog, &parent) else {
+                break;
+            };
             let pv = pl.var;
             let pname = prog.var_name(pv).to_string();
             if !writes_vary_with(prog, path, pv) {
@@ -280,7 +282,9 @@ fn search_degree(
     // Candidate degrees, ascending.
     let candidates: Vec<u32> = match loop_at(prog, parent) {
         Some(l) if l.dist.is_some() && m.procs > 1 => {
-            let Some(trip) = l.const_trip_count() else { return 1 };
+            let Some(trip) = l.const_trip_count() else {
+                return 1;
+            };
             (2..=m.max_unroll)
                 .filter(|&d| trip % d as i64 == 0)
                 .collect()
@@ -329,9 +333,8 @@ fn deepest_inner(prog: &Program, start: &NestPath) -> Option<NestPath> {
         return loop_at(prog, start).map(|_| start.clone());
     }
     // Prefer the innermost loop with the largest body (the fused jam).
-    all.into_iter().max_by_key(|p| {
-        loop_at(prog, p).map(|l| l.body.len()).unwrap_or(0)
-    })
+    all.into_iter()
+        .max_by_key(|p| loop_at(prog, p).map(|l| l.body.len()).unwrap_or(0))
 }
 
 /// True when unrolling the loop over `pv` would add new *read* miss
@@ -340,14 +343,18 @@ fn deepest_inner(prog: &Program, start: &NestPath) -> Option<NestPath> {
 /// "we prefer not to unroll-and-jam loops that only expose additional
 /// write miss references").
 fn unrolling_adds_read_misses(_prog: &Program, an: &NestAnalysis, pv: mempar_ir::VarId) -> bool {
-    an.refs.leading().any(|r| !r.is_write && ref_varies_with(&r.r, pv))
+    an.refs
+        .leading()
+        .any(|r| !r.is_write && ref_varies_with(&r.r, pv))
 }
 
 /// True when every array write in the innermost body at `inner` varies
 /// with `pv`. A write invariant in `pv` means the unrolled copies rewrite
 /// the same elements — a memory-carried reduction whose copies serialize.
 fn writes_vary_with(prog: &Program, inner: &NestPath, pv: mempar_ir::VarId) -> bool {
-    let Some(l) = loop_at(prog, inner) else { return false };
+    let Some(l) = loop_at(prog, inner) else {
+        return false;
+    };
     let mut ok = true;
     for s in &l.body {
         s.visit_local_refs(&mut |r, w| {
@@ -403,7 +410,10 @@ mod tests {
         let n = 64;
         let (mut p, a, out) = fig2a(n);
         let mut mem = SimMem::new(&p, 1);
-        mem.set_array(a, ArrayData::F64((0..n * n).map(|x| (x % 11) as f64).collect()));
+        mem.set_array(
+            a,
+            ArrayData::F64((0..n * n).map(|x| (x % 11) as f64).collect()),
+        );
         run_single(&p, &mut mem);
         let base_out = mem.read_f64(out);
 
@@ -413,11 +423,17 @@ mod tests {
         let d = &report.decisions[0];
         assert!(d.uaj_degree > 1, "recurrence must trigger UAJ: {report:?}");
         assert!(d.f_after > d.f_before);
-        assert!(d.f_after <= d.alpha * m.mshrs as f64 + 1e-9, "conservative bound");
+        assert!(
+            d.f_after <= d.alpha * m.mshrs as f64 + 1e-9,
+            "conservative bound"
+        );
 
         // Semantics preserved.
         let mut mem2 = SimMem::new(&p, 1);
-        mem2.set_array(a, ArrayData::F64((0..n * n).map(|x| (x % 11) as f64).collect()));
+        mem2.set_array(
+            a,
+            ArrayData::F64((0..n * n).map(|x| (x % 11) as f64).collect()),
+        );
         run_single(&p, &mut mem2);
         assert_eq!(mem2.read_f64(out), base_out);
     }
@@ -504,7 +520,9 @@ mod tests {
         let mut p = b.finish();
         // The chase is irregular; mark the chain loop parallel (the
         // paper's Latbench chains are independent by construction).
-        let mempar_ir::Stmt::Loop(l) = &mut p.body[0] else { panic!() };
+        let mempar_ir::Stmt::Loop(l) = &mut p.body[0] else {
+            panic!()
+        };
         l.dist = Some(mempar_ir::Dist::Block);
 
         // Functional reference.
@@ -514,7 +532,10 @@ mod tests {
                 heads,
                 ArrayData::I64((0..nchains as i64).map(|x| x * 31 % 1024).collect()),
             );
-            mem.set_array(next, ArrayData::I64((0..1024).map(|x| (x + 97) % 1024).collect()));
+            mem.set_array(
+                next,
+                ArrayData::I64((0..1024).map(|x| (x + 97) % 1024).collect()),
+            );
             mem
         };
         let mut mem = mk(&p);
@@ -525,7 +546,11 @@ mod tests {
         let d = &report.decisions[0];
         assert!(d.uaj_degree > 1, "{}", report.summary());
         // alpha = 1 address recurrence: degree should reach ~lp.
-        assert!(d.uaj_degree >= 8, "degree {} should approach lp", d.uaj_degree);
+        assert!(
+            d.uaj_degree >= 8,
+            "degree {} should approach lp",
+            d.uaj_degree
+        );
 
         let mut mem2 = mk(&p);
         run_single(&p, &mut mem2);

@@ -10,7 +10,7 @@
 use mempar_ir::{AffineExpr, Loop, Program, Stmt};
 
 use crate::legality::{collect_ranges, pair_dependence, PairDep};
-use crate::nest::{contains_sync, container_mut, loop_at, NestPath};
+use crate::nest::{container_mut, contains_sync, loop_at, NestPath};
 use crate::subst::subst_body;
 use crate::TransformError;
 
@@ -35,7 +35,9 @@ pub fn fuse_next(prog: &mut Program, path: &NestPath) -> Result<(), TransformErr
     let last = sibling.pop().ok_or(TransformError::NotALoop)?;
     sibling.push(last + 1);
     let second_path = NestPath(sibling);
-    let second = loop_at(prog, &second_path).ok_or(TransformError::NotALoop)?.clone();
+    let second = loop_at(prog, &second_path)
+        .ok_or(TransformError::NotALoop)?
+        .clone();
 
     if first.step != 1 || second.step != 1 {
         return Err(TransformError::UnsupportedStep);
@@ -53,6 +55,22 @@ pub fn fuse_next(prog: &mut Program, path: &NestPath) -> Result<(), TransformErr
 
     // Rename the second loop's variable onto the first's.
     let renamed = subst_body(&second.body, second.var, &AffineExpr::var(first.var));
+
+    // Scalar dataflow: in the original program every iteration of loop 1
+    // precedes every iteration of loop 2, so a scalar written by one
+    // loop and accessed by the other observes all-before or all-after
+    // semantics that interleaving destroys (e.g. loop 1 stores `f`,
+    // loop 2 accumulates into `f`). Reject any shared scalar with a
+    // write on either side; found by differential testing
+    // (crates/difftest, seed 265).
+    let writes1 = crate::subst::assigned_scalars(&first.body);
+    let writes2 = crate::subst::assigned_scalars(&renamed);
+    let touched1 = crate::legality::touched_scalars(&first.body);
+    let touched2 = crate::legality::touched_scalars(&renamed);
+    if writes1.iter().any(|s| touched2.contains(s)) || writes2.iter().any(|s| touched1.contains(s))
+    {
+        return Err(TransformError::IllegalDependence);
+    }
 
     // Legality: cross-loop dependences must not reverse. In the original
     // program every iteration of loop 1 precedes every iteration of
@@ -161,7 +179,10 @@ mod tests {
     fn run(p: &Program, ids: [mempar_ir::ArrayId; 4], n: usize) -> (Vec<f64>, Vec<f64>) {
         let mut mem = SimMem::new(p, 1);
         mem.set_array(ids[0], ArrayData::F64((0..n).map(|x| x as f64).collect()));
-        mem.set_array(ids[1], ArrayData::F64((0..n).map(|x| (2 * x) as f64).collect()));
+        mem.set_array(
+            ids[1],
+            ArrayData::F64((0..n).map(|x| (2 * x) as f64).collect()),
+        );
         run_single(p, &mut mem);
         (mem.read_f64(ids[2]), mem.read_f64(ids[3]))
     }

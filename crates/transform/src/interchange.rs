@@ -6,7 +6,7 @@ use mempar_ir::{AffineExpr, BinOp, Bound, ElemType, Expr, Loop, Program, Stmt};
 use crate::legality::{can_interchange, collect_ranges};
 use crate::nest::{container_mut, loop_at, loop_at_mut, NestPath};
 use crate::subst::bound_to_expr;
-use crate::TransformError;
+use crate::{Legality, TransformError};
 
 /// Interchanges the loop at `path` with its directly nested loop — the
 /// nest must be perfectly nested (`for j { for i { body } }` with nothing
@@ -18,6 +18,18 @@ use crate::TransformError;
 /// [`TransformError::IllegalDependence`] when a `(<,>)` dependence blocks
 /// the interchange.
 pub fn interchange(prog: &mut Program, path: &NestPath) -> Result<(), TransformError> {
+    interchange_with(prog, path, Legality::Enforce)
+}
+
+/// [`interchange`] with an explicit [`Legality`] mode. With
+/// [`Legality::Bypass`] the `(<,>)`-dependence test is skipped (the
+/// perfect-nest and rectangularity requirements still apply) so a testing
+/// harness can force rejected applications and observe the damage.
+pub fn interchange_with(
+    prog: &mut Program,
+    path: &NestPath,
+    legality: Legality,
+) -> Result<(), TransformError> {
     let outer = loop_at(prog, path).ok_or(TransformError::NotALoop)?;
     if outer.body.len() != 1 {
         return Err(TransformError::NotPerfectNest);
@@ -38,7 +50,7 @@ pub fn interchange(prog: &mut Program, path: &NestPath) -> Result<(), TransformE
         return Err(TransformError::NotPerfectNest);
     }
     let ranges = collect_ranges(prog, path);
-    if !can_interchange(prog, &inner.body, outer.var, inner.var, &ranges) {
+    if legality.enforced() && !can_interchange(prog, &inner.body, outer.var, inner.var, &ranges) {
         return Err(TransformError::IllegalDependence);
     }
     let outer_mut = loop_at_mut(prog, path).expect("checked above");
@@ -63,7 +75,11 @@ pub fn interchange(prog: &mut Program, path: &NestPath) -> Result<(), TransformE
 /// `strip` iterations and an inner loop walking one strip — the first
 /// half of Figure 2(c)'s strip-mine-and-interchange. A remainder loop
 /// covers leftover iterations.
-pub fn strip_mine(prog: &mut Program, path: &NestPath, strip: u32) -> Result<NestPath, TransformError> {
+pub fn strip_mine(
+    prog: &mut Program,
+    path: &NestPath,
+    strip: u32,
+) -> Result<NestPath, TransformError> {
     if strip <= 1 {
         return Ok(path.clone());
     }
@@ -81,8 +97,15 @@ pub fn strip_mine(prog: &mut Program, path: &NestPath, strip: u32) -> Result<Nes
         Expr::bin(BinOp::Sub, hi_e, lo_e.clone()),
         Expr::ConstI(s),
     );
-    let t_expr = Expr::bin(BinOp::Add, lo_e, Expr::bin(BinOp::Mul, Expr::ConstI(s), whole));
-    let prelude = Stmt::AssignScalar { lhs: t, rhs: t_expr };
+    let t_expr = Expr::bin(
+        BinOp::Add,
+        lo_e,
+        Expr::bin(BinOp::Mul, Expr::ConstI(s), whole),
+    );
+    let prelude = Stmt::AssignScalar {
+        lhs: t,
+        rhs: t_expr,
+    };
 
     let jj = prog.fresh_var(format!("{}{}", prog.var_name(l.var), l.var.index()));
     let inner = Loop {
@@ -147,7 +170,12 @@ mod tests {
         (b.finish(), a, out)
     }
 
-    fn run_with_data(p: &Program, a: mempar_ir::ArrayId, out: mempar_ir::ArrayId, n: usize) -> Vec<f64> {
+    fn run_with_data(
+        p: &Program,
+        a: mempar_ir::ArrayId,
+        out: mempar_ir::ArrayId,
+        n: usize,
+    ) -> Vec<f64> {
         let mut mem = SimMem::new(p, 1);
         mem.set_array(a, ArrayData::F64((0..n * n).map(|x| x as f64).collect()));
         run_single(p, &mut mem);
@@ -215,7 +243,9 @@ mod tests {
         // Structure: strip loop over jj containing the j loop.
         let outer = loop_at(&p, &new_path).expect("strip loop");
         assert_eq!(outer.step, 4);
-        let Stmt::Loop(inner) = &outer.body[0] else { panic!("inner strip") };
+        let Stmt::Loop(inner) = &outer.body[0] else {
+            panic!("inner strip")
+        };
         assert_eq!(p.var_name(inner.var), "j");
     }
 

@@ -17,7 +17,9 @@
 //! with everything else treated as unanalyzable unless the loop is
 //! explicitly marked parallel.
 
-use mempar_ir::{AffineExpr, ArrayRef, Bound, Loop, Program, Stmt, VarId};
+use mempar_ir::{
+    AffineExpr, ArrayRef, Bound, DynIndex, Expr, Loop, Program, ScalarId, Stmt, VarId,
+};
 
 /// Known value ranges of loop variables (inclusive bounds), harvested
 /// from constant/affine loop bounds along a nest.
@@ -82,7 +84,9 @@ pub fn collect_ranges(prog: &Program, path: &crate::nest::NestPath) -> VarRanges
     let mut ranges = VarRanges::new();
     let mut body: &[Stmt] = &prog.body;
     for &idx in &path.0 {
-        let Some(Stmt::Loop(l)) = body.get(idx) else { return ranges };
+        let Some(Stmt::Loop(l)) = body.get(idx) else {
+            return ranges;
+        };
         add_loop_range(l, &mut ranges);
         body = &l.body;
     }
@@ -123,7 +127,11 @@ fn add_body_ranges(body: &[Stmt], ranges: &mut VarRanges) {
                 add_loop_range(l, ranges);
                 add_body_ranges(&l.body, ranges);
             }
-            Stmt::If { then_branch, else_branch, .. } => {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 add_body_ranges(then_branch, ranges);
                 add_body_ranges(else_branch, ranges);
             }
@@ -167,9 +175,9 @@ pub fn pair_dependence(
     let mut unknown = false;
 
     let record = |vi: usize,
-                      d: i64,
-                      distances: &mut Vec<Option<i64>>,
-                      constrained: &mut Vec<bool>|
+                  d: i64,
+                  distances: &mut Vec<Option<i64>>,
+                  constrained: &mut Vec<bool>|
      -> bool {
         match distances[vi] {
             Some(prev) if prev != d => false, // inconsistent: independent
@@ -186,8 +194,7 @@ pub fn pair_dependence(
         let eb = &ib.affine;
         // 1) Value-range disjointness: if this dimension's possible values
         //    never overlap, the references are independent outright.
-        if let (Some((amin, amax)), Some((bmin, bmax))) =
-            (ranges.interval(ea), ranges.interval(eb))
+        if let (Some((amin, amax)), Some((bmin, bmax))) = (ranges.interval(ea), ranges.interval(eb))
         {
             if amax < bmin || bmax < amin {
                 return PairDep::Independent;
@@ -253,9 +260,9 @@ pub fn pair_dependence(
                     continue;
                 };
                 let span = hi2 - lo2; // |D_min| <= span
-                // cmaj*Dmaj + cmin*Dmin = delta with |Dmin| <= span.
-                // Unique decomposition needs |cmin|*span*2 < 2*|cmaj|...
-                // enumerate the few candidate Dmaj around delta/cmaj.
+                                      // cmaj*Dmaj + cmin*Dmin = delta with |Dmin| <= span.
+                                      // Unique decomposition needs |cmin|*span*2 < 2*|cmaj|...
+                                      // enumerate the few candidate Dmaj around delta/cmaj.
                 let mut feasible: Vec<(i64, i64)> = Vec::new();
                 let base = delta / cmaj;
                 for q in (base - 2)..=(base + 2) {
@@ -313,7 +320,11 @@ pub fn all_refs(body: &[Stmt]) -> Vec<(ArrayRef, bool, usize)> {
         for s in body {
             match s {
                 Stmt::Loop(l) => walk(&l.body, stmt, out),
-                Stmt::If { then_branch, else_branch, .. } => {
+                Stmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
                     walk(then_branch, stmt, out);
                     walk(else_branch, stmt, out);
                 }
@@ -327,6 +338,136 @@ pub fn all_refs(body: &[Stmt]) -> Vec<(ArrayRef, bool, usize)> {
     }
     walk(body, &mut stmt, &mut out);
     out
+}
+
+fn expr_scalars(e: &Expr, out: &mut Vec<ScalarId>) {
+    match e {
+        Expr::Scalar(s) => out.push(*s),
+        Expr::Load(r) => ref_scalars(r, out),
+        Expr::Unary(_, a) => expr_scalars(a, out),
+        Expr::Binary(_, a, b) => {
+            expr_scalars(a, out);
+            expr_scalars(b, out);
+        }
+        _ => {}
+    }
+}
+
+fn ref_scalars(r: &ArrayRef, out: &mut Vec<ScalarId>) {
+    for ix in &r.indices {
+        match &ix.dynamic {
+            Some(DynIndex::Scalar { scalar, .. }) => out.push(*scalar),
+            Some(DynIndex::Indirect { inner, .. }) => ref_scalars(inner, out),
+            None => {}
+        }
+    }
+}
+
+fn bound_scalars(b: &Bound, out: &mut Vec<ScalarId>) {
+    if let Bound::Scalar(s) = b {
+        out.push(*s);
+    }
+}
+
+/// Every scalar accessed anywhere in `body` — expression reads,
+/// assignment targets, dynamic indices and loop bounds. Fusion legality
+/// needs the full access set of each body, not just its assignments.
+pub fn touched_scalars(body: &[Stmt]) -> Vec<ScalarId> {
+    let mut out = Vec::new();
+    fn walk(body: &[Stmt], out: &mut Vec<ScalarId>) {
+        for s in body {
+            match s {
+                Stmt::AssignArray { lhs, rhs } => {
+                    ref_scalars(lhs, out);
+                    expr_scalars(rhs, out);
+                }
+                Stmt::AssignScalar { lhs, rhs } => {
+                    out.push(*lhs);
+                    expr_scalars(rhs, out);
+                }
+                Stmt::Prefetch { target } => ref_scalars(target, out),
+                Stmt::Loop(l) => {
+                    bound_scalars(&l.lo, out);
+                    bound_scalars(&l.hi, out);
+                    walk(&l.body, out);
+                }
+                Stmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    walk(then_branch, out);
+                    walk(else_branch, out);
+                }
+                Stmt::Barrier | Stmt::FlagSet { .. } | Stmt::FlagWait { .. } => {}
+            }
+        }
+    }
+    walk(body, &mut out);
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Scalar-dataflow precondition for jamming.
+///
+/// Private scalars (defined before use) are renamed per copy and carry no
+/// cross-copy state. Any *shared* scalar that the body writes is only
+/// safe when every access to it — reads, writes, and loop-bound reads —
+/// sits in a single leaf statement: that is the recognized reduction
+/// shape `s = s ⊕ e`, whose per-position copies the jam emits in
+/// iteration order. Accesses spread across statements (e.g. `s = s + a[i]`
+/// followed by `out[i] = s`) would be reordered by the position-major
+/// emission and must reject the jam. Found by differential testing
+/// (`crates/difftest`); see the regression test in `unroll.rs`.
+fn scalar_chains_jammable(body: &[Stmt]) -> bool {
+    // One entry per leaf statement: the set of scalars it touches.
+    fn collect(body: &[Stmt], leaves: &mut Vec<Vec<ScalarId>>) {
+        for s in body {
+            let mut touched = Vec::new();
+            match s {
+                Stmt::AssignArray { lhs, rhs } => {
+                    ref_scalars(lhs, &mut touched);
+                    expr_scalars(rhs, &mut touched);
+                }
+                Stmt::AssignScalar { lhs, rhs } => {
+                    touched.push(*lhs);
+                    expr_scalars(rhs, &mut touched);
+                }
+                Stmt::Prefetch { target } => ref_scalars(target, &mut touched),
+                Stmt::Loop(l) => {
+                    bound_scalars(&l.lo, &mut touched);
+                    bound_scalars(&l.hi, &mut touched);
+                    leaves.push(std::mem::take(&mut touched));
+                    collect(&l.body, leaves);
+                    continue;
+                }
+                Stmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    collect(then_branch, leaves);
+                    collect(else_branch, leaves);
+                    continue;
+                }
+                Stmt::Barrier | Stmt::FlagSet { .. } | Stmt::FlagWait { .. } => continue,
+            }
+            leaves.push(touched);
+        }
+    }
+    let mut leaves = Vec::new();
+    collect(body, &mut leaves);
+    for &written in &crate::subst::assigned_scalars(body) {
+        if crate::subst::first_access_is_def(body, written) {
+            continue; // private: renamed per copy
+        }
+        let touching = leaves.iter().filter(|l| l.contains(&written)).count();
+        if touching > 1 {
+            return false;
+        }
+    }
+    true
 }
 
 /// Whether it is legal to unroll-and-jam the loop over `target` whose
@@ -353,6 +494,9 @@ pub fn can_unroll_and_jam(
     }
     if explicitly_parallel {
         return true;
+    }
+    if !scalar_chains_jammable(body) {
+        return false;
     }
     let refs = all_refs(body);
     let mut vars = vec![target];
@@ -403,6 +547,14 @@ pub fn can_interchange(
     if crate::nest::contains_sync(body) {
         return false;
     }
+    // Interchange permutes the iteration order, so scalar state woven
+    // through multiple statements (e.g. a pointer chase feeding a store)
+    // would observe a different update sequence. The same single-leaf
+    // discipline that gates jamming applies; found by differential
+    // testing (crates/difftest, seed 233).
+    if !scalar_chains_jammable(body) {
+        return false;
+    }
     let refs = all_refs(body);
     for i in 0..refs.len() {
         for j in i..refs.len() {
@@ -451,7 +603,12 @@ mod tests {
         let a = b.array_f64("a", &[64, 64]);
         let j = b.var("j");
         let i = b.var("i");
-        Fixture { prog: b.finish(), a, j, i }
+        Fixture {
+            prog: b.finish(),
+            a,
+            j,
+            i,
+        }
     }
 
     fn r(f: &Fixture, ej: AffineExpr, ei: AffineExpr) -> ArrayRef {
@@ -475,7 +632,11 @@ mod tests {
     fn offset_gives_distance() {
         let f = fixture();
         let x = r(&f, AffineExpr::var(f.j), AffineExpr::var(f.i));
-        let y = r(&f, AffineExpr::var(f.j).offset(-1), AffineExpr::var(f.i).offset(2));
+        let y = r(
+            &f,
+            AffineExpr::var(f.j).offset(-1),
+            AffineExpr::var(f.i).offset(2),
+        );
         match pair_dependence(&f.prog, &x, &y, &[f.j, f.i], &VarRanges::new()) {
             PairDep::Distances(d) => assert_eq!(d, vec![Some(1), Some(-2)]),
             other => panic!("{other:?}"),
@@ -588,12 +749,17 @@ mod tests {
         let i = b.var("i");
         b.for_const(j, 1, 15, |b| {
             b.for_const(i, 1, 15, |b| {
-                let up = b.load(a, &[b.idx_e(AffineExpr::var(j).offset(write_off)), b.idx(i)]);
+                let up = b.load(
+                    a,
+                    &[b.idx_e(AffineExpr::var(j).offset(write_off)), b.idx(i)],
+                );
                 b.assign_array(a, &[b.idx(j), b.idx(i)], up);
             });
         });
         let p = b.finish();
-        let Stmt::Loop(outer) = &p.body[0] else { panic!() };
+        let Stmt::Loop(outer) = &p.body[0] else {
+            panic!()
+        };
         let body = outer.body.clone();
         (p, body, j, i)
     }
@@ -601,7 +767,14 @@ mod tests {
     #[test]
     fn uaj_legal_for_independent_rows() {
         let (p, body, j, i) = stencil_program(-1);
-        assert!(can_unroll_and_jam(&p, &body, j, &[i], false, &VarRanges::new()));
+        assert!(can_unroll_and_jam(
+            &p,
+            &body,
+            j,
+            &[i],
+            false,
+            &VarRanges::new()
+        ));
     }
 
     #[test]
@@ -620,8 +793,22 @@ mod tests {
         });
         let p = b.finish();
         let Stmt::Loop(l) = &p.body[0] else { panic!() };
-        assert!(!can_unroll_and_jam(&p, &l.body, j, &[], false, &VarRanges::new()));
-        assert!(can_unroll_and_jam(&p, &l.body, j, &[], true, &VarRanges::new()));
+        assert!(!can_unroll_and_jam(
+            &p,
+            &l.body,
+            j,
+            &[],
+            false,
+            &VarRanges::new()
+        ));
+        assert!(can_unroll_and_jam(
+            &p,
+            &l.body,
+            j,
+            &[],
+            true,
+            &VarRanges::new()
+        ));
     }
 
     #[test]
@@ -631,7 +818,14 @@ mod tests {
         b.for_const(j, 0, 4, |b| b.barrier());
         let p = b.finish();
         let Stmt::Loop(l) = &p.body[0] else { panic!() };
-        assert!(!can_unroll_and_jam(&p, &l.body, j, &[], true, &VarRanges::new()));
+        assert!(!can_unroll_and_jam(
+            &p,
+            &l.body,
+            j,
+            &[],
+            true,
+            &VarRanges::new()
+        ));
     }
 
     #[test]
@@ -659,7 +853,9 @@ mod tests {
             });
         });
         let p = b.finish();
-        let Stmt::Loop(outer) = &p.body[0] else { panic!() };
+        let Stmt::Loop(outer) = &p.body[0] else {
+            panic!()
+        };
         assert!(!can_interchange(&p, &outer.body, j, i, &VarRanges::new()));
     }
 
@@ -681,8 +877,17 @@ mod tests {
             });
         });
         let p = b.finish();
-        let Stmt::Loop(outer) = &p.body[0] else { panic!() };
-        assert!(can_unroll_and_jam(&p, &outer.body, j, &[i], false, &VarRanges::new()));
+        let Stmt::Loop(outer) = &p.body[0] else {
+            panic!()
+        };
+        assert!(can_unroll_and_jam(
+            &p,
+            &outer.body,
+            j,
+            &[i],
+            false,
+            &VarRanges::new()
+        ));
         assert!(can_interchange(&p, &outer.body, j, i, &VarRanges::new()));
     }
 

@@ -64,8 +64,7 @@ mod unroll;
 
 pub use driver::{cluster_program, ClusterReport, NestDecision};
 pub use fuse::{fuse_adjacent_loops, fuse_next};
-pub use prefetch::insert_prefetches;
-pub use interchange::{interchange, interchange_postlude, strip_mine};
+pub use interchange::{interchange, interchange_postlude, interchange_with, strip_mine};
 pub use legality::{
     all_refs, can_interchange, can_unroll_and_jam, collect_ranges, pair_dependence, PairDep,
     VarRanges,
@@ -73,13 +72,43 @@ pub use legality::{
 pub use nest::{
     contains_loop, contains_sync, enclosing_vars, innermost_loops, loop_at, loop_at_mut, NestPath,
 };
+pub use prefetch::insert_prefetches;
 pub use scalar_replace::{count_loads, scalar_replace};
 pub use schedule::{schedule_balanced, schedule_for_misses};
 pub use subst::{
     affine_to_expr, assigned_scalars, bound_to_expr, first_access_is_def, subst_body, subst_expr,
     subst_ref, subst_stmt,
 };
-pub use unroll::{inner_unroll, unroll_and_jam, UnrollResult};
+pub use unroll::{inner_unroll, unroll_and_jam, unroll_and_jam_with, UnrollResult};
+
+/// Whether a transformation entry point consults the conservative
+/// dependence tests before rewriting.
+///
+/// The default everywhere is [`Legality::Enforce`]. [`Legality::Bypass`]
+/// exists for the differential-testing harness (`crates/difftest`): by
+/// forcing a rewrite that the dependence framework rejected and checking
+/// whether the result diverges from the oracle (or fails validation), the
+/// harness classifies each rejection as *justified* or merely
+/// *conservative* — and, crucially, proves the enforcement path is
+/// load-bearing. Structural requirements (step, loop shape, jammability)
+/// are still enforced under `Bypass`; only the dependence test is skipped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Legality {
+    /// Run the dependence tests and refuse illegal applications.
+    #[default]
+    Enforce,
+    /// Skip the dependence tests and rewrite unconditionally. The result
+    /// may be semantically wrong — callers must check it against an
+    /// oracle. Never use outside testing.
+    Bypass,
+}
+
+impl Legality {
+    /// True when dependence tests must pass before rewriting.
+    pub fn enforced(self) -> bool {
+        matches!(self, Legality::Enforce)
+    }
+}
 
 /// Why a transformation could not be applied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

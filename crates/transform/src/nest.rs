@@ -118,9 +118,11 @@ pub fn innermost_loops(prog: &Program) -> Vec<NestPath> {
 pub fn contains_loop(body: &[Stmt]) -> bool {
     body.iter().any(|s| match s {
         Stmt::Loop(_) => true,
-        Stmt::If { then_branch, else_branch, .. } => {
-            contains_loop(then_branch) || contains_loop(else_branch)
-        }
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => contains_loop(then_branch) || contains_loop(else_branch),
         _ => false,
     })
 }
@@ -130,9 +132,11 @@ pub fn contains_sync(body: &[Stmt]) -> bool {
     body.iter().any(|s| match s {
         Stmt::Barrier | Stmt::FlagSet { .. } | Stmt::FlagWait { .. } => true,
         Stmt::Loop(l) => contains_sync(&l.body),
-        Stmt::If { then_branch, else_branch, .. } => {
-            contains_sync(then_branch) || contains_sync(else_branch)
-        }
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => contains_sync(then_branch) || contains_sync(else_branch),
         _ => false,
     })
 }
@@ -218,7 +222,9 @@ mod tests {
         let j = b.var("j");
         b.for_const(j, 0, 4, |b| b.barrier());
         let p = b.finish();
-        let mempar_ir::Stmt::Loop(l) = &p.body[0] else { panic!() };
+        let mempar_ir::Stmt::Loop(l) = &p.body[0] else {
+            panic!()
+        };
         assert!(contains_sync(&l.body));
         assert!(!contains_loop(&l.body));
     }

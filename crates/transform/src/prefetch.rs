@@ -128,8 +128,14 @@ mod tests {
     fn prefetch_ops_appear_in_trace_and_clamp() {
         let n = 32;
         let (mut p, a, _) = streaming(n);
-        insert_prefetches(&mut p, &NestPath::top(0), 16, 64, &MissProfile::pessimistic())
-            .expect("loop");
+        insert_prefetches(
+            &mut p,
+            &NestPath::top(0),
+            16,
+            64,
+            &MissProfile::pessimistic(),
+        )
+        .expect("loop");
         let mut mem = SimMem::new(&p, 1);
         mem.set_array(a, ArrayData::f64_fill(n, 1.0));
         let mut interp = Interp::new(&p, 0, 1);
@@ -158,8 +164,14 @@ mod tests {
             b.assign_scalar(ps, v);
         });
         let mut p = b.finish();
-        let k = insert_prefetches(&mut p, &NestPath::top(0), 8, 64, &MissProfile::pessimistic())
-            .expect("loop");
+        let k = insert_prefetches(
+            &mut p,
+            &NestPath::top(0),
+            8,
+            64,
+            &MissProfile::pessimistic(),
+        )
+        .expect("loop");
         assert_eq!(k, 0, "a chase's address is unknowable ahead of time");
     }
 
@@ -176,11 +188,19 @@ mod tests {
             b.assign_array(out, &[b.idx(i)], v);
         });
         let mut p = b.finish();
-        let k = insert_prefetches(&mut p, &NestPath::top(0), 8, 64, &MissProfile::pessimistic())
-            .expect("loop");
+        let k = insert_prefetches(
+            &mut p,
+            &NestPath::top(0),
+            8,
+            64,
+            &MissProfile::pessimistic(),
+        )
+        .expect("loop");
         // The gather and the index stream are both prefetchable.
         assert!(k >= 1, "{k}");
-        let mempar_ir::Stmt::Loop(l) = &p.body[0] else { panic!() };
+        let mempar_ir::Stmt::Loop(l) = &p.body[0] else {
+            panic!()
+        };
         assert!(matches!(l.body[0], Stmt::Prefetch { .. }));
     }
 }

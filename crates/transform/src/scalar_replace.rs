@@ -28,7 +28,10 @@ pub fn scalar_replace(
     let var = l.var;
     let ranges = collect_ranges(prog, path);
     // Only handle straight-line bodies (no nested control flow).
-    if l.body.iter().any(|s| !matches!(s, Stmt::AssignArray { .. } | Stmt::AssignScalar { .. })) {
+    if l.body
+        .iter()
+        .any(|s| !matches!(s, Stmt::AssignArray { .. } | Stmt::AssignScalar { .. }))
+    {
         return Ok((0, path.clone()));
     }
 
@@ -44,10 +47,8 @@ pub fn scalar_replace(
             }
         });
     }
-    let invariant = |r: &ArrayRef| {
-        r.is_affine()
-            && r.indices.iter().all(|ix| ix.affine.is_free_of(var))
-    };
+    let invariant =
+        |r: &ArrayRef| r.is_affine() && r.indices.iter().all(|ix| ix.affine.is_free_of(var));
 
     let mut candidates: Vec<(ArrayRef, bool)> = Vec::new(); // (ref, is_reduction)
     let mut seen: Vec<ArrayRef> = Vec::new();
@@ -76,6 +77,26 @@ pub fn scalar_replace(
                 }
             }
         }
+        // Scalarizing the write target defers the memory store to the
+        // postlude, so every *other* read of the same array must be
+        // provably independent of `r` too — otherwise an aliasing read
+        // (e.g. `a[4 - 2i]` meeting `a[0]` at i = 2) would see stale
+        // memory. Found by differential testing (crates/difftest,
+        // seed 397).
+        if safe && reduction {
+            for rd in &reads {
+                if rd.array != r.array || rd == r {
+                    continue;
+                }
+                match pair_dependence(prog, r, rd, &[var], &ranges) {
+                    PairDep::Independent => {}
+                    _ => {
+                        safe = false;
+                        break;
+                    }
+                }
+            }
+        }
         if safe {
             candidates.push((r.clone(), reduction));
         }
@@ -93,13 +114,16 @@ pub fn scalar_replace(
     for (r, reduction) in candidates {
         let name = format!("sr_{}", prog.array(r.array).name);
         let t = prog.fresh_scalar(name, prog.array(r.array).elem);
-        preludes.push(Stmt::AssignScalar { lhs: t, rhs: Expr::Load(r.clone()) });
-        body = body
-            .iter()
-            .map(|s| replace_in_stmt(s, &r, t))
-            .collect();
+        preludes.push(Stmt::AssignScalar {
+            lhs: t,
+            rhs: Expr::Load(r.clone()),
+        });
+        body = body.iter().map(|s| replace_in_stmt(s, &r, t)).collect();
         if reduction {
-            postludes.push(Stmt::AssignArray { lhs: r.clone(), rhs: Expr::Scalar(t) });
+            postludes.push(Stmt::AssignArray {
+                lhs: r.clone(),
+                rhs: Expr::Scalar(t),
+            });
         }
     }
 
@@ -235,7 +259,10 @@ mod tests {
         // Store-back exists after the loop.
         let parent = loop_at(&p, &new_path.parent().expect("j loop")).expect("j loop");
         assert!(
-            parent.body.iter().any(|s| matches!(s, Stmt::AssignArray { .. })),
+            parent
+                .body
+                .iter()
+                .any(|s| matches!(s, Stmt::AssignArray { .. })),
             "store-back after the k loop"
         );
     }

@@ -28,7 +28,11 @@ pub fn schedule_for_misses(
     };
     let var = l.var;
     let body = l.body.clone();
-    if body.len() < 2 || body.iter().any(|s| !matches!(s, Stmt::AssignArray { .. } | Stmt::AssignScalar { .. })) {
+    if body.len() < 2
+        || body
+            .iter()
+            .any(|s| !matches!(s, Stmt::AssignArray { .. } | Stmt::AssignScalar { .. }))
+    {
         return Ok(false);
     }
     let order = schedule_order(prog, &body, var, line_bytes);
@@ -48,10 +52,7 @@ pub fn schedule_for_misses(
 /// does not explicitly consider window size" — the ablation harness
 /// compares it against [`schedule_for_misses`]. Returns whether the
 /// order changed.
-pub fn schedule_balanced(
-    prog: &mut Program,
-    path: &NestPath,
-) -> Result<bool, TransformError> {
+pub fn schedule_balanced(prog: &mut Program, path: &NestPath) -> Result<bool, TransformError> {
     let Some(l) = crate::nest::loop_at(prog, path) else {
         return Err(TransformError::NotALoop);
     };
@@ -172,7 +173,10 @@ fn schedule_order(prog: &Program, body: &[Stmt], var: VarId, line_bytes: usize) 
             .copied()
             .filter(|&i| preds[i].iter().all(|&p| placed[p]))
             .collect();
-        debug_assert!(!ready.is_empty(), "dependence graph is acyclic by construction");
+        debug_assert!(
+            !ready.is_empty(),
+            "dependence graph is acyclic by construction"
+        );
         let pick = ready
             .iter()
             .copied()
@@ -191,14 +195,20 @@ fn stmts_conflict(a: &Stmt, b: &Stmt) -> bool {
     let (ar, aw_arrays, a_scal_def, a_scal_use) = stmt_effects(a);
     let (br, bw_arrays, b_scal_def, b_scal_use) = stmt_effects(b);
     // Scalar dependences (flow, anti, output).
-    if a_scal_def.iter().any(|s| b_scal_use.contains(s) || b_scal_def.contains(s)) {
+    if a_scal_def
+        .iter()
+        .any(|s| b_scal_use.contains(s) || b_scal_def.contains(s))
+    {
         return true;
     }
     if a_scal_use.iter().any(|s| b_scal_def.contains(s)) {
         return true;
     }
     // Array dependences: same array with a write on either side.
-    if aw_arrays.iter().any(|x| br.contains(x) || bw_arrays.contains(x)) {
+    if aw_arrays
+        .iter()
+        .any(|x| br.contains(x) || bw_arrays.contains(x))
+    {
         return true;
     }
     if bw_arrays.iter().any(|x| ar.contains(x)) {
@@ -208,8 +218,8 @@ fn stmts_conflict(a: &Stmt, b: &Stmt) -> bool {
 }
 
 type Effects = (
-    Vec<mempar_ir::ArrayId>, // arrays read
-    Vec<mempar_ir::ArrayId>, // arrays written
+    Vec<mempar_ir::ArrayId>,  // arrays read
+    Vec<mempar_ir::ArrayId>,  // arrays written
     Vec<mempar_ir::ScalarId>, // scalars defined
     Vec<mempar_ir::ScalarId>, // scalars used
 );
@@ -311,13 +321,15 @@ mod tests {
         let run = |p: &Program| {
             let mut mem = SimMem::new(p, 1);
             mem.set_array(ids[0], ArrayData::F64((0..512).map(|x| x as f64).collect()));
-            mem.set_array(ids[1], ArrayData::F64((0..512).map(|x| (x * 2) as f64).collect()));
+            mem.set_array(
+                ids[1],
+                ArrayData::F64((0..512).map(|x| (x * 2) as f64).collect()),
+            );
             run_single(p, &mut mem);
             mem.read_f64(ids[2])
         };
         let base = run(&p);
-        let changed =
-            schedule_for_misses(&mut p, &NestPath::top(0), 64).expect("schedulable");
+        let changed = schedule_for_misses(&mut p, &NestPath::top(0), 64).expect("schedulable");
         assert!(changed, "the vel load should move up");
         assert_eq!(run(&p), base, "scheduling preserves semantics");
         // First two statements are now the two record loads... statement 0

@@ -42,9 +42,10 @@ fn subst_index(ix: &Index, v: VarId, repl: &AffineExpr) -> Index {
     Index {
         affine: ix.affine.subst(v, repl),
         dynamic: ix.dynamic.as_ref().map(|d| match d {
-            DynIndex::Scalar { scalar, scale } => {
-                DynIndex::Scalar { scalar: *scalar, scale: *scale }
-            }
+            DynIndex::Scalar { scalar, scale } => DynIndex::Scalar {
+                scalar: *scalar,
+                scale: *scale,
+            },
             DynIndex::Indirect { inner, scale } => DynIndex::Indirect {
                 inner: Box::new(subst_ref(inner, v, repl)),
                 scale: *scale,
@@ -57,7 +58,11 @@ fn subst_index(ix: &Index, v: VarId, repl: &AffineExpr) -> Index {
 pub fn subst_ref(r: &ArrayRef, v: VarId, repl: &AffineExpr) -> ArrayRef {
     ArrayRef {
         array: r.array,
-        indices: r.indices.iter().map(|ix| subst_index(ix, v, repl)).collect(),
+        indices: r
+            .indices
+            .iter()
+            .map(|ix| subst_index(ix, v, repl))
+            .collect(),
     }
 }
 
@@ -75,9 +80,7 @@ pub fn subst_expr(e: &Expr, v: VarId, repl: &AffineExpr) -> Expr {
         }
         Expr::Load(r) => Expr::Load(subst_ref(r, v, repl)),
         Expr::Unary(op, a) => Expr::un(*op, subst_expr(a, v, repl)),
-        Expr::Binary(op, a, b) => {
-            Expr::bin(*op, subst_expr(a, v, repl), subst_expr(b, v, repl))
-        }
+        Expr::Binary(op, a, b) => Expr::bin(*op, subst_expr(a, v, repl), subst_expr(b, v, repl)),
     }
 }
 
@@ -107,15 +110,28 @@ pub fn subst_stmt(s: &Stmt, v: VarId, repl: &AffineExpr) -> Stmt {
             dist: l.dist,
             body: subst_body(&l.body, v, repl),
         }),
-        Stmt::If { cond, then_branch, else_branch } => Stmt::If {
-            cond: Cond { lhs: cond.lhs.subst(v, repl), op: cond.op },
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => Stmt::If {
+            cond: Cond {
+                lhs: cond.lhs.subst(v, repl),
+                op: cond.op,
+            },
             then_branch: subst_body(then_branch, v, repl),
             else_branch: subst_body(else_branch, v, repl),
         },
         Stmt::Barrier => Stmt::Barrier,
-        Stmt::FlagSet { idx } => Stmt::FlagSet { idx: idx.subst(v, repl) },
-        Stmt::FlagWait { idx } => Stmt::FlagWait { idx: idx.subst(v, repl) },
-        Stmt::Prefetch { target } => Stmt::Prefetch { target: subst_ref(target, v, repl) },
+        Stmt::FlagSet { idx } => Stmt::FlagSet {
+            idx: idx.subst(v, repl),
+        },
+        Stmt::FlagWait { idx } => Stmt::FlagWait {
+            idx: idx.subst(v, repl),
+        },
+        Stmt::Prefetch { target } => Stmt::Prefetch {
+            target: subst_ref(target, v, repl),
+        },
     }
 }
 
@@ -179,12 +195,26 @@ pub fn rename_scalar_stmt(s: &Stmt, from: ScalarId, to: ScalarId) -> Stmt {
             hi: rename_scalar_bound(&l.hi, from, to),
             step: l.step,
             dist: l.dist,
-            body: l.body.iter().map(|x| rename_scalar_stmt(x, from, to)).collect(),
+            body: l
+                .body
+                .iter()
+                .map(|x| rename_scalar_stmt(x, from, to))
+                .collect(),
         }),
-        Stmt::If { cond, then_branch, else_branch } => Stmt::If {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => Stmt::If {
             cond: cond.clone(),
-            then_branch: then_branch.iter().map(|x| rename_scalar_stmt(x, from, to)).collect(),
-            else_branch: else_branch.iter().map(|x| rename_scalar_stmt(x, from, to)).collect(),
+            then_branch: then_branch
+                .iter()
+                .map(|x| rename_scalar_stmt(x, from, to))
+                .collect(),
+            else_branch: else_branch
+                .iter()
+                .map(|x| rename_scalar_stmt(x, from, to))
+                .collect(),
         },
         other => other.clone(),
     }
@@ -203,12 +233,15 @@ pub fn assigned_scalars(body: &[Stmt]) -> Vec<ScalarId> {
     fn walk(body: &[Stmt], out: &mut Vec<ScalarId>) {
         for s in body {
             match s {
-                Stmt::AssignScalar { lhs, .. }
-                    if !out.contains(lhs) => {
-                        out.push(*lhs);
-                    }
+                Stmt::AssignScalar { lhs, .. } if !out.contains(lhs) => {
+                    out.push(*lhs);
+                }
                 Stmt::Loop(l) => walk(&l.body, out),
-                Stmt::If { then_branch, else_branch, .. } => {
+                Stmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
                     walk(then_branch, out);
                     walk(else_branch, out);
                 }
@@ -327,12 +360,18 @@ mod tests {
             });
         });
         let p = b.finish();
-        let Stmt::Loop(outer) = &p.body[0] else { panic!() };
-        let Stmt::Loop(inner) = &outer.body[0] else { panic!() };
+        let Stmt::Loop(outer) = &p.body[0] else {
+            panic!()
+        };
+        let Stmt::Loop(inner) = &outer.body[0] else {
+            panic!()
+        };
         // j := j + 2
         let repl = AffineExpr::var(j).offset(2);
         let s2 = subst_stmt(&inner.body[0], j, &repl);
-        let Stmt::AssignArray { lhs, .. } = &s2 else { panic!() };
+        let Stmt::AssignArray { lhs, .. } = &s2 else {
+            panic!()
+        };
         assert_eq!(lhs.indices[0].affine.constant_term(), 2);
         assert_eq!(lhs.indices[0].affine.coeff(j), 1);
     }
@@ -348,10 +387,14 @@ mod tests {
         let p = b.finish();
         let s1 = ScalarId::from_raw(99);
         let renamed = rename_scalar_stmt(&p.body[0], s0, s1);
-        let Stmt::AssignScalar { lhs, rhs } = &renamed else { panic!() };
+        let Stmt::AssignScalar { lhs, rhs } = &renamed else {
+            panic!()
+        };
         assert_eq!(*lhs, s1);
         assert_eq!(rename_scalar_expr(rhs, s1, s0), {
-            let Stmt::AssignScalar { rhs, .. } = &p.body[0] else { panic!() };
+            let Stmt::AssignScalar { rhs, .. } = &p.body[0] else {
+                panic!()
+            };
             rhs.clone()
         });
     }
@@ -375,7 +418,10 @@ mod tests {
         b.assign_scalar(acc, sum);
         let p = b.finish();
         assert!(first_access_is_def(&p.body, pp), "p initialized before use");
-        assert!(!first_access_is_def(&p.body, acc), "accumulator reads first");
+        assert!(
+            !first_access_is_def(&p.body, acc),
+            "accumulator reads first"
+        );
         assert!(!first_access_is_def(&p.body, head), "head only read");
         let assigned = assigned_scalars(&p.body);
         assert!(assigned.contains(&pp) && assigned.contains(&acc));

@@ -3,11 +3,11 @@
 use mempar_ir::{AffineExpr, BinOp, Bound, ElemType, Expr, Loop, Program, Stmt};
 
 use crate::legality::{can_unroll_and_jam, collect_ranges};
-use crate::nest::{contains_sync, container_mut, loop_at, NestPath};
+use crate::nest::{container_mut, contains_sync, loop_at, NestPath};
 use crate::subst::{
     assigned_scalars, bound_to_expr, first_access_is_def, rename_scalar_stmt, subst_body,
 };
-use crate::TransformError;
+use crate::{Legality, TransformError};
 
 /// Where the pieces of an unrolled loop ended up.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,8 +44,24 @@ pub fn unroll_and_jam(
     path: &NestPath,
     degree: u32,
 ) -> Result<UnrollResult, TransformError> {
+    unroll_and_jam_with(prog, path, degree, Legality::Enforce)
+}
+
+/// [`unroll_and_jam`] with an explicit [`Legality`] mode. With
+/// [`Legality::Bypass`] the dependence test is skipped (structural checks
+/// still apply) so a testing harness can force rejected applications and
+/// observe the damage.
+pub fn unroll_and_jam_with(
+    prog: &mut Program,
+    path: &NestPath,
+    degree: u32,
+    legality: Legality,
+) -> Result<UnrollResult, TransformError> {
     if degree <= 1 {
-        return Ok(UnrollResult { main: path.clone(), postlude: None });
+        return Ok(UnrollResult {
+            main: path.clone(),
+            postlude: None,
+        });
     }
     let l = loop_at(prog, path).ok_or(TransformError::NotALoop)?;
     if l.step != 1 {
@@ -53,7 +69,9 @@ pub fn unroll_and_jam(
     }
     let inner_vars: Vec<_> = collect_loop_vars(&l.body);
     let ranges = collect_ranges(prog, path);
-    if !can_unroll_and_jam(prog, &l.body, l.var, &inner_vars, l.dist.is_some(), &ranges) {
+    if legality.enforced()
+        && !can_unroll_and_jam(prog, &l.body, l.var, &inner_vars, l.dist.is_some(), &ranges)
+    {
         return Err(TransformError::IllegalDependence);
     }
     let l = l.clone();
@@ -72,7 +90,10 @@ pub fn unroll_and_jam(
                 let decl = prog.scalar(s).clone();
                 let fresh = prog.fresh_scalar(format!("{}_u{k}", decl.name), decl.elem);
                 prog.scalars[fresh.index()].init_bits = decl.init_bits;
-                body = body.iter().map(|st| rename_scalar_stmt(st, s, fresh)).collect();
+                body = body
+                    .iter()
+                    .map(|st| rename_scalar_stmt(st, s, fresh))
+                    .collect();
             }
         }
         copies.push(body);
@@ -99,7 +120,10 @@ pub fn unroll_and_jam(
     };
     let (body_list, idx) = container_mut(prog, path).ok_or(TransformError::NotALoop)?;
     body_list[idx] = Stmt::Loop(main);
-    Ok(UnrollResult { main: path.clone(), postlude: None })
+    Ok(UnrollResult {
+        main: path.clone(),
+        postlude: None,
+    })
 }
 
 /// The postlude-carrying variant (split out to keep borrows simple).
@@ -119,7 +143,10 @@ fn unroll_and_jam_with_postlude(
     let whole = Expr::bin(BinOp::Div, span, Expr::ConstI(d));
     let scaled = Expr::bin(BinOp::Mul, Expr::ConstI(d), whole);
     let t_expr = Expr::bin(BinOp::Add, lo_e, scaled);
-    let prelude = Stmt::AssignScalar { lhs: t, rhs: t_expr };
+    let prelude = Stmt::AssignScalar {
+        lhs: t,
+        rhs: t_expr,
+    };
 
     let main = Loop {
         var: l.var,
@@ -146,7 +173,10 @@ fn unroll_and_jam_with_postlude(
     let last = parent.pop().expect("paths are non-empty");
     let main_path = NestPath([parent.clone(), vec![last + 1]].concat());
     let post_path = NestPath([parent, vec![last + 2]].concat());
-    Ok(UnrollResult { main: main_path, postlude: Some(post_path) })
+    Ok(UnrollResult {
+        main: main_path,
+        postlude: Some(post_path),
+    })
 }
 
 /// Fuses the per-copy bodies: non-loop statements are emitted copy-major
@@ -182,7 +212,11 @@ fn jam(prog: &mut Program, copies: Vec<Vec<Stmt>>) -> Result<Vec<Stmt>, Transfor
 }
 
 /// Jams the copies of one nested loop.
-fn jam_loops(prog: &mut Program, loops: Vec<Loop>, out: &mut Vec<Stmt>) -> Result<(), TransformError> {
+fn jam_loops(
+    prog: &mut Program,
+    loops: Vec<Loop>,
+    out: &mut Vec<Stmt>,
+) -> Result<(), TransformError> {
     let first = &loops[0];
     let same_bounds = loops
         .iter()
@@ -192,10 +226,22 @@ fn jam_loops(prog: &mut Program, loops: Vec<Loop>, out: &mut Vec<Stmt>) -> Resul
         // outer-outer unroll still brings its copies' innermost
         // statements into one loop body (Carr & Kennedy's multi-level
         // unroll-and-jam).
-        let (var, lo, hi, step, dist) =
-            (first.var, first.lo.clone(), first.hi.clone(), first.step, first.dist);
+        let (var, lo, hi, step, dist) = (
+            first.var,
+            first.lo.clone(),
+            first.hi.clone(),
+            first.step,
+            first.dist,
+        );
         let body = jam(prog, loops.into_iter().map(|l| l.body).collect())?;
-        out.push(Stmt::Loop(Loop { var, lo, hi, step, dist, body }));
+        out.push(Stmt::Loop(Loop {
+            var,
+            lo,
+            hi,
+            step,
+            dist,
+            body,
+        }));
         return Ok(());
     }
     // Min-jam: requires equal lower bounds and unit steps.
@@ -205,12 +251,18 @@ fn jam_loops(prog: &mut Program, loops: Vec<Loop>, out: &mut Vec<Stmt>) -> Resul
     if loops.iter().any(|l| contains_sync(&l.body)) {
         return Err(TransformError::SyncInBody);
     }
-    let m = prog.fresh_scalar(format!("jam_min_{}", prog.var_name(first.var)), ElemType::I64);
+    let m = prog.fresh_scalar(
+        format!("jam_min_{}", prog.var_name(first.var)),
+        ElemType::I64,
+    );
     let mut min_expr = bound_to_expr(&loops[0].hi);
     for l in &loops[1..] {
         min_expr = Expr::bin(BinOp::Min, min_expr, bound_to_expr(&l.hi));
     }
-    out.push(Stmt::AssignScalar { lhs: m, rhs: min_expr });
+    out.push(Stmt::AssignScalar {
+        lhs: m,
+        rhs: min_expr,
+    });
     let mut fused_body = Vec::new();
     for l in &loops {
         fused_body.extend(l.body.clone());
@@ -247,7 +299,10 @@ pub fn inner_unroll(
     degree: u32,
 ) -> Result<UnrollResult, TransformError> {
     if degree <= 1 {
-        return Ok(UnrollResult { main: path.clone(), postlude: None });
+        return Ok(UnrollResult {
+            main: path.clone(),
+            postlude: None,
+        });
     }
     let l = loop_at(prog, path).ok_or(TransformError::NotALoop)?.clone();
     if l.step != 1 {
@@ -256,7 +311,11 @@ pub fn inner_unroll(
     let d = degree as i64;
     let mut body = Vec::new();
     for k in 0..d {
-        body.extend(subst_body(&l.body, l.var, &AffineExpr::var(l.var).offset(k)));
+        body.extend(subst_body(
+            &l.body,
+            l.var,
+            &AffineExpr::var(l.var).offset(k),
+        ));
     }
     let exact = match (l.lo.as_const(), l.hi.as_const()) {
         (Some(lo), Some(hi)) => (hi - lo).max(0) % d == 0,
@@ -266,7 +325,10 @@ pub fn inner_unroll(
         let lm = loop_at_mut_ok(prog, path)?;
         lm.body = body;
         lm.step = d;
-        return Ok(UnrollResult { main: path.clone(), postlude: None });
+        return Ok(UnrollResult {
+            main: path.clone(),
+            postlude: None,
+        });
     }
     unroll_and_jam_with_postlude(prog, path, degree, l.clone(), body)
 }
@@ -287,7 +349,11 @@ fn collect_loop_vars(body: &[Stmt]) -> Vec<mempar_ir::VarId> {
                     out.push(l.var);
                     walk(&l.body, out);
                 }
-                Stmt::If { then_branch, else_branch, .. } => {
+                Stmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
                     walk(then_branch, out);
                     walk(else_branch, out);
                 }
@@ -441,22 +507,24 @@ mod tests {
         // so mark it parallel the way the paper does for MST.
         let mut p = b.finish();
         {
-            let Stmt::Loop(l) = &mut p.body[0] else { panic!() };
+            let Stmt::Loop(l) = &mut p.body[0] else {
+                panic!()
+            };
             l.dist = Some(mempar_ir::Dist::Block);
         }
 
         // Reference run.
         let mk_mem = |p: &Program| {
             let mut mem = SimMem::new(p, 1);
-            mem.set_array(
-                lens,
-                ArrayData::I64((0..n as i64).map(|x| x % 5).collect()),
-            );
+            mem.set_array(lens, ArrayData::I64((0..n as i64).map(|x| x % 5).collect()));
             mem.set_array(
                 starts,
                 ArrayData::I64((0..n as i64).map(|x| (x * 7) % 64).collect()),
             );
-            mem.set_array(next, ArrayData::I64((0..64).map(|x| (x + 13) % 64).collect()));
+            mem.set_array(
+                next,
+                ArrayData::I64((0..64).map(|x| (x + 13) % 64).collect()),
+            );
             mem.set_array(data, ArrayData::F64((0..64).map(|x| x as f64).collect()));
             mem
         };
@@ -550,5 +618,39 @@ mod tests {
         let mut mem = SimMem::new(&p, 4);
         mempar_ir::run_parallel_functional(&p, &mut mem, 4);
         assert!(mem.read_f64(c).iter().all(|&v| v == 1.0));
+    }
+
+    /// Regression (found by differential testing): a shared accumulator
+    /// read by a *second* statement in the body is reordered by the jam's
+    /// position-major emission and must be rejected, not silently
+    /// mis-compiled. `s = s + a[i]; out[i] = s` unrolled by 2 used to
+    /// produce `out[i] = s + a[i] + a[i+1]`.
+    #[test]
+    fn uaj_rejects_shared_scalar_chain_across_statements() {
+        let mut b = ProgramBuilder::new("chain");
+        let a = b.array_f64("a", &[16]);
+        let out = b.array_f64("out", &[16]);
+        let s = b.scalar_f64("s", 0.0);
+        let i = b.var("i");
+        b.for_const(i, 0, 16, |b| {
+            let v = b.load(a, &[b.idx(i)]);
+            let acc = b.scalar(s);
+            let e = b.add(acc, v);
+            b.assign_scalar(s, e);
+            let rd = b.scalar(s);
+            b.assign_array(out, &[b.idx(i)], rd);
+        });
+        let mut p = b.finish();
+        assert_eq!(
+            unroll_and_jam(&mut p, &NestPath::top(0), 2),
+            Err(TransformError::IllegalDependence)
+        );
+        // But forcing it through Bypass must rewrite (and diverge) —
+        // that is what the difftest harness leans on to prove the
+        // rejection was load-bearing.
+        assert!(
+            crate::unroll_and_jam_with(&mut p, &NestPath::top(0), 2, crate::Legality::Bypass)
+                .is_ok()
+        );
     }
 }

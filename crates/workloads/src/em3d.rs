@@ -45,7 +45,13 @@ impl Em3dParams {
 
 /// Builds the Em3d workload.
 pub fn em3d(params: Em3dParams) -> Workload {
-    let Em3dParams { nodes, degree, remote_frac, iters, seed } = params;
+    let Em3dParams {
+        nodes,
+        degree,
+        remote_frac,
+        iters,
+        seed,
+    } = params;
     let mut b = ProgramBuilder::new("em3d");
     let value_e = b.array_f64("value_e", &[nodes]);
     let value_h = b.array_f64("value_h", &[nodes]);
@@ -69,7 +75,10 @@ pub fn em3d(params: Em3dParams) -> Workload {
                 let c = b.load(coeff_h, &[b.idx(n), b.idx(k)]);
                 let dep = ArrayRef::new(
                     from_h,
-                    vec![Index::affine(AffineExpr::var(n)), Index::affine(AffineExpr::var(k))],
+                    vec![
+                        Index::affine(AffineExpr::var(n)),
+                        Index::affine(AffineExpr::var(k)),
+                    ],
                 );
                 let v = b.load_ref(ArrayRef::new(value_e, vec![Index::indirect(dep)]));
                 let prod = b.mul(c, v);
@@ -89,7 +98,10 @@ pub fn em3d(params: Em3dParams) -> Workload {
                 let c = b.load(coeff_e, &[b.idx(n2), b.idx(k2)]);
                 let dep = ArrayRef::new(
                     from_e,
-                    vec![Index::affine(AffineExpr::var(n2)), Index::affine(AffineExpr::var(k2))],
+                    vec![
+                        Index::affine(AffineExpr::var(n2)),
+                        Index::affine(AffineExpr::var(k2)),
+                    ],
                 );
                 let v = b.load_ref(ArrayRef::new(value_h, vec![Index::indirect(dep)]));
                 let prod = b.mul(c, v);
@@ -128,7 +140,9 @@ pub fn em3d(params: Em3dParams) -> Workload {
         edges
     };
     let mk_coeffs = |rng: &mut StdRng| -> Vec<f64> {
-        (0..nodes * degree).map(|_| rng.gen_range(-0.01..0.01)).collect()
+        (0..nodes * degree)
+            .map(|_| rng.gen_range(-0.01..0.01))
+            .collect()
     };
     let from_h_data = mk_edges(&mut rng);
     let from_e_data = mk_edges(&mut rng);
@@ -159,7 +173,13 @@ mod tests {
     use mempar_ir::{run_parallel_functional, run_single};
 
     fn small() -> Em3dParams {
-        Em3dParams { nodes: 256, degree: 4, remote_frac: 0.2, iters: 1, seed: 1 }
+        Em3dParams {
+            nodes: 256,
+            degree: 4,
+            remote_frac: 0.2,
+            iters: 1,
+            seed: 1,
+        }
     }
 
     #[test]
@@ -185,7 +205,9 @@ mod tests {
     #[test]
     fn edges_in_range() {
         let w = em3d(small());
-        let (_, ArrayData::I64(edges)) = &w.data[2] else { panic!() };
+        let (_, ArrayData::I64(edges)) = &w.data[2] else {
+            panic!()
+        };
         assert!(edges.iter().all(|&e| (0..256).contains(&e)));
     }
 

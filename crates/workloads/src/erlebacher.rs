@@ -50,8 +50,14 @@ pub fn erlebacher(params: ErlebacherParams) -> Workload {
     b.for_const(k, 0, ni, |b| {
         b.for_dist(j, 0, ni, Dist::Block, |b| {
             b.for_const(i, 1, ni - 1, |b| {
-                let hi = b.load(f, &[b.idx(k), b.idx(j), b.idx_e(AffineExpr::var(i).offset(1))]);
-                let lo = b.load(f, &[b.idx(k), b.idx(j), b.idx_e(AffineExpr::var(i).offset(-1))]);
+                let hi = b.load(
+                    f,
+                    &[b.idx(k), b.idx(j), b.idx_e(AffineExpr::var(i).offset(1))],
+                );
+                let lo = b.load(
+                    f,
+                    &[b.idx(k), b.idx(j), b.idx_e(AffineExpr::var(i).offset(-1))],
+                );
                 let diff = b.sub(hi, lo);
                 let c = b.constf(0.5);
                 let e = b.mul(diff, c);
@@ -67,7 +73,11 @@ pub fn erlebacher(params: ErlebacherParams) -> Workload {
                 let cur = b.load(rhs, &[b.idx(k2), b.idx(j2), b.idx(i2)]);
                 let below = b.load(
                     rhs,
-                    &[b.idx_e(AffineExpr::var(k2).offset(-1)), b.idx(j2), b.idx(i2)],
+                    &[
+                        b.idx_e(AffineExpr::var(k2).offset(-1)),
+                        b.idx(j2),
+                        b.idx(i2),
+                    ],
                 );
                 let c = b.constf(0.4);
                 let scaled = b.mul(below, c);

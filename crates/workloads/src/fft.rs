@@ -9,9 +9,7 @@
 
 use std::f64::consts::PI;
 
-use mempar_ir::{
-    AffineExpr, ArrayData, ArrayId, ArrayRef, Dist, Index, ProgramBuilder, VarId,
-};
+use mempar_ir::{AffineExpr, ArrayData, ArrayId, ArrayRef, Dist, Index, ProgramBuilder, VarId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -34,7 +32,10 @@ impl FftParams {
         while points * 4 <= target {
             points *= 4;
         }
-        FftParams { points, seed: 0xff7 }
+        FftParams {
+            points,
+            seed: 0xff7,
+        }
     }
 
     /// Matrix side (√points).
@@ -56,7 +57,10 @@ impl FftParams {
 pub fn fft(params: FftParams) -> Workload {
     let l = params.side();
     assert_eq!(l * l, params.points, "points must be a power of 4");
-    assert!(l >= 16 && l.is_power_of_two(), "side must be >= 16 (8x8 transpose tiles)");
+    assert!(
+        l >= 16 && l.is_power_of_two(),
+        "side must be >= 16 (8x8 transpose tiles)"
+    );
     let stages = l.trailing_zeros() as usize;
     let li = l as i64;
 
@@ -115,15 +119,22 @@ pub fn fft(params: FftParams) -> Workload {
                    dst: (ArrayId, ArrayId)| {
         let r = b.var(format!("f_r{tag}"));
         let c = b.var(format!("f_c{tag}"));
-        let gvars: Vec<VarId> = (0..stages).map(|s| b.var(format!("f_g{tag}_{s}"))).collect();
-        let xvars: Vec<VarId> = (0..stages).map(|s| b.var(format!("f_x{tag}_{s}"))).collect();
+        let gvars: Vec<VarId> = (0..stages)
+            .map(|s| b.var(format!("f_g{tag}_{s}")))
+            .collect();
+        let xvars: Vec<VarId> = (0..stages)
+            .map(|s| b.var(format!("f_x{tag}_{s}")))
+            .collect();
         b.for_dist(r, 0, li, Dist::Block, |b| {
             // Gather in bit-reversed order.
             b.for_const(c, 0, li, |b| {
                 let rv = ArrayRef::new(rev, vec![Index::affine(AffineExpr::var(c))]);
                 let gre = b.load_ref(ArrayRef::new(
                     src.0,
-                    vec![Index::affine(AffineExpr::var(r)), Index::indirect(rv.clone())],
+                    vec![
+                        Index::affine(AffineExpr::var(r)),
+                        Index::indirect(rv.clone()),
+                    ],
                 ));
                 b.assign_array(dst.0, &[b.idx(r), b.idx(c)], gre);
                 let gim = b.load_ref(ArrayRef::new(
@@ -139,9 +150,8 @@ pub fn fft(params: FftParams) -> Workload {
                 let x = xvars[s];
                 b.for_const(g, 0, li / (2 * m), |b| {
                     b.for_const(x, 0, m, |b| {
-                        let i0 = |v: VarId| {
-                            AffineExpr::scaled_var(v, 2 * m, 0).add(&AffineExpr::var(x))
-                        };
+                        let i0 =
+                            |v: VarId| AffineExpr::scaled_var(v, 2 * m, 0).add(&AffineExpr::var(x));
                         let hi = |v: VarId| i0(v).offset(m);
                         let wr = b.load(st_re, &[b.idx_e(AffineExpr::konst(s as i64)), b.idx(x)]);
                         let wi = b.load(st_im, &[b.idx_e(AffineExpr::konst(s as i64)), b.idx(x)]);
@@ -292,7 +302,10 @@ mod tests {
 
     #[test]
     fn matches_naive_dft() {
-        let params = FftParams { points: 256, seed: 42 };
+        let params = FftParams {
+            points: 256,
+            seed: 42,
+        };
         let w = fft(params);
         let mut mem = w.memory(1);
         // Input viewed as x[r*L + c] from the A matrices.
@@ -316,7 +329,10 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential() {
-        let w = fft(FftParams { points: 256, seed: 7 });
+        let w = fft(FftParams {
+            points: 256,
+            seed: 7,
+        });
         let mut m1 = w.memory(1);
         run_single(&w.program, &mut m1);
         let mut m4 = w.memory(4);
@@ -326,14 +342,30 @@ mod tests {
 
     #[test]
     fn side_is_sqrt() {
-        assert_eq!(FftParams { points: 65536, seed: 0 }.side(), 256);
-        assert_eq!(FftParams { points: 256, seed: 0 }.side(), 16);
+        assert_eq!(
+            FftParams {
+                points: 65536,
+                seed: 0
+            }
+            .side(),
+            256
+        );
+        assert_eq!(
+            FftParams {
+                points: 256,
+                seed: 0
+            }
+            .side(),
+            16
+        );
     }
 
     #[test]
     #[should_panic(expected = "power of 4")]
     fn rejects_non_square() {
-        fft(FftParams { points: 512, seed: 0 });
+        fft(FftParams {
+            points: 512,
+            seed: 0,
+        });
     }
 }
-

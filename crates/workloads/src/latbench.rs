@@ -52,7 +52,12 @@ impl LatbenchParams {
 /// }
 /// ```
 pub fn latbench(params: LatbenchParams) -> Workload {
-    let LatbenchParams { chains, chain_len, pool, seed } = params;
+    let LatbenchParams {
+        chains,
+        chain_len,
+        pool,
+        seed,
+    } = params;
     assert!(pool >= 64, "pool too small to defeat the cache");
     let mut b = ProgramBuilder::new("latbench");
     let next = b.array_i64("next", &[pool]);
@@ -118,7 +123,12 @@ mod tests {
 
     #[test]
     fn chains_walk_distinct_pool_elements() {
-        let params = LatbenchParams { chains: 4, chain_len: 32, pool: 4096, seed: 7 };
+        let params = LatbenchParams {
+            chains: 4,
+            chain_len: 32,
+            pool: 4096,
+            seed: 7,
+        };
         let w = latbench(params);
         let mut mem = w.memory(1);
         let s = run_single(&w.program, &mut mem);
@@ -134,13 +144,23 @@ mod tests {
 
     #[test]
     fn next_is_a_permutation() {
-        let params = LatbenchParams { chains: 2, chain_len: 4, pool: 512, seed: 3 };
+        let params = LatbenchParams {
+            chains: 2,
+            chain_len: 4,
+            pool: 512,
+            seed: 3,
+        };
         let w = latbench(params);
-        let (_, ArrayData::I64(next)) = &w.data[0] else { panic!() };
+        let (_, ArrayData::I64(next)) = &w.data[0] else {
+            panic!()
+        };
         let mut sorted = next.clone();
         sorted.sort_unstable();
         let expected: Vec<i64> = (0..512).collect();
-        assert_eq!(sorted, expected, "next must be a permutation (single cycle)");
+        assert_eq!(
+            sorted, expected,
+            "next must be a permutation (single cycle)"
+        );
     }
 
     #[test]
@@ -154,9 +174,19 @@ mod tests {
     #[test]
     fn chase_loop_is_structured_for_uaj() {
         // The program shape: dist outer loop, scalar-bound... const inner.
-        let w = latbench(LatbenchParams { chains: 4, chain_len: 8, pool: 256, seed: 1 });
-        let mempar_ir::Stmt::Loop(outer) = &w.program.body[0] else { panic!() };
+        let w = latbench(LatbenchParams {
+            chains: 4,
+            chain_len: 8,
+            pool: 256,
+            seed: 1,
+        });
+        let mempar_ir::Stmt::Loop(outer) = &w.program.body[0] else {
+            panic!()
+        };
         assert!(outer.dist.is_some(), "chain loop is parallel");
-        assert!(outer.body.iter().any(|s| matches!(s, mempar_ir::Stmt::Loop(_))));
+        assert!(outer
+            .body
+            .iter()
+            .any(|s| matches!(s, mempar_ir::Stmt::Loop(_))));
     }
 }

@@ -32,7 +32,11 @@ impl LuParams {
     /// The paper's simulated input scaled by `scale` (in area).
     pub fn scaled(scale: f64) -> Self {
         let n = crate::workload::scaled_dim(256, scale.sqrt(), 32, true);
-        LuParams { n, block: 16.min(n / 2), seed: 0x1a }
+        LuParams {
+            n,
+            block: 16.min(n / 2),
+            seed: 0x1a,
+        }
     }
 }
 
@@ -42,7 +46,10 @@ impl LuParams {
 /// Panics when `n` is not a multiple of `block`.
 pub fn lu(params: LuParams) -> Workload {
     let LuParams { n, block, seed } = params;
-    assert!(n % block == 0 && block >= 2, "n must be a multiple of block");
+    assert!(
+        n % block == 0 && block >= 2,
+        "n must be a multiple of block"
+    );
     let nb = n / block;
     let bi = block as i64;
     let ni = n as i64;
@@ -62,20 +69,30 @@ pub fn lu(params: LuParams) -> Workload {
         // ---- diagonal factorization (one processor) ----
         b.for_dist(d, 0, 1, Dist::Block, |b| {
             b.for_affine(kk, AffineExpr::konst(k0), AffineExpr::konst(k1), |b| {
-                b.for_affine(ii, AffineExpr::var(kk).offset(1), AffineExpr::konst(k1), |b| {
-                    let elem = b.load(a, &[b.idx(ii), b.idx(kk)]);
-                    let piv = b.load(a, &[b.idx(kk), b.idx(kk)]);
-                    let l_val = b.div(elem, piv);
-                    b.assign_array(a, &[b.idx(ii), b.idx(kk)], l_val);
-                    b.for_affine(jj, AffineExpr::var(kk).offset(1), AffineExpr::konst(k1), |b| {
-                        let cur = b.load(a, &[b.idx(ii), b.idx(jj)]);
-                        let lik = b.load(a, &[b.idx(ii), b.idx(kk)]);
-                        let ukj = b.load(a, &[b.idx(kk), b.idx(jj)]);
-                        let prod = b.mul(lik, ukj);
-                        let e = b.sub(cur, prod);
-                        b.assign_array(a, &[b.idx(ii), b.idx(jj)], e);
-                    });
-                });
+                b.for_affine(
+                    ii,
+                    AffineExpr::var(kk).offset(1),
+                    AffineExpr::konst(k1),
+                    |b| {
+                        let elem = b.load(a, &[b.idx(ii), b.idx(kk)]);
+                        let piv = b.load(a, &[b.idx(kk), b.idx(kk)]);
+                        let l_val = b.div(elem, piv);
+                        b.assign_array(a, &[b.idx(ii), b.idx(kk)], l_val);
+                        b.for_affine(
+                            jj,
+                            AffineExpr::var(kk).offset(1),
+                            AffineExpr::konst(k1),
+                            |b| {
+                                let cur = b.load(a, &[b.idx(ii), b.idx(jj)]);
+                                let lik = b.load(a, &[b.idx(ii), b.idx(kk)]);
+                                let ukj = b.load(a, &[b.idx(kk), b.idx(jj)]);
+                                let prod = b.mul(lik, ukj);
+                                let e = b.sub(cur, prod);
+                                b.assign_array(a, &[b.idx(ii), b.idx(jj)], e);
+                            },
+                        );
+                    },
+                );
             });
             b.flag_set(AffineExpr::konst(k as i64));
         });
@@ -90,14 +107,19 @@ pub fn lu(params: LuParams) -> Workload {
         let ii2 = b.var(format!("ii2_{k}"));
         b.for_loop(c, k1, ni, 1, Some(Dist::Block), |b| {
             b.for_affine(kk2, AffineExpr::konst(k0), AffineExpr::konst(k1 - 1), |b| {
-                b.for_affine(ii2, AffineExpr::var(kk2).offset(1), AffineExpr::konst(k1), |b| {
-                    let cur = b.load(a, &[b.idx(ii2), b.idx(c)]);
-                    let lik = b.load(a, &[b.idx(ii2), b.idx(kk2)]);
-                    let top = b.load(a, &[b.idx(kk2), b.idx(c)]);
-                    let prod = b.mul(lik, top);
-                    let e = b.sub(cur, prod);
-                    b.assign_array(a, &[b.idx(ii2), b.idx(c)], e);
-                });
+                b.for_affine(
+                    ii2,
+                    AffineExpr::var(kk2).offset(1),
+                    AffineExpr::konst(k1),
+                    |b| {
+                        let cur = b.load(a, &[b.idx(ii2), b.idx(c)]);
+                        let lik = b.load(a, &[b.idx(ii2), b.idx(kk2)]);
+                        let top = b.load(a, &[b.idx(kk2), b.idx(c)]);
+                        let prod = b.mul(lik, top);
+                        let e = b.sub(cur, prod);
+                        b.assign_array(a, &[b.idx(ii2), b.idx(c)], e);
+                    },
+                );
             });
         });
         // ---- L panel: scale + substitute each row below the diag ----
@@ -110,14 +132,19 @@ pub fn lu(params: LuParams) -> Workload {
                 let piv = b.load(a, &[b.idx(kk3), b.idx(kk3)]);
                 let l_val = b.div(elem, piv);
                 b.assign_array(a, &[b.idx(r2), b.idx(kk3)], l_val);
-                b.for_affine(c2, AffineExpr::var(kk3).offset(1), AffineExpr::konst(k1), |b| {
-                    let cur = b.load(a, &[b.idx(r2), b.idx(c2)]);
-                    let lrk = b.load(a, &[b.idx(r2), b.idx(kk3)]);
-                    let ukc = b.load(a, &[b.idx(kk3), b.idx(c2)]);
-                    let prod = b.mul(lrk, ukc);
-                    let e = b.sub(cur, prod);
-                    b.assign_array(a, &[b.idx(r2), b.idx(c2)], e);
-                });
+                b.for_affine(
+                    c2,
+                    AffineExpr::var(kk3).offset(1),
+                    AffineExpr::konst(k1),
+                    |b| {
+                        let cur = b.load(a, &[b.idx(r2), b.idx(c2)]);
+                        let lrk = b.load(a, &[b.idx(r2), b.idx(kk3)]);
+                        let ukc = b.load(a, &[b.idx(kk3), b.idx(c2)]);
+                        let prod = b.mul(lrk, ukc);
+                        let e = b.sub(cur, prod);
+                        b.assign_array(a, &[b.idx(r2), b.idx(c2)], e);
+                    },
+                );
             });
         });
         b.barrier();
@@ -187,7 +214,11 @@ mod tests {
 
     #[test]
     fn factorization_is_correct() {
-        let params = LuParams { n: 32, block: 8, seed: 1 };
+        let params = LuParams {
+            n: 32,
+            block: 8,
+            seed: 1,
+        };
         let w = lu(params);
         let mut mem = w.memory(1);
         let original = mem.read_f64(w.outputs[0]);
@@ -199,7 +230,11 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential() {
-        let params = LuParams { n: 32, block: 8, seed: 2 };
+        let params = LuParams {
+            n: 32,
+            block: 8,
+            seed: 2,
+        };
         let w = lu(params);
         let mut m1 = w.memory(1);
         run_single(&w.program, &mut m1);
@@ -210,13 +245,21 @@ mod tests {
 
     #[test]
     fn uses_flags() {
-        let w = lu(LuParams { n: 32, block: 8, seed: 3 });
+        let w = lu(LuParams {
+            n: 32,
+            block: 8,
+            seed: 3,
+        });
         assert_eq!(w.program.num_flags, 4);
     }
 
     #[test]
     #[should_panic(expected = "multiple of block")]
     fn rejects_bad_block() {
-        lu(LuParams { n: 30, block: 8, seed: 0 });
+        lu(LuParams {
+            n: 30,
+            block: 8,
+            seed: 0,
+        });
     }
 }

@@ -49,7 +49,12 @@ const FVZ: i64 = 5;
 
 /// Builds the Mp3d workload.
 pub fn mp3d(params: Mp3dParams) -> Workload {
-    let Mp3dParams { particles, cells, steps, seed } = params;
+    let Mp3dParams {
+        particles,
+        cells,
+        steps,
+        seed,
+    } = params;
     let mut b = ProgramBuilder::new("mp3d");
     let part = b.array_f64("particles", &[particles, FIELDS]);
     let cell_of = b.array_i64("cell_of", &[particles]);
@@ -57,9 +62,7 @@ pub fn mp3d(params: Mp3dParams) -> Workload {
     let t = b.var("t");
     let p = b.var("p");
 
-    let fld = |b: &ProgramBuilder, v, f: i64| {
-        [b.idx(v), b.idx_e(AffineExpr::konst(f))]
-    };
+    let fld = |b: &ProgramBuilder, v, f: i64| [b.idx(v), b.idx_e(AffineExpr::konst(f))];
 
     b.for_const(t, 0, steps as i64, |b| {
         b.for_dist(p, 0, particles as i64, Dist::Block, |b| {
@@ -147,7 +150,12 @@ mod tests {
 
     #[test]
     fn particles_move_and_cells_count() {
-        let w = mp3d(Mp3dParams { particles: 128, cells: 64, steps: 1, seed: 2 });
+        let w = mp3d(Mp3dParams {
+            particles: 128,
+            cells: 64,
+            steps: 1,
+            seed: 2,
+        });
         let mut mem = w.memory(1);
         run_single(&w.program, &mut mem);
         let counts = mem.read_f64(w.outputs[1]);
@@ -162,9 +170,18 @@ mod tests {
 
     #[test]
     fn move_loop_is_marked_parallel() {
-        let w = mp3d(Mp3dParams { particles: 64, cells: 16, steps: 1, seed: 1 });
-        let mempar_ir::Stmt::Loop(t) = &w.program.body[0] else { panic!() };
-        let mempar_ir::Stmt::Loop(pl) = &t.body[0] else { panic!() };
+        let w = mp3d(Mp3dParams {
+            particles: 64,
+            cells: 16,
+            steps: 1,
+            seed: 1,
+        });
+        let mempar_ir::Stmt::Loop(t) = &w.program.body[0] else {
+            panic!()
+        };
+        let mempar_ir::Stmt::Loop(pl) = &t.body[0] else {
+            panic!()
+        };
         assert!(pl.dist.is_some());
         // Large straight-line body (the window-constraint case).
         assert!(pl.body.len() >= 7);

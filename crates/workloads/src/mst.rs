@@ -45,7 +45,12 @@ impl MstParams {
 
 /// Builds the MST workload.
 pub fn mst(params: MstParams) -> Workload {
-    let MstParams { vertices, pool, mean_chain, seed } = params;
+    let MstParams {
+        vertices,
+        pool,
+        mean_chain,
+        seed,
+    } = params;
     let mut b = ProgramBuilder::new("mst");
     let bucket_head = b.array_i64("bucket_head", &[vertices]);
     let chain_len = b.array_i64("chain_len", &[vertices]);
@@ -127,7 +132,12 @@ mod tests {
 
     #[test]
     fn finds_minima_over_chains() {
-        let w = mst(MstParams { vertices: 32, pool: 512, mean_chain: 4, seed: 5 });
+        let w = mst(MstParams {
+            vertices: 32,
+            pool: 512,
+            mean_chain: 4,
+            seed: 5,
+        });
         let mut mem = w.memory(1);
         run_single(&w.program, &mut mem);
         let best = mem.read_f64(w.outputs[0]);
@@ -136,8 +146,15 @@ mod tests {
 
     #[test]
     fn chains_have_variable_length() {
-        let w = mst(MstParams { vertices: 64, pool: 1024, mean_chain: 6, seed: 9 });
-        let (_, ArrayData::I64(lens)) = &w.data[1] else { panic!() };
+        let w = mst(MstParams {
+            vertices: 64,
+            pool: 1024,
+            mean_chain: 6,
+            seed: 9,
+        });
+        let (_, ArrayData::I64(lens)) = &w.data[1] else {
+            panic!()
+        };
         let distinct: std::collections::HashSet<i64> = lens.iter().copied().collect();
         assert!(distinct.len() > 3, "lengths should vary: {distinct:?}");
         assert!(lens.iter().all(|&l| l >= 1));
@@ -145,8 +162,15 @@ mod tests {
 
     #[test]
     fn inner_loop_has_scalar_bound() {
-        let w = mst(MstParams { vertices: 8, pool: 128, mean_chain: 3, seed: 1 });
-        let mempar_ir::Stmt::Loop(outer) = &w.program.body[0] else { panic!() };
+        let w = mst(MstParams {
+            vertices: 8,
+            pool: 128,
+            mean_chain: 3,
+            seed: 1,
+        });
+        let mempar_ir::Stmt::Loop(outer) = &w.program.body[0] else {
+            panic!()
+        };
         let inner = outer
             .body
             .iter()

@@ -48,7 +48,12 @@ impl SpmvParams {
 
 /// Builds the SpMV workload: `sum[j] = Σ_i val[j,i] * b[colidx[j,i]]`.
 pub fn spmv(params: SpmvParams) -> Workload {
-    let SpmvParams { rows, nnz_per_row, cols, seed } = params;
+    let SpmvParams {
+        rows,
+        nnz_per_row,
+        cols,
+        seed,
+    } = params;
     let mut b = ProgramBuilder::new("spmv");
     let colidx = b.array_i64("colidx", &[rows, nnz_per_row]);
     let val = b.array_f64("val", &[rows, nnz_per_row]);
@@ -64,7 +69,10 @@ pub fn spmv(params: SpmvParams) -> Workload {
             let v = b.load(val, &[b.idx(j), b.idx(i)]);
             let idx_ref = ArrayRef::new(
                 colidx,
-                vec![Index::affine(AffineExpr::var(j)), Index::affine(AffineExpr::var(i))],
+                vec![
+                    Index::affine(AffineExpr::var(j)),
+                    Index::affine(AffineExpr::var(i)),
+                ],
             );
             let gathered = b.load_ref(ArrayRef::new(dense, vec![Index::indirect(idx_ref)]));
             let prod = b.mul(v, gathered);
@@ -108,13 +116,24 @@ mod tests {
 
     #[test]
     fn computes_the_product() {
-        let params = SpmvParams { rows: 8, nnz_per_row: 4, cols: 64, seed: 1 };
+        let params = SpmvParams {
+            rows: 8,
+            nnz_per_row: 4,
+            cols: 64,
+            seed: 1,
+        };
         let w = spmv(params);
         let mut mem = w.memory(1);
         // Reference computation in Rust.
-        let (_, AD::I64(idx)) = &w.data[0] else { panic!() };
-        let (_, AD::F64(vals)) = &w.data[1] else { panic!() };
-        let (_, AD::F64(dense)) = &w.data[2] else { panic!() };
+        let (_, AD::I64(idx)) = &w.data[0] else {
+            panic!()
+        };
+        let (_, AD::F64(vals)) = &w.data[1] else {
+            panic!()
+        };
+        let (_, AD::F64(dense)) = &w.data[2] else {
+            panic!()
+        };
         let mut want = [0.0f64; 8];
         for r in 0..8 {
             for k in 0..4 {
@@ -124,15 +143,27 @@ mod tests {
         run_single(&w.program, &mut mem);
         let got = mem.read_f64(w.outputs[0]);
         for r in 0..8 {
-            assert!((got[r] - want[r]).abs() < 1e-12, "row {r}: {} vs {}", got[r], want[r]);
+            assert!(
+                (got[r] - want[r]).abs() < 1e-12,
+                "row {r}: {} vs {}",
+                got[r],
+                want[r]
+            );
         }
     }
 
     #[test]
     fn has_the_papers_dependence_structure() {
         use mempar_analysis::{analyze_inner_loop, MachineSummary, MissProfile};
-        let w = spmv(SpmvParams { rows: 64, nnz_per_row: 8, cols: 4096, seed: 2 });
-        let mempar_ir::Stmt::Loop(outer) = &w.program.body[0] else { panic!() };
+        let w = spmv(SpmvParams {
+            rows: 64,
+            nnz_per_row: 8,
+            cols: 4096,
+            seed: 2,
+        });
+        let mempar_ir::Stmt::Loop(outer) = &w.program.body[0] else {
+            panic!()
+        };
         let inner = outer
             .body
             .iter()
@@ -164,7 +195,12 @@ mod tests {
     /// run confirms the base code keeps several read misses in flight.
     #[test]
     fn driver_declines_already_parallel_gathers() {
-        let w = spmv(SpmvParams { rows: 512, nnz_per_row: 16, cols: 1 << 16, seed: 3 });
+        let w = spmv(SpmvParams {
+            rows: 512,
+            nnz_per_row: 16,
+            cols: 1 << 16,
+            seed: 3,
+        });
         let cfg = mempar_sim::MachineConfig::base_simulated(1, w.l2_bytes);
         let mut clustered = w.program.clone();
         let report = mempar_transform::cluster_program(
@@ -173,7 +209,10 @@ mod tests {
             &mempar_analysis::MissProfile::pessimistic(),
         );
         assert!(
-            report.decisions.iter().all(|d| d.uaj_degree == 1 && d.inner_unroll == 1),
+            report
+                .decisions
+                .iter()
+                .all(|d| d.uaj_degree == 1 && d.inner_unroll == 1),
             "f >= lp: nothing to do\n{}",
             report.summary()
         );

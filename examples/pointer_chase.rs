@@ -14,7 +14,12 @@ use mempar_transform::{innermost_loops, loop_at};
 use mempar_workloads::{latbench, LatbenchParams};
 
 fn main() {
-    let params = LatbenchParams { chains: 64, chain_len: 256, pool: 1 << 16, seed: 1 };
+    let params = LatbenchParams {
+        chains: 64,
+        chain_len: 256,
+        pool: 1 << 16,
+        seed: 1,
+    };
     let w = latbench(params);
     let cfg = MachineConfig::base_simulated(1, w.l2_bytes);
 
@@ -29,8 +34,14 @@ fn main() {
         &MissProfile::pessimistic(),
     );
     println!("chase-loop analysis:");
-    println!("  address recurrence: {}", an.recurrences.has_address_recurrence);
-    println!("  alpha = {:.2} (misses serialized per iteration)", an.recurrences.alpha);
+    println!(
+        "  address recurrence: {}",
+        an.recurrences.has_address_recurrence
+    );
+    println!(
+        "  alpha = {:.2} (misses serialized per iteration)",
+        an.recurrences.alpha
+    );
     println!("  f = {:.1} (overlappable misses per window)", an.f);
     println!(
         "  -> unroll-and-jam indicated: {}",

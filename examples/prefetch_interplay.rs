@@ -23,8 +23,7 @@ fn main() {
     let mut inserted = 0;
     for nest in innermost_loops(&prefetched) {
         inserted +=
-            insert_prefetches(&mut prefetched, &nest, 16, cfg.l2.line_bytes, &profile)
-                .unwrap_or(0);
+            insert_prefetches(&mut prefetched, &nest, 16, cfg.l2.line_bytes, &profile).unwrap_or(0);
     }
     let mut clustered = w.program.clone();
     cluster_program(&mut clustered, &machine_summary(&cfg), &profile);
@@ -54,7 +53,12 @@ fn main() {
     }
 
     // ---- A pointer chase: prefetching has no address to fetch --------
-    let w2 = latbench(LatbenchParams { chains: 48, chain_len: 128, pool: 1 << 15, seed: 5 });
+    let w2 = latbench(LatbenchParams {
+        chains: 48,
+        chain_len: 128,
+        pool: 1 << 15,
+        seed: 5,
+    });
     let mut pm2 = w2.memory(1);
     let profile2 = profile_miss_rates(&w2.program, &mut pm2, &cfg.l2);
     let mut pf2 = w2.program.clone();

@@ -48,9 +48,7 @@ fn run(name: &str, prog: &Program, a: mempar_ir::ArrayId, cfg: &MachineConfig) {
 
 fn main() {
     let cfg = MachineConfig::base_simulated(1, 64 * 1024);
-    println!(
-        "Figure 1/2: {N}x{N} matrix traversals on the base machine\n"
-    );
+    println!("Figure 1/2: {N}x{N} matrix traversals on the base machine\n");
 
     // (a) Exploits locality: minimal misses, zero clustering.
     let (fig2a, a) = base_traversal();

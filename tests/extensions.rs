@@ -123,12 +123,17 @@ fn prefetch_and_clustering_compose() {
 /// the missing value) — the Section 1 motivation for clustering.
 #[test]
 fn chase_has_no_prefetchable_sites() {
-    let w = latbench(LatbenchParams { chains: 8, chain_len: 32, pool: 4096, seed: 1 });
+    let w = latbench(LatbenchParams {
+        chains: 8,
+        chain_len: 32,
+        pool: 4096,
+        seed: 1,
+    });
     let mut p = w.program.clone();
     let mut inserted = 0;
     for nest in innermost_loops(&p) {
-        inserted += insert_prefetches(&mut p, &nest, 8, 64, &MissProfile::pessimistic())
-            .unwrap_or(0);
+        inserted +=
+            insert_prefetches(&mut p, &nest, 8, 64, &MissProfile::pessimistic()).unwrap_or(0);
     }
     assert_eq!(inserted, 0);
     // And the program is untouched (no stray statements).
@@ -137,8 +142,5 @@ fn chase_has_no_prefetchable_sites() {
     let mut m2 = w.memory(1);
     run_single(&p, &mut m2);
     assert_eq!(w.read_outputs(&m1), w.read_outputs(&m2));
-    assert!(!p
-        .body
-        .iter()
-        .any(|s| matches!(s, Stmt::Prefetch { .. })));
+    assert!(!p.body.iter().any(|s| matches!(s, Stmt::Prefetch { .. })));
 }

@@ -1,0 +1,60 @@
+//! Golden-trace regression gates (see `crates/difftest/src/golden.rs`).
+//!
+//! Each test renders a canonical snapshot — dynamic-op trace digest,
+//! sequential and parallel memory-image fingerprints, and integer
+//! simulator counters — and compares it byte-for-byte against the
+//! committed file under `tests/corpus/golden/`. Any semantic drift in
+//! the interpreter, transforms used by the pinned programs, or the
+//! simulator fails here with a line diff. Intentional changes are
+//! re-recorded with `MEMPAR_BLESS=1 cargo test --test golden_traces`.
+
+use std::path::PathBuf;
+
+use mempar_difftest::golden::{check_golden, snapshot, snapshot_gen_seed, PINNED_GEN_SEEDS};
+use mempar_workloads::App;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/golden")
+}
+
+#[test]
+fn pinned_generator_seeds_match_snapshots() {
+    let mut drift = Vec::new();
+    for &seed in &PINNED_GEN_SEEDS {
+        let actual = snapshot_gen_seed(seed);
+        let path = golden_dir().join(format!("gen-{seed}.golden"));
+        if let Err(e) = check_golden(&path, &actual) {
+            drift.push(e);
+        }
+    }
+    assert!(drift.is_empty(), "{}", drift.join("\n"));
+}
+
+/// Workloads snapshotted at a tiny input scale: Latbench (the paper's
+/// pointer-chasing microbenchmark), Em3d (indirect accesses), FFT
+/// (strided phases) and MST (linked structures).
+const GOLDEN_APPS: [App; 4] = [App::Latbench, App::Em3d, App::Fft, App::Mst];
+
+#[test]
+fn workload_traces_match_snapshots() {
+    let mut drift = Vec::new();
+    for app in GOLDEN_APPS {
+        let w = app.build(0.02);
+        let par = (w.mp_procs > 1).then_some(w.mp_procs);
+        let actual = snapshot(
+            &format!("{}-s0.02", app.name()),
+            &w.program,
+            |n| w.memory(n),
+            par,
+            Some(w.l2_bytes),
+        );
+        let path = golden_dir().join(format!(
+            "workload-{}.golden",
+            app.name().to_ascii_lowercase()
+        ));
+        if let Err(e) = check_golden(&path, &actual) {
+            drift.push(e);
+        }
+    }
+    assert!(drift.is_empty(), "{}", drift.join("\n"));
+}

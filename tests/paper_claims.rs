@@ -11,7 +11,12 @@ use mempar_workloads::{latbench, App, LatbenchParams};
 /// latency rises (contention).
 #[test]
 fn latbench_clustering_overlaps_misses() {
-    let w = latbench(LatbenchParams { chains: 32, chain_len: 96, pool: 1 << 15, seed: 9 });
+    let w = latbench(LatbenchParams {
+        chains: 32,
+        chain_len: 96,
+        pool: 1 << 15,
+        seed: 9,
+    });
     let cfg = MachineConfig::base_simulated(1, w.l2_bytes);
     let pair = run_pair(&w, &cfg);
     assert!(pair.outputs_match);
@@ -96,7 +101,12 @@ fn erlebacher_benefits_uni_and_multi() {
 /// memory stall dominates more, and clustering still wins.
 #[test]
 fn one_ghz_variant_still_wins() {
-    let w = latbench(LatbenchParams { chains: 16, chain_len: 64, pool: 1 << 14, seed: 4 });
+    let w = latbench(LatbenchParams {
+        chains: 16,
+        chain_len: 64,
+        pool: 1 << 14,
+        seed: 4,
+    });
     let pair = run_pair(&w, &MachineConfig::fast_1ghz(1, w.l2_bytes));
     assert!(pair.outputs_match);
     assert!(pair.percent_reduction() > 40.0);

@@ -31,7 +31,12 @@ fn nest_strategy() -> impl Strategy<Value = NestSpec> {
         proptest::bool::ANY,
         prop_oneof![Just(1i64), Just(2i64)],
     )
-        .prop_map(|(n, reads, write_self, stride)| NestSpec { n, reads, write_self, stride })
+        .prop_map(|(n, reads, write_self, stride)| NestSpec {
+            n,
+            reads,
+            write_self,
+            stride,
+        })
 }
 
 fn build(spec: &NestSpec) -> (Program, mempar_ir::ArrayId, mempar_ir::ArrayId) {
@@ -70,7 +75,11 @@ fn image_after(prog: &Program, a: mempar_ir::ArrayId, n: usize) -> u64 {
     let mut mem = SimMem::new(prog, 1);
     mem.set_array(
         a,
-        ArrayData::F64((0..n * 2 * n).map(|x| ((x * 37) % 19) as f64 - 9.0).collect()),
+        ArrayData::F64(
+            (0..n * 2 * n)
+                .map(|x| ((x * 37) % 19) as f64 - 9.0)
+                .collect(),
+        ),
     );
     run_single(prog, &mut mem);
     mem.fingerprint()

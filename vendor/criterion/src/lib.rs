@@ -24,7 +24,10 @@ impl Criterion {
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         println!("group {name}");
-        BenchmarkGroup { _c: self, sample_size: 10 }
+        BenchmarkGroup {
+            _c: self,
+            sample_size: 10,
+        }
     }
 
     /// Registers a stand-alone benchmark.
@@ -64,19 +67,29 @@ impl BenchmarkGroup<'_> {
 
 fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) {
     // Warm-up pass (also primes lazy state inside the closure).
-    let mut b = Bencher { iters: 1, elapsed_ns: 0.0 };
+    let mut b = Bencher {
+        iters: 1,
+        elapsed_ns: 0.0,
+    };
     f(&mut b);
     let mut total = 0.0f64;
     let mut min = f64::INFINITY;
     for _ in 0..samples {
-        let mut b = Bencher { iters: 1, elapsed_ns: 0.0 };
+        let mut b = Bencher {
+            iters: 1,
+            elapsed_ns: 0.0,
+        };
         f(&mut b);
         let per_iter = b.elapsed_ns / b.iters as f64;
         total += per_iter;
         min = min.min(per_iter);
     }
     let mean = total / samples as f64;
-    println!("  {name:<40} mean {:>12} min {:>12}", fmt_ns(mean), fmt_ns(min));
+    println!(
+        "  {name:<40} mean {:>12} min {:>12}",
+        fmt_ns(mean),
+        fmt_ns(min)
+    );
 }
 
 fn fmt_ns(ns: f64) -> String {

@@ -13,6 +13,12 @@
 //! * there is no shrinking — a failing case panics with the generated
 //!   inputs via the assertion message instead of a minimized example;
 //! * `prop_assert*` panic immediately rather than returning `Err`.
+//!
+//! Regression persistence follows the upstream convention: when a case
+//! fails, its RNG state is appended as a `cc <64 hex chars>` line to a
+//! `<test-file>.proptest-regressions` sibling of the test source file,
+//! and every persisted state is replayed *before* fresh cases on later
+//! runs. Commit those files so all checkouts replay known failures.
 
 use std::ops::{Range, RangeInclusive};
 
@@ -58,7 +64,9 @@ impl TestRng {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^ (z >> 31)
         };
-        TestRng { s: [next(), next(), next(), next()] }
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
     }
 
     /// Next uniform 64-bit word.
@@ -80,6 +88,82 @@ impl TestRng {
         debug_assert!(span > 0);
         (self.next_u64() as u128 * span) >> 64
     }
+
+    /// The internal state as 64 hex characters (regression-file form).
+    pub fn state_hex(&self) -> String {
+        self.s.iter().map(|w| format!("{w:016x}")).collect()
+    }
+
+    /// Reconstructs an RNG from [`TestRng::state_hex`] output.
+    pub fn from_state_hex(hex: &str) -> Option<Self> {
+        if hex.len() != 64 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        let mut s = [0u64; 4];
+        for (i, w) in s.iter_mut().enumerate() {
+            *w = u64::from_str_radix(&hex[i * 16..(i + 1) * 16], 16).ok()?;
+        }
+        // The all-zero state is a xoshiro fixed point; refuse it.
+        if s == [0; 4] {
+            return None;
+        }
+        Some(TestRng { s })
+    }
+}
+
+/// Path of the regression file for a test source file (`file!()` value):
+/// the upstream `<stem>.proptest-regressions` sibling convention.
+pub fn regression_path(source_file: &str) -> std::path::PathBuf {
+    std::path::Path::new(source_file).with_extension("proptest-regressions")
+}
+
+/// Loads every persisted failure state from `path` (missing file = no
+/// regressions). Lines are `cc <64 hex>` with an optional `# comment`;
+/// anything else is ignored, matching upstream's tolerant parser.
+pub fn load_regressions(path: &std::path::Path) -> Vec<TestRng> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let rest = line.trim().strip_prefix("cc ")?;
+            let hex = rest.split_whitespace().next()?;
+            TestRng::from_state_hex(hex)
+        })
+        .collect()
+}
+
+/// Appends a failing case's RNG state to `path`, creating the file with
+/// the upstream header comment if needed. Best-effort: persistence must
+/// never mask the original test failure.
+pub fn record_regression(path: &std::path::Path, test_name: &str, state_hex: &str) {
+    use std::io::Write as _;
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    if existing
+        .lines()
+        .any(|l| l.trim().starts_with(&format!("cc {state_hex}")))
+    {
+        return;
+    }
+    let mut out = String::new();
+    if existing.is_empty() {
+        out.push_str(
+            "# Seeds for failure cases proptest has generated in the past. It is\n\
+             # automatically read and these particular cases re-run before any\n\
+             # novel cases are generated.\n\
+             #\n\
+             # It is recommended to check this file in to source control so that\n\
+             # everyone who runs the test benefits from these saved cases.\n",
+        );
+    }
+    out.push_str(&format!(
+        "cc {state_hex} # seeds a failing case of {test_name}\n"
+    ));
+    let _ = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(out.as_bytes()));
 }
 
 /// A generator of random values (no shrinking).
@@ -348,10 +432,22 @@ macro_rules! __proptest_items {
         $(#[$attr])*
         fn $name() {
             let config: $crate::ProptestConfig = $cfg;
-            let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
-            for _case in 0..config.cases {
+            let reg_path = $crate::regression_path(file!());
+            // Replay persisted failure states before any novel case, so a
+            // committed regression file guards every checkout.
+            for mut rng in $crate::load_regressions(&reg_path) {
                 $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
                 $body
+            }
+            let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for _case in 0..config.cases {
+                let snapshot = rng.state_hex();
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(move || $body));
+                if let Err(payload) = outcome {
+                    $crate::record_regression(&reg_path, stringify!($name), &snapshot);
+                    ::std::panic::resume_unwind(payload);
+                }
             }
         }
         $crate::__proptest_items! { ($cfg) $($rest)* }
@@ -395,5 +491,41 @@ mod tests {
         let mut a = crate::TestRng::deterministic("x");
         let mut b = crate::TestRng::deterministic("x");
         assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn state_hex_roundtrips() {
+        let mut a = crate::TestRng::deterministic("roundtrip");
+        let mut b = crate::TestRng::from_state_hex(&a.state_hex()).expect("valid hex");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert!(crate::TestRng::from_state_hex("not-hex").is_none());
+        assert!(crate::TestRng::from_state_hex(&"0".repeat(64)).is_none());
+    }
+
+    #[test]
+    fn regressions_record_and_replay() {
+        let dir = std::env::temp_dir().join("proptest-shim-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("case.proptest-regressions");
+        let _ = std::fs::remove_file(&path);
+        assert!(crate::load_regressions(&path).is_empty());
+        let rng = crate::TestRng::deterministic("failing");
+        crate::record_regression(&path, "some_test", &rng.state_hex());
+        // Duplicate states are not appended twice.
+        crate::record_regression(&path, "some_test", &rng.state_hex());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.matches("cc ").count(), 1, "{text}");
+        assert!(text.starts_with("# Seeds for failure cases"));
+        let loaded = crate::load_regressions(&path);
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].state_hex(), rng.state_hex());
+    }
+
+    #[test]
+    fn regression_path_follows_upstream_convention() {
+        assert_eq!(
+            crate::regression_path("tests/prop_ir.rs"),
+            std::path::Path::new("tests/prop_ir.proptest-regressions")
+        );
     }
 }

@@ -47,7 +47,10 @@ pub trait Rng: RngCore {
     where
         Self: Sized,
     {
-        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
         unit_f64(self.next_u64()) < p
     }
 }
@@ -136,17 +139,16 @@ pub mod rngs {
                 z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
                 z ^ (z >> 31)
             };
-            StdRng { s: [next(), next(), next(), next()] }
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
         }
     }
 
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
-            let result = s[0]
-                .wrapping_add(s[3])
-                .rotate_left(23)
-                .wrapping_add(s[0]);
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
             s[2] ^= s[0];
             s[3] ^= s[1];
@@ -175,8 +177,9 @@ mod tests {
             assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
         }
         let mut c = StdRng::seed_from_u64(8);
-        let same: usize =
-            (0..100).filter(|_| a.gen_range(0u64..100) == c.gen_range(0u64..100)).count();
+        let same: usize = (0..100)
+            .filter(|_| a.gen_range(0u64..100) == c.gen_range(0u64..100))
+            .count();
         assert!(same < 50, "different seeds must diverge");
     }
 

@@ -63,7 +63,9 @@ where
 
 /// The number of threads pools default to (available parallelism).
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Error from [`ThreadPoolBuilder::build`] (never produced here; kept
@@ -99,7 +101,11 @@ impl ThreadPoolBuilder {
 
     /// Builds the pool.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        let n = if self.num_threads == 0 { current_num_threads() } else { self.num_threads };
+        let n = if self.num_threads == 0 {
+            current_num_threads()
+        } else {
+            self.num_threads
+        };
         Ok(ThreadPool { threads: n })
     }
 }
@@ -168,7 +174,10 @@ impl ThreadPool {
                 }
             }
         });
-        slots.into_iter().map(|s| s.expect("every index claimed")).collect()
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index claimed"))
+            .collect()
     }
 }
 
