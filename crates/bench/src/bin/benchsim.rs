@@ -12,7 +12,7 @@
 //! cargo run --release -p mempar-bench --bin benchsim -- --scale 0.1
 //! ```
 
-use mempar_bench::{bench_sim_json, parse_args, timed, SimBenchRecord};
+use mempar_bench::{bench_sim_json, log_enabled, parse_args, timed, LogLevel, SimBenchRecord};
 use mempar_sim::{run_program_with, MachineConfig, SimOptions};
 use mempar_workloads::App;
 
@@ -37,17 +37,23 @@ fn main() {
             let mut mem = w.memory(nprocs);
             let (r, secs) =
                 timed(|| run_program_with(&w.program, &mut mem, &cfg, SimOptions { cycle_skip }));
-            eprintln!(
-                "[{name}] {mode}: {} cycles in {secs:.3}s = {:.0} cycles/sec",
-                r.cycles,
-                r.cycles as f64 / secs.max(1e-12)
-            );
+            if log_enabled(LogLevel::Info) {
+                eprintln!(
+                    "[{name}] {mode}: {} cycles in {secs:.3}s = {:.0} cycles/sec",
+                    r.cycles,
+                    r.cycles as f64 / secs.max(1e-12)
+                );
+            }
             cycles_by_mode.push(r.cycles);
             records.push(SimBenchRecord {
                 experiment: name.to_string(),
                 mode: mode.to_string(),
                 cycles: r.cycles,
                 wall_seconds: secs,
+                // The occupancy summary only needs recording once per
+                // experiment; both driver modes produce identical
+                // histograms, so attach it to the skipping run.
+                occupancy: cycle_skip.then(|| r.occupancy.clone()),
             });
         }
         assert_eq!(
@@ -58,5 +64,7 @@ fn main() {
     let json = bench_sim_json(args.scale, &records);
     std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
     print!("{json}");
-    eprintln!("wrote BENCH_sim.json");
+    if log_enabled(LogLevel::Info) {
+        eprintln!("wrote BENCH_sim.json");
+    }
 }

@@ -3,8 +3,8 @@
 //! 5.34×), the contention-driven growth of *total* miss latency
 //! (171 ns → 316 ns) and bus/memory-bank utilization (> 85 % clustered).
 
-use mempar::{run_pair, MachineConfig};
-use mempar_bench::{parse_args, run_matrix};
+use mempar::{observe_pair, run_pair, MachineConfig, DEFAULT_TRACE_CAPACITY};
+use mempar_bench::{parse_args, run_matrix, write_observation_outputs};
 use mempar_stats::{format_rows, Row};
 use mempar_workloads::{latbench, LatbenchParams};
 
@@ -95,4 +95,21 @@ fn main() {
         pair_ex.base.avg_read_miss_stall_ns(),
         pair_ex.clustered.avg_read_miss_stall_ns(),
     );
+
+    // Observability rerun: same base-system experiment with the tracer
+    // attached (bit-identical cycle counts — asserted here), exporting
+    // whatever the --trace-out/--metrics-out/--profile-refs flags asked
+    // for.
+    if args.wants_observation() {
+        let observed = observe_pair(&w, &cfgs[0], DEFAULT_TRACE_CAPACITY);
+        assert_eq!(
+            observed.base.result.cycles, pair.base.cycles,
+            "tracing changed the base run's cycle count"
+        );
+        assert_eq!(
+            observed.clustered.result.cycles, pair.clustered.cycles,
+            "tracing changed the clustered run's cycle count"
+        );
+        write_observation_outputs(&args, &[&observed.base, &observed.clustered]);
+    }
 }

@@ -1,8 +1,16 @@
 //! Prints Table 2 — the workload catalog with the paper's simulated
 //! input sizes and processor counts, plus the sizes produced at the
 //! requested `--scale`.
+//!
+//! With `--profile-refs` (or `--trace-out`/`--metrics-out`) the selected
+//! `--apps` are additionally run base-vs-clustered on the base simulated
+//! uniprocessor with the tracer attached, producing per-leading-reference
+//! clustering profiles and the requested trace/metrics exports.
 
-use mempar_bench::{parse_args, run_matrix};
+use mempar::{observe_pair, ObservedRun, DEFAULT_TRACE_CAPACITY};
+use mempar_bench::{
+    log_enabled, parse_args, run_matrix, simulated_config, write_observation_outputs, LogLevel,
+};
 use mempar_stats::{format_rows, Row};
 use mempar_workloads::App;
 
@@ -11,6 +19,13 @@ fn main() {
     // Building each workload materializes its (scaled) input data, so
     // even this catalog listing benefits from the worker pool.
     let apps = App::all();
+    if log_enabled(LogLevel::Info) {
+        eprintln!(
+            "[table2] building {} workloads at scale {}...",
+            apps.len(),
+            args.scale
+        );
+    }
     let rows: Vec<Row> = run_matrix(args.threads, &apps, |&app| {
         let w = app.build(args.scale);
         let arrays: usize = w.program.arrays.iter().map(|a| a.len()).sum();
@@ -35,4 +50,23 @@ fn main() {
             &rows
         )
     );
+
+    // Observability pass: run the selected apps base-vs-clustered on the
+    // base simulated uniprocessor with the tracer attached, then emit the
+    // requested trace/metrics/profile outputs.
+    if args.wants_observation() {
+        let observed: Vec<_> = run_matrix(args.threads, &args.apps, |&app| {
+            if log_enabled(LogLevel::Info) {
+                eprintln!("[{}] observed base-vs-clustered run...", app.name());
+            }
+            let w = app.build(args.scale);
+            let cfg = simulated_config(app, args.scale, false, false);
+            observe_pair(&w, &cfg, DEFAULT_TRACE_CAPACITY)
+        });
+        let runs: Vec<&ObservedRun> = observed
+            .iter()
+            .flat_map(|pair| [&pair.base, &pair.clustered])
+            .collect();
+        write_observation_outputs(&args, &runs);
+    }
 }

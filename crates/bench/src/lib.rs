@@ -19,8 +19,36 @@
 
 #![warn(missing_docs)]
 
-use mempar::{run_pair, MachineConfig, RunPair};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use mempar::{chrome_trace_json, run_pair, ChromeRun, MachineConfig, ObservedRun, RunPair};
+use mempar_obs::escape_json;
+use mempar_stats::MshrOccupancy;
 use mempar_workloads::App;
+
+/// Harness log verbosity. Progress lines go to stderr at `Info` and
+/// above; warnings (e.g. output mismatches) are always printed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// Only results on stdout and hard warnings on stderr.
+    Quiet = 0,
+    /// Progress lines (the default).
+    Info = 1,
+    /// Everything, including per-run diagnostics.
+    Debug = 2,
+}
+
+static LOG_LEVEL: AtomicU8 = AtomicU8::new(LogLevel::Info as u8);
+
+/// Sets the process-wide harness log level.
+pub fn set_log_level(level: LogLevel) {
+    LOG_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Whether messages at `level` should be emitted.
+pub fn log_enabled(level: LogLevel) -> bool {
+    LOG_LEVEL.load(Ordering::Relaxed) >= level as u8
+}
 
 /// Command-line options shared by the harness binaries.
 #[derive(Debug, Clone)]
@@ -35,6 +63,12 @@ pub struct HarnessArgs {
     pub procs: usize,
     /// Worker threads for the experiment matrix (0 = all cores).
     pub threads: usize,
+    /// Write a Chrome trace_event JSON of the observed runs here.
+    pub trace_out: Option<String>,
+    /// Write a metrics-registry JSON snapshot here.
+    pub metrics_out: Option<String>,
+    /// Print the per-leading-reference miss-clustering profile.
+    pub profile_refs: bool,
 }
 
 impl Default for HarnessArgs {
@@ -45,7 +79,19 @@ impl Default for HarnessArgs {
             mode: String::new(),
             procs: 0,
             threads: 0,
+            trace_out: None,
+            metrics_out: None,
+            profile_refs: false,
         }
+    }
+}
+
+impl HarnessArgs {
+    /// Whether any observability output was requested (tracing, metrics
+    /// or the reference profile) — binaries use this to decide whether
+    /// to rerun their experiments with the tracer attached.
+    pub fn wants_observation(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some() || self.profile_refs
     }
 }
 
@@ -63,13 +109,21 @@ pub fn usage() -> String {
     let apps: Vec<&str> = App::all().iter().map(|a| a.name()).collect();
     format!(
         "usage: {bin} [--scale <f>] [--apps <a,b,c>] [--mode <m>] [--procs <n>] [--threads <n>]\n\
+         \x20       [--trace-out <path>] [--metrics-out <path>] [--profile-refs] [--quiet]\n\
          \n\
-         \x20 --scale <f>    input-size fraction of the paper's Table 2 sizes (default 0.1)\n\
-         \x20 --apps <list>  comma-separated subset of: {}\n\
-         \x20 --mode <m>     binary-specific mode string (fig3: up|mp|up-1ghz|mp-1ghz)\n\
-         \x20 --procs <n>    override processor count (0 = each workload's Table 2 count)\n\
-         \x20 --threads <n>  worker threads for the experiment matrix (0 = all cores)\n\
-         \x20 --help, -h     print this message",
+         \x20 --scale <f>        input-size fraction of the paper's Table 2 sizes (default 0.1)\n\
+         \x20 --apps <list>      comma-separated subset of: {}\n\
+         \x20 --mode <m>         binary-specific mode string (fig3: up|mp|up-1ghz|mp-1ghz)\n\
+         \x20 --procs <n>        override processor count (0 = each workload's Table 2 count)\n\
+         \x20 --threads <n>      worker threads for the experiment matrix (0 = all cores)\n\
+         \x20 --trace-out <p>    write a Chrome trace_event JSON (open in Perfetto)\n\
+         \x20 --metrics-out <p>  write a metrics-registry JSON snapshot\n\
+         \x20 --profile-refs     print the per-leading-reference miss-clustering profile\n\
+         \x20 --quiet, -q        suppress progress lines on stderr\n\
+         \x20 --help, -h         print this message\n\
+         \n\
+         environment:\n\
+         \x20 MEMPAR_LOG         quiet | info | debug (flag --quiet wins over the env)",
         apps.join(",")
     )
 }
@@ -80,10 +134,33 @@ fn usage_error(msg: &str) -> ! {
     std::process::exit(2);
 }
 
-/// Parses `--scale`, `--apps`, `--mode`, `--procs` and `--threads` from
-/// the process arguments. Unknown flags and malformed values print the
-/// full usage string and exit with status 2.
+/// Parses the `MEMPAR_LOG` environment variable (`quiet` / `info` /
+/// `debug`, case-insensitive). An unset or empty variable keeps the
+/// default; an unrecognized value is an argument error (exit 2).
+fn log_level_from_env() -> Option<LogLevel> {
+    let val = std::env::var("MEMPAR_LOG").ok()?;
+    if val.is_empty() {
+        return None;
+    }
+    match val.to_ascii_lowercase().as_str() {
+        "quiet" => Some(LogLevel::Quiet),
+        "info" => Some(LogLevel::Info),
+        "debug" => Some(LogLevel::Debug),
+        other => usage_error(&format!(
+            "MEMPAR_LOG expects quiet|info|debug, got {other:?}"
+        )),
+    }
+}
+
+/// Parses the shared harness flags (`--scale`, `--apps`, `--mode`,
+/// `--procs`, `--threads`, the observability outputs `--trace-out` /
+/// `--metrics-out` / `--profile-refs`, and `--quiet`) from the process
+/// arguments, honoring `MEMPAR_LOG` for the log level. Unknown flags and
+/// malformed values print the full usage string and exit with status 2.
 pub fn parse_args() -> HarnessArgs {
+    if let Some(level) = log_level_from_env() {
+        set_log_level(level);
+    }
     let mut out = HarnessArgs::default();
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -120,6 +197,10 @@ pub fn parse_args() -> HarnessArgs {
                     })
                     .collect();
             }
+            "--trace-out" => out.trace_out = Some(take()),
+            "--metrics-out" => out.metrics_out = Some(take()),
+            "--profile-refs" => out.profile_refs = true,
+            "--quiet" | "-q" => set_log_level(LogLevel::Quiet),
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -157,13 +238,15 @@ where
 /// `scale`, printing a progress line.
 pub fn run_app(app: App, cfg: &MachineConfig, scale: f64) -> RunPair {
     let w = app.build(scale);
-    eprintln!(
-        "[{}] {} on {} ({} procs)...",
-        app.name(),
-        w.name,
-        cfg.name,
-        cfg.nprocs
-    );
+    if log_enabled(LogLevel::Info) {
+        eprintln!(
+            "[{}] {} on {} ({} procs)...",
+            app.name(),
+            w.name,
+            cfg.name,
+            cfg.nprocs
+        );
+    }
     let pair = run_pair(&w, cfg);
     if !pair.outputs_match {
         eprintln!(
@@ -172,6 +255,75 @@ pub fn run_app(app: App, cfg: &MachineConfig, scale: f64) -> RunPair {
         );
     }
     pair
+}
+
+/// Serializes the metric snapshots of several observed runs as one JSON
+/// document: `{"runs": [{"name", "trace_events", "trace_dropped",
+/// "snapshot": {"metrics": ...}}, ...]}`. Hand-rolled JSON: the offline
+/// build has no serde.
+pub fn metrics_json(runs: &[&ObservedRun]) -> String {
+    let mut s = String::from("{\n\"runs\": [\n");
+    let entries: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"name\": \"{}\", \"trace_events\": {}, \"trace_dropped\": {}, \"snapshot\": {}}}",
+                escape_json(&r.name),
+                r.obs.trace.len(),
+                r.obs.dropped,
+                r.obs.metrics.to_json().trim_end()
+            )
+        })
+        .collect();
+    s.push_str(&entries.join(",\n"));
+    s.push_str("\n]\n}\n");
+    s
+}
+
+/// Writes the observability outputs a binary's `args` requested for the
+/// observed `runs`: the Chrome trace (`--trace-out`, one viewer process
+/// per run), the metrics snapshot (`--metrics-out`) and the
+/// per-leading-reference clustering profile tables (`--profile-refs`,
+/// printed to stdout).
+pub fn write_observation_outputs(args: &HarnessArgs, runs: &[&ObservedRun]) {
+    if let Some(path) = &args.trace_out {
+        let chrome_runs: Vec<ChromeRun> = runs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| ChromeRun {
+                name: &r.name,
+                pid: i as u32,
+                events: &r.obs.trace,
+                end_cycle: r.obs.end_cycle,
+            })
+            .collect();
+        let clock_mhz = runs.first().map_or(0, |r| r.obs.clock_mhz);
+        let json = chrome_trace_json(&chrome_runs, clock_mhz);
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        if log_enabled(LogLevel::Info) {
+            eprintln!("wrote trace to {path} (open at https://ui.perfetto.dev)");
+        }
+        for r in runs {
+            if r.obs.dropped > 0 {
+                eprintln!(
+                    "WARNING: {}: trace ring dropped {} events (oldest first)",
+                    r.name, r.obs.dropped
+                );
+            }
+        }
+    }
+    if let Some(path) = &args.metrics_out {
+        let json = metrics_json(runs);
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        if log_enabled(LogLevel::Info) {
+            eprintln!("wrote metrics to {path}");
+        }
+    }
+    if args.profile_refs {
+        for r in runs {
+            println!("\n{}", r.profile.format_table(&r.name));
+        }
+    }
 }
 
 /// Machine for the simulated uni/multiprocessor experiments (Table 1).
@@ -212,6 +364,8 @@ pub struct SimBenchRecord {
     pub cycles: u64,
     /// Host wall-clock seconds spent simulating.
     pub wall_seconds: f64,
+    /// Merged L2 MSHR occupancy histogram of the run, when recorded.
+    pub occupancy: Option<MshrOccupancy>,
 }
 
 impl SimBenchRecord {
@@ -229,13 +383,18 @@ pub fn bench_sim_json(scale: f64, records: &[SimBenchRecord]) -> String {
     s.push_str(&format!("  \"scale\": {scale},\n"));
     s.push_str("  \"experiments\": [\n");
     for (i, r) in records.iter().enumerate() {
+        let occupancy = match &r.occupancy {
+            Some(o) => format!(", \"mshr_occupancy\": {}", o.to_json()),
+            None => String::new(),
+        };
         s.push_str(&format!(
-            "    {{\"experiment\": \"{}\", \"mode\": \"{}\", \"cycles\": {}, \"wall_seconds\": {:.6}, \"cycles_per_sec\": {:.1}}}{}\n",
+            "    {{\"experiment\": \"{}\", \"mode\": \"{}\", \"cycles\": {}, \"wall_seconds\": {:.6}, \"cycles_per_sec\": {:.1}{}}}{}\n",
             r.experiment,
             r.mode,
             r.cycles,
             r.wall_seconds,
             r.cycles_per_sec(),
+            occupancy,
             if i + 1 < records.len() { "," } else { "" }
         ));
     }
@@ -298,5 +457,39 @@ mod tests {
         let a = HarnessArgs::default();
         assert_eq!(a.apps.len(), 7);
         assert!(a.scale > 0.0);
+        assert!(!a.wants_observation());
+    }
+
+    #[test]
+    fn log_levels_order() {
+        assert!(LogLevel::Quiet < LogLevel::Info);
+        assert!(LogLevel::Info < LogLevel::Debug);
+    }
+
+    #[test]
+    fn bench_json_embeds_occupancy() {
+        let mut occ = MshrOccupancy::new(2);
+        occ.sample(1, 2);
+        occ.sample(1, 1);
+        let records = vec![
+            SimBenchRecord {
+                experiment: "latbench-up".into(),
+                mode: "cycle-skip".into(),
+                cycles: 1000,
+                wall_seconds: 0.5,
+                occupancy: Some(occ),
+            },
+            SimBenchRecord {
+                experiment: "latbench-up".into(),
+                mode: "strict-cycle".into(),
+                cycles: 1000,
+                wall_seconds: 1.0,
+                occupancy: None,
+            },
+        ];
+        let json = bench_sim_json(0.1, &records);
+        assert!(json.contains("\"mshr_occupancy\""));
+        assert!(json.contains("\"mean_read_occupancy\""));
+        mempar_obs::validate_json(&json).expect("BENCH_sim.json must stay valid JSON");
     }
 }

@@ -7,10 +7,18 @@
 use std::process::Command;
 
 fn run(args: &[&str]) -> std::process::Output {
-    Command::new(env!("CARGO_BIN_EXE_table2"))
-        .args(args)
-        .output()
-        .expect("spawn table2")
+    run_env(args, &[])
+}
+
+fn run_env(args: &[&str], env: &[(&str, &str)]) -> std::process::Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_table2"));
+    // The test runner's environment must not leak into the contract
+    // under test.
+    cmd.env_remove("MEMPAR_LOG");
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    cmd.args(args).output().expect("spawn table2")
 }
 
 fn assert_usage_exit(args: &[&str], needle: &str) {
@@ -63,5 +71,80 @@ fn unknown_app_exits_2_with_usage() {
 fn help_exits_0_and_prints_usage_to_stdout() {
     let out = run(&["--help"]);
     assert_eq!(out.status.code(), Some(0));
-    assert!(String::from_utf8_lossy(&out.stdout).contains("usage:"));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("usage:"));
+    // The observability and logging flags are part of the documented
+    // surface.
+    for flag in [
+        "--trace-out",
+        "--metrics-out",
+        "--profile-refs",
+        "--quiet",
+        "MEMPAR_LOG",
+    ] {
+        assert!(stdout.contains(flag), "usage missing {flag}:\n{stdout}");
+    }
+}
+
+#[test]
+fn invalid_mempar_log_exits_2_with_usage() {
+    let out = run_env(&[], &[("MEMPAR_LOG", "verbose")]);
+    assert_eq!(out.status.code(), Some(2), "bad MEMPAR_LOG must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("MEMPAR_LOG expects quiet|info|debug"),
+        "stderr: {stderr}"
+    );
+    assert!(stderr.contains("usage:"), "stderr missing usage: {stderr}");
+}
+
+#[test]
+fn progress_lines_appear_by_default() {
+    let out = run(&["--scale", "0.02"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("[table2]"),
+        "default run must print progress: {stderr}"
+    );
+}
+
+#[test]
+fn quiet_flag_suppresses_progress() {
+    for args in [
+        &["--scale", "0.02", "--quiet"][..],
+        &["--scale", "0.02", "-q"][..],
+    ] {
+        let out = run(args);
+        assert_eq!(out.status.code(), Some(0));
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.is_empty(),
+            "args {args:?}: quiet run must not write stderr: {stderr}"
+        );
+        assert!(
+            String::from_utf8_lossy(&out.stdout).contains("Table 2"),
+            "quiet only silences stderr, not results"
+        );
+    }
+}
+
+#[test]
+fn mempar_log_env_sets_level_and_flag_wins() {
+    let out = run_env(&["--scale", "0.02"], &[("MEMPAR_LOG", "QUIET")]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(
+        out.stderr.is_empty(),
+        "MEMPAR_LOG=QUIET (case-insensitive) must silence progress: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // --quiet wins over MEMPAR_LOG=debug (flags are parsed after env).
+    let out = run_env(&["--scale", "0.02", "-q"], &[("MEMPAR_LOG", "debug")]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(
+        out.stderr.is_empty(),
+        "-q must override MEMPAR_LOG=debug: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }

@@ -45,13 +45,18 @@
 #![warn(missing_debug_implementations)]
 
 mod experiment;
+mod observe;
 mod profile;
 
 pub use experiment::{cluster_workload, machine_summary, run_pair, RunPair};
+pub use observe::{
+    observe_pair, observe_program, ObservedPair, ObservedRun, DEFAULT_TRACE_CAPACITY,
+};
 pub use profile::profile_miss_rates;
 
 // The pieces users compose with, re-exported at the facade.
 pub use mempar_analysis::{analyze_inner_loop, MachineSummary, MissProfile, NestAnalysis};
+pub use mempar_obs::{chrome_trace_json, validate_json, ChromeRun, RefProfile};
 pub use mempar_sim::{run_program, MachineConfig, SimResult};
 pub use mempar_stats::{
     format_breakdown_table, format_occupancy_curves, format_rows, Breakdown, Row,

@@ -1,0 +1,398 @@
+//! The miss-clustering profiler: joins dynamic trace events against the
+//! static leading references found by `mempar-analysis`, turning a trace
+//! into a per-reference verdict on the paper's central question — did
+//! the misses of this reference overlap or serialize?
+//!
+//! Attribution goes through the address: every [`TraceEventKind::MissIssue`]
+//! carries its cache line, [`SimMem::array_of_addr`] maps the line back
+//! to the array it belongs to, and each array is claimed by the first
+//! leading read reference (program order) that the analysis framework
+//! found for it. When several leading references share one array the
+//! profile is per-array rather than per-reference — exact for every
+//! workload in the catalog, and flagged here so readers of a profile
+//! know what they are looking at.
+//!
+//! The *achieved* clustering measure is the mean number of read-miss
+//! MSHRs occupied at issue (including the new miss): 1.0 means fully
+//! serialized, `k` means each miss found `k - 1` partners in flight. The
+//! *predicted* measure is the framework's `f` estimate divided by the
+//! recurrence bound `α` (Equations 1–4 and Section 3.2.2) for the nest
+//! that contains the reference.
+
+use mempar_analysis::{analyze_inner_loop, MachineSummary, MissProfile};
+use mempar_ir::{ArrayId, Program, SimMem};
+use mempar_stats::{format_rows, Row};
+use mempar_transform::{innermost_loops, loop_at};
+
+use crate::json::escape_json;
+use crate::trace::{TraceEvent, TraceEventKind};
+
+/// One profiled static reference (or the `(other)` bucket for misses no
+/// leading reference claims — writebacks, irregular side arrays, …).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefClusterRow {
+    /// Array name the reference reads.
+    pub array: String,
+    /// Innermost-nest index (program order) the prediction came from.
+    pub nest: usize,
+    /// The leading reference's id inside its nest's `RefCollection`.
+    pub ref_id: usize,
+    /// Innermost-loop iterations per line (`L_m`).
+    pub l_m: u32,
+    /// Dynamic read misses attributed to the reference.
+    pub misses: u64,
+    /// Mean read-miss MSHRs outstanding at issue, including the new
+    /// miss: 1.0 = fully serialized.
+    pub mean_overlap: f64,
+    /// Fraction of misses that found no other read miss in flight.
+    pub serialization_ratio: f64,
+    /// The framework's `f` estimate for the nest (misses overlapped per
+    /// window).
+    pub predicted_f: f64,
+    /// The nest's recurrence bound `α` (0 when the nest has none).
+    pub alpha: f64,
+    /// Predicted overlap `f / max(α, 1)` — the model's expectation for
+    /// `mean_overlap`.
+    pub predicted_overlap: f64,
+    /// `mean_overlap / predicted_overlap` (0 when nothing was predicted).
+    pub achieved_ratio: f64,
+}
+
+/// A complete clustering profile for one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RefProfile {
+    /// Per-reference rows, nests in program order, `(other)` last.
+    pub rows: Vec<RefClusterRow>,
+}
+
+impl RefProfile {
+    /// Sum of attributed and unattributed read misses.
+    pub fn total_misses(&self) -> u64 {
+        self.rows.iter().map(|r| r.misses).sum()
+    }
+
+    /// Misses-weighted mean overlap across all rows (0 when empty).
+    pub fn overall_mean_overlap(&self) -> f64 {
+        let total = self.total_misses();
+        if total == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .rows
+            .iter()
+            .map(|r| r.mean_overlap * r.misses as f64)
+            .sum();
+        sum / total as f64
+    }
+
+    /// Renders the profile as an aligned text table.
+    pub fn format_table(&self, title: &str) -> String {
+        let rows: Vec<Row> = self
+            .rows
+            .iter()
+            .map(|r| {
+                Row::new(
+                    &r.array,
+                    vec![
+                        format!("{}", r.misses),
+                        format!("{:.2}", r.mean_overlap),
+                        format!("{:.0}%", 100.0 * r.serialization_ratio),
+                        format!("{:.2}", r.predicted_f),
+                        format!("{:.2}", r.alpha),
+                        format!("{:.2}", r.predicted_overlap),
+                        if r.predicted_overlap > 0.0 {
+                            format!("{:.2}", r.achieved_ratio)
+                        } else {
+                            "-".into()
+                        },
+                    ],
+                )
+            })
+            .collect();
+        format_rows(
+            title,
+            &[
+                "misses", "overlap", "serial", "f", "alpha", "f/a", "ach/pred",
+            ],
+            &rows,
+        )
+    }
+
+    /// JSON export of the rows (one object per reference).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"refs\": [\n");
+        let lines: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{\"array\": \"{}\", \"nest\": {}, \"ref_id\": {}, \"l_m\": {}, \
+                     \"misses\": {}, \"mean_overlap\": {:.4}, \"serialization_ratio\": {:.4}, \
+                     \"predicted_f\": {:.4}, \"alpha\": {:.4}, \"predicted_overlap\": {:.4}, \
+                     \"achieved_ratio\": {:.4}}}",
+                    escape_json(&r.array),
+                    r.nest,
+                    r.ref_id,
+                    r.l_m,
+                    r.misses,
+                    r.mean_overlap,
+                    r.serialization_ratio,
+                    r.predicted_f,
+                    r.alpha,
+                    r.predicted_overlap,
+                    r.achieved_ratio
+                )
+            })
+            .collect();
+        s.push_str(&lines.join(",\n"));
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+}
+
+/// A static claim: the first leading read reference per array.
+#[derive(Debug, Clone)]
+struct Claim {
+    array: ArrayId,
+    name: String,
+    nest: usize,
+    ref_id: usize,
+    l_m: u32,
+    predicted_f: f64,
+    alpha: f64,
+}
+
+/// Builds the clustering profile for one run.
+///
+/// * `prog` — the program the trace came from (its innermost loops are
+///   re-analyzed to obtain predictions);
+/// * `mem` — the run's memory layout, used to map miss lines back to
+///   arrays;
+/// * `m` / `miss_profile` — the same machine summary and miss profile
+///   the transformation driver saw, so predictions match its decisions;
+/// * `events` — the trace (only `MissIssue` events are consumed);
+/// * `line_shift` — log2 of the L2 line size.
+pub fn profile_misses(
+    prog: &Program,
+    mem: &SimMem,
+    m: &MachineSummary,
+    miss_profile: &MissProfile,
+    events: &[TraceEvent],
+    line_shift: u32,
+) -> RefProfile {
+    // Static pass: predictions per array from each innermost nest.
+    let mut claims: Vec<Claim> = Vec::new();
+    for (nest_idx, path) in innermost_loops(prog).iter().enumerate() {
+        let Some(lp) = loop_at(prog, path) else {
+            continue;
+        };
+        let analysis = analyze_inner_loop(prog, &lp.body, lp.var, m, miss_profile);
+        let alpha = analysis.recurrences.alpha;
+        for r in analysis.refs.leading() {
+            if r.is_write || claims.iter().any(|c| c.array == r.array) {
+                continue;
+            }
+            claims.push(Claim {
+                array: r.array,
+                name: prog.array(r.array).name.clone(),
+                nest: nest_idx,
+                ref_id: r.id,
+                l_m: r.l_m,
+                predicted_f: analysis.f,
+                alpha,
+            });
+        }
+    }
+
+    // Dynamic pass: fold read-miss issues into per-array accumulators.
+    #[derive(Default, Clone, Copy)]
+    struct Acc {
+        misses: u64,
+        overlap_sum: u64,
+        serialized: u64,
+    }
+    let mut per_claim: Vec<Acc> = vec![Acc::default(); claims.len()];
+    let mut other = Acc::default();
+    for ev in events {
+        let TraceEventKind::MissIssue {
+            line,
+            write: false,
+            reads_outstanding,
+            ..
+        } = ev.kind
+        else {
+            continue;
+        };
+        let addr = line << line_shift;
+        let acc = match mem
+            .array_of_addr(addr)
+            .and_then(|a| claims.iter().position(|c| c.array == a))
+        {
+            Some(i) => &mut per_claim[i],
+            None => &mut other,
+        };
+        acc.misses += 1;
+        acc.overlap_sum += u64::from(reads_outstanding);
+        if reads_outstanding <= 1 {
+            acc.serialized += 1;
+        }
+    }
+
+    let row = |claim: Option<&Claim>, acc: &Acc| {
+        let mean_overlap = if acc.misses == 0 {
+            0.0
+        } else {
+            acc.overlap_sum as f64 / acc.misses as f64
+        };
+        let serialization_ratio = if acc.misses == 0 {
+            0.0
+        } else {
+            acc.serialized as f64 / acc.misses as f64
+        };
+        let (predicted_f, alpha) = claim.map_or((0.0, 0.0), |c| (c.predicted_f, c.alpha));
+        let predicted_overlap = predicted_f / alpha.max(1.0);
+        RefClusterRow {
+            array: claim.map_or("(other)".into(), |c| c.name.clone()),
+            nest: claim.map_or(usize::MAX, |c| c.nest),
+            ref_id: claim.map_or(usize::MAX, |c| c.ref_id),
+            l_m: claim.map_or(0, |c| c.l_m),
+            misses: acc.misses,
+            mean_overlap,
+            serialization_ratio,
+            predicted_f,
+            alpha,
+            predicted_overlap,
+            achieved_ratio: if predicted_overlap > 0.0 {
+                mean_overlap / predicted_overlap
+            } else {
+                0.0
+            },
+        }
+    };
+
+    let mut rows: Vec<RefClusterRow> = claims
+        .iter()
+        .zip(per_claim.iter())
+        .map(|(c, acc)| row(Some(c), acc))
+        .collect();
+    if other.misses > 0 {
+        rows.push(row(None, &other));
+    }
+    RefProfile { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate_json;
+    use mempar_ir::ProgramBuilder;
+
+    /// A streaming reduction: one leading read reference over `a`.
+    fn stream(n: usize) -> (Program, ArrayId) {
+        let mut b = ProgramBuilder::new("stream");
+        let a = b.array_f64("a", &[n]);
+        let s = b.scalar_f64("sum", 0.0);
+        let i = b.var("i");
+        b.for_const(i, 0, n as i64, |b| {
+            let v = b.load(a, &[b.idx(i)]);
+            let acc = b.scalar(s);
+            let e = b.add(acc, v);
+            b.assign_scalar(s, e);
+        });
+        (b.finish(), a)
+    }
+
+    fn miss(mem: &SimMem, a: ArrayId, elem: u64, reads: u32) -> TraceEvent {
+        TraceEvent {
+            time: elem,
+            proc: 0,
+            kind: TraceEventKind::MissIssue {
+                line: (mem.base(a) + elem * 8) >> 6,
+                write: false,
+                reads_outstanding: reads,
+                total_outstanding: reads,
+            },
+        }
+    }
+
+    #[test]
+    fn attributes_misses_and_joins_predictions() {
+        let (prog, a) = stream(1024);
+        let mem = SimMem::new(&prog, 1);
+        let m = MachineSummary::base();
+        let profile = MissProfile::pessimistic();
+        // Three misses, overlaps 1/3/2 → mean 2.0, one serialized.
+        let events = vec![
+            miss(&mem, a, 0, 1),
+            miss(&mem, a, 8, 3),
+            miss(&mem, a, 16, 2),
+        ];
+        let p = profile_misses(&prog, &mem, &m, &profile, &events, 6);
+        assert_eq!(p.rows.len(), 1, "one leading reference: {:?}", p.rows);
+        let r = &p.rows[0];
+        assert_eq!(r.array, "a");
+        assert_eq!(r.misses, 3);
+        assert!((r.mean_overlap - 2.0).abs() < 1e-12);
+        assert!((r.serialization_ratio - 1.0 / 3.0).abs() < 1e-12);
+        assert!(r.predicted_f > 0.0, "stream has a prediction");
+        assert!(r.predicted_overlap > 0.0);
+        assert!(r.achieved_ratio > 0.0);
+        assert_eq!(p.total_misses(), 3);
+        validate_json(&p.to_json()).expect("profile JSON well-formed");
+        let table = p.format_table("profile");
+        assert!(table.contains("ach/pred"));
+    }
+
+    #[test]
+    fn unclaimed_misses_land_in_other() {
+        let (prog, a) = stream(64);
+        let mem = SimMem::new(&prog, 1);
+        let m = MachineSummary::base();
+        let profile = MissProfile::pessimistic();
+        // An address far past every array maps to no array.
+        let events = vec![
+            miss(&mem, a, 0, 1),
+            TraceEvent {
+                time: 9,
+                proc: 0,
+                kind: TraceEventKind::MissIssue {
+                    line: u64::MAX >> 8,
+                    write: false,
+                    reads_outstanding: 1,
+                    total_outstanding: 1,
+                },
+            },
+        ];
+        let p = profile_misses(&prog, &mem, &m, &profile, &events, 6);
+        assert_eq!(p.rows.len(), 2);
+        let other = p.rows.last().expect("other row");
+        assert_eq!(other.array, "(other)");
+        assert_eq!(other.misses, 1);
+        assert_eq!(other.predicted_overlap, 0.0);
+    }
+
+    #[test]
+    fn write_misses_are_ignored() {
+        let (prog, a) = stream(64);
+        let mem = SimMem::new(&prog, 1);
+        let events = vec![TraceEvent {
+            time: 0,
+            proc: 0,
+            kind: TraceEventKind::MissIssue {
+                line: mem.base(a) >> 6,
+                write: true,
+                reads_outstanding: 1,
+                total_outstanding: 1,
+            },
+        }];
+        let p = profile_misses(
+            &prog,
+            &mem,
+            &MachineSummary::base(),
+            &MissProfile::pessimistic(),
+            &events,
+            6,
+        );
+        assert_eq!(p.total_misses(), 0);
+    }
+}

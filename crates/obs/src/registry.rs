@@ -1,0 +1,190 @@
+//! The metrics registry: named counters, gauges and histograms that
+//! simulator components register into after a run, with JSON and CSV
+//! snapshot export.
+//!
+//! Naming convention: dot-separated paths rooted at the producing
+//! subsystem — `sim.cache.l2.miss`, `sim.mem.remote_miss`,
+//! `sim.proc0.core.retired`, `sim.bus.utilization`. Per-processor
+//! metrics carry a `proc<N>` path segment; unqualified names aggregate
+//! over processors. Iteration and export order is lexicographic, so
+//! snapshots are deterministic.
+
+use std::collections::BTreeMap;
+
+use crate::json::escape_json;
+
+/// One registered metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Monotonic event count.
+    Counter(u64),
+    /// Point-in-time measurement.
+    Gauge(f64),
+    /// Bin counts (semantics are the registrant's, e.g. "cycles with
+    /// exactly `i` MSHRs occupied").
+    Histogram(Vec<u64>),
+}
+
+/// A sorted name → [`Metric`] map.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    map: BTreeMap<String, Metric>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `v` to the counter `name` (creating it at 0).
+    pub fn counter(&mut self, name: &str, v: u64) {
+        match self
+            .map
+            .entry(name.to_string())
+            .or_insert(Metric::Counter(0))
+        {
+            Metric::Counter(c) => *c += v,
+            other => *other = Metric::Counter(v),
+        }
+    }
+
+    /// Sets the gauge `name` to `v`.
+    pub fn gauge(&mut self, name: &str, v: f64) {
+        self.map.insert(name.to_string(), Metric::Gauge(v));
+    }
+
+    /// Sets the histogram `name` to `bins`.
+    pub fn histogram(&mut self, name: &str, bins: &[u64]) {
+        self.map
+            .insert(name.to_string(), Metric::Histogram(bins.to_vec()));
+    }
+
+    /// Looks a metric up by exact name.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.map.get(name)
+    }
+
+    /// The counter's value, when `name` is a counter.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        match self.map.get(name) {
+            Some(Metric::Counter(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates metrics in lexicographic name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// JSON snapshot:
+    /// `{"metrics": {"<name>": {"type": ..., "value"|"bins": ...}, ...}}`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"metrics\": {\n");
+        let lines: Vec<String> = self
+            .map
+            .iter()
+            .map(|(name, m)| {
+                let body = match m {
+                    Metric::Counter(c) => format!("{{\"type\": \"counter\", \"value\": {c}}}"),
+                    Metric::Gauge(g) => {
+                        format!("{{\"type\": \"gauge\", \"value\": {}}}", fmt_f64(*g))
+                    }
+                    Metric::Histogram(bins) => {
+                        let joined: Vec<String> = bins.iter().map(u64::to_string).collect();
+                        format!(
+                            "{{\"type\": \"histogram\", \"bins\": [{}]}}",
+                            joined.join(", ")
+                        )
+                    }
+                };
+                format!("    \"{}\": {body}", escape_json(name))
+            })
+            .collect();
+        s.push_str(&lines.join(",\n"));
+        s.push_str("\n  }\n}\n");
+        s
+    }
+
+    /// CSV snapshot with header `name,type,value`; histogram bins are
+    /// `;`-joined in the value column.
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from("name,type,value\n");
+        for (name, m) in &self.map {
+            match m {
+                Metric::Counter(c) => s.push_str(&format!("{name},counter,{c}\n")),
+                Metric::Gauge(g) => s.push_str(&format!("{name},gauge,{}\n", fmt_f64(*g))),
+                Metric::Histogram(bins) => {
+                    let joined: Vec<String> = bins.iter().map(u64::to_string).collect();
+                    s.push_str(&format!("{name},histogram,{}\n", joined.join(";")));
+                }
+            }
+        }
+        s
+    }
+}
+
+/// Shortest-roundtrip float formatting that stays valid JSON (no NaN or
+/// infinity — clamped to null-ish 0, which cannot occur for the
+/// simulator's ratios but keeps the exporter total).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` prints integral floats without a dot; keep them numbers
+        // (JSON allows that) — nothing more to do.
+        s
+    } else {
+        "0".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate_json;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut r = MetricsRegistry::new();
+        r.counter("sim.cache.l2.miss", 3);
+        r.counter("sim.cache.l2.miss", 4);
+        assert_eq!(r.counter_value("sim.cache.l2.miss"), Some(7));
+        assert_eq!(r.counter_value("missing"), None);
+    }
+
+    #[test]
+    fn export_is_sorted_and_valid() {
+        let mut r = MetricsRegistry::new();
+        r.gauge("sim.bus.utilization", 0.25);
+        r.counter("sim.cache.l2.miss", 10);
+        r.histogram("sim.cache.l2.mshr.read_occupancy", &[5, 3, 1]);
+        let json = r.to_json();
+        validate_json(&json).expect("registry JSON must be well-formed");
+        let bus = json.find("sim.bus.utilization").unwrap();
+        let miss = json.find("sim.cache.l2.miss").unwrap();
+        assert!(bus < miss, "lexicographic export order");
+        let csv = r.to_csv();
+        assert!(csv.starts_with("name,type,value\n"));
+        assert!(csv.contains("sim.cache.l2.mshr.read_occupancy,histogram,5;3;1"));
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn gauge_overwrites() {
+        let mut r = MetricsRegistry::new();
+        r.gauge("g", 1.0);
+        r.gauge("g", 2.5);
+        assert_eq!(r.get("g"), Some(&Metric::Gauge(2.5)));
+    }
+}

@@ -1,0 +1,237 @@
+//! The structured event-tracing layer: a ring-buffered recorder that is
+//! free when disabled and purely observational when enabled.
+
+use mempar_stats::StallClass;
+
+/// Pseudo-processor id for system-scope events (not tied to any core),
+/// e.g. [`TraceEventKind::HorizonJump`].
+pub const SYSTEM_PROC: u32 = u32::MAX;
+
+/// What happened. Times and processor ids live on the enclosing
+/// [`TraceEvent`]; `line` fields are cache-line numbers (byte address
+/// right-shifted by the configuration's line shift).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// An L2 miss left the processor for the outside world. The
+    /// occupancy fields snapshot the issuing processor's L2 MSHR file
+    /// *including this miss* — `reads_outstanding == 1` means the miss
+    /// found no other read miss to overlap with (it is serialized).
+    MissIssue {
+        /// Missing line.
+        line: u64,
+        /// True for store misses and upgrades.
+        write: bool,
+        /// Read-miss MSHRs occupied at issue (including this one).
+        reads_outstanding: u32,
+        /// Total MSHRs occupied at issue (including this one).
+        total_outstanding: u32,
+    },
+    /// The miss's data arrived and the line was (re)installed.
+    MissFill {
+        /// Filled line.
+        line: u64,
+    },
+    /// An L2 MSHR was allocated for the line.
+    MshrAlloc {
+        /// Tracked line.
+        line: u64,
+    },
+    /// The line's L2 MSHR was released (at fill time).
+    MshrRelease {
+        /// Released line.
+        line: u64,
+    },
+    /// An access merged into an outstanding MSHR for the same line.
+    Coalesce {
+        /// Coalescing line.
+        line: u64,
+    },
+    /// The processor entered a stall of the given class (retire-stage
+    /// attribution, Section 5.2).
+    StallBegin {
+        /// Stall class now charged.
+        class: StallClass,
+    },
+    /// The processor left a stall of the given class.
+    StallEnd {
+        /// Stall class no longer charged.
+        class: StallClass,
+    },
+    /// The event-horizon scheduler jumped the clock over `span` provably
+    /// dead cycles (recorded with proc = [`SYSTEM_PROC`]).
+    HorizonJump {
+        /// Skipped cycles.
+        span: u64,
+    },
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated cycle the event occurred at.
+    pub time: u64,
+    /// Processor index, or [`SYSTEM_PROC`] for system-scope events.
+    pub proc: u32,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+/// Ring-buffered event recorder.
+///
+/// A disabled tracer ([`Tracer::disabled`]) costs one branch per
+/// *potential* recording site and allocates nothing; the simulator
+/// additionally gates any event-payload computation (occupancy
+/// snapshots) on [`Tracer::is_enabled`], so disabled tracing is free.
+/// When the buffer is full the oldest events are overwritten and counted
+/// in [`Tracer::dropped`].
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    enabled: bool,
+    capacity: usize,
+    buf: Vec<TraceEvent>,
+    /// Oldest-element index once the buffer has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::disabled()
+    }
+}
+
+impl Tracer {
+    /// A tracer that records nothing (the default for plain runs).
+    pub fn disabled() -> Self {
+        Tracer {
+            enabled: false,
+            capacity: 0,
+            buf: Vec::new(),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// An enabled tracer retaining the most recent `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Tracer {
+            enabled: true,
+            capacity,
+            buf: Vec::new(),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// True when recording. Call sites use this to skip computing event
+    /// payloads (e.g. occupancy snapshots) for disabled tracers.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one event (no-op when disabled).
+    #[inline]
+    pub fn record(&mut self, time: u64, proc: u32, kind: TraceEventKind) {
+        if !self.enabled {
+            return;
+        }
+        let ev = TraceEvent { time, proc, kind };
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Ring capacity (0 for a disabled tracer).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut v = self.buf.clone();
+        v.rotate_left(self.head);
+        v
+    }
+
+    /// Consumes the tracer, returning `(events oldest-first, dropped)`.
+    pub fn into_events(mut self) -> (Vec<TraceEvent>, u64) {
+        self.buf.rotate_left(self.head);
+        (self.buf, self.dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        t.record(0, 0, TraceEventKind::MissFill { line: 1 });
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+        assert_eq!(t.capacity(), 0);
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut t = Tracer::with_capacity(16);
+        for i in 0..5u64 {
+            t.record(i, 0, TraceEventKind::MissFill { line: i });
+        }
+        let ev = t.events();
+        assert_eq!(ev.len(), 5);
+        for (i, e) in ev.iter().enumerate() {
+            assert_eq!(e.time, i as u64);
+        }
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_wraps_keeping_newest() {
+        let mut t = Tracer::with_capacity(4);
+        for i in 0..10u64 {
+            t.record(i, 0, TraceEventKind::MissFill { line: i });
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped(), 6);
+        let times: Vec<u64> = t.events().iter().map(|e| e.time).collect();
+        assert_eq!(times, vec![6, 7, 8, 9], "oldest→newest after wrap");
+        let (ev, dropped) = t.into_events();
+        assert_eq!(dropped, 6);
+        assert_eq!(ev.first().map(|e| e.time), Some(6));
+        assert_eq!(ev.last().map(|e| e.time), Some(9));
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut t = Tracer::with_capacity(0);
+        t.record(1, 0, TraceEventKind::HorizonJump { span: 3 });
+        t.record(2, 0, TraceEventKind::HorizonJump { span: 4 });
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.dropped(), 1);
+        assert_eq!(t.events()[0].time, 2);
+    }
+}

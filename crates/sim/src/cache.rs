@@ -282,6 +282,15 @@ impl MshrFile {
     pub fn capacity(&self) -> usize {
         self.cap
     }
+
+    /// Registers this file's geometry and end-of-run occupancy under
+    /// `prefix` (e.g. `sim.proc0.l2.mshr`).
+    pub fn export_metrics(&self, prefix: &str, reg: &mut mempar_obs::MetricsRegistry) {
+        let (reads, total) = self.occupancy();
+        reg.gauge(&format!("{prefix}.capacity"), self.cap as f64);
+        reg.gauge(&format!("{prefix}.occupied"), total as f64);
+        reg.gauge(&format!("{prefix}.occupied_read"), reads as f64);
+    }
 }
 
 #[cfg(test)]

@@ -138,6 +138,10 @@ pub struct Core {
     /// Instructions retired by the most recent [`Core::retire`] call
     /// (cycle-skip scheduling: a retiring core may retire again next cycle).
     retired_last_cycle: u32,
+    /// Stall class charged by the most recent [`Core::retire`] call, or
+    /// `None` when the core retired a full width (or halted). The system
+    /// driver turns transitions of this into trace stall spans.
+    last_stall: Option<StallClass>,
     l1_ports: u32,
 }
 
@@ -161,6 +165,7 @@ impl Core {
             breakdown: Breakdown::new(),
             retired: 0,
             retired_last_cycle: 0,
+            last_stall: None,
             l1_ports,
         }
     }
@@ -516,9 +521,8 @@ impl Core {
         // the first instruction that could not retire.
         let frac = f64::from(retired) / f64::from(width);
         self.breakdown.busy += frac;
-        if retired < width && !self.halted {
-            let rest = 1.0 - frac;
-            let class = match self.rob.front().map(|e| e.op.kind) {
+        let stall =
+            (retired < width && !self.halted).then(|| match self.rob.front().map(|e| e.op.kind) {
                 Some(OpKind::Load { .. }) => StallClass::DataMemory,
                 Some(OpKind::Store { .. } | OpKind::Prefetch { .. }) => StallClass::DataMemory,
                 Some(OpKind::Barrier { .. } | OpKind::FlagWait { .. } | OpKind::FlagSet { .. }) => {
@@ -526,10 +530,18 @@ impl Core {
                 }
                 Some(_) => StallClass::Cpu,
                 None => StallClass::Instruction,
-            };
-            self.breakdown.add_stall(class, rest);
+            });
+        if let Some(class) = stall {
+            self.breakdown.add_stall(class, 1.0 - frac);
         }
+        self.last_stall = stall;
         !self.halted
+    }
+
+    /// The stall class charged by the most recent retire call, or `None`
+    /// when the core retired at full width (or halted).
+    pub fn last_stall(&self) -> Option<StallClass> {
+        self.last_stall
     }
 
     /// The earliest future cycle at which this core might make progress
@@ -659,6 +671,19 @@ impl Core {
     /// Number of instructions currently in the window.
     pub fn window_occupancy(&self) -> usize {
         self.rob.len()
+    }
+
+    /// Registers this core's end-of-run statistics under
+    /// `sim.proc<id>.core.*`.
+    pub fn export_metrics(&self, reg: &mut mempar_obs::MetricsRegistry) {
+        let pre = format!("sim.proc{}.core", self.id);
+        reg.counter(&format!("{pre}.retired"), self.retired);
+        reg.gauge(&format!("{pre}.busy"), self.breakdown.busy);
+        reg.gauge(&format!("{pre}.stall.cpu"), self.breakdown.cpu_stall);
+        reg.gauge(&format!("{pre}.stall.data"), self.breakdown.data);
+        reg.gauge(&format!("{pre}.stall.sync"), self.breakdown.sync);
+        reg.gauge(&format!("{pre}.stall.instr"), self.breakdown.instr);
+        reg.gauge(&format!("{pre}.halt_cycle"), self.halt_cycle as f64);
     }
 
     /// Oldest unretired op's age in cycles (diagnostics/deadlock checks).

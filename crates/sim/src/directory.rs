@@ -124,6 +124,26 @@ impl Directory {
             .map(|e| e.sharers.count_ones() as usize + usize::from(e.owner.is_some()))
             .unwrap_or(0)
     }
+
+    /// Number of lines with live directory state.
+    pub fn line_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total sharer-list population across all tracked lines (exclusive
+    /// owners included).
+    pub fn total_sharers(&self) -> usize {
+        self.entries
+            .values()
+            .map(|e| e.sharers.count_ones() as usize + usize::from(e.owner.is_some()))
+            .sum()
+    }
+
+    /// Registers end-of-run directory population gauges under `sim.dir.*`.
+    pub fn export_metrics(&self, reg: &mut mempar_obs::MetricsRegistry) {
+        reg.gauge("sim.dir.lines", self.line_count() as f64);
+        reg.gauge("sim.dir.sharers", self.total_sharers() as f64);
+    }
 }
 
 #[cfg(test)]

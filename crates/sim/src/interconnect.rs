@@ -50,6 +50,11 @@ impl MemoryBanks {
     pub fn utilization(&self, elapsed: u64) -> mempar_stats::Utilization {
         self.pool.utilization(elapsed)
     }
+
+    /// Registers this node's bank utilization gauge under `name`.
+    pub fn export_metrics(&self, name: &str, elapsed: u64, reg: &mut mempar_obs::MetricsRegistry) {
+        reg.gauge(name, self.utilization(elapsed).fraction());
+    }
 }
 
 /// A split-transaction bus with separate address and data channels:
@@ -91,6 +96,11 @@ impl Bus {
     /// one; this is the ">85% bus utilization" measurement of §5.1).
     pub fn utilization(&self, elapsed: u64) -> mempar_stats::Utilization {
         self.data_channel.utilization(elapsed)
+    }
+
+    /// Registers this bus's data-channel utilization gauge under `name`.
+    pub fn export_metrics(&self, name: &str, elapsed: u64, reg: &mut mempar_obs::MetricsRegistry) {
+        reg.gauge(name, self.utilization(elapsed).fraction());
     }
 }
 
@@ -168,6 +178,23 @@ impl Mesh {
         }
         // Tail serialization plus exit NI.
         t + occupancy + ni
+    }
+
+    /// Aggregate link utilization over `elapsed` cycles (summed over all
+    /// directed links; the fraction is the mean per-link busy fraction).
+    pub fn utilization(&self, elapsed: u64) -> mempar_stats::Utilization {
+        let mut u = mempar_stats::Utilization::default();
+        for l in &self.links {
+            let x = l.utilization(elapsed);
+            u.busy += x.busy;
+            u.total += x.total;
+        }
+        u
+    }
+
+    /// Registers the mesh-link utilization gauge under `name`.
+    pub fn export_metrics(&self, name: &str, elapsed: u64, reg: &mut mempar_obs::MetricsRegistry) {
+        reg.gauge(name, self.utilization(elapsed).fraction());
     }
 }
 

@@ -70,4 +70,10 @@ pub use interconnect::{bank_of, Bus, MemoryBanks, Mesh};
 pub use memsys::{Access, MemSystem};
 pub use resource::{Resource, ResourcePool};
 pub use sync::SyncState;
-pub use system::{run_program, run_program_with, SimOptions, SimResult};
+pub use system::{
+    run_program, run_program_observed, run_program_with, SimObservation, SimOptions, SimResult,
+};
+
+// Observability types a traced run hands back (re-exported so harnesses
+// need not depend on `mempar-obs` directly for the common path).
+pub use mempar_obs::{MetricsRegistry, TraceEvent, TraceEventKind, Tracer};

@@ -14,6 +14,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use mempar_obs::{MetricsRegistry, TraceEventKind, Tracer};
 use mempar_stats::{LatencyStat, MemCounters, MshrOccupancy, Utilization};
 
 use crate::cache::{LineState, MshrFile, MshrOutcome, TagArray};
@@ -97,6 +98,9 @@ pub struct MemSystem {
     /// True while servicing a software prefetch (suppresses demand-read
     /// statistics so prefetches do not skew latency/miss metrics).
     in_prefetch: bool,
+    /// Structured event tracer; disabled by default, in which case every
+    /// trace site reduces to one inlined branch (see `crates/obs`).
+    tracer: Tracer,
     home_of_addr: Box<dyn Fn(u64) -> usize + Send>,
 }
 
@@ -158,9 +162,31 @@ impl MemSystem {
             read_latency: vec![LatencyStat::default(); n],
             occupancy: vec![MshrOccupancy::new(cfg.l2.mshrs); n],
             in_prefetch: false,
+            tracer: Tracer::disabled(),
             home_of_addr,
             cfg: cfg.clone(),
         }
+    }
+
+    /// Installs a tracer; L2 miss/MSHR events will be recorded into it.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Removes and returns the tracer, leaving a disabled one behind.
+    pub fn take_tracer(&mut self) -> Tracer {
+        std::mem::replace(&mut self.tracer, Tracer::disabled())
+    }
+
+    /// Mutable access to the tracer (for recording events that originate
+    /// outside the memory system, e.g. processor stall transitions).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// True when an enabled tracer is installed.
+    pub fn trace_enabled(&self) -> bool {
+        self.tracer.is_enabled()
     }
 
     /// The line number of `addr`.
@@ -218,6 +244,12 @@ impl MemSystem {
     }
 
     fn apply_l2_fill(&mut self, proc: usize, line: u64, modified: bool, now: u64) {
+        if self.tracer.is_enabled() {
+            self.tracer
+                .record(now, proc as u32, TraceEventKind::MissFill { line });
+            self.tracer
+                .record(now, proc as u32, TraceEventKind::MshrRelease { line });
+        }
         self.l2[proc].mshrs.release(line);
         // The line may have been invalidated-in-flight; install fresh.
         if self.l2[proc].tags.peek(line) != LineState::Invalid {
@@ -416,6 +448,8 @@ impl MemSystem {
             MshrOutcome::Coalesced { fill_at } => {
                 self.counters[proc].coalesced += 1;
                 debug_assert_ne!(fill_at, u64::MAX);
+                self.tracer
+                    .record(t_lookup, proc as u32, TraceEventKind::Coalesce { line });
                 let entry = self.l2[proc].mshrs.get(line).expect("coalesced entry");
                 if is_write && entry.writes == 1 && entry.reads > 0 {
                     // First write joining a read miss: upgrade after fill.
@@ -445,6 +479,23 @@ impl MemSystem {
                 self.counters[proc].l2_misses += 1;
                 if !is_write && !self.in_prefetch {
                     self.counters[proc].l2_read_misses += 1;
+                }
+                if self.tracer.is_enabled() {
+                    // Snapshot occupancy after registration so the new
+                    // miss counts itself (1 == fully serialized).
+                    let (reads, total) = self.l2[proc].mshrs.occupancy();
+                    self.tracer
+                        .record(t_lookup, proc as u32, TraceEventKind::MshrAlloc { line });
+                    self.tracer.record(
+                        t_lookup,
+                        proc as u32,
+                        TraceEventKind::MissIssue {
+                            line,
+                            write: is_write,
+                            reads_outstanding: reads as u32,
+                            total_outstanding: total as u32,
+                        },
+                    );
                 }
                 let fill_at = if upgrade {
                     self.global_upgrade(proc, line, t_lookup)
@@ -706,6 +757,78 @@ impl MemSystem {
             u.total += x.total;
         }
         u
+    }
+
+    /// Registers this memory system's end-of-run statistics into `reg`
+    /// under the `sim.*` dot-path convention (see
+    /// [`MetricsRegistry`]); `elapsed` is the run's cycle count, used for
+    /// utilization fractions.
+    pub fn export_metrics(&self, elapsed: u64, reg: &mut MetricsRegistry) {
+        let t = self.total_counters();
+        reg.counter("sim.mem.loads", t.loads);
+        reg.counter("sim.mem.stores", t.stores);
+        reg.counter("sim.mem.prefetches", t.prefetches);
+        reg.counter("sim.mem.writebacks", t.writebacks);
+        reg.counter("sim.mem.local_miss", t.local_misses);
+        reg.counter("sim.mem.remote_miss", t.remote_misses);
+        reg.counter("sim.mem.cache_to_cache", t.cache_to_cache);
+        reg.counter("sim.cache.l1.miss", t.l1_misses);
+        reg.counter("sim.cache.l2.miss", t.l2_misses);
+        reg.counter("sim.cache.l2.read_miss", t.l2_read_misses);
+        reg.counter("sim.cache.l2.coalesced", t.coalesced);
+        reg.counter("sim.dir.invalidations", t.invalidations);
+        self.dir.export_metrics(reg);
+
+        let lat = self.total_read_latency();
+        reg.gauge("sim.cache.l2.read_latency.mean", lat.mean());
+        reg.gauge("sim.cache.l2.read_latency.max", lat.max);
+        reg.counter("sim.cache.l2.read_latency.count", lat.count);
+
+        reg.gauge(
+            "sim.bus.utilization",
+            self.bus_utilization(elapsed).fraction(),
+        );
+        reg.gauge(
+            "sim.bank.utilization",
+            self.bank_utilization(elapsed).fraction(),
+        );
+        if self.cfg.topology == Topology::Numa && self.cfg.nprocs > 1 {
+            self.mesh
+                .export_metrics("sim.mesh.utilization", elapsed, reg);
+        }
+        for (i, b) in self.buses.iter().enumerate() {
+            b.export_metrics(&format!("sim.bus{i}.utilization"), elapsed, reg);
+        }
+        for (i, b) in self.banks.iter().enumerate() {
+            b.export_metrics(&format!("sim.bank{i}.utilization"), elapsed, reg);
+        }
+
+        let occ = self.total_occupancy();
+        reg.gauge(
+            "sim.cache.l2.mshr.mean_read_occupancy",
+            occ.mean_read_occupancy(),
+        );
+        reg.histogram("sim.cache.l2.mshr.read_occupancy", occ.read_histogram());
+        reg.histogram("sim.cache.l2.mshr.total_occupancy", occ.total_histogram());
+
+        for p in 0..self.cfg.nprocs {
+            let c = &self.counters[p];
+            let pre = format!("sim.proc{p}");
+            reg.counter(&format!("{pre}.l2.miss"), c.l2_misses);
+            reg.counter(&format!("{pre}.l2.read_miss"), c.l2_read_misses);
+            reg.counter(&format!("{pre}.l2.coalesced"), c.coalesced);
+            reg.gauge(
+                &format!("{pre}.l2.read_latency.mean"),
+                self.read_latency[p].mean(),
+            );
+            reg.gauge(
+                &format!("{pre}.l2.mshr.mean_read_occupancy"),
+                self.occupancy[p].mean_read_occupancy(),
+            );
+            self.l2[p]
+                .mshrs
+                .export_metrics(&format!("{pre}.l2.mshr"), reg);
+        }
     }
 }
 

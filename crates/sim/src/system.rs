@@ -1,7 +1,8 @@
 //! The whole-system driver: cores + interpreters + memory system.
 
 use mempar_ir::{Interp, Program, SimMem};
-use mempar_stats::{Breakdown, LatencyStat, MemCounters, MshrOccupancy, Utilization};
+use mempar_obs::{MetricsRegistry, TraceEvent, TraceEventKind, Tracer, SYSTEM_PROC};
+use mempar_stats::{Breakdown, LatencyStat, MemCounters, MshrOccupancy, StallClass, Utilization};
 
 use crate::config::MachineConfig;
 use crate::core::Core;
@@ -108,6 +109,66 @@ pub fn run_program_with(
     cfg: &MachineConfig,
     opts: SimOptions,
 ) -> SimResult {
+    run_inner(prog, mem, cfg, opts, Tracer::disabled()).0
+}
+
+/// Everything the observability layer captures from one traced run (see
+/// [`run_program_observed`]).
+#[derive(Debug)]
+pub struct SimObservation {
+    /// Trace events in time order (oldest first; ring-bounded).
+    pub trace: Vec<TraceEvent>,
+    /// Events discarded by the ring buffer (oldest-first overwrite).
+    pub dropped: u64,
+    /// End-of-run metrics from every simulated component.
+    pub metrics: MetricsRegistry,
+    /// `addr >> line_shift` = the line numbers trace events carry.
+    pub line_shift: u32,
+    /// Simulated clock, for trace-time → wall-time conversion.
+    pub clock_mhz: u32,
+    /// The run's wall clock in cycles (closes still-open trace spans).
+    pub end_cycle: u64,
+}
+
+/// [`run_program_with`], additionally recording structured trace events
+/// into `tracer` and collecting a metrics snapshot. The [`SimResult`] is
+/// bit-identical to an untraced run's (the observability tests assert
+/// this): tracing only copies values the simulator already computes.
+pub fn run_program_observed(
+    prog: &Program,
+    mem: &mut SimMem,
+    cfg: &MachineConfig,
+    opts: SimOptions,
+    tracer: Tracer,
+) -> (SimResult, SimObservation) {
+    let (result, mut memsys, cores) = run_inner(prog, mem, cfg, opts, tracer);
+    let mut metrics = MetricsRegistry::new();
+    memsys.export_metrics(result.cycles.max(1), &mut metrics);
+    for core in &cores {
+        core.export_metrics(&mut metrics);
+    }
+    let t = memsys.take_tracer();
+    metrics.counter("sim.trace.events", t.len() as u64);
+    metrics.counter("sim.trace.dropped", t.dropped());
+    let (trace, dropped) = t.into_events();
+    let obs = SimObservation {
+        trace,
+        dropped,
+        metrics,
+        line_shift: cfg.l2.line_bytes.trailing_zeros(),
+        clock_mhz: cfg.proc.clock_mhz,
+        end_cycle: result.cycles,
+    };
+    (result, obs)
+}
+
+fn run_inner(
+    prog: &Program,
+    mem: &mut SimMem,
+    cfg: &MachineConfig,
+    opts: SimOptions,
+    tracer: Tracer,
+) -> (SimResult, MemSystem, Vec<Core>) {
     cfg.validate();
     assert_eq!(
         mem.nprocs(),
@@ -117,6 +178,9 @@ pub fn run_program_with(
     let nprocs = cfg.nprocs;
     let home = mem.home_map();
     let mut memsys = MemSystem::new(cfg, Box::new(move |line_addr| home.home_node(line_addr)));
+    memsys.set_tracer(tracer);
+    let tracing = memsys.trace_enabled();
+    let mut stall_state: Vec<Option<StallClass>> = vec![None; nprocs];
     let l1_ports = cfg.l1.as_ref().map(|l| l.ports).unwrap_or(cfg.l2.ports);
     let mut cores: Vec<Core> = (0..nprocs)
         .map(|p| Core::new(p, &cfg.proc, l1_ports))
@@ -133,6 +197,24 @@ pub fn run_program_with(
         for core in cores.iter_mut() {
             if core.retire(&mut sync, now) {
                 all_halted = false;
+            }
+        }
+        if tracing {
+            // Emit stall begin/end transitions from the retire stage's
+            // per-cycle attribution (charge_idle continues the same class
+            // across skipped spans, so no event is needed there).
+            for (p, core) in cores.iter().enumerate() {
+                let cur = core.last_stall();
+                if cur != stall_state[p] {
+                    let t = memsys.tracer_mut();
+                    if let Some(prev) = stall_state[p] {
+                        t.record(now, p as u32, TraceEventKind::StallEnd { class: prev });
+                    }
+                    if let Some(new) = cur {
+                        t.record(now, p as u32, TraceEventKind::StallBegin { class: new });
+                    }
+                    stall_state[p] = cur;
+                }
             }
         }
         if all_halted {
@@ -210,6 +292,13 @@ pub fn run_program_with(
             match next {
                 Some(t) if t > now + 1 => {
                     let span = t - now - 1;
+                    if tracing {
+                        memsys.tracer_mut().record(
+                            now,
+                            SYSTEM_PROC,
+                            TraceEventKind::HorizonJump { span },
+                        );
+                    }
                     memsys.idle_sample(span);
                     for core in cores.iter_mut() {
                         core.charge_idle(span);
@@ -242,7 +331,7 @@ pub fn run_program_with(
         .collect();
     let occupancy_per_proc: Vec<MshrOccupancy> =
         (0..nprocs).map(|p| memsys.occupancy(p).clone()).collect();
-    SimResult {
+    let result = SimResult {
         config: cfg.name.clone(),
         cycles: wall,
         ns: cfg.cycles_to_ns(wall as f64),
@@ -255,7 +344,8 @@ pub fn run_program_with(
         bus_util: memsys.bus_utilization(wall.max(1)),
         bank_util: memsys.bank_utilization(wall.max(1)),
         clock_mhz: cfg.proc.clock_mhz,
-    }
+    };
+    (result, memsys, cores)
 }
 
 #[cfg(test)]

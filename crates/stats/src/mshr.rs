@@ -112,6 +112,32 @@ impl MshrOccupancy {
             .map(|n| self.total_at_least(n))
             .collect()
     }
+
+    /// The raw read histogram: index `n` = cycles with exactly `n`
+    /// read-miss MSHRs occupied.
+    pub fn read_histogram(&self) -> &[u64] {
+        &self.read_hist
+    }
+
+    /// The raw total histogram: index `n` = cycles with exactly `n` MSHRs
+    /// occupied overall.
+    pub fn total_histogram(&self) -> &[u64] {
+        &self.total_hist
+    }
+
+    /// Compact single-line JSON serialization, suitable for embedding in
+    /// `BENCH_sim.json` records.
+    pub fn to_json(&self) -> String {
+        let join = |h: &[u64]| h.iter().map(u64::to_string).collect::<Vec<_>>().join(", ");
+        format!(
+            "{{\"capacity\": {}, \"cycles\": {}, \"mean_read_occupancy\": {:.6}, \"read_hist\": [{}], \"total_hist\": [{}]}}",
+            self.capacity,
+            self.cycles,
+            self.mean_read_occupancy(),
+            join(&self.read_hist),
+            join(&self.total_hist)
+        )
+    }
 }
 
 /// Miss/traffic counters from the memory hierarchy.
@@ -273,6 +299,20 @@ mod tests {
             assert!(w[0] >= w[1]);
         }
         assert_eq!(curve[0], 1.0);
+    }
+
+    #[test]
+    fn occupancy_json_round_trips_fields() {
+        let mut m = MshrOccupancy::new(2);
+        m.sample(1, 2);
+        m.sample(1, 1);
+        let json = m.to_json();
+        assert!(json.contains("\"capacity\": 2"), "{json}");
+        assert!(json.contains("\"cycles\": 2"));
+        assert!(json.contains("\"read_hist\": [0, 2, 0]"));
+        assert!(json.contains("\"total_hist\": [0, 1, 1]"));
+        assert_eq!(m.read_histogram(), &[0, 2, 0]);
+        assert_eq!(m.total_histogram(), &[0, 1, 1]);
     }
 
     #[test]

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Validate an observability JSON export against one of the checked-in
+schemas (schemas/obs-*.schema.json).
+
+Usage:
+    scripts/check_obs_json.py <schema.json> <document.json>
+
+Stdlib-only: implements the small JSON Schema (draft-07) subset the
+schemas actually use — type, required, properties, additionalProperties,
+propertyNames.pattern, items, enum, const, minimum, minItems, allOf,
+oneOf and if/then. Exits 0 when the document validates, 1 with a list of
+violations otherwise.
+"""
+
+import json
+import re
+import sys
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def type_ok(value, name):
+    if name == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if name == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    return isinstance(value, TYPES[name])
+
+
+def validate(value, schema, path, errors):
+    """Appends `path: problem` strings to errors; returns True when the
+    value satisfies `schema` (used by the combinators, which probe
+    sub-schemas without reporting their internal failures)."""
+    local = []
+
+    if "const" in schema and value != schema["const"]:
+        local.append(f"{path}: expected {schema['const']!r}, got {value!r}")
+    if "enum" in schema and value not in schema["enum"]:
+        local.append(f"{path}: {value!r} not in {schema['enum']!r}")
+
+    if "type" in schema:
+        names = schema["type"]
+        names = names if isinstance(names, list) else [names]
+        if not any(type_ok(value, n) for n in names):
+            local.append(f"{path}: expected {'/'.join(names)}, got {type(value).__name__}")
+            errors.extend(local)
+            return not local
+
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if "minimum" in schema and value < schema["minimum"]:
+            local.append(f"{path}: {value} < minimum {schema['minimum']}")
+
+    if isinstance(value, dict):
+        for req in schema.get("required", []):
+            if req not in value:
+                local.append(f"{path}: missing required key {req!r}")
+        props = schema.get("properties", {})
+        for key, sub in props.items():
+            if key in value:
+                validate(value[key], sub, f"{path}.{key}", local)
+        if "propertyNames" in schema:
+            pattern = schema["propertyNames"].get("pattern")
+            for key in value:
+                if pattern and not re.match(pattern, key):
+                    local.append(f"{path}: key {key!r} does not match {pattern!r}")
+        extra = schema.get("additionalProperties")
+        if isinstance(extra, dict):
+            for key, sub in value.items():
+                if key not in props:
+                    validate(sub, extra, f"{path}.{key}", local)
+
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            local.append(f"{path}: {len(value)} items < minItems {schema['minItems']}")
+        if "items" in schema:
+            for i, item in enumerate(value):
+                validate(item, schema["items"], f"{path}[{i}]", local)
+
+    for sub in schema.get("allOf", []):
+        if "if" in sub:
+            if validate(value, sub["if"], path, []):
+                if "then" in sub:
+                    validate(value, sub["then"], path, local)
+        else:
+            validate(value, sub, path, local)
+
+    if "oneOf" in schema:
+        matches = sum(validate(value, sub, path, []) for sub in schema["oneOf"])
+        if matches != 1:
+            local.append(f"{path}: matched {matches} of the oneOf branches, want exactly 1")
+
+    errors.extend(local)
+    return not local
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__.strip())
+    schema_path, doc_path = sys.argv[1], sys.argv[2]
+    with open(schema_path) as f:
+        schema = json.load(f)
+    with open(doc_path) as f:
+        doc = json.load(f)
+    errors = []
+    validate(doc, schema, "$", errors)
+    if errors:
+        print(f"{doc_path}: {len(errors)} schema violation(s) against {schema_path}:")
+        for e in errors[:50]:
+            print(f"  {e}")
+        sys.exit(1)
+    print(f"{doc_path}: ok ({schema_path})")
+
+
+if __name__ == "__main__":
+    main()

@@ -6,7 +6,7 @@
 //! floats with shortest-roundtrip precision, so any bit-level divergence
 //! shows up.
 
-use mempar_sim::{run_program_with, MachineConfig, SimOptions};
+use mempar_sim::{run_program_observed, run_program_with, MachineConfig, SimOptions, Tracer};
 use mempar_workloads::App;
 
 fn run_debug(app: App, scale: f64, mp: bool, cycle_skip: bool) -> String {
@@ -18,6 +18,23 @@ fn run_debug(app: App, scale: f64, mp: bool, cycle_skip: bool) -> String {
     format!("{r:?}")
 }
 
+/// Same run with the observability tracer attached — the third leg of
+/// the determinism square: tracing must be as invisible as skipping.
+fn run_debug_traced(app: App, scale: f64, mp: bool, cycle_skip: bool) -> String {
+    let w = app.build(scale);
+    let nprocs = if mp { w.mp_procs.max(1) } else { 1 };
+    let cfg = MachineConfig::base_simulated(nprocs, 64 * 1024);
+    let mut mem = w.memory(nprocs);
+    let (r, _) = run_program_observed(
+        &w.program,
+        &mut mem,
+        &cfg,
+        SimOptions { cycle_skip },
+        Tracer::with_capacity(1 << 16),
+    );
+    format!("{r:?}")
+}
+
 fn assert_identical(app: App, mp: bool) {
     let scale = 0.05;
     let skip = run_debug(app, scale, mp, true);
@@ -26,6 +43,14 @@ fn assert_identical(app: App, mp: bool) {
         skip,
         strict,
         "{} ({}) diverges between cycle-skip and strict stepping",
+        app.name(),
+        if mp { "mp" } else { "up" }
+    );
+    let traced = run_debug_traced(app, scale, mp, true);
+    assert_eq!(
+        traced,
+        strict,
+        "{} ({}) diverges when the tracer is attached",
         app.name(),
         if mp { "mp" } else { "up" }
     );
