@@ -1,0 +1,151 @@
+//! Engine benchmarks: tree-walking interpreter vs bytecode VM dispatch
+//! cost, both as a raw op-stream drain (no timing model — pure front-end
+//! throughput) and end-to-end through the simulator, on one regular
+//! workload (Latbench) and one irregular graph workload (em3d). Also
+//! hosts the tag-array probe micro-benchmark backing the cache hot-path
+//! optimization (precomputed set mask, single-compare way scan).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mempar_ir::{BytecodeProgram, Interp, Vm};
+use mempar_sim::{
+    run_program_with, CacheParams, Engine, LineState, MachineConfig, SimOptions, TagArray,
+};
+use mempar_workloads::App;
+
+/// Tiny scale so the whole suite completes in minutes.
+const SCALE: f64 = 0.03;
+
+/// Raw functional dispatch: drain the whole dynamic-op stream with no
+/// timing model attached. This isolates exactly what the bytecode tier
+/// optimizes — per-op production cost.
+fn bench_dispatch(c: &mut Criterion) {
+    for app in [App::Latbench, App::Em3d] {
+        let mut g = c.benchmark_group(&format!("engine-dispatch-{}", app.name()));
+        g.sample_size(10);
+        let w = app.build(SCALE);
+        g.bench_function("tree-walk", |b| {
+            b.iter(|| {
+                let mut mem = w.memory(1);
+                let mut interp = Interp::new(&w.program, 0, 1);
+                let mut n = 0u64;
+                while interp.next_op(&mut mem).is_some() {
+                    n += 1;
+                }
+                black_box(n)
+            })
+        });
+        let code = BytecodeProgram::compile(&w.program);
+        g.bench_function("bytecode", |b| {
+            b.iter(|| {
+                let mut mem = w.memory(1);
+                let mut vm = Vm::new(&code, 0, 1);
+                let mut n = 0u64;
+                while vm.next_op(&mut mem).is_some() {
+                    n += 1;
+                }
+                black_box(n)
+            })
+        });
+        g.bench_function("compile", |b| {
+            b.iter(|| black_box(BytecodeProgram::compile(&w.program).insn_count()))
+        });
+        g.finish();
+    }
+}
+
+/// End-to-end simulated runs under each engine: the speedup that reaches
+/// the harness binaries (compare against `BENCH_sim.json`'s
+/// `engine_speedup` column).
+fn bench_simulated(c: &mut Criterion) {
+    for app in [App::Latbench, App::Em3d] {
+        let mut g = c.benchmark_group(&format!("engine-simulated-{}", app.name()));
+        g.sample_size(10);
+        let w = app.build(SCALE);
+        let cfg = MachineConfig::base_simulated(1, 64 * 1024);
+        let mut cycles_by_engine = Vec::new();
+        for engine in [Engine::Interp, Engine::Bytecode] {
+            let mut cycles = 0;
+            g.bench_function(engine.name(), |b| {
+                b.iter(|| {
+                    let mut mem = w.memory(1);
+                    let opts = SimOptions {
+                        engine,
+                        ..SimOptions::default()
+                    };
+                    cycles = run_program_with(&w.program, &mut mem, &cfg, opts).cycles;
+                    black_box(cycles)
+                })
+            });
+            cycles_by_engine.push(cycles);
+        }
+        assert_eq!(
+            cycles_by_engine[0],
+            cycles_by_engine[1],
+            "{}: engines must agree on simulated cycles",
+            app.name()
+        );
+        g.finish();
+    }
+}
+
+/// Tag-array probe/fill micro-benchmark: a pseudo-random (LCG) line
+/// stream against a 64 KB 4-way array — the simulator's hottest loop
+/// after op dispatch.
+fn bench_cache_probe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache-probe");
+    g.sample_size(10);
+    let params = CacheParams {
+        size_bytes: 64 * 1024,
+        assoc: 4,
+        line_bytes: 64,
+        hit_latency: 1,
+        ports: 2,
+        mshrs: 10,
+    };
+    // Deterministic line stream, ~4x the set count so hits and misses mix.
+    let lines: Vec<u64> = {
+        let mut x = 0x2545f4914f6cdd1du64;
+        (0..64 * 1024)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (x >> 33) % 4096
+            })
+            .collect()
+    };
+    g.bench_function("probe+fill", |b| {
+        b.iter(|| {
+            let mut tags = TagArray::new(&params);
+            let mut hits = 0u64;
+            for &line in &lines {
+                match tags.probe(line) {
+                    LineState::Invalid => {
+                        tags.fill(line, LineState::Shared);
+                    }
+                    _ => hits += 1,
+                }
+            }
+            black_box(hits)
+        })
+    });
+    g.bench_function("peek-hot", |b| {
+        let mut tags = TagArray::new(&params);
+        for line in 0..1024u64 {
+            tags.fill(line, LineState::Shared);
+        }
+        b.iter(|| {
+            let mut present = 0u64;
+            for &line in &lines {
+                if tags.peek(line % 1024) != LineState::Invalid {
+                    present += 1;
+                }
+            }
+            black_box(present)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dispatch, bench_simulated, bench_cache_probe);
+criterion_main!(benches);

@@ -118,7 +118,16 @@ fn bench_simulator_inner_loop(c: &mut Criterion) {
         g.bench_function(label, |b| {
             b.iter(|| {
                 let mut mem = w.memory(nprocs);
-                run_program_with(&w.program, &mut mem, &cfg, SimOptions { cycle_skip }).cycles
+                run_program_with(
+                    &w.program,
+                    &mut mem,
+                    &cfg,
+                    SimOptions {
+                        cycle_skip,
+                        ..SimOptions::default()
+                    },
+                )
+                .cycles
             })
         });
     }

@@ -10,7 +10,7 @@
 //! Run on Latbench and Erlebacher (one address-recurrence and one
 //! cache-line-recurrence workload) by default.
 
-use mempar::{machine_summary, profile_miss_rates, run_program, MachineConfig};
+use mempar::{machine_summary, profile_miss_rates, run_program_with, MachineConfig, SimOptions};
 use mempar_bench::{parse_args, run_matrix};
 use mempar_stats::{format_rows, Row};
 use mempar_transform::{
@@ -21,18 +21,19 @@ use mempar_workloads::{erlebacher, latbench, mp3d, ErlebacherParams, LatbenchPar
 
 fn main() {
     let args = parse_args();
-    mshr_sweep(args.scale, args.threads);
-    window_sweep(args.scale, args.threads);
-    degree_sweep(args.scale, args.threads);
-    scheduling_comparison(args.scale, args.threads);
-    prefetch_vs_clustering(args.scale, args.threads);
+    let opts = args.sim_options();
+    mshr_sweep(args.scale, args.threads, opts);
+    window_sweep(args.scale, args.threads, opts);
+    degree_sweep(args.scale, args.threads, opts);
+    scheduling_comparison(args.scale, args.threads, opts);
+    prefetch_vs_clustering(args.scale, args.threads, opts);
 }
 
 /// Source order vs balanced scheduling vs the window-aware miss-packing
 /// scheduler, on the unrolled Mp3d move loop (Section 3.3's discussion:
 /// balanced scheduling "may miss some opportunities since it does not
 /// explicitly consider window size").
-fn scheduling_comparison(scale: f64, threads: usize) {
+fn scheduling_comparison(scale: f64, threads: usize, opts: SimOptions) {
     let w = mp3d(Mp3dParams::scaled(scale * 0.5));
     let cfg = MachineConfig::base_simulated(1, mempar_bench::scaled_l2(w.l2_bytes, scale));
     // Unroll the move loop first (both schedulers want material to move).
@@ -59,7 +60,7 @@ fn scheduling_comparison(scale: f64, threads: usize) {
     let rows = run_matrix(threads, &variants, |&(name, sched)| {
         let p = prep(sched);
         let mut mem = w.memory(1);
-        let r = run_program(&p, &mut mem, &cfg);
+        let r = run_program_with(&p, &mut mem, &cfg, opts);
         Row::new(name, vec![format!("{}", r.cycles)])
     });
     println!(
@@ -75,7 +76,7 @@ fn scheduling_comparison(scale: f64, threads: usize) {
 /// Prefetching vs clustering vs both — the interaction the paper's
 /// companion work (TR 9910) studies. Run on Erlebacher (regular,
 /// prefetchable) and Latbench (a pointer chase prefetching cannot touch).
-fn prefetch_vs_clustering(scale: f64, threads: usize) {
+fn prefetch_vs_clustering(scale: f64, threads: usize, opts: SimOptions) {
     let mut rows = Vec::new();
     // --- Erlebacher: both techniques apply ---
     {
@@ -103,7 +104,7 @@ fn prefetch_vs_clustering(scale: f64, threads: usize) {
         variants.push(("cluster+prefetch", both));
         rows.extend(run_matrix(threads, &variants, |(name, prog)| {
             let mut mem = w.memory(1);
-            let r = run_program(prog, &mut mem, &cfg);
+            let r = run_program_with(prog, &mut mem, &cfg, opts);
             Row::new(
                 format!("erlebacher/{name}"),
                 vec![
@@ -131,7 +132,7 @@ fn prefetch_vs_clustering(scale: f64, threads: usize) {
         let variants = [("base", &w.program), ("prefetch", &pf), ("cluster", &cl)];
         rows.extend(run_matrix(threads, &variants, |&(name, prog)| {
             let mut mem = w.memory(1);
-            let r = run_program(prog, &mut mem, &cfg);
+            let r = run_program_with(prog, &mut mem, &cfg, opts);
             Row::new(
                 format!("latbench/{name}"),
                 vec![
@@ -156,7 +157,7 @@ fn prefetch_vs_clustering(scale: f64, threads: usize) {
 }
 
 /// Clustered speedup as the MSHR count varies (1 MSHR = blocking cache).
-fn mshr_sweep(scale: f64, threads: usize) {
+fn mshr_sweep(scale: f64, threads: usize, opts: SimOptions) {
     let points = [1usize, 2, 4, 8, 10, 16];
     let rows = run_matrix(threads, &points, |&mshrs| {
         let w = latbench(LatbenchParams::scaled(scale * 0.5));
@@ -166,7 +167,7 @@ fn mshr_sweep(scale: f64, threads: usize) {
             l1.mshrs = mshrs;
         }
         cfg.name = format!("mshr-{mshrs}");
-        let pair = mempar::run_pair(&w, &cfg);
+        let pair = mempar::run_pair_with(&w, &cfg, opts);
         Row::new(
             format!("{mshrs} MSHRs"),
             vec![
@@ -187,7 +188,7 @@ fn mshr_sweep(scale: f64, threads: usize) {
 }
 
 /// Clustered speedup as the instruction window varies.
-fn window_sweep(scale: f64, threads: usize) {
+fn window_sweep(scale: f64, threads: usize, opts: SimOptions) {
     let points = [16usize, 32, 64, 128];
     let rows = run_matrix(threads, &points, |&window| {
         let w = erlebacher(ErlebacherParams::scaled(scale));
@@ -195,7 +196,7 @@ fn window_sweep(scale: f64, threads: usize) {
         cfg.proc.window = window;
         cfg.proc.mem_queue = (window / 2).max(8);
         cfg.name = format!("window-{window}");
-        let pair = mempar::run_pair(&w, &cfg);
+        let pair = mempar::run_pair_with(&w, &cfg, opts);
         Row::new(
             format!("W={window}"),
             vec![
@@ -217,7 +218,7 @@ fn window_sweep(scale: f64, threads: usize) {
 
 /// Exhaustive unroll-degree sweep on Latbench's chain loop, marking the
 /// degree the framework's binary search picks.
-fn degree_sweep(scale: f64, threads: usize) {
+fn degree_sweep(scale: f64, threads: usize, opts: SimOptions) {
     let w = latbench(LatbenchParams::scaled(scale * 0.5));
     let cfg = MachineConfig::base_simulated(1, w.l2_bytes);
 
@@ -237,7 +238,7 @@ fn degree_sweep(scale: f64, threads: usize) {
             unroll_and_jam(&mut prog, &parent, degree).expect("legal");
         }
         let mut mem = w.memory(1);
-        let r = run_program(&prog, &mut mem, &cfg);
+        let r = run_program_with(&prog, &mut mem, &cfg, opts);
         Row::new(
             format!(
                 "degree {degree}{}",

@@ -1,19 +1,24 @@
 //! Regenerates `BENCH_sim.json`: simulator throughput (simulated cycles
 //! per host second) for a fixed set of experiments, under both the
 //! event-horizon cycle-skipping driver and the strict one-cycle-at-a-time
-//! reference, plus the resulting speedup ratios.
+//! reference, plus a tree-walking-interpreter leg — and the resulting
+//! skip-vs-strict and bytecode-vs-tree-walk speedup ratios.
 //!
 //! The runs are timed **serially** (unlike the other harness binaries) so
 //! host contention cannot distort the throughput numbers, and the cycle
-//! counts of the two driver modes are asserted identical — the skipping
-//! optimization must never change results, only speed.
+//! counts of all three modes are asserted identical — neither the
+//! skipping optimization nor the engine swap may ever change results,
+//! only speed.
 //!
 //! ```text
 //! cargo run --release -p mempar-bench --bin benchsim -- --scale 0.1
 //! ```
 
-use mempar_bench::{bench_sim_json, log_enabled, parse_args, timed, LogLevel, SimBenchRecord};
-use mempar_sim::{run_program_with, MachineConfig, SimOptions};
+use mempar_bench::{
+    bench_sim_json, log_enabled, parse_args, timed, FrontendBenchRecord, LogLevel, SimBenchRecord,
+};
+use mempar_ir::{BytecodeProgram, Interp, Vm};
+use mempar_sim::{run_program_with, Engine, MachineConfig, SimOptions};
 use mempar_workloads::App;
 
 fn main() {
@@ -27,16 +32,43 @@ fn main() {
         ("erlebacher-up", App::Erlebacher, false),
         ("fft-mp", App::Fft, true),
     ];
+    let modes: &[(&str, bool, Engine)] = &[
+        ("strict-cycle", false, Engine::Bytecode),
+        ("cycle-skip", true, Engine::Bytecode),
+        ("tree-walk", true, Engine::Interp),
+    ];
     let mut records: Vec<SimBenchRecord> = Vec::new();
+    let mut frontend: Vec<FrontendBenchRecord> = Vec::new();
     for &(name, app, mp) in experiments {
         let mut cycles_by_mode = Vec::new();
-        for (mode, cycle_skip) in [("strict-cycle", false), ("cycle-skip", true)] {
+        for &(mode, cycle_skip, engine) in modes {
             let w = app.build(args.scale);
             let nprocs = if mp { w.mp_procs.max(1) } else { 1 };
             let cfg = MachineConfig::base_simulated(nprocs, 64 * 1024);
-            let mut mem = w.memory(nprocs);
-            let (r, secs) =
-                timed(|| run_program_with(&w.program, &mut mem, &cfg, SimOptions { cycle_skip }));
+            // Min-of-N wall time: the skip legs finish in well under a
+            // second, where a single run is hostage to host noise, so
+            // short legs get more samples (at least 3, up to 8, until
+            // ~1s of repetitions has accumulated).
+            let mut best = None;
+            let mut reps = 0;
+            let mut total = 0.0;
+            while reps < 3 || (reps < 8 && total < 1.0) {
+                let mut mem = w.memory(nprocs);
+                let (r, secs) = timed(|| {
+                    run_program_with(
+                        &w.program,
+                        &mut mem,
+                        &cfg,
+                        SimOptions { cycle_skip, engine },
+                    )
+                });
+                reps += 1;
+                total += secs;
+                if best.as_ref().is_none_or(|&(_, b)| secs < b) {
+                    best = Some((r, secs));
+                }
+            }
+            let (r, secs) = best.expect("at least one rep");
             if log_enabled(LogLevel::Info) {
                 eprintln!(
                     "[{name}] {mode}: {} cycles in {secs:.3}s = {:.0} cycles/sec",
@@ -51,17 +83,71 @@ fn main() {
                 cycles: r.cycles,
                 wall_seconds: secs,
                 // The occupancy summary only needs recording once per
-                // experiment; both driver modes produce identical
-                // histograms, so attach it to the skipping run.
-                occupancy: cycle_skip.then(|| r.occupancy.clone()),
+                // experiment; every mode produces an identical histogram,
+                // so attach it to the default (cycle-skip) run.
+                occupancy: (mode == "cycle-skip").then(|| r.occupancy.clone()),
             });
         }
-        assert_eq!(
-            cycles_by_mode[0], cycles_by_mode[1],
-            "{name}: cycle-skip changed the simulated cycle count"
+        assert!(
+            cycles_by_mode.windows(2).all(|w| w[0] == w[1]),
+            "{name}: driver mode or engine changed the simulated cycle count: {cycles_by_mode:?}"
         );
+        // Isolated front-end drain: the same dynamic-op stream with no
+        // timing model attached. The simulated runs above spend most of
+        // their host time in the timing model, so `engine_speedup` sits
+        // near 1 by Amdahl's law; the drain is where the engine swap is
+        // visible (DESIGN.md §9b).
+        let w = app.build(args.scale);
+        let nprocs = if mp { w.mp_procs.max(1) } else { 1 };
+        let code = BytecodeProgram::compile(&w.program);
+        let mut ops = 0u64;
+        {
+            let mut mem = w.memory(nprocs);
+            let mut vm = Vm::new(&code, 0, nprocs);
+            while vm.next_op(&mut mem).is_some() {
+                ops += 1;
+            }
+        }
+        let reps = (4_000_000 / ops.max(1)).clamp(1, 100) as u32;
+        let min_of_3 = |drain: &dyn Fn()| {
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let (_, secs) = timed(|| {
+                    for _ in 0..reps {
+                        drain();
+                    }
+                });
+                best = best.min(secs);
+            }
+            best / reps as f64
+        };
+        let interp_seconds = min_of_3(&|| {
+            let mut mem = w.memory(nprocs);
+            let mut it = Interp::new(&w.program, 0, nprocs);
+            while it.next_op(&mut mem).is_some() {}
+        });
+        let bytecode_seconds = min_of_3(&|| {
+            let mut mem = w.memory(nprocs);
+            let mut vm = Vm::new(&code, 0, nprocs);
+            while vm.next_op(&mut mem).is_some() {}
+        });
+        let f = FrontendBenchRecord {
+            experiment: name.to_string(),
+            ops,
+            interp_seconds,
+            bytecode_seconds,
+        };
+        if log_enabled(LogLevel::Info) {
+            eprintln!(
+                "[{name}] frontend drain: {ops} ops, interp {:.1} ns/op, bytecode {:.1} ns/op = {:.2}x",
+                f.interp_seconds * 1e9 / ops.max(1) as f64,
+                f.bytecode_seconds * 1e9 / ops.max(1) as f64,
+                f.speedup()
+            );
+        }
+        frontend.push(f);
     }
-    let json = bench_sim_json(args.scale, &records);
+    let json = bench_sim_json(args.scale, &records, &frontend);
     std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
     print!("{json}");
     if log_enabled(LogLevel::Info) {

@@ -44,7 +44,7 @@ fn main() {
     // in application order, so stdout is identical at any thread count.
     let pairs = run_matrix(args.threads, &apps, |&app| {
         let cfg = simulated_config(app, args.scale, mp, ghz);
-        run_app(app, &cfg, args.scale)
+        run_app(app, &cfg, args.scale, args.sim_options())
     });
     let mut entries = Vec::new();
     let mut reductions = Vec::new();

@@ -18,7 +18,7 @@ fn main() {
     }
     let pairs = run_matrix(args.threads, &args.apps, |&app| {
         let cfg = simulated_config(app, args.scale, true, false);
-        run_app(app, &cfg, args.scale)
+        run_app(app, &cfg, args.scale, args.sim_options())
     });
     let mut entries = Vec::new();
     for (&app, pair) in args.apps.iter().zip(&pairs) {

@@ -3,7 +3,7 @@
 //! 5.34×), the contention-driven growth of *total* miss latency
 //! (171 ns → 316 ns) and bus/memory-bank utilization (> 85 % clustered).
 
-use mempar::{observe_pair, run_pair, MachineConfig, DEFAULT_TRACE_CAPACITY};
+use mempar::{observe_pair_with, run_pair_with, MachineConfig, DEFAULT_TRACE_CAPACITY};
 use mempar_bench::{parse_args, run_matrix, write_observation_outputs};
 use mempar_stats::{format_rows, Row};
 use mempar_workloads::{latbench, LatbenchParams};
@@ -24,7 +24,9 @@ fn main() {
         MachineConfig::base_simulated(1, 64 * 1024),
         MachineConfig::exemplar(1),
     ];
-    let mut pairs = run_matrix(args.threads, &cfgs, |cfg| run_pair(&w, cfg));
+    let mut pairs = run_matrix(args.threads, &cfgs, |cfg| {
+        run_pair_with(&w, cfg, args.sim_options())
+    });
     let pair_ex = pairs.pop().expect("exemplar run");
     let pair = pairs.pop().expect("base run");
     assert!(pair.outputs_match, "clustering changed Latbench results");
@@ -101,7 +103,7 @@ fn main() {
     // whatever the --trace-out/--metrics-out/--profile-refs flags asked
     // for.
     if args.wants_observation() {
-        let observed = observe_pair(&w, &cfgs[0], DEFAULT_TRACE_CAPACITY);
+        let observed = observe_pair_with(&w, &cfgs[0], DEFAULT_TRACE_CAPACITY, args.sim_options());
         assert_eq!(
             observed.base.result.cycles, pair.base.cycles,
             "tracing changed the base run's cycle count"

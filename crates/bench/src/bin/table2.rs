@@ -7,7 +7,7 @@
 //! uniprocessor with the tracer attached, producing per-leading-reference
 //! clustering profiles and the requested trace/metrics exports.
 
-use mempar::{observe_pair, ObservedRun, DEFAULT_TRACE_CAPACITY};
+use mempar::{observe_pair_with, ObservedRun, DEFAULT_TRACE_CAPACITY};
 use mempar_bench::{
     log_enabled, parse_args, run_matrix, simulated_config, write_observation_outputs, LogLevel,
 };
@@ -61,7 +61,7 @@ fn main() {
             }
             let w = app.build(args.scale);
             let cfg = simulated_config(app, args.scale, false, false);
-            observe_pair(&w, &cfg, DEFAULT_TRACE_CAPACITY)
+            observe_pair_with(&w, &cfg, DEFAULT_TRACE_CAPACITY, args.sim_options())
         });
         let runs: Vec<&ObservedRun> = observed
             .iter()

@@ -31,7 +31,7 @@ fn main() {
     }
     let pairs = run_matrix(args.threads, &jobs, |&(app, mp)| {
         let cfg = MachineConfig::exemplar(if mp { 8 } else { 1 });
-        run_app(app, &cfg, args.scale)
+        run_app(app, &cfg, args.scale, args.sim_options())
     });
     let mut rows = Vec::new();
     for &app in &args.apps {

@@ -21,7 +21,10 @@
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
-use mempar::{chrome_trace_json, run_pair, ChromeRun, MachineConfig, ObservedRun, RunPair};
+use mempar::{
+    chrome_trace_json, run_pair_with, ChromeRun, Engine, MachineConfig, ObservedRun, RunPair,
+    SimOptions,
+};
 use mempar_obs::escape_json;
 use mempar_stats::MshrOccupancy;
 use mempar_workloads::App;
@@ -69,6 +72,9 @@ pub struct HarnessArgs {
     pub metrics_out: Option<String>,
     /// Print the per-leading-reference miss-clustering profile.
     pub profile_refs: bool,
+    /// Functional engine feeding the simulator (`--engine`, default
+    /// bytecode).
+    pub engine: Engine,
 }
 
 impl Default for HarnessArgs {
@@ -82,6 +88,7 @@ impl Default for HarnessArgs {
             trace_out: None,
             metrics_out: None,
             profile_refs: false,
+            engine: Engine::default(),
         }
     }
 }
@@ -92,6 +99,14 @@ impl HarnessArgs {
     /// to rerun their experiments with the tracer attached.
     pub fn wants_observation(&self) -> bool {
         self.trace_out.is_some() || self.metrics_out.is_some() || self.profile_refs
+    }
+
+    /// Driver options implied by the flags (currently the engine).
+    pub fn sim_options(&self) -> SimOptions {
+        SimOptions {
+            engine: self.engine,
+            ..SimOptions::default()
+        }
     }
 }
 
@@ -109,13 +124,14 @@ pub fn usage() -> String {
     let apps: Vec<&str> = App::all().iter().map(|a| a.name()).collect();
     format!(
         "usage: {bin} [--scale <f>] [--apps <a,b,c>] [--mode <m>] [--procs <n>] [--threads <n>]\n\
-         \x20       [--trace-out <path>] [--metrics-out <path>] [--profile-refs] [--quiet]\n\
+         \x20       [--engine <e>] [--trace-out <path>] [--metrics-out <path>] [--profile-refs] [--quiet]\n\
          \n\
          \x20 --scale <f>        input-size fraction of the paper's Table 2 sizes (default 0.1)\n\
          \x20 --apps <list>      comma-separated subset of: {}\n\
          \x20 --mode <m>         binary-specific mode string (fig3: up|mp|up-1ghz|mp-1ghz)\n\
          \x20 --procs <n>        override processor count (0 = each workload's Table 2 count)\n\
          \x20 --threads <n>      worker threads for the experiment matrix (0 = all cores)\n\
+         \x20 --engine <e>       functional engine: bytecode (default, fast) | interp (reference)\n\
          \x20 --trace-out <p>    write a Chrome trace_event JSON (open in Perfetto)\n\
          \x20 --metrics-out <p>  write a metrics-registry JSON snapshot\n\
          \x20 --profile-refs     print the per-leading-reference miss-clustering profile\n\
@@ -197,6 +213,7 @@ pub fn parse_args() -> HarnessArgs {
                     })
                     .collect();
             }
+            "--engine" => out.engine = take().parse().unwrap_or_else(|e: String| usage_error(&e)),
             "--trace-out" => out.trace_out = Some(take()),
             "--metrics-out" => out.metrics_out = Some(take()),
             "--profile-refs" => out.profile_refs = true,
@@ -235,8 +252,8 @@ where
 }
 
 /// Runs one application base-vs-clustered on the machine `cfg` at
-/// `scale`, printing a progress line.
-pub fn run_app(app: App, cfg: &MachineConfig, scale: f64) -> RunPair {
+/// `scale` under the given driver options, printing a progress line.
+pub fn run_app(app: App, cfg: &MachineConfig, scale: f64, opts: SimOptions) -> RunPair {
     let w = app.build(scale);
     if log_enabled(LogLevel::Info) {
         eprintln!(
@@ -247,7 +264,7 @@ pub fn run_app(app: App, cfg: &MachineConfig, scale: f64) -> RunPair {
             cfg.nprocs
         );
     }
-    let pair = run_pair(&w, cfg);
+    let pair = run_pair_with(&w, cfg, opts);
     if !pair.outputs_match {
         eprintln!(
             "WARNING: {} outputs differ between base and clustered!",
@@ -358,7 +375,8 @@ pub fn scaled_l2(base_bytes: usize, scale: f64) -> usize {
 pub struct SimBenchRecord {
     /// Experiment name (e.g. `latbench-up`).
     pub experiment: String,
-    /// Driver mode: `cycle-skip` or `strict-cycle`.
+    /// Driver mode: `cycle-skip` / `strict-cycle` (bytecode engine) or
+    /// `tree-walk` (interpreter engine, cycle skipping on).
     pub mode: String,
     /// Simulated cycles covered (summed over the experiment's runs).
     pub cycles: u64,
@@ -375,10 +393,39 @@ impl SimBenchRecord {
     }
 }
 
-/// Serializes the records (plus per-experiment skip-vs-strict speedups)
-/// as the `BENCH_sim.json` document. Hand-rolled JSON: the offline build
-/// has no serde.
-pub fn bench_sim_json(scale: f64, records: &[SimBenchRecord]) -> String {
+/// One isolated front-end measurement for `BENCH_sim.json`: draining the
+/// full dynamic-op stream with no timing model attached. A simulated
+/// run spends most of its host time in the timing model, so the
+/// end-to-end `engine_speedup` sits near 1 by Amdahl's law; the drain is
+/// where the engine swap itself is visible (DESIGN.md §9b).
+#[derive(Debug, Clone)]
+pub struct FrontendBenchRecord {
+    /// Experiment name (matches the simulated records).
+    pub experiment: String,
+    /// Dynamic ops in one full drain of the stream.
+    pub ops: u64,
+    /// Host seconds for one tree-walking-interpreter drain.
+    pub interp_seconds: f64,
+    /// Host seconds for one bytecode-VM drain.
+    pub bytecode_seconds: f64,
+}
+
+impl FrontendBenchRecord {
+    /// Interpreter-vs-VM speedup of the isolated front-end.
+    pub fn speedup(&self) -> f64 {
+        self.interp_seconds / self.bytecode_seconds.max(1e-12)
+    }
+}
+
+/// Serializes the records (plus per-experiment skip-vs-strict and
+/// bytecode-vs-tree-walk speedups, and the isolated front-end drain
+/// measurements) as the `BENCH_sim.json` document. Hand-rolled JSON:
+/// the offline build has no serde.
+pub fn bench_sim_json(
+    scale: f64,
+    records: &[SimBenchRecord],
+    frontend: &[FrontendBenchRecord],
+) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!("  \"scale\": {scale},\n"));
     s.push_str("  \"experiments\": [\n");
@@ -399,20 +446,49 @@ pub fn bench_sim_json(scale: f64, records: &[SimBenchRecord]) -> String {
         ));
     }
     s.push_str("  ],\n  \"speedups\": [\n");
+    let find = |experiment: &str, mode: &str| {
+        records
+            .iter()
+            .find(|s| s.experiment == experiment && s.mode == mode)
+    };
     let mut lines = Vec::new();
     for r in records.iter().filter(|r| r.mode == "cycle-skip") {
-        if let Some(strict) = records
-            .iter()
-            .find(|s| s.experiment == r.experiment && s.mode == "strict-cycle")
-        {
-            lines.push(format!(
-                "    {{\"experiment\": \"{}\", \"cycles_per_sec_ratio\": {:.2}}}",
-                r.experiment,
+        let mut fields = vec![format!("\"experiment\": \"{}\"", r.experiment)];
+        if let Some(strict) = find(&r.experiment, "strict-cycle") {
+            fields.push(format!(
+                "\"cycles_per_sec_ratio\": {:.2}",
                 r.cycles_per_sec() / strict.cycles_per_sec().max(1e-12)
             ));
         }
+        if let Some(tree) = find(&r.experiment, "tree-walk") {
+            fields.push(format!(
+                "\"engine_speedup\": {:.2}",
+                r.cycles_per_sec() / tree.cycles_per_sec().max(1e-12)
+            ));
+        }
+        if let Some(f) = frontend.iter().find(|f| f.experiment == r.experiment) {
+            fields.push(format!("\"frontend_speedup\": {:.2}", f.speedup()));
+        }
+        if fields.len() > 1 {
+            lines.push(format!("    {{{}}}", fields.join(", ")));
+        }
     }
     s.push_str(&lines.join(",\n"));
+    s.push_str("\n  ],\n  \"frontend\": [\n");
+    let flines: Vec<String> = frontend
+        .iter()
+        .map(|f| {
+            format!(
+                "    {{\"experiment\": \"{}\", \"ops\": {}, \"interp_ns_per_op\": {:.2}, \"bytecode_ns_per_op\": {:.2}, \"frontend_speedup\": {:.2}}}",
+                f.experiment,
+                f.ops,
+                f.interp_seconds * 1e9 / f.ops.max(1) as f64,
+                f.bytecode_seconds * 1e9 / f.ops.max(1) as f64,
+                f.speedup()
+            )
+        })
+        .collect();
+    s.push_str(&flines.join(",\n"));
     s.push_str("\n  ]\n}\n");
     s
 }
@@ -487,9 +563,21 @@ mod tests {
                 occupancy: None,
             },
         ];
-        let json = bench_sim_json(0.1, &records);
+        let frontend = vec![FrontendBenchRecord {
+            experiment: "latbench-up".into(),
+            ops: 10_000,
+            interp_seconds: 0.3,
+            bytecode_seconds: 0.2,
+        }];
+        let json = bench_sim_json(0.1, &records, &frontend);
         assert!(json.contains("\"mshr_occupancy\""));
         assert!(json.contains("\"mean_read_occupancy\""));
+        assert!(json.contains("\"frontend_speedup\": 1.50"));
+        assert!(json.contains("\"interp_ns_per_op\""));
         mempar_obs::validate_json(&json).expect("BENCH_sim.json must stay valid JSON");
+
+        // No frontend records must still serialize as valid JSON.
+        let json = bench_sim_json(0.1, &records, &[]);
+        mempar_obs::validate_json(&json).expect("frontend-less BENCH_sim.json must stay valid");
     }
 }

@@ -80,10 +80,29 @@ fn help_exits_0_and_prints_usage_to_stdout() {
         "--metrics-out",
         "--profile-refs",
         "--quiet",
+        "--engine",
         "MEMPAR_LOG",
     ] {
         assert!(stdout.contains(flag), "usage missing {flag}:\n{stdout}");
     }
+}
+
+#[test]
+fn unknown_engine_exits_2_with_usage() {
+    assert_usage_exit(&["--engine", "jit"], "unknown engine 'jit'");
+}
+
+#[test]
+fn engine_choice_never_changes_results() {
+    let vm = run(&["--scale", "0.02", "-q", "--engine", "bytecode"]);
+    let tw = run(&["--scale", "0.02", "-q", "--engine", "interp"]);
+    assert_eq!(vm.status.code(), Some(0));
+    assert_eq!(tw.status.code(), Some(0));
+    assert_eq!(
+        String::from_utf8_lossy(&vm.stdout),
+        String::from_utf8_lossy(&tw.stdout),
+        "table2 output must be byte-identical under both engines"
+    );
 }
 
 #[test]

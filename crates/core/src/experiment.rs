@@ -3,7 +3,7 @@
 
 use mempar_analysis::{MachineSummary, MissProfile};
 use mempar_ir::{HomePolicy, Program};
-use mempar_sim::{run_program, MachineConfig, SimResult, Topology};
+use mempar_sim::{run_program_with, MachineConfig, SimOptions, SimResult, Topology};
 use mempar_transform::{cluster_program, ClusterReport};
 use mempar_workloads::Workload;
 
@@ -64,6 +64,12 @@ impl RunPair {
 /// The NUMA home policy follows the topology: block placement for
 /// CC-NUMA (the SPLASH convention), centralized for bus-based SMPs.
 pub fn run_pair(w: &Workload, cfg: &MachineConfig) -> RunPair {
+    run_pair_with(w, cfg, SimOptions::default())
+}
+
+/// [`run_pair`] with explicit driver options (engine selection, cycle
+/// skipping — see [`SimOptions`]).
+pub fn run_pair_with(w: &Workload, cfg: &MachineConfig, opts: SimOptions) -> RunPair {
     let policy = match cfg.topology {
         Topology::Numa => HomePolicy::BlockPerArray,
         Topology::SmpBus => HomePolicy::Centralized,
@@ -79,8 +85,8 @@ pub fn run_pair(w: &Workload, cfg: &MachineConfig) -> RunPair {
     let mut base_mem = w.memory_with_policy(cfg.nprocs, policy);
     let mut clust_mem = w.memory_with_policy(cfg.nprocs, policy);
     let (base, clustered) = rayon::join(
-        || run_program(&w.program, &mut base_mem, cfg),
-        || run_program(&clustered_prog, &mut clust_mem, cfg),
+        || run_program_with(&w.program, &mut base_mem, cfg, opts),
+        || run_program_with(&clustered_prog, &mut clust_mem, cfg, opts),
     );
 
     let outputs_match = w.read_outputs(&base_mem) == w.read_outputs(&clust_mem);

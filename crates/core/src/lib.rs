@@ -48,16 +48,17 @@ mod experiment;
 mod observe;
 mod profile;
 
-pub use experiment::{cluster_workload, machine_summary, run_pair, RunPair};
+pub use experiment::{cluster_workload, machine_summary, run_pair, run_pair_with, RunPair};
 pub use observe::{
-    observe_pair, observe_program, ObservedPair, ObservedRun, DEFAULT_TRACE_CAPACITY,
+    observe_pair, observe_pair_with, observe_program, observe_program_with, ObservedPair,
+    ObservedRun, DEFAULT_TRACE_CAPACITY,
 };
 pub use profile::profile_miss_rates;
 
 // The pieces users compose with, re-exported at the facade.
 pub use mempar_analysis::{analyze_inner_loop, MachineSummary, MissProfile, NestAnalysis};
 pub use mempar_obs::{chrome_trace_json, validate_json, ChromeRun, RefProfile};
-pub use mempar_sim::{run_program, MachineConfig, SimResult};
+pub use mempar_sim::{run_program, run_program_with, Engine, MachineConfig, SimOptions, SimResult};
 pub use mempar_stats::{
     format_breakdown_table, format_occupancy_curves, format_rows, Breakdown, Row,
 };

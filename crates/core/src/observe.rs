@@ -50,6 +50,17 @@ pub struct ObservedPair {
 /// setup (same miss profile, machine summary and home policy) so the
 /// profiler's predictions match the transformation driver's decisions.
 pub fn observe_pair(w: &Workload, cfg: &MachineConfig, trace_capacity: usize) -> ObservedPair {
+    observe_pair_with(w, cfg, trace_capacity, SimOptions::default())
+}
+
+/// [`observe_pair`] with explicit driver options (engine selection,
+/// cycle skipping — see [`SimOptions`]).
+pub fn observe_pair_with(
+    w: &Workload,
+    cfg: &MachineConfig,
+    trace_capacity: usize,
+    opts: SimOptions,
+) -> ObservedPair {
     let policy = match cfg.topology {
         Topology::Numa => HomePolicy::BlockPerArray,
         Topology::SmpBus => HomePolicy::Centralized,
@@ -66,7 +77,7 @@ pub fn observe_pair(w: &Workload, cfg: &MachineConfig, trace_capacity: usize) ->
             prog,
             &mut mem,
             cfg,
-            SimOptions::default(),
+            opts,
             Tracer::with_capacity(trace_capacity),
         );
         let profile = profile_misses(prog, &mem, &msum, &miss_profile, &obs.trace, obs.line_shift);
@@ -94,6 +105,29 @@ pub fn observe_program(
     miss_profile: &MissProfile,
     trace_capacity: usize,
 ) -> ObservedRun {
+    observe_program_with(
+        name,
+        prog,
+        w,
+        cfg,
+        miss_profile,
+        trace_capacity,
+        SimOptions::default(),
+    )
+}
+
+/// [`observe_program`] with explicit driver options (engine selection,
+/// cycle skipping — see [`SimOptions`]).
+#[allow(clippy::too_many_arguments)]
+pub fn observe_program_with(
+    name: &str,
+    prog: &Program,
+    w: &Workload,
+    cfg: &MachineConfig,
+    miss_profile: &MissProfile,
+    trace_capacity: usize,
+    opts: SimOptions,
+) -> ObservedRun {
     let policy = match cfg.topology {
         Topology::Numa => HomePolicy::BlockPerArray,
         Topology::SmpBus => HomePolicy::Centralized,
@@ -104,7 +138,7 @@ pub fn observe_program(
         prog,
         &mut mem,
         cfg,
-        SimOptions::default(),
+        opts,
         Tracer::with_capacity(trace_capacity),
     );
     let profile = profile_misses(prog, &mem, &msum, miss_profile, &obs.trace, obs.line_shift);

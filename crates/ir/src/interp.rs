@@ -78,6 +78,20 @@ pub struct RunSummary {
     pub branches: u64,
 }
 
+impl RunSummary {
+    /// Tallies one dynamic op into the counters.
+    pub(crate) fn count(&mut self, op: &DynOp) {
+        self.ops += 1;
+        match op.kind {
+            OpKind::Load { .. } => self.loads += 1,
+            OpKind::Store { .. } => self.stores += 1,
+            OpKind::Fp { .. } => self.fp_ops += 1,
+            OpKind::Branch => self.branches += 1,
+            _ => {}
+        }
+    }
+}
+
 #[derive(Debug)]
 enum Frame<'p> {
     Seq {
@@ -165,14 +179,7 @@ impl<'p> Interp<'p> {
     pub fn run_functional(&mut self, mem: &mut SimMem) -> RunSummary {
         let mut s = RunSummary::default();
         while let Some(op) = self.next_op(mem) {
-            s.ops += 1;
-            match op.kind {
-                OpKind::Load { .. } => s.loads += 1,
-                OpKind::Store { .. } => s.stores += 1,
-                OpKind::Fp { .. } => s.fp_ops += 1,
-                OpKind::Branch => s.branches += 1,
-                _ => {}
-            }
+            s.count(&op);
         }
         s
     }
@@ -618,86 +625,7 @@ pub fn run_single(prog: &Program, mem: &mut SimMem) -> RunSummary {
 /// Panics when synchronization deadlocks (a flag waited on but never
 /// set).
 pub fn run_parallel_functional(prog: &Program, mem: &mut SimMem, nprocs: usize) -> RunSummary {
-    #[derive(Clone, Copy, PartialEq)]
-    enum State {
-        Ready,
-        AtBarrier(u32),
-        AtFlag(u32),
-        Done,
-    }
-    let mut interps: Vec<Interp> = (0..nprocs).map(|p| Interp::new(prog, p, nprocs)).collect();
-    let mut states = vec![State::Ready; nprocs];
-    let mut flags: Vec<u32> = Vec::new();
-    let mut barrier_counts: std::collections::HashMap<u32, usize> =
-        std::collections::HashMap::new();
-    let mut total = RunSummary::default();
-    loop {
-        // Release processors whose sync condition is met.
-        for state in states.iter_mut() {
-            match *state {
-                State::AtBarrier(id) if barrier_counts.get(&id).copied().unwrap_or(0) == nprocs => {
-                    *state = State::Ready;
-                }
-                State::AtFlag(f) if flags.contains(&f) => *state = State::Ready,
-                _ => {}
-            }
-        }
-        if states.iter().all(|&s| s == State::Done) {
-            return total;
-        }
-        let mut progressed = false;
-        for (p, interp) in interps.iter_mut().enumerate() {
-            if states[p] != State::Ready {
-                continue;
-            }
-            for _ in 0..64 {
-                match interp.next_op(mem) {
-                    Some(op) => {
-                        progressed = true;
-                        total.ops += 1;
-                        match op.kind {
-                            OpKind::Load { .. } => total.loads += 1,
-                            OpKind::Store { .. } => total.stores += 1,
-                            OpKind::Fp { .. } => total.fp_ops += 1,
-                            OpKind::Branch => total.branches += 1,
-                            OpKind::Barrier { id } => {
-                                *barrier_counts.entry(id).or_insert(0) += 1;
-                                states[p] = State::AtBarrier(id);
-                            }
-                            OpKind::FlagSet { flag } if !flags.contains(&flag) => {
-                                flags.push(flag);
-                            }
-                            OpKind::FlagWait { flag } if !flags.contains(&flag) => {
-                                states[p] = State::AtFlag(flag);
-                            }
-                            _ => {}
-                        }
-                    }
-                    None => {
-                        // Reaching end-of-trace is progress too.
-                        progressed = true;
-                        states[p] = State::Done;
-                    }
-                }
-                if states[p] != State::Ready {
-                    break;
-                }
-            }
-        }
-        // Re-check sync releases; if nothing moved and nothing can be
-        // released, the program deadlocked.
-        if !progressed {
-            let releasable = states.iter().any(|s| match *s {
-                State::AtBarrier(id) => barrier_counts.get(&id).copied().unwrap_or(0) == nprocs,
-                State::AtFlag(f) => flags.contains(&f),
-                _ => false,
-            });
-            assert!(
-                releasable,
-                "functional parallel run deadlocked (unset flag or partial barrier)"
-            );
-        }
-    }
+    crate::vm::run_parallel_functional_with(prog, mem, nprocs, crate::vm::Engine::Interp)
 }
 
 #[cfg(test)]

@@ -52,6 +52,7 @@
 #![warn(missing_debug_implementations)]
 
 mod builder;
+mod bytecode;
 mod expr;
 mod interp;
 mod mem;
@@ -59,8 +60,10 @@ mod pretty;
 mod program;
 mod trace;
 mod validate;
+mod vm;
 
 pub use builder::ProgramBuilder;
+pub use bytecode::BytecodeProgram;
 pub use expr::{AffineExpr, BinOp, CmpOp, Cond, Expr, UnOp};
 pub use interp::{run_parallel_functional, run_single, Interp, RunSummary, Val};
 pub use mem::{ArrayData, HomeMap, HomePolicy, SimMem, PAGE_BYTES};
@@ -70,3 +73,4 @@ pub use program::{
 };
 pub use trace::{DynOp, FpUnit, OpKind, SrcList, TraceDigest, MAX_SRCS};
 pub use validate::ValidateError;
+pub use vm::{run_parallel_functional_with, run_single_with, Engine, Executor, Vm};

@@ -13,9 +13,17 @@ pub enum LineState {
     Modified,
 }
 
+/// Sentinel line number marking an invalid way. Keeping the invariant
+/// `state == Invalid ⇔ line == NO_LINE` lets every tag scan compare one
+/// field per way (a hot path: multiple probes per simulated cycle) and
+/// exit as soon as the tag matches. Real line numbers are
+/// `addr >> line_shift` of in-range simulated addresses and can never
+/// reach `u64::MAX`.
+const NO_LINE: u64 = u64::MAX;
+
 #[derive(Debug, Clone, Copy)]
 struct Way {
-    /// Line number (full address >> line shift); meaningful when state != Invalid.
+    /// Line number (full address >> line shift); [`NO_LINE`] when invalid.
     line: u64,
     state: LineState,
     /// LRU stamp (bigger = more recent).
@@ -38,7 +46,9 @@ pub struct Victim {
 /// tracks presence and state — exactly what the timing model needs.
 #[derive(Debug, Clone)]
 pub struct TagArray {
-    sets: usize,
+    /// `sets - 1`: the set-index mask, precomputed at construction so the
+    /// per-access path does no arithmetic on the configured geometry.
+    set_mask: u64,
     assoc: usize,
     ways: Vec<Way>,
     stamp: u64,
@@ -50,11 +60,11 @@ impl TagArray {
         let sets = params.sets();
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         TagArray {
-            sets,
+            set_mask: sets as u64 - 1,
             assoc: params.assoc,
             ways: vec![
                 Way {
-                    line: 0,
+                    line: NO_LINE,
                     state: LineState::Invalid,
                     lru: 0
                 };
@@ -64,11 +74,14 @@ impl TagArray {
         }
     }
 
+    #[inline]
     fn set_of(&self, line: u64) -> usize {
-        (line as usize) & (self.sets - 1)
+        (line & self.set_mask) as usize
     }
 
+    #[inline]
     fn slot_range(&self, line: u64) -> std::ops::Range<usize> {
+        debug_assert_ne!(line, NO_LINE, "probe of the invalid-line sentinel");
         let s = self.set_of(line) * self.assoc;
         s..s + self.assoc
     }
@@ -78,7 +91,7 @@ impl TagArray {
         self.stamp += 1;
         for i in self.slot_range(line) {
             let w = &mut self.ways[i];
-            if w.state != LineState::Invalid && w.line == line {
+            if w.line == line {
                 w.lru = self.stamp;
                 return w.state;
             }
@@ -90,7 +103,7 @@ impl TagArray {
     pub fn peek(&self, line: u64) -> LineState {
         for i in self.slot_range(line) {
             let w = &self.ways[i];
-            if w.state != LineState::Invalid && w.line == line {
+            if w.line == line {
                 return w.state;
             }
         }
@@ -113,7 +126,7 @@ impl TagArray {
         let mut victim_lru = u64::MAX;
         for i in range {
             let w = &self.ways[i];
-            if w.state == LineState::Invalid {
+            if w.line == NO_LINE {
                 victim_idx = i;
                 break;
             }
@@ -143,9 +156,10 @@ impl TagArray {
     /// # Panics
     /// Panics (debug) if the line is absent.
     pub fn set_state(&mut self, line: u64, state: LineState) {
+        debug_assert_ne!(state, LineState::Invalid, "use invalidate instead");
         for i in self.slot_range(line) {
             let w = &mut self.ways[i];
-            if w.state != LineState::Invalid && w.line == line {
+            if w.line == line {
                 w.state = state;
                 return;
             }
@@ -157,9 +171,10 @@ impl TagArray {
     pub fn invalidate(&mut self, line: u64) -> bool {
         for i in self.slot_range(line) {
             let w = &mut self.ways[i];
-            if w.state != LineState::Invalid && w.line == line {
+            if w.line == line {
                 let dirty = w.state == LineState::Modified;
                 w.state = LineState::Invalid;
+                w.line = NO_LINE;
                 return dirty;
             }
         }

@@ -76,4 +76,5 @@ pub use system::{
 
 // Observability types a traced run hands back (re-exported so harnesses
 // need not depend on `mempar-obs` directly for the common path).
+pub use mempar_ir::Engine;
 pub use mempar_obs::{MetricsRegistry, TraceEvent, TraceEventKind, Tracer};

@@ -1,6 +1,6 @@
 //! The whole-system driver: cores + interpreters + memory system.
 
-use mempar_ir::{Interp, Program, SimMem};
+use mempar_ir::{BytecodeProgram, Engine, Executor, Interp, Program, SimMem, Vm};
 use mempar_obs::{MetricsRegistry, TraceEvent, TraceEventKind, Tracer, SYSTEM_PROC};
 use mempar_stats::{Breakdown, LatencyStat, MemCounters, MshrOccupancy, StallClass, Utilization};
 
@@ -24,12 +24,18 @@ pub struct SimOptions {
     /// Defaults to on; building with the `strict-cycle` feature flips the
     /// default off, giving a reference build that steps every cycle.
     pub cycle_skip: bool,
+    /// Which functional engine feeds each core's fetch stage: the
+    /// tree-walking interpreter or the bytecode register VM. Both yield
+    /// bit-identical op streams (the difftest and golden-trace gates
+    /// assert this); the VM is the faster default.
+    pub engine: Engine,
 }
 
 impl Default for SimOptions {
     fn default() -> Self {
         SimOptions {
             cycle_skip: !cfg!(feature = "strict-cycle"),
+            engine: Engine::default(),
         }
     }
 }
@@ -185,7 +191,18 @@ fn run_inner(
     let mut cores: Vec<Core> = (0..nprocs)
         .map(|p| Core::new(p, &cfg.proc, l1_ports))
         .collect();
-    let mut interps: Vec<Interp> = (0..nprocs).map(|p| Interp::new(prog, p, nprocs)).collect();
+    // One functional executor per core; the bytecode program is compiled
+    // once and shared by every core's VM.
+    let bytecode = match opts.engine {
+        Engine::Bytecode => Some(BytecodeProgram::compile(prog)),
+        Engine::Interp => None,
+    };
+    let mut interps: Vec<Executor> = (0..nprocs)
+        .map(|p| match &bytecode {
+            Some(code) => Executor::Vm(Vm::new(code, p, nprocs)),
+            None => Executor::Interp(Interp::new(prog, p, nprocs)),
+        })
+        .collect();
     let mut sync = SyncState::new(nprocs);
 
     let mut now: u64 = 0;

@@ -32,7 +32,10 @@ fn observed_run(w: &Workload, cycle_skip: bool) -> (String, SimObservation) {
         &w.program,
         &mut mem,
         &cfg,
-        SimOptions { cycle_skip },
+        SimOptions {
+            cycle_skip,
+            ..SimOptions::default()
+        },
         Tracer::with_capacity(1 << 16),
     );
     (format!("{r:?}"), obs)
@@ -49,7 +52,15 @@ fn tracing_is_invisible_in_results() {
         let mut results = Vec::new();
         for cycle_skip in [false, true] {
             let mut mem = w.memory(1);
-            let untraced = run_program_with(&w.program, &mut mem, &cfg, SimOptions { cycle_skip });
+            let untraced = run_program_with(
+                &w.program,
+                &mut mem,
+                &cfg,
+                SimOptions {
+                    cycle_skip,
+                    ..SimOptions::default()
+                },
+            );
             results.push(format!("{untraced:?}"));
             let (traced, obs) = observed_run(&w, cycle_skip);
             assert!(

@@ -5,22 +5,33 @@
 //! time. The comparison goes through `Debug` formatting, which prints
 //! floats with shortest-roundtrip precision, so any bit-level divergence
 //! shows up.
+//!
+//! The same square has an engine axis: the bytecode VM front-end must be
+//! as invisible as skipping and tracing, so every workload is also run
+//! under both `--engine` legs (interp strict is the reference corner).
 
-use mempar_sim::{run_program_observed, run_program_with, MachineConfig, SimOptions, Tracer};
+use mempar_sim::{
+    run_program_observed, run_program_with, Engine, MachineConfig, SimOptions, Tracer,
+};
 use mempar_workloads::App;
 
-fn run_debug(app: App, scale: f64, mp: bool, cycle_skip: bool) -> String {
+fn run_debug(app: App, scale: f64, mp: bool, cycle_skip: bool, engine: Engine) -> String {
     let w = app.build(scale);
     let nprocs = if mp { w.mp_procs.max(1) } else { 1 };
     let cfg = MachineConfig::base_simulated(nprocs, 64 * 1024);
     let mut mem = w.memory(nprocs);
-    let r = run_program_with(&w.program, &mut mem, &cfg, SimOptions { cycle_skip });
+    let r = run_program_with(
+        &w.program,
+        &mut mem,
+        &cfg,
+        SimOptions { cycle_skip, engine },
+    );
     format!("{r:?}")
 }
 
 /// Same run with the observability tracer attached — the third leg of
 /// the determinism square: tracing must be as invisible as skipping.
-fn run_debug_traced(app: App, scale: f64, mp: bool, cycle_skip: bool) -> String {
+fn run_debug_traced(app: App, scale: f64, mp: bool, cycle_skip: bool, engine: Engine) -> String {
     let w = app.build(scale);
     let nprocs = if mp { w.mp_procs.max(1) } else { 1 };
     let cfg = MachineConfig::base_simulated(nprocs, 64 * 1024);
@@ -29,7 +40,7 @@ fn run_debug_traced(app: App, scale: f64, mp: bool, cycle_skip: bool) -> String 
         &w.program,
         &mut mem,
         &cfg,
-        SimOptions { cycle_skip },
+        SimOptions { cycle_skip, engine },
         Tracer::with_capacity(1 << 16),
     );
     format!("{r:?}")
@@ -37,20 +48,31 @@ fn run_debug_traced(app: App, scale: f64, mp: bool, cycle_skip: bool) -> String 
 
 fn assert_identical(app: App, mp: bool) {
     let scale = 0.05;
-    let skip = run_debug(app, scale, mp, true);
-    let strict = run_debug(app, scale, mp, false);
+    let strict = run_debug(app, scale, mp, false, Engine::Interp);
+    for engine in [Engine::Interp, Engine::Bytecode] {
+        let skip = run_debug(app, scale, mp, true, engine);
+        assert_eq!(
+            skip,
+            strict,
+            "{} ({}, engine {engine}) diverges between cycle-skip and strict stepping",
+            app.name(),
+            if mp { "mp" } else { "up" }
+        );
+        let traced = run_debug_traced(app, scale, mp, true, engine);
+        assert_eq!(
+            traced,
+            strict,
+            "{} ({}, engine {engine}) diverges when the tracer is attached",
+            app.name(),
+            if mp { "mp" } else { "up" }
+        );
+    }
+    // Close the square: bytecode under strict stepping, too.
+    let strict_vm = run_debug(app, scale, mp, false, Engine::Bytecode);
     assert_eq!(
-        skip,
+        strict_vm,
         strict,
-        "{} ({}) diverges between cycle-skip and strict stepping",
-        app.name(),
-        if mp { "mp" } else { "up" }
-    );
-    let traced = run_debug_traced(app, scale, mp, true);
-    assert_eq!(
-        traced,
-        strict,
-        "{} ({}) diverges when the tracer is attached",
+        "{} ({}) diverges between engines under strict stepping",
         app.name(),
         if mp { "mp" } else { "up" }
     );
