@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mempar::{run_pair, MachineConfig};
-use mempar_sim::{run_program_with, SimOptions};
+use mempar_sim::{run_program_with, SimOptions, Stepper};
 use mempar_workloads::App;
 
 /// Tiny scale so the whole suite completes in minutes.
@@ -111,7 +111,11 @@ fn bench_simulator_inner_loop(c: &mut Criterion) {
         ("fft-mp-skip", App::Fft, true),
         ("fft-mp-strict", App::Fft, true),
     ] {
-        let cycle_skip = label.ends_with("-skip");
+        let stepper = if label.ends_with("-skip") {
+            Stepper::Skip
+        } else {
+            Stepper::Strict
+        };
         let w = app.build(SCALE);
         let nprocs = if mp { w.mp_procs.max(1) } else { 1 };
         let cfg = MachineConfig::base_simulated(nprocs, 64 * 1024);
@@ -123,7 +127,7 @@ fn bench_simulator_inner_loop(c: &mut Criterion) {
                     &mut mem,
                     &cfg,
                     SimOptions {
-                        cycle_skip,
+                        stepper,
                         ..SimOptions::default()
                     },
                 )

@@ -1,14 +1,16 @@
 //! Regenerates `BENCH_sim.json`: simulator throughput (simulated cycles
-//! per host second) for a fixed set of experiments, under both the
-//! event-horizon cycle-skipping driver and the strict one-cycle-at-a-time
-//! reference, plus a tree-walking-interpreter leg — and the resulting
-//! skip-vs-strict and bytecode-vs-tree-walk speedup ratios.
+//! per host second) for a fixed set of experiments, under the three
+//! clock drivers (strict one-cycle-at-a-time reference, event-horizon
+//! cycle skipping, discrete-event stepping) plus a tree-walking
+//! interpreter leg and — for multiprocessor experiments — the event
+//! stepper's sharded mode at 2 and 4 worker threads. The JSON carries
+//! the resulting stepper-vs-strict, shard-scaling, and
+//! bytecode-vs-tree-walk speedup ratios.
 //!
 //! The runs are timed **serially** (unlike the other harness binaries) so
 //! host contention cannot distort the throughput numbers, and the cycle
-//! counts of all three modes are asserted identical — neither the
-//! skipping optimization nor the engine swap may ever change results,
-//! only speed.
+//! counts of all modes are asserted identical — no stepper, shard count,
+//! or engine swap may ever change results, only speed.
 //!
 //! ```text
 //! cargo run --release -p mempar-bench --bin benchsim -- --scale 0.1
@@ -18,7 +20,7 @@ use mempar_bench::{
     bench_sim_json, log_enabled, parse_args, timed, FrontendBenchRecord, LogLevel, SimBenchRecord,
 };
 use mempar_ir::{BytecodeProgram, Interp, Vm};
-use mempar_sim::{run_program_with, Engine, MachineConfig, SimOptions};
+use mempar_sim::{run_program_with, Engine, MachineConfig, SimOptions, Stepper};
 use mempar_workloads::App;
 
 fn main() {
@@ -32,16 +34,28 @@ fn main() {
         ("erlebacher-up", App::Erlebacher, false),
         ("fft-mp", App::Fft, true),
     ];
-    let modes: &[(&str, bool, Engine)] = &[
-        ("strict-cycle", false, Engine::Bytecode),
-        ("cycle-skip", true, Engine::Bytecode),
-        ("tree-walk", true, Engine::Interp),
+    let base_modes: &[(&str, Stepper, usize, Engine)] = &[
+        ("strict-cycle", Stepper::Strict, 1, Engine::Bytecode),
+        ("cycle-skip", Stepper::Skip, 1, Engine::Bytecode),
+        ("event", Stepper::Event, 1, Engine::Bytecode),
+        // The engine comparison rides the fastest stepper so the
+        // front-end difference is least diluted by the timing model.
+        ("tree-walk", Stepper::Event, 1, Engine::Interp),
+    ];
+    // Shard scaling only makes sense where there are cores to shard.
+    let shard_modes: &[(&str, Stepper, usize, Engine)] = &[
+        ("event-sh2", Stepper::Event, 2, Engine::Bytecode),
+        ("event-sh4", Stepper::Event, 4, Engine::Bytecode),
     ];
     let mut records: Vec<SimBenchRecord> = Vec::new();
     let mut frontend: Vec<FrontendBenchRecord> = Vec::new();
     for &(name, app, mp) in experiments {
         let mut cycles_by_mode = Vec::new();
-        for &(mode, cycle_skip, engine) in modes {
+        let modes = base_modes
+            .iter()
+            .chain(if mp { shard_modes } else { &[] })
+            .copied();
+        for (mode, stepper, shards, engine) in modes {
             let w = app.build(args.scale);
             let nprocs = if mp { w.mp_procs.max(1) } else { 1 };
             let cfg = MachineConfig::base_simulated(nprocs, 64 * 1024);
@@ -59,7 +73,11 @@ fn main() {
                         &w.program,
                         &mut mem,
                         &cfg,
-                        SimOptions { cycle_skip, engine },
+                        SimOptions {
+                            stepper,
+                            shards,
+                            engine,
+                        },
                     )
                 });
                 reps += 1;
@@ -81,16 +99,18 @@ fn main() {
                 experiment: name.to_string(),
                 mode: mode.to_string(),
                 cycles: r.cycles,
+                cores: nprocs,
                 wall_seconds: secs,
                 // The occupancy summary only needs recording once per
                 // experiment; every mode produces an identical histogram,
-                // so attach it to the default (cycle-skip) run.
-                occupancy: (mode == "cycle-skip").then(|| r.occupancy.clone()),
+                // so attach it to the default (event) run.
+                occupancy: (mode == "event").then(|| r.occupancy.clone()),
             });
         }
         assert!(
             cycles_by_mode.windows(2).all(|w| w[0] == w[1]),
-            "{name}: driver mode or engine changed the simulated cycle count: {cycles_by_mode:?}"
+            "{name}: stepper, shard count, or engine changed the simulated cycle count: \
+             {cycles_by_mode:?}"
         );
         // Isolated front-end drain: the same dynamic-op stream with no
         // timing model attached. The simulated runs above spend most of

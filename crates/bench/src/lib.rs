@@ -23,7 +23,7 @@ use std::sync::atomic::{AtomicU8, Ordering};
 
 use mempar::{
     chrome_trace_json, run_pair_with, ChromeRun, Engine, MachineConfig, ObservedRun, RunPair,
-    SimOptions,
+    SimOptions, Stepper,
 };
 use mempar_obs::escape_json;
 use mempar_stats::MshrOccupancy;
@@ -75,10 +75,18 @@ pub struct HarnessArgs {
     /// Functional engine feeding the simulator (`--engine`, default
     /// bytecode).
     pub engine: Engine,
+    /// Clock-advance strategy (`--stepper`, default event). Every
+    /// stepper yields bit-identical results; they differ only in speed.
+    pub stepper: Stepper,
+    /// Worker threads the event stepper shards cores across
+    /// (`--shards`, default 1 = single-threaded). Deterministic: results
+    /// are bit-identical at every shard count.
+    pub shards: usize,
 }
 
 impl Default for HarnessArgs {
     fn default() -> Self {
+        let opts = SimOptions::default();
         HarnessArgs {
             scale: 0.1,
             apps: App::applications().to_vec(),
@@ -89,6 +97,8 @@ impl Default for HarnessArgs {
             metrics_out: None,
             profile_refs: false,
             engine: Engine::default(),
+            stepper: opts.stepper,
+            shards: opts.shards,
         }
     }
 }
@@ -101,11 +111,12 @@ impl HarnessArgs {
         self.trace_out.is_some() || self.metrics_out.is_some() || self.profile_refs
     }
 
-    /// Driver options implied by the flags (currently the engine).
+    /// Driver options implied by the flags (stepper, shards, engine).
     pub fn sim_options(&self) -> SimOptions {
         SimOptions {
+            stepper: self.stepper,
+            shards: self.shards,
             engine: self.engine,
-            ..SimOptions::default()
         }
     }
 }
@@ -124,7 +135,8 @@ pub fn usage() -> String {
     let apps: Vec<&str> = App::all().iter().map(|a| a.name()).collect();
     format!(
         "usage: {bin} [--scale <f>] [--apps <a,b,c>] [--mode <m>] [--procs <n>] [--threads <n>]\n\
-         \x20       [--engine <e>] [--trace-out <path>] [--metrics-out <path>] [--profile-refs] [--quiet]\n\
+         \x20       [--engine <e>] [--stepper <s>] [--shards <n>] [--trace-out <path>]\n\
+         \x20       [--metrics-out <path>] [--profile-refs] [--quiet]\n\
          \n\
          \x20 --scale <f>        input-size fraction of the paper's Table 2 sizes (default 0.1)\n\
          \x20 --apps <list>      comma-separated subset of: {}\n\
@@ -132,6 +144,10 @@ pub fn usage() -> String {
          \x20 --procs <n>        override processor count (0 = each workload's Table 2 count)\n\
          \x20 --threads <n>      worker threads for the experiment matrix (0 = all cores)\n\
          \x20 --engine <e>       functional engine: bytecode (default, fast) | interp (reference)\n\
+         \x20 --stepper <s>      clock driver: event (default, fast) | skip | strict (reference);\n\
+         \x20                    results are bit-identical across steppers\n\
+         \x20 --shards <n>       worker threads the event stepper shards cores across (default 1;\n\
+         \x20                    deterministic — results are bit-identical at every count)\n\
          \x20 --trace-out <p>    write a Chrome trace_event JSON (open in Perfetto)\n\
          \x20 --metrics-out <p>  write a metrics-registry JSON snapshot\n\
          \x20 --profile-refs     print the per-leading-reference miss-clustering profile\n\
@@ -214,6 +230,14 @@ pub fn parse_args() -> HarnessArgs {
                     .collect();
             }
             "--engine" => out.engine = take().parse().unwrap_or_else(|e: String| usage_error(&e)),
+            "--stepper" => out.stepper = take().parse().unwrap_or_else(|e: String| usage_error(&e)),
+            "--shards" => {
+                out.shards = take()
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage_error("--shards expects a positive integer"))
+            }
             "--trace-out" => out.trace_out = Some(take()),
             "--metrics-out" => out.metrics_out = Some(take()),
             "--profile-refs" => out.profile_refs = true,
@@ -227,6 +251,12 @@ pub fn parse_args() -> HarnessArgs {
     }
     if !out.scale.is_finite() || out.scale <= 0.0 {
         usage_error("--scale expects a positive float");
+    }
+    if out.shards > 1 && out.stepper != Stepper::Event {
+        usage_error(&format!(
+            "--shards {} requires --stepper event (the {} stepper is single-threaded)",
+            out.shards, out.stepper
+        ));
     }
     out
 }
@@ -375,11 +405,16 @@ pub fn scaled_l2(base_bytes: usize, scale: f64) -> usize {
 pub struct SimBenchRecord {
     /// Experiment name (e.g. `latbench-up`).
     pub experiment: String,
-    /// Driver mode: `cycle-skip` / `strict-cycle` (bytecode engine) or
-    /// `tree-walk` (interpreter engine, cycle skipping on).
+    /// Driver mode: `strict-cycle` / `cycle-skip` / `event` /
+    /// `event-sh2` / `event-sh4` (bytecode engine, named by stepper and
+    /// shard count) or `tree-walk` (interpreter engine, event stepper).
     pub mode: String,
     /// Simulated cycles covered (summed over the experiment's runs).
     pub cycles: u64,
+    /// Simulated processors in the run. Occupancy histograms aggregate
+    /// across all of them, so their `cycles` field is `cores ×
+    /// (wall cycles + 1)` — the JSON carries the per-core normalization.
+    pub cores: usize,
     /// Host wall-clock seconds spent simulating.
     pub wall_seconds: f64,
     /// Merged L2 MSHR occupancy histogram of the run, when recorded.
@@ -417,10 +452,26 @@ impl FrontendBenchRecord {
     }
 }
 
-/// Serializes the records (plus per-experiment skip-vs-strict and
-/// bytecode-vs-tree-walk speedups, and the isolated front-end drain
-/// measurements) as the `BENCH_sim.json` document. Hand-rolled JSON:
-/// the offline build has no serde.
+/// The occupancy histogram JSON with the explicit `cores` count and the
+/// per-core normalization spliced in: the raw `cycles` field aggregates
+/// samples across every processor (`cores × (wall cycles + 1)`), which
+/// reads confusingly against the experiment's cycle count, so
+/// `cycles_per_core` carries the per-processor sample count alongside.
+fn occupancy_json(o: &MshrOccupancy, cores: usize) -> String {
+    let base = o.to_json();
+    let body = base.strip_prefix('{').unwrap_or(&base);
+    format!(
+        "{{\"cores\": {}, \"cycles_per_core\": {}, {}",
+        cores,
+        o.cycles() / cores.max(1) as u64,
+        body
+    )
+}
+
+/// Serializes the records (plus per-experiment stepper-vs-strict,
+/// shard-scaling and bytecode-vs-tree-walk speedups, and the isolated
+/// front-end drain measurements) as the `BENCH_sim.json` document.
+/// Hand-rolled JSON: the offline build has no serde.
 pub fn bench_sim_json(
     scale: f64,
     records: &[SimBenchRecord],
@@ -431,14 +482,15 @@ pub fn bench_sim_json(
     s.push_str("  \"experiments\": [\n");
     for (i, r) in records.iter().enumerate() {
         let occupancy = match &r.occupancy {
-            Some(o) => format!(", \"mshr_occupancy\": {}", o.to_json()),
+            Some(o) => format!(", \"mshr_occupancy\": {}", occupancy_json(o, r.cores)),
             None => String::new(),
         };
         s.push_str(&format!(
-            "    {{\"experiment\": \"{}\", \"mode\": \"{}\", \"cycles\": {}, \"wall_seconds\": {:.6}, \"cycles_per_sec\": {:.1}{}}}{}\n",
+            "    {{\"experiment\": \"{}\", \"mode\": \"{}\", \"cycles\": {}, \"cores\": {}, \"wall_seconds\": {:.6}, \"cycles_per_sec\": {:.1}{}}}{}\n",
             r.experiment,
             r.mode,
             r.cycles,
+            r.cores,
             r.wall_seconds,
             r.cycles_per_sec(),
             occupancy,
@@ -452,19 +504,27 @@ pub fn bench_sim_json(
             .find(|s| s.experiment == experiment && s.mode == mode)
     };
     let mut lines = Vec::new();
-    for r in records.iter().filter(|r| r.mode == "cycle-skip") {
+    for r in records.iter().filter(|r| r.mode == "event") {
         let mut fields = vec![format!("\"experiment\": \"{}\"", r.experiment)];
+        let ratio_vs = |base: &SimBenchRecord, leg: &SimBenchRecord| {
+            leg.cycles_per_sec() / base.cycles_per_sec().max(1e-12)
+        };
         if let Some(strict) = find(&r.experiment, "strict-cycle") {
-            fields.push(format!(
-                "\"cycles_per_sec_ratio\": {:.2}",
-                r.cycles_per_sec() / strict.cycles_per_sec().max(1e-12)
-            ));
+            fields.push(format!("\"event_vs_strict\": {:.2}", ratio_vs(strict, r)));
+            if let Some(skip) = find(&r.experiment, "cycle-skip") {
+                fields.push(format!("\"skip_vs_strict\": {:.2}", ratio_vs(strict, skip)));
+            }
+        }
+        for (col, mode) in [
+            ("shard2_vs_event", "event-sh2"),
+            ("shard4_vs_event", "event-sh4"),
+        ] {
+            if let Some(sharded) = find(&r.experiment, mode) {
+                fields.push(format!("\"{col}\": {:.2}", ratio_vs(r, sharded)));
+            }
         }
         if let Some(tree) = find(&r.experiment, "tree-walk") {
-            fields.push(format!(
-                "\"engine_speedup\": {:.2}",
-                r.cycles_per_sec() / tree.cycles_per_sec().max(1e-12)
-            ));
+            fields.push(format!("\"engine_speedup\": {:.2}", ratio_vs(tree, r)));
         }
         if let Some(f) = frontend.iter().find(|f| f.experiment == r.experiment) {
             fields.push(format!("\"frontend_speedup\": {:.2}", f.speedup()));
@@ -544,27 +604,39 @@ mod tests {
 
     #[test]
     fn bench_json_embeds_occupancy() {
+        // Two cores' worth of aggregated samples: the JSON must carry
+        // the explicit core count and the per-core normalization.
         let mut occ = MshrOccupancy::new(2);
         occ.sample(1, 2);
         occ.sample(1, 1);
         let records = vec![
             SimBenchRecord {
-                experiment: "latbench-up".into(),
-                mode: "cycle-skip".into(),
+                experiment: "fft-mp".into(),
+                mode: "event".into(),
                 cycles: 1000,
+                cores: 2,
                 wall_seconds: 0.5,
                 occupancy: Some(occ),
             },
             SimBenchRecord {
-                experiment: "latbench-up".into(),
+                experiment: "fft-mp".into(),
                 mode: "strict-cycle".into(),
                 cycles: 1000,
+                cores: 2,
                 wall_seconds: 1.0,
+                occupancy: None,
+            },
+            SimBenchRecord {
+                experiment: "fft-mp".into(),
+                mode: "event-sh2".into(),
+                cycles: 1000,
+                cores: 2,
+                wall_seconds: 0.25,
                 occupancy: None,
             },
         ];
         let frontend = vec![FrontendBenchRecord {
-            experiment: "latbench-up".into(),
+            experiment: "fft-mp".into(),
             ops: 10_000,
             interp_seconds: 0.3,
             bytecode_seconds: 0.2,
@@ -572,6 +644,10 @@ mod tests {
         let json = bench_sim_json(0.1, &records, &frontend);
         assert!(json.contains("\"mshr_occupancy\""));
         assert!(json.contains("\"mean_read_occupancy\""));
+        assert!(json.contains("\"cores\": 2"));
+        assert!(json.contains("\"cycles_per_core\": 1"));
+        assert!(json.contains("\"event_vs_strict\": 2.00"));
+        assert!(json.contains("\"shard2_vs_event\": 2.00"));
         assert!(json.contains("\"frontend_speedup\": 1.50"));
         assert!(json.contains("\"interp_ns_per_op\""));
         mempar_obs::validate_json(&json).expect("BENCH_sim.json must stay valid JSON");

@@ -81,6 +81,8 @@ fn help_exits_0_and_prints_usage_to_stdout() {
         "--profile-refs",
         "--quiet",
         "--engine",
+        "--stepper",
+        "--shards",
         "MEMPAR_LOG",
     ] {
         assert!(stdout.contains(flag), "usage missing {flag}:\n{stdout}");
@@ -90,6 +92,69 @@ fn help_exits_0_and_prints_usage_to_stdout() {
 #[test]
 fn unknown_engine_exits_2_with_usage() {
     assert_usage_exit(&["--engine", "jit"], "unknown engine 'jit'");
+}
+
+#[test]
+fn unknown_stepper_exits_2_with_usage() {
+    assert_usage_exit(&["--stepper", "turbo"], "unknown stepper 'turbo'");
+}
+
+#[test]
+fn malformed_shards_exits_2_with_usage() {
+    assert_usage_exit(&["--shards", "many"], "--shards expects a positive integer");
+    assert_usage_exit(&["--shards", "0"], "--shards expects a positive integer");
+}
+
+#[test]
+fn shards_without_event_stepper_exits_2_with_usage() {
+    assert_usage_exit(
+        &["--stepper", "skip", "--shards", "4"],
+        "--shards 4 requires --stepper event",
+    );
+    // Order of flags must not matter.
+    assert_usage_exit(
+        &["--shards", "2", "--stepper", "strict"],
+        "--shards 2 requires --stepper event",
+    );
+}
+
+#[test]
+fn stepper_and_shard_choices_never_change_results() {
+    let reference = run(&["--scale", "0.02", "-q"]);
+    assert_eq!(reference.status.code(), Some(0));
+    let reference = String::from_utf8_lossy(&reference.stdout).into_owned();
+    for args in [
+        &["--scale", "0.02", "-q", "--stepper", "strict"][..],
+        &["--scale", "0.02", "-q", "--stepper", "skip"][..],
+        &["--scale", "0.02", "-q", "--stepper", "event"][..],
+        &[
+            "--scale",
+            "0.02",
+            "-q",
+            "--stepper",
+            "event",
+            "--shards",
+            "2",
+        ][..],
+        &[
+            "--scale",
+            "0.02",
+            "-q",
+            "--stepper",
+            "event",
+            "--shards",
+            "4",
+        ][..],
+    ] {
+        let out = run(args);
+        assert_eq!(out.status.code(), Some(0), "args {args:?}");
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout),
+            reference,
+            "args {args:?}: table2 output must be byte-identical across \
+             steppers and shard counts"
+        );
+    }
 }
 
 #[test]

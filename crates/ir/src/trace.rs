@@ -55,6 +55,20 @@ impl SrcList {
         &self.srcs[..self.len as usize]
     }
 
+    /// Removes the first occurrence of `vreg`, keeping order; returns
+    /// whether it was present.
+    pub fn remove(&mut self, vreg: u32) -> bool {
+        let n = self.len as usize;
+        for i in 0..n {
+            if self.srcs[i] == vreg {
+                self.srcs.copy_within(i + 1..n, i);
+                self.len -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
     /// Number of sources.
     pub fn len(&self) -> usize {
         self.len as usize

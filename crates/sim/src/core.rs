@@ -22,12 +22,17 @@ use crate::sync::SyncState;
 
 const READY_UNKNOWN: u64 = u64::MAX;
 
+/// "End of waiter list" / "no waiters".
+const NO_WAITER: u64 = u64::MAX;
+
 #[derive(Debug, Clone)]
 struct Entry {
     op: DynOp,
     /// Max ready time of sources resolved so far.
     ready_at: u64,
-    /// Sources whose producers had not completed at fetch time.
+    /// Sources whose producers have not issued yet (completion unknown).
+    /// Kept current eagerly: when a producer issues, its waiter walk
+    /// removes the source and folds the completion time into `ready_at`.
     pending: SrcList,
     issued: bool,
     /// Completion time (u64::MAX until known).
@@ -36,6 +41,13 @@ struct Entry {
     branch_resolved: bool,
     /// Cycle the op entered the window (for latency accounting).
     fetched_at: u64,
+    /// Head of this entry's waiter list — consumers of its dst parked
+    /// until it issues. A node packs `(waiter_seq << 2) | src_slot`;
+    /// `NO_WAITER` ends the list.
+    first_waiter: u64,
+    /// Per-pending-source-slot link to the next waiter of the same
+    /// producer (the waiter lists are threaded through the entries).
+    next_waiter: [u64; mempar_ir::MAX_SRCS],
 }
 
 /// Ready times for in-flight destination vregs, stored as an open-slot
@@ -53,6 +65,12 @@ struct Entry {
 struct VregFile {
     tags: Vec<u32>,
     times: Vec<u64>,
+    /// Producer entry sequence numbers, meaningful while the recorded
+    /// time is `READY_UNKNOWN` (consumer fetch uses them to hook into
+    /// the producer's waiter list). A dst vreg reused while its previous
+    /// producer is still unissued would rebind the slot — real traces
+    /// never do that (vregs are fresh per dynamic op).
+    seqs: Vec<u64>,
     mask: usize,
 }
 
@@ -62,6 +80,7 @@ impl VregFile {
         VregFile {
             tags: vec![0; cap],
             times: vec![0; cap],
+            seqs: vec![0; cap],
             mask: cap - 1,
         }
     }
@@ -82,16 +101,29 @@ impl VregFile {
         }
     }
 
+    /// Ready time plus producer seq (`seq` meaningful only while the
+    /// time is `READY_UNKNOWN`).
+    #[inline]
+    fn get_full(&self, vreg: u32) -> Option<(u64, u64)> {
+        let slot = vreg as usize & self.mask;
+        if self.tags[slot] == vreg {
+            Some((self.times[slot], self.seqs[slot]))
+        } else {
+            None
+        }
+    }
+
     /// Inserts or updates; returns false when the slot holds a different
     /// live vreg (caller must grow and retry).
     #[inline]
-    fn try_insert(&mut self, vreg: u32, time: u64) -> bool {
+    fn try_insert(&mut self, vreg: u32, time: u64, seq: u64) -> bool {
         debug_assert_ne!(vreg, 0, "vreg 0 is the empty-slot sentinel");
         let slot = vreg as usize & self.mask;
         let tag = self.tags[slot];
         if tag == 0 || tag == vreg {
             self.tags[slot] = vreg;
             self.times[slot] = time;
+            self.seqs[slot] = seq;
             true
         } else {
             false
@@ -103,6 +135,57 @@ impl VregFile {
         let slot = vreg as usize & self.mask;
         if self.tags[slot] == vreg {
             self.tags[slot] = 0;
+        }
+    }
+}
+
+/// Bitset over reorder-buffer positions (bit `i` = `rob[i]`).
+///
+/// The issue stage is the simulator's hottest loop; in memory-stalled
+/// phases the window is mostly issued entries waiting on fills, which a
+/// position walk would re-visit every cycle just to skip. Tracking the
+/// positions that can still *do* something lets both issue scans — the
+/// candidate walk and load/store disambiguation — jump straight to them,
+/// whole empty words at a time. Position bits renumber on retirement via
+/// [`RobBits::shift_down`], mirroring the window's `pop_front`s.
+#[derive(Debug)]
+struct RobBits {
+    words: Vec<u64>,
+}
+
+impl RobBits {
+    fn new(window: usize) -> Self {
+        RobBits {
+            words: vec![0; window.div_ceil(64).max(1)],
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    #[inline]
+    fn clear(&mut self, i: usize) {
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Drops the lowest `k` bits (entries popped from the window head)
+    /// and renumbers the rest down by `k`.
+    fn shift_down(&mut self, k: usize) {
+        if k == 0 {
+            return;
+        }
+        let wshift = k / 64;
+        let bshift = (k % 64) as u32;
+        for i in 0..self.words.len() {
+            let lo = self.words.get(i + wshift).copied().unwrap_or(0);
+            let hi = self.words.get(i + wshift + 1).copied().unwrap_or(0);
+            self.words[i] = if bshift == 0 {
+                lo
+            } else {
+                (lo >> bshift) | (hi << (64 - bshift))
+            };
         }
     }
 }
@@ -143,6 +226,34 @@ pub struct Core {
     /// driver turns transitions of this into trace stall spans.
     last_stall: Option<StallClass>,
     l1_ports: u32,
+    /// Window entries not yet issued. When zero (and no issued branch
+    /// still awaits resolution bookkeeping) the issue stage is a provable
+    /// no-op and is skipped entirely.
+    unissued: usize,
+    /// Issued branches not yet marked resolved by the issue scan (the
+    /// scan is what decrements `unresolved_branches` for them).
+    issued_unresolved_branches: usize,
+    /// Set by the most recent [`Core::issue`] call when the scan left a
+    /// ready instruction unissued behind a per-cycle resource limit
+    /// (FU/port/queue/MSHR/store disambiguation). Exactly the condition
+    /// under which [`Core::next_event_time`] answers `now + 1`, cached so
+    /// the scheduler need not rescan the window to learn it.
+    issue_blocked: bool,
+    /// Window positions the issue scan must visit: unissued entries plus
+    /// issued branches awaiting resolution bookkeeping. Everything else
+    /// in the window is settled and the scan skips it wholesale.
+    cand: RobBits,
+    /// Window positions holding stores (issued or not), for load
+    /// disambiguation without walking non-store entries.
+    store_pos: RobBits,
+    /// Sequence number of `rob[0]` (position `i` holds entry
+    /// `head_seq + i`), so parked entries survive window renumbering.
+    head_seq: u64,
+    /// Unissued entries whose sources all resolved to a known future
+    /// ready time, keyed `(ready_at, seq)`: parked out of the candidate
+    /// set until their cycle comes instead of being re-visited every
+    /// scan. Only entries that cannot retire unissued may park here.
+    deferred: BinaryHeap<std::cmp::Reverse<(u64, u64)>>,
 }
 
 impl Core {
@@ -167,6 +278,13 @@ impl Core {
             retired_last_cycle: 0,
             last_stall: None,
             l1_ports,
+            unissued: 0,
+            issued_unresolved_branches: 0,
+            issue_blocked: false,
+            cand: RobBits::new(params.window),
+            store_pos: RobBits::new(params.window),
+            head_seq: 0,
+            deferred: BinaryHeap::new(),
         }
     }
 
@@ -196,17 +314,34 @@ impl Core {
     /// [`Core::fetch_room`]).
     pub fn fetch(&mut self, op: DynOp, now: u64) {
         assert!(self.rob.len() < self.params.window, "window overflow");
+        let seq = self.head_seq + self.rob.len() as u64;
         let mut ready_at = now;
         let mut pending = SrcList::new();
+        let mut next_waiter = [NO_WAITER; mempar_ir::MAX_SRCS];
         for &src in op.srcs.as_slice() {
-            match self.vreg_ready.get(src) {
+            match self.vreg_ready.get_full(src) {
                 None => {}
-                Some(READY_UNKNOWN) => pending.push(src),
-                Some(t) => ready_at = ready_at.max(t),
+                Some((READY_UNKNOWN, pseq)) => {
+                    // Producer not issued: park on its waiter list; its
+                    // issue wakes this entry (no per-cycle re-polling).
+                    let k = pending.len();
+                    pending.push(src);
+                    if let Some(p) = pseq
+                        .checked_sub(self.head_seq)
+                        .and_then(|d| self.rob.get_mut(d as usize))
+                    {
+                        next_waiter[k] = p.first_waiter;
+                        p.first_waiter = (seq << 2) | k as u64;
+                    }
+                    // Producer gone (retired unissued — hand-built
+                    // traces only): the source stays pending forever,
+                    // matching the lazy scan's behavior.
+                }
+                Some((t, _)) => ready_at = ready_at.max(t),
             }
         }
         if let Some(dst) = op.dst {
-            self.vreg_set(dst, READY_UNKNOWN);
+            self.vreg_set(dst, READY_UNKNOWN, seq);
         }
         if matches!(op.kind, OpKind::Branch) {
             self.unresolved_branches += 1;
@@ -219,6 +354,21 @@ impl Core {
         if matches!(op.kind, OpKind::Halt) {
             self.trace_done = true;
         }
+        let pos = self.rob.len();
+        // Scan-candidate placement: an entry waiting on unissued
+        // producers is woken by their waiter walks; one whose sources
+        // all resolved to a known future time parks in the deferral
+        // heap; head-of-window sync ops never need the scan at all.
+        if Self::can_defer(&op.kind) && pending.is_empty() {
+            if ready_at > now {
+                self.deferred.push(std::cmp::Reverse((ready_at, seq)));
+            } else {
+                self.cand.set(pos);
+            }
+        }
+        if matches!(op.kind, OpKind::Store { .. }) {
+            self.store_pos.set(pos);
+        }
         self.rob.push_back(Entry {
             op,
             ready_at,
@@ -227,7 +377,10 @@ impl Core {
             complete_at: u64::MAX,
             branch_resolved: false,
             fetched_at: now,
+            first_waiter: NO_WAITER,
+            next_waiter,
         });
+        self.unissued += 1;
     }
 
     /// Drains memory-op completions whose time has passed.
@@ -249,7 +402,22 @@ impl Core {
     /// Issue stage: selects ready instructions oldest-first, obeying
     /// functional-unit counts, memory-queue space and cache ports.
     pub fn issue(&mut self, mem: &mut MemSystem, now: u64) {
+        self.issue_blocked = false;
+        if self.unissued == 0 && self.issued_unresolved_branches == 0 {
+            // Nothing to issue and no branch-resolution bookkeeping left:
+            // the scan below would walk the whole window doing nothing.
+            // (Memory-completion heaps drain lazily at the next retire.)
+            return;
+        }
         self.drain_mem(now);
+        // Wake parked entries whose ready time has arrived.
+        while let Some(&std::cmp::Reverse((t, seq))) = self.deferred.peek() {
+            if t > now {
+                break;
+            }
+            self.deferred.pop();
+            self.cand.set((seq - self.head_seq) as usize);
+        }
         let mut issued = 0u32;
         let mut alu = 0u32;
         let mut fpu = 0u32;
@@ -258,164 +426,243 @@ impl Core {
         let fu = self.params.fu;
         let width = self.params.width;
 
-        // Collect store positions for load disambiguation as we walk.
-        for i in 0..self.rob.len() {
-            if issued >= width {
-                break;
-            }
-            // Resolve pending sources lazily.
-            {
-                let e = &mut self.rob[i];
-                if e.issued {
-                    // Track branch resolution for the fetch limit.
-                    if !e.branch_resolved
-                        && matches!(e.op.kind, OpKind::Branch)
-                        && e.complete_at <= now
-                    {
-                        e.branch_resolved = true;
-                        self.unresolved_branches -= 1;
-                    }
-                    continue;
+        // Walk only the candidate positions (unissued entries and
+        // issued-unresolved branches), oldest first. The body only ever
+        // clears the bit at the position it is visiting, so snapshotting
+        // each word as the walk reaches it visits exactly the entries a
+        // full window walk would — minus the settled ones, whose visit
+        // is a provable no-op.
+        'scan: for wi in 0..self.cand.words.len() {
+            let mut w = self.cand.words[wi];
+            while w != 0 {
+                let i = wi * 64 + w.trailing_zeros() as usize;
+                w &= w - 1;
+                if issued >= width {
+                    break 'scan;
                 }
-                if !e.pending.is_empty() {
-                    let mut still = SrcList::new();
-                    let mut ready = e.ready_at;
-                    for &src in e.pending.as_slice() {
-                        match self.vreg_ready.get(src) {
-                            None => {}
-                            Some(READY_UNKNOWN) => still.push(src),
-                            Some(t) => ready = ready.max(t),
+                // Resolve pending sources lazily.
+                {
+                    let e = &mut self.rob[i];
+                    if e.issued {
+                        // An issued candidate is a branch awaiting
+                        // resolution bookkeeping (the fetch limit).
+                        debug_assert!(matches!(e.op.kind, OpKind::Branch) && !e.branch_resolved);
+                        if e.complete_at <= now {
+                            e.branch_resolved = true;
+                            self.unresolved_branches -= 1;
+                            self.issued_unresolved_branches -= 1;
+                            self.cand.clear(i);
                         }
+                        continue;
                     }
-                    e.ready_at = ready;
-                    e.pending = still;
                     if !e.pending.is_empty() {
-                        continue;
-                    }
-                }
-                if e.ready_at > now {
-                    continue;
-                }
-            }
-            let kind = self.rob[i].op.kind;
-            match kind {
-                OpKind::Int | OpKind::IntMul | OpKind::Branch => {
-                    if alu >= fu.alus {
-                        continue;
-                    }
-                    alu += 1;
-                    issued += 1;
-                    let lat = match kind {
-                        OpKind::IntMul => fu.int_mul_latency,
-                        _ => fu.int_latency,
-                    } as u64;
-                    self.complete_entry(i, now + lat);
-                }
-                OpKind::Fp { unit } => {
-                    if fpu >= fu.fpus {
-                        continue;
-                    }
-                    fpu += 1;
-                    issued += 1;
-                    let lat = match unit {
-                        FpUnit::Arith => fu.fp_latency,
-                        FpUnit::Div => fu.fp_div_latency,
-                        FpUnit::Sqrt => fu.fp_sqrt_latency,
-                    } as u64;
-                    self.complete_entry(i, now + lat);
-                }
-                OpKind::Load { addr: a } => {
-                    if addr >= fu.addr_units
-                        || l1_accesses >= self.l1_ports
-                        || self.mem_inflight.len() >= self.params.mem_queue
-                    {
-                        continue;
-                    }
-                    // Disambiguation against earlier stores.
-                    match self.scan_earlier_stores(i, a) {
-                        StoreCheck::MustWait => continue,
-                        StoreCheck::Forward => {
-                            addr += 1;
-                            issued += 1;
-                            self.complete_entry(i, now + 1);
+                        let mut still = SrcList::new();
+                        let mut ready = e.ready_at;
+                        for &src in e.pending.as_slice() {
+                            match self.vreg_ready.get(src) {
+                                None => {}
+                                Some(READY_UNKNOWN) => still.push(src),
+                                Some(t) => ready = ready.max(t),
+                            }
                         }
-                        StoreCheck::Clear => {
-                            addr += 1;
-                            l1_accesses += 1;
-                            match mem.access(self.id, a, false, now + 1) {
-                                Access::Retry => {
-                                    // MSHRs full: stay unissued, retry next cycle.
-                                }
-                                Access::Done { complete_at, .. } => {
-                                    issued += 1;
-                                    self.mem_inflight.push(std::cmp::Reverse(complete_at));
-                                    self.complete_entry(i, complete_at);
+                        e.ready_at = ready;
+                        e.pending = still;
+                        if !e.pending.is_empty() {
+                            continue;
+                        }
+                    }
+                    if e.ready_at > now {
+                        // All sources resolved to a known future time:
+                        // park until then instead of re-visiting every
+                        // cycle (ready times never move backward).
+                        if Self::can_defer(&e.op.kind) {
+                            let at = e.ready_at;
+                            self.deferred
+                                .push(std::cmp::Reverse((at, self.head_seq + i as u64)));
+                            self.cand.clear(i);
+                        }
+                        continue;
+                    }
+                }
+                let kind = self.rob[i].op.kind;
+                match kind {
+                    OpKind::Int | OpKind::IntMul | OpKind::Branch => {
+                        if alu >= fu.alus {
+                            self.issue_blocked = true;
+                            continue;
+                        }
+                        alu += 1;
+                        issued += 1;
+                        let lat = match kind {
+                            OpKind::IntMul => fu.int_mul_latency,
+                            _ => fu.int_latency,
+                        } as u64;
+                        self.complete_entry(i, now + lat);
+                    }
+                    OpKind::Fp { unit } => {
+                        if fpu >= fu.fpus {
+                            self.issue_blocked = true;
+                            continue;
+                        }
+                        fpu += 1;
+                        issued += 1;
+                        let lat = match unit {
+                            FpUnit::Arith => fu.fp_latency,
+                            FpUnit::Div => fu.fp_div_latency,
+                            FpUnit::Sqrt => fu.fp_sqrt_latency,
+                        } as u64;
+                        self.complete_entry(i, now + lat);
+                    }
+                    OpKind::Load { addr: a } => {
+                        if addr >= fu.addr_units
+                            || l1_accesses >= self.l1_ports
+                            || self.mem_inflight.len() >= self.params.mem_queue
+                        {
+                            self.issue_blocked = true;
+                            continue;
+                        }
+                        // Disambiguation against earlier stores.
+                        match self.scan_earlier_stores(i, a) {
+                            StoreCheck::MustWait => {
+                                self.issue_blocked = true;
+                                continue;
+                            }
+                            StoreCheck::Forward => {
+                                addr += 1;
+                                issued += 1;
+                                self.complete_entry(i, now + 1);
+                            }
+                            StoreCheck::Clear => {
+                                addr += 1;
+                                l1_accesses += 1;
+                                match mem.access(self.id, a, false, now + 1) {
+                                    Access::Retry => {
+                                        // MSHRs full: stay unissued, retry next cycle.
+                                        self.issue_blocked = true;
+                                    }
+                                    Access::Done { complete_at, .. } => {
+                                        issued += 1;
+                                        self.mem_inflight.push(std::cmp::Reverse(complete_at));
+                                        self.complete_entry(i, complete_at);
+                                    }
                                 }
                             }
                         }
                     }
-                }
-                OpKind::Prefetch { addr: a } => {
-                    if addr >= fu.addr_units || l1_accesses >= self.l1_ports {
-                        continue;
+                    OpKind::Prefetch { addr: a } => {
+                        if addr >= fu.addr_units || l1_accesses >= self.l1_ports {
+                            self.issue_blocked = true;
+                            continue;
+                        }
+                        addr += 1;
+                        l1_accesses += 1;
+                        issued += 1;
+                        // Non-binding: fire and forget; the op completes at
+                        // issue regardless of the memory system's outcome.
+                        mem.prefetch(self.id, a, now + 1);
+                        self.complete_entry(i, now + 1);
                     }
-                    addr += 1;
-                    l1_accesses += 1;
-                    issued += 1;
-                    // Non-binding: fire and forget; the op completes at
-                    // issue regardless of the memory system's outcome.
-                    mem.prefetch(self.id, a, now + 1);
-                    self.complete_entry(i, now + 1);
-                }
-                OpKind::Store { addr: a } => {
-                    if addr >= fu.addr_units
-                        || l1_accesses >= self.l1_ports
-                        || self.mem_inflight.len() >= self.params.mem_queue
-                    {
-                        continue;
+                    OpKind::Store { addr: a } => {
+                        if addr >= fu.addr_units
+                            || l1_accesses >= self.l1_ports
+                            || self.mem_inflight.len() >= self.params.mem_queue
+                        {
+                            self.issue_blocked = true;
+                            continue;
+                        }
+                        addr += 1;
+                        l1_accesses += 1;
+                        match mem.access(self.id, a, true, now + 1) {
+                            Access::Retry => {
+                                self.issue_blocked = true;
+                            }
+                            Access::Done { complete_at, .. } => {
+                                issued += 1;
+                                self.mem_inflight.push(std::cmp::Reverse(complete_at));
+                                self.pending_stores.push(std::cmp::Reverse(complete_at));
+                                // Write buffering: the ROB entry completes at
+                                // issue; global performance tracked separately.
+                                self.complete_entry(i, now + 1);
+                            }
+                        }
                     }
-                    addr += 1;
-                    l1_accesses += 1;
-                    match mem.access(self.id, a, true, now + 1) {
-                        Access::Retry => {}
-                        Access::Done { complete_at, .. } => {
+                    OpKind::FlagSet { .. } => {
+                        // Release semantics: wait for earlier stores to drain.
+                        if self.pending_stores.is_empty() {
                             issued += 1;
-                            self.mem_inflight.push(std::cmp::Reverse(complete_at));
-                            self.pending_stores.push(std::cmp::Reverse(complete_at));
-                            // Write buffering: the ROB entry completes at
-                            // issue; global performance tracked separately.
                             self.complete_entry(i, now + 1);
                         }
                     }
-                }
-                OpKind::FlagSet { .. } => {
-                    // Release semantics: wait for earlier stores to drain.
-                    if self.pending_stores.is_empty() {
-                        issued += 1;
-                        self.complete_entry(i, now + 1);
+                    OpKind::Barrier { .. } | OpKind::FlagWait { .. } | OpKind::Halt => {
+                        // Completed at the retire stage via the sync
+                        // state; the scan never has work for them.
+                        self.cand.clear(i);
                     }
-                }
-                OpKind::Barrier { .. } | OpKind::FlagWait { .. } | OpKind::Halt => {
-                    // Completed at the retire stage via the sync state.
                 }
             }
         }
     }
 
+    /// Whether an unissued entry may park in the deferral heap. Ops that
+    /// can retire *unissued* (head-of-window sync resolved by the retire
+    /// stage) must not: their window position could vanish while parked.
+    fn can_defer(kind: &OpKind) -> bool {
+        !matches!(
+            kind,
+            OpKind::Barrier { .. } | OpKind::FlagWait { .. } | OpKind::Halt
+        )
+    }
+
     fn complete_entry(&mut self, i: usize, at: u64) {
+        let seq = self.head_seq + i as u64;
         let e = &mut self.rob[i];
         e.issued = true;
         e.complete_at = at;
-        if let Some(dst) = e.op.dst {
-            self.vreg_set(dst, at);
+        let dst = e.op.dst;
+        let is_branch = matches!(e.op.kind, OpKind::Branch);
+        let mut node = e.first_waiter;
+        e.first_waiter = NO_WAITER;
+        self.unissued -= 1;
+        if is_branch {
+            // Stays a scan candidate until resolution bookkeeping runs.
+            self.issued_unresolved_branches += 1;
+        } else {
+            self.cand.clear(i);
+        }
+        if let Some(dst) = dst {
+            self.vreg_set(dst, at, seq);
+            // Wake the consumers parked on this entry: fold the now-known
+            // completion time into their ready times, and park fully
+            // resolved ones in the deferral heap (`at` is always in the
+            // future — every latency is at least one cycle — so no wake
+            // can make an entry issuable in the current scan).
+            while node != NO_WAITER {
+                let wseq = node >> 2;
+                if wseq < self.head_seq {
+                    // A waiter that left the window unissued (sync op
+                    // with sources; hand-built traces only) — its next
+                    // link is gone with it.
+                    debug_assert!(false, "waiter retired while parked");
+                    break;
+                }
+                let k = (node & 3) as usize;
+                let we = &mut self.rob[(wseq - self.head_seq) as usize];
+                node = we.next_waiter[k];
+                we.pending.remove(dst);
+                we.ready_at = we.ready_at.max(at);
+                if we.pending.is_empty() && Self::can_defer(&we.op.kind) {
+                    let t = we.ready_at;
+                    self.deferred.push(std::cmp::Reverse((t, wseq)));
+                }
+            }
         }
     }
 
     /// Records `vreg`'s ready time, growing the table on a live-slot
     /// collision (only hand-built traces with non-sequential vregs hit
     /// the grow path; see [`VregFile`]).
-    fn vreg_set(&mut self, vreg: u32, time: u64) {
-        while !self.vreg_ready.try_insert(vreg, time) {
+    fn vreg_set(&mut self, vreg: u32, time: u64, seq: u64) {
+        while !self.vreg_ready.try_insert(vreg, time, seq) {
             self.grow_vregs();
         }
     }
@@ -427,14 +674,14 @@ impl Core {
         let mut cap = self.vreg_ready.capacity() * 2;
         'retry: loop {
             let mut bigger = VregFile::with_capacity(cap);
-            for e in &self.rob {
+            for (i, e) in self.rob.iter().enumerate() {
                 if let Some(dst) = e.op.dst {
                     let t = if e.issued {
                         e.complete_at
                     } else {
                         READY_UNKNOWN
                     };
-                    if !bigger.try_insert(dst, t) {
+                    if !bigger.try_insert(dst, t, self.head_seq + i as u64) {
                         cap *= 2;
                         continue 'retry;
                     }
@@ -446,19 +693,33 @@ impl Core {
     }
 
     fn scan_earlier_stores(&self, load_idx: usize, addr: u64) -> StoreCheck {
-        for j in (0..load_idx).rev() {
-            let e = &self.rob[j];
-            if let OpKind::Store { addr: sa } = e.op.kind {
-                if sa == addr {
-                    return if e.issued {
-                        StoreCheck::Forward
-                    } else {
-                        StoreCheck::MustWait
-                    };
+        // Walk store positions below the load, youngest first, via the
+        // store bitset — the first address match decides, same as a full
+        // backward window walk.
+        let mut wi = load_idx / 64;
+        let mut mask = (1u64 << (load_idx % 64)) - 1;
+        loop {
+            let mut w = self.store_pos.words[wi] & mask;
+            while w != 0 {
+                let bit = 63 - w.leading_zeros() as usize;
+                w &= !(1u64 << bit);
+                let e = &self.rob[wi * 64 + bit];
+                if let OpKind::Store { addr: sa } = e.op.kind {
+                    if sa == addr {
+                        return if e.issued {
+                            StoreCheck::Forward
+                        } else {
+                            StoreCheck::MustWait
+                        };
+                    }
                 }
             }
+            if wi == 0 {
+                return StoreCheck::Clear;
+            }
+            wi -= 1;
+            mask = u64::MAX;
         }
-        StoreCheck::Clear
     }
 
     /// Retire stage: retires up to `width` completed instructions in
@@ -494,8 +755,14 @@ impl Core {
                 break;
             }
             let e = self.rob.pop_front().expect("head exists");
+            if !e.issued {
+                self.unissued -= 1;
+            }
             if matches!(e.op.kind, OpKind::Branch) && !e.branch_resolved {
                 self.unresolved_branches -= 1;
+                if e.issued {
+                    self.issued_unresolved_branches -= 1;
+                }
             }
             if matches!(e.op.kind, OpKind::Barrier { .. } | OpKind::FlagWait { .. }) {
                 self.sync_fetch_block = false;
@@ -517,6 +784,14 @@ impl Core {
             }
         }
         self.retired_last_cycle = retired;
+        // Window positions renumber past the popped entries (bits set on
+        // popped entries — unissued sync ops, unresolved branches — fall
+        // off with them; their counters were settled above). Parked
+        // entries key on stable sequence numbers, so only the head seq
+        // moves.
+        self.cand.shift_down(retired as usize);
+        self.store_pos.shift_down(retired as usize);
+        self.head_seq += u64::from(retired);
         // Attribution (Section 5.2): busy = retired/width; remainder to
         // the first instruction that could not retire.
         let frac = f64::from(retired) / f64::from(width);
@@ -561,6 +836,12 @@ impl Core {
         // A core that fetched or retired this cycle can generally do so
         // again next cycle; don't skip over it.
         if self.made_progress() {
+            return Some(now + 1);
+        }
+        // The issue scan already found a ready instruction blocked on a
+        // per-cycle resource: the window scan below would answer `now + 1`
+        // through exactly that entry, so skip it.
+        if self.issue_blocked {
             return Some(now + 1);
         }
         // u64::MAX stands in for "no candidate"; every real candidate is
@@ -666,6 +947,17 @@ impl Core {
             None => StallClass::Instruction,
         };
         self.breakdown.add_stall(class, span as f64);
+    }
+
+    /// The flag the head-of-window instruction is waiting on, if it is a
+    /// `FlagWait`. Flags set at cycle `t` are visible to higher-numbered
+    /// processors retiring at `t`, so the event-driven stepper uses this
+    /// to pull sleeping waiters into the round that sets their flag.
+    pub(crate) fn head_flag_wait(&self) -> Option<u32> {
+        match self.rob.front().map(|e| e.op.kind) {
+            Some(OpKind::FlagWait { flag }) => Some(flag),
+            _ => None,
+        }
     }
 
     /// Number of instructions currently in the window.
@@ -923,7 +1215,9 @@ mod tests {
         let (mut core, _mem, _sync) = setup();
         // A dependence on a never-completing producer keeps the branches
         // unresolved; the counter is what bounds fetch.
-        core.vreg_set(9999, READY_UNKNOWN);
+        // Seq far past the ROB: the waiter registration treats it as a
+        // retired-unissued producer and leaves the source pending.
+        core.vreg_set(9999, READY_UNKNOWN, u64::MAX);
         for _ in 0..16 {
             core.fetch(op(OpKind::Branch, &[9999], None), 0);
         }

@@ -56,6 +56,7 @@ mod directory;
 mod interconnect;
 mod memsys;
 mod resource;
+mod sched;
 mod sync;
 mod system;
 
@@ -72,6 +73,7 @@ pub use resource::{Resource, ResourcePool};
 pub use sync::SyncState;
 pub use system::{
     run_program, run_program_observed, run_program_with, SimObservation, SimOptions, SimResult,
+    Stepper,
 };
 
 // Observability types a traced run hands back (re-exported so harnesses

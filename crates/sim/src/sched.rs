@@ -1,0 +1,397 @@
+//! The discrete-event stepper behind [`Stepper::Event`]: instead of
+//! stepping every core every cycle (strict), or every core on every
+//! *globally* interesting cycle (skip), each core carries its own wake
+//! time and is stepped only in rounds where it is scheduled. Event-dense
+//! multiprocessor runs stop paying per-cycle costs for cores that are
+//! stalled on a miss or parked at a barrier.
+//!
+//! Exactness rests on two invariants (see DESIGN.md §10):
+//!
+//! 1. *No component steps past its scheduled time.* A core's wake time
+//!    comes from [`Core::next_event_time`], whose contract is that every
+//!    condition able to change the core's behavior on an intermediate
+//!    cycle maps to a candidate. Cycles a core sits out are therefore
+//!    provably no-op retire/issue/fetch calls, and their stall
+//!    attribution is settled in bulk by [`Core::charge_idle`] at the
+//!    next step (the stall class cannot change while the head is stuck).
+//!    The clock likewise never jumps past a memory-system fill, so
+//!    occupancy samples and fill application stay cycle-exact.
+//!
+//! 2. *Sync operations pin the horizon.* A sleeping core (no wake
+//!    candidate) is necessarily parked on an unreleased barrier or an
+//!    unset flag — only another processor can wake it. Both paths bump
+//!    [`SyncState::version`], which forces a wake recompute for every
+//!    live core at the end of the round. Barrier releases are always
+//!    scheduled in the future, so the recompute sees them in time; a
+//!    flag *set in the current round* is visible same-cycle to
+//!    higher-numbered processors in strict mode, so the retire phase
+//!    additionally consults the round's fresh tail of
+//!    [`SyncState::flag_log`] to pull those waiters into the current
+//!    round.
+//!
+//! The optional sharded mode farms the wake recompute — the only
+//! remaining O(window) scan — out to worker threads. Every phase that
+//! mutates shared state (memory system, sync, tracer, fetch) runs on
+//! the coordinating thread in fixed global core order; workers receive
+//! a published `(now, sync snapshot)` pair and write only their own
+//! shard's wake times. The recompute is a pure function of published
+//! state, so cycles, traces, and metrics are bit-identical at every
+//! shard count by construction.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+use mempar_obs::{TraceEventKind, SYSTEM_PROC};
+
+use crate::core::Core;
+use crate::sync::SyncState;
+use crate::system::{
+    deadlock_panic, fetch_stage, trace_stall_transition, DriverState, DEADLOCK_WINDOW,
+};
+
+#[cfg(doc)]
+use crate::system::Stepper;
+
+/// "No wake scheduled": the core sleeps until shared sync state changes
+/// (or forever, when the run is deadlocked).
+const NO_WAKE: u64 = u64::MAX;
+
+/// A contiguous block of cores plus the per-core scheduling state the
+/// wake-recompute phase reads and writes. Workers only ever touch their
+/// own shard, and only between the coordinator's publish (mutex release)
+/// and the next round's re-lock.
+struct Shard {
+    /// Global index of `cores[0]`.
+    base: usize,
+    cores: Vec<Core>,
+    /// Next cycle each core must be stepped (`NO_WAKE` = asleep).
+    wake: Vec<u64>,
+    /// First cycle not yet charged to each core's stall breakdown.
+    charged_until: Vec<u64>,
+    /// Cores whose wake time must be recomputed this round.
+    need: Vec<bool>,
+    /// Clock value published by the coordinator for this round.
+    now: u64,
+    /// Snapshot of the shared sync state, republished on version change.
+    sync: Arc<SyncState>,
+}
+
+impl Shard {
+    /// Recomputes the wake time of every marked core. Pure with respect
+    /// to published state: reads `cores`/`sync`/`now`, writes
+    /// `wake`/`need` — deterministic no matter which thread runs it.
+    fn recompute(&mut self) {
+        for (li, core) in self.cores.iter().enumerate() {
+            if self.need[li] {
+                self.need[li] = false;
+                self.wake[li] = core
+                    .next_event_time(&self.sync, self.now)
+                    .unwrap_or(NO_WAKE);
+            }
+        }
+    }
+}
+
+/// Strategy for running the end-of-round wake recompute over all shards.
+trait WakePool {
+    fn recompute(&self, shards: &[Mutex<Shard>]);
+}
+
+/// Single-threaded recompute (the `shards <= 1` path).
+struct Inline;
+
+impl WakePool for Inline {
+    fn recompute(&self, shards: &[Mutex<Shard>]) {
+        for m in shards {
+            m.lock().unwrap().recompute();
+        }
+    }
+}
+
+/// Round-gate state shared between the coordinator and workers. Blocking
+/// (condvar) rather than spinning: recompute rounds are short and there
+/// is one per simulated event cycle, so busy-waiting workers would
+/// starve the coordinator whenever the host has fewer free cores than
+/// shards (they cost ~2 context switches per worker per round instead).
+struct TeamState {
+    gate: Mutex<RoundGate>,
+    /// Workers wait here for a round bump (or stop).
+    go: Condvar,
+    /// The coordinator waits here for the round's done count.
+    finished: Condvar,
+}
+
+struct RoundGate {
+    /// Incremented by the coordinator to start a recompute round.
+    round: u64,
+    /// Count of workers finished with the current round.
+    done: usize,
+    /// Set to shut the team down.
+    stop: bool,
+}
+
+/// Worker-thread recompute: shard 0 runs on the coordinator while the
+/// workers cover shards `1..`.
+struct Team<'a> {
+    team: &'a TeamState,
+    nworkers: usize,
+}
+
+impl WakePool for Team<'_> {
+    fn recompute(&self, shards: &[Mutex<Shard>]) {
+        {
+            let mut g = self.team.gate.lock().unwrap();
+            g.done = 0;
+            g.round += 1;
+            self.team.go.notify_all();
+        }
+        shards[0].lock().unwrap().recompute();
+        let mut g = self.team.gate.lock().unwrap();
+        while g.done < self.nworkers {
+            g = self.team.finished.wait(g).unwrap();
+        }
+    }
+}
+
+/// Worker loop: wait for a round bump, recompute the owned shard, report
+/// done. Shard data is synchronized by the shard mutex; the gate only
+/// sequences rounds. The stop check precedes the shard lock so workers
+/// never touch shard mutexes poisoned by a coordinator panic (deadlock
+/// diagnostics unwind while holding every shard guard).
+fn worker(si: usize, shards: &[Mutex<Shard>], team: &TeamState) {
+    let mut seen = 0u64;
+    loop {
+        {
+            let mut g = team.gate.lock().unwrap();
+            while g.round == seen && !g.stop {
+                g = team.go.wait(g).unwrap();
+            }
+            if g.stop {
+                return;
+            }
+            seen = g.round;
+        }
+        shards[si].lock().unwrap().recompute();
+        let mut g = team.gate.lock().unwrap();
+        g.done += 1;
+        team.finished.notify_all();
+    }
+}
+
+/// Releases the worker team when the coordinator exits — including by
+/// panic (deadlock diagnostics), so `thread::scope` can still join.
+struct StopOnDrop<'a>(&'a TeamState);
+
+impl Drop for StopOnDrop<'_> {
+    fn drop(&mut self) {
+        if let Ok(mut g) = self.0.gate.lock() {
+            g.stop = true;
+            self.0.go.notify_all();
+        }
+    }
+}
+
+/// Runs the machine in `st` to completion under the event stepper,
+/// sharding the wake recompute across `shards` threads (`<= 1` =
+/// single-threaded; clamped to the processor count).
+pub(crate) fn event_loop(st: &mut DriverState, shards: usize) {
+    let nprocs = st.cores.len();
+    let nshards = shards.clamp(1, nprocs.max(1));
+    let sync0 = Arc::new(st.sync.clone());
+    let mut rest: Vec<Core> = std::mem::take(&mut st.cores);
+    let mut shard_vec: Vec<Mutex<Shard>> = Vec::with_capacity(nshards);
+    let (per, rem) = (nprocs / nshards, nprocs % nshards);
+    let mut base = 0;
+    for si in 0..nshards {
+        let len = per + usize::from(si < rem);
+        let cores: Vec<Core> = rest.drain(..len).collect();
+        shard_vec.push(Mutex::new(Shard {
+            base,
+            cores,
+            // Everything starts due at cycle 0, mirroring the strict
+            // driver's first cycle.
+            wake: vec![0; len],
+            charged_until: vec![0; len],
+            need: vec![false; len],
+            now: 0,
+            sync: Arc::clone(&sync0),
+        }));
+        base += len;
+    }
+    if nshards <= 1 {
+        drive(st, &shard_vec, &Inline);
+    } else {
+        let team = TeamState {
+            gate: Mutex::new(RoundGate {
+                round: 0,
+                done: 0,
+                stop: false,
+            }),
+            go: Condvar::new(),
+            finished: Condvar::new(),
+        };
+        std::thread::scope(|scope| {
+            for si in 1..nshards {
+                let (shards_ref, team_ref) = (&shard_vec, &team);
+                scope.spawn(move || worker(si, shards_ref, team_ref));
+            }
+            let _stop = StopOnDrop(&team);
+            let pool = Team {
+                team: &team,
+                nworkers: nshards - 1,
+            };
+            drive(st, &shard_vec, &pool);
+        });
+    }
+    for m in shard_vec {
+        st.cores.extend(m.into_inner().unwrap().cores);
+    }
+}
+
+/// The event-driven round loop. Each round runs at one simulated cycle
+/// `now` (the minimum over all wake times and the next memory-system
+/// fill): tick memory, then retire/trace/issue/fetch exactly the cores
+/// scheduled for this cycle, in global core order — the same order and
+/// the same calls the strict driver makes on this cycle, minus calls
+/// that are provable no-ops.
+fn drive(st: &mut DriverState, shards: &[Mutex<Shard>], pool: &dyn WakePool) {
+    let nprocs = st.interps.len();
+    let mut stepped = vec![false; nprocs];
+    let mut now: u64 = 0;
+    let mut last_retired: u64 = 0;
+    let mut last_progress_cycle: u64 = 0;
+    loop {
+        let mut guards: Vec<_> = shards.iter().map(|m| m.lock().unwrap()).collect();
+        st.memsys.tick(now);
+        let flag_mark = st.sync.flag_log().len();
+        let version_mark = st.sync.version();
+        let mut all_halted = true;
+        for g in guards.iter_mut() {
+            let Shard {
+                base,
+                cores,
+                wake,
+                charged_until,
+                ..
+            } = &mut **g;
+            for (li, core) in cores.iter_mut().enumerate() {
+                let gi = *base + li;
+                stepped[gi] = false;
+                if core.halted {
+                    continue;
+                }
+                // Due this cycle by schedule, or pulled in by a flag set
+                // earlier in this same round (same-cycle visibility to
+                // higher-numbered processors, as under strict stepping).
+                let due = wake[li] <= now
+                    || core
+                        .head_flag_wait()
+                        .is_some_and(|f| st.sync.flag_log()[flag_mark..].contains(&f));
+                if due {
+                    core.charge_idle(now - charged_until[li]);
+                    core.retire(&mut st.sync, now);
+                    charged_until[li] = now + 1;
+                    stepped[gi] = true;
+                }
+                if !core.halted {
+                    all_halted = false;
+                }
+            }
+        }
+        if st.tracing {
+            // Only stepped cores can change stall class (charge_idle
+            // continues the class of the last step across skipped
+            // rounds), so the strict driver's per-cycle transition scan
+            // reduces to the stepped set.
+            for g in guards.iter() {
+                for (li, core) in g.cores.iter().enumerate() {
+                    if stepped[g.base + li] {
+                        trace_stall_transition(&mut st.memsys, &mut st.stall_state, core, now);
+                    }
+                }
+            }
+        }
+        if all_halted {
+            break;
+        }
+        for g in guards.iter_mut() {
+            let Shard { base, cores, .. } = &mut **g;
+            for (li, core) in cores.iter_mut().enumerate() {
+                let gi = *base + li;
+                if stepped[gi] && !core.halted {
+                    core.issue(&mut st.memsys, now);
+                    fetch_stage(core, &mut st.interps[gi], st.mem, now);
+                }
+            }
+        }
+        // Deadlock diagnostics, matching the per-cycle driver.
+        let retired: u64 = guards
+            .iter()
+            .flat_map(|g| g.cores.iter())
+            .map(|c| c.retired)
+            .sum();
+        if retired != last_retired {
+            last_retired = retired;
+            last_progress_cycle = now;
+        } else if now - last_progress_cycle > DEADLOCK_WINDOW {
+            deadlock_panic(guards.iter().flat_map(|g| g.cores.iter()), now);
+        }
+        // Publish this round's clock (and, when a barrier release was
+        // scheduled or a flag set, a fresh sync snapshot) and mark wake
+        // recomputes: every stepped core, plus — on a sync version
+        // change — every live core, since sync events are the only way
+        // another processor's action can move a core's wake *earlier*.
+        let version_changed = st.sync.version() != version_mark;
+        let snapshot = version_changed.then(|| Arc::new(st.sync.clone()));
+        for g in guards.iter_mut() {
+            let Shard {
+                base,
+                cores,
+                need,
+                now: shard_now,
+                sync,
+                ..
+            } = &mut **g;
+            for (li, core) in cores.iter().enumerate() {
+                if stepped[*base + li] || (version_changed && !core.halted) {
+                    need[li] = true;
+                }
+            }
+            *shard_now = now;
+            if let Some(s) = &snapshot {
+                *sync = Arc::clone(s);
+            }
+        }
+        drop(guards);
+        pool.recompute(shards);
+        let mut next = st.memsys.next_event_time().unwrap_or(NO_WAKE);
+        for m in shards {
+            let g = m.lock().unwrap();
+            for &w in &g.wake {
+                next = next.min(w);
+            }
+        }
+        if next == NO_WAKE {
+            // No event anywhere: the run can never progress again. Jump
+            // to the diagnostic horizon so the deadlock check above fires
+            // with the same cycle number strict stepping reports.
+            now = last_progress_cycle + DEADLOCK_WINDOW + 1;
+            continue;
+        }
+        if next > now + 1 {
+            // Whole-system gap: account it exactly as the skip driver
+            // does, so occupancy sample counts stay cycle-exact. (Stall
+            // attribution is per-core and settles lazily via
+            // `charged_until` at each core's next step.)
+            let span = next - now - 1;
+            if st.tracing {
+                st.memsys.tracer_mut().record(
+                    now,
+                    SYSTEM_PROC,
+                    TraceEventKind::HorizonJump { span },
+                );
+            }
+            st.memsys.idle_sample(span);
+        }
+        now = next;
+    }
+}

@@ -19,6 +19,16 @@ pub struct SyncState {
     nprocs: usize,
     barriers: HashMap<u32, BarrierState>,
     flags: HashMap<u32, u64>,
+    /// Bumped on every event that can wake another processor earlier than
+    /// its locally computed next-event time: a barrier-release being
+    /// scheduled, or a flag being set. The event-driven stepper watches
+    /// this to know when sleeping cores need their wake times recomputed.
+    version: u64,
+    /// Append-only log of flags in set order. A flag set at cycle `t` is
+    /// visible to higher-numbered processors retiring at `t` in the same
+    /// phase, so the event stepper consults the log's tail to pull
+    /// flag-waiters into the current round.
+    flag_log: Vec<u32>,
 }
 
 impl SyncState {
@@ -29,6 +39,8 @@ impl SyncState {
             nprocs,
             barriers: HashMap::new(),
             flags: HashMap::new(),
+            version: 0,
+            flag_log: Vec::new(),
         }
     }
 
@@ -40,7 +52,20 @@ impl SyncState {
         b.arrived |= 1 << proc;
         if b.release_at.is_none() && b.arrived.count_ones() as usize == nprocs {
             b.release_at = Some(now + BARRIER_RELEASE_COST);
+            self.version += 1;
         }
+    }
+
+    /// Monotone counter of wake-capable sync events (barrier releases
+    /// scheduled, flags set). See the field documentation.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The set-order flag log (append-only; grows by one per first set of
+    /// a flag).
+    pub fn flag_log(&self) -> &[u32] {
+        &self.flag_log
     }
 
     /// True when barrier `id` has been released by cycle `now`.
@@ -65,7 +90,11 @@ impl SyncState {
 
     /// Sets `flag` at cycle `now` (release side; earlier sets win).
     pub fn set_flag(&mut self, flag: u32, now: u64) {
-        self.flags.entry(flag).or_insert(now);
+        if let std::collections::hash_map::Entry::Vacant(e) = self.flags.entry(flag) {
+            e.insert(now);
+            self.version += 1;
+            self.flag_log.push(flag);
+        }
     }
 
     /// True when `flag` has been set by cycle `now`.

@@ -10,20 +10,73 @@ use crate::memsys::MemSystem;
 use crate::sync::SyncState;
 
 /// Cycles without any retirement before the driver declares deadlock.
-const DEADLOCK_WINDOW: u64 = 4_000_000;
+pub(crate) const DEADLOCK_WINDOW: u64 = 4_000_000;
+
+/// How the driver advances the simulated clock. Every stepper produces
+/// bit-identical results (the equality-cube tests assert this); they
+/// differ only in how much host work each simulated cycle costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stepper {
+    /// Step every core every cycle — the reference driver.
+    Strict,
+    /// Event-horizon cycle skipping: step every core every cycle, but
+    /// when *no* core can retire, issue, or fetch before the next
+    /// scheduled event, jump the clock straight to that event and
+    /// account the skipped span in bulk.
+    Skip,
+    /// Discrete-event stepping: each core carries its own next-event
+    /// time and is only stepped in rounds where it is scheduled, so
+    /// event-dense multiprocessor runs stop paying per-cycle costs for
+    /// stalled or sync-blocked processors. Generalizes [`Stepper::Skip`]
+    /// (whose horizon is the minimum of the same per-core times) and is
+    /// the only stepper that can shard cores across worker threads (see
+    /// [`SimOptions::shards`]).
+    Event,
+}
+
+impl std::fmt::Display for Stepper {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Stepper::Strict => "strict",
+            Stepper::Skip => "skip",
+            Stepper::Event => "event",
+        })
+    }
+}
+
+impl std::str::FromStr for Stepper {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "strict" => Ok(Stepper::Strict),
+            "skip" => Ok(Stepper::Skip),
+            "event" => Ok(Stepper::Event),
+            other => Err(format!(
+                "unknown stepper '{other}' (expected strict, skip, or event)"
+            )),
+        }
+    }
+}
 
 /// Options controlling the simulation driver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimOptions {
-    /// Event-horizon cycle skipping: when no core can retire, issue, or
-    /// fetch before the next scheduled event, jump the clock straight to
-    /// that event and account the skipped span in bulk. Results are
-    /// identical to stepping every cycle (the determinism tests assert
-    /// this); simulation speed improves by the dead-cycle fraction.
+    /// Clock-advance strategy (see [`Stepper`]). Results are identical
+    /// across steppers (the determinism tests assert this); simulation
+    /// speed improves by the per-core dead-cycle fraction.
     ///
-    /// Defaults to on; building with the `strict-cycle` feature flips the
-    /// default off, giving a reference build that steps every cycle.
-    pub cycle_skip: bool,
+    /// Defaults to [`Stepper::Event`]; building with the `strict-cycle`
+    /// feature flips the default to [`Stepper::Strict`], giving a
+    /// reference build that steps every core every cycle.
+    pub stepper: Stepper,
+    /// Worker threads the event stepper shards cores across (`0` or `1`
+    /// = run single-threaded). Sharding is deterministic: cycles,
+    /// traces, and metrics are bit-identical at every shard count,
+    /// because shared-state phases run on one thread in fixed core order
+    /// and the parallel window computes only per-core wake times.
+    /// Ignored by the strict and skip steppers.
+    pub shards: usize,
     /// Which functional engine feeds each core's fetch stage: the
     /// tree-walking interpreter or the bytecode register VM. Both yield
     /// bit-identical op streams (the difftest and golden-trace gates
@@ -34,7 +87,12 @@ pub struct SimOptions {
 impl Default for SimOptions {
     fn default() -> Self {
         SimOptions {
-            cycle_skip: !cfg!(feature = "strict-cycle"),
+            stepper: if cfg!(feature = "strict-cycle") {
+                Stepper::Strict
+            } else {
+                Stepper::Event
+            },
+            shards: 1,
             engine: Engine::default(),
         }
     }
@@ -168,6 +226,77 @@ pub fn run_program_observed(
     (result, obs)
 }
 
+/// Mutable machine state threaded through a stepper driver: everything
+/// the per-round phases touch, bundled so the strict/skip loop and the
+/// event-driven scheduler (see [`crate::sched`]) share one setup and
+/// teardown.
+pub(crate) struct DriverState<'m, 'p> {
+    pub(crate) memsys: MemSystem,
+    pub(crate) cores: Vec<Core>,
+    pub(crate) interps: Vec<Executor<'p>>,
+    pub(crate) sync: SyncState,
+    pub(crate) stall_state: Vec<Option<StallClass>>,
+    pub(crate) tracing: bool,
+    pub(crate) mem: &'m mut SimMem,
+}
+
+/// Emits stall begin/end transitions for `core` from the retire stage's
+/// per-cycle attribution (`charge_idle` continues the same class across
+/// skipped spans, so no event is needed there).
+pub(crate) fn trace_stall_transition(
+    memsys: &mut MemSystem,
+    stall_state: &mut [Option<StallClass>],
+    core: &Core,
+    now: u64,
+) {
+    let p = core.id;
+    let cur = core.last_stall();
+    if cur != stall_state[p] {
+        let t = memsys.tracer_mut();
+        if let Some(prev) = stall_state[p] {
+            t.record(now, p as u32, TraceEventKind::StallEnd { class: prev });
+        }
+        if let Some(new) = cur {
+            t.record(now, p as u32, TraceEventKind::StallBegin { class: new });
+        }
+        stall_state[p] = cur;
+    }
+}
+
+/// Fetch stage for one core. Re-checks the fetch room on every op:
+/// fetching a barrier or flag-wait must stop the group immediately, or
+/// later ops would be functionally evaluated before the synchronization
+/// they depend on.
+pub(crate) fn fetch_stage(core: &mut Core, interp: &mut Executor, mem: &mut SimMem, now: u64) {
+    let mut fetched = 0;
+    while fetched < core.fetch_room() {
+        match interp.next_op(mem) {
+            Some(op) => {
+                core.fetch(op, now);
+                fetched += 1;
+            }
+            None => break,
+        }
+    }
+}
+
+/// Deadlock diagnostics shared by all steppers.
+pub(crate) fn deadlock_panic<'a>(cores: impl Iterator<Item = &'a Core>, now: u64) -> ! {
+    let diag: Vec<String> = cores
+        .map(|c| {
+            format!(
+                "p{}: halted={} window={} head_age={} head: {}",
+                c.id,
+                c.halted,
+                c.window_occupancy(),
+                c.head_age(now),
+                c.head_desc(now)
+            )
+        })
+        .collect();
+    panic!("simulation deadlock at cycle {now}: {}", diag.join("; "));
+}
+
 fn run_inner(
     prog: &Program,
     mem: &mut SimMem,
@@ -186,9 +315,9 @@ fn run_inner(
     let mut memsys = MemSystem::new(cfg, Box::new(move |line_addr| home.home_node(line_addr)));
     memsys.set_tracer(tracer);
     let tracing = memsys.trace_enabled();
-    let mut stall_state: Vec<Option<StallClass>> = vec![None; nprocs];
+    let stall_state: Vec<Option<StallClass>> = vec![None; nprocs];
     let l1_ports = cfg.l1.as_ref().map(|l| l.ports).unwrap_or(cfg.l2.ports);
-    let mut cores: Vec<Core> = (0..nprocs)
+    let cores: Vec<Core> = (0..nprocs)
         .map(|p| Core::new(p, &cfg.proc, l1_ports))
         .collect();
     // One functional executor per core; the bytecode program is compiled
@@ -197,144 +326,29 @@ fn run_inner(
         Engine::Bytecode => Some(BytecodeProgram::compile(prog)),
         Engine::Interp => None,
     };
-    let mut interps: Vec<Executor> = (0..nprocs)
+    let interps: Vec<Executor> = (0..nprocs)
         .map(|p| match &bytecode {
             Some(code) => Executor::Vm(Vm::new(code, p, nprocs)),
             None => Executor::Interp(Interp::new(prog, p, nprocs)),
         })
         .collect();
-    let mut sync = SyncState::new(nprocs);
+    let sync = SyncState::new(nprocs);
 
-    let mut now: u64 = 0;
-    let mut last_retired: u64 = 0;
-    let mut last_progress_cycle: u64 = 0;
-    loop {
-        memsys.tick(now);
-        let mut all_halted = true;
-        for core in cores.iter_mut() {
-            if core.retire(&mut sync, now) {
-                all_halted = false;
-            }
-        }
-        if tracing {
-            // Emit stall begin/end transitions from the retire stage's
-            // per-cycle attribution (charge_idle continues the same class
-            // across skipped spans, so no event is needed there).
-            for (p, core) in cores.iter().enumerate() {
-                let cur = core.last_stall();
-                if cur != stall_state[p] {
-                    let t = memsys.tracer_mut();
-                    if let Some(prev) = stall_state[p] {
-                        t.record(now, p as u32, TraceEventKind::StallEnd { class: prev });
-                    }
-                    if let Some(new) = cur {
-                        t.record(now, p as u32, TraceEventKind::StallBegin { class: new });
-                    }
-                    stall_state[p] = cur;
-                }
-            }
-        }
-        if all_halted {
-            break;
-        }
-        for core in cores.iter_mut() {
-            if !core.halted {
-                core.issue(&mut memsys, now);
-            }
-        }
-        for (core, interp) in cores.iter_mut().zip(interps.iter_mut()) {
-            if core.halted {
-                continue;
-            }
-            // Re-check the fetch room on every op: fetching a barrier or
-            // flag-wait must stop the group immediately, or later ops
-            // would be functionally evaluated before the synchronization
-            // they depend on.
-            let mut fetched = 0;
-            while fetched < core.fetch_room() {
-                match interp.next_op(mem) {
-                    Some(op) => {
-                        core.fetch(op, now);
-                        fetched += 1;
-                    }
-                    None => break,
-                }
-            }
-        }
-        // Deadlock diagnostics.
-        let retired: u64 = cores.iter().map(|c| c.retired).sum();
-        if retired != last_retired {
-            last_retired = retired;
-            last_progress_cycle = now;
-        } else if now - last_progress_cycle > DEADLOCK_WINDOW {
-            let diag: Vec<String> = cores
-                .iter()
-                .map(|c| {
-                    format!(
-                        "p{}: halted={} window={} head_age={} head: {}",
-                        c.id,
-                        c.halted,
-                        c.window_occupancy(),
-                        c.head_age(now),
-                        c.head_desc(now)
-                    )
-                })
-                .collect();
-            panic!("simulation deadlock at cycle {now}: {}", diag.join("; "));
-        }
-        if opts.cycle_skip {
-            // Event horizon: the earliest cycle at which anything can
-            // change — a memory fill, or any core retiring, issuing, or
-            // fetching. Dead cycles in between are provably no-ops, so
-            // account them in bulk and jump.
-            // Fast path: if any core just retired or has fetch room, the
-            // very next cycle is interesting — don't scan reorder buffers.
-            // This keeps the skip machinery near-free on event-dense runs
-            // (busy multiprocessor phases) where skips are rare.
-            let mut next: Option<u64> = if cores.iter().any(|c| c.made_progress()) {
-                Some(now + 1)
-            } else {
-                memsys.next_event_time()
-            };
-            if next != Some(now + 1) {
-                for core in &cores {
-                    if let Some(t) = core.next_event_time(&sync, now) {
-                        next = Some(next.map_or(t, |n| n.min(t)));
-                    }
-                    if next == Some(now + 1) {
-                        break;
-                    }
-                }
-            }
-            match next {
-                Some(t) if t > now + 1 => {
-                    let span = t - now - 1;
-                    if tracing {
-                        memsys.tracer_mut().record(
-                            now,
-                            SYSTEM_PROC,
-                            TraceEventKind::HorizonJump { span },
-                        );
-                    }
-                    memsys.idle_sample(span);
-                    for core in cores.iter_mut() {
-                        core.charge_idle(span);
-                    }
-                    now = t;
-                }
-                Some(_) => now += 1,
-                None => {
-                    // No event anywhere: the run can never progress again.
-                    // Jump to the diagnostic horizon so the deadlock check
-                    // above fires with the same cycle number strict
-                    // stepping would report.
-                    now = last_progress_cycle + DEADLOCK_WINDOW + 1;
-                }
-            }
-        } else {
-            now += 1;
-        }
+    let mut st = DriverState {
+        memsys,
+        cores,
+        interps,
+        sync,
+        stall_state,
+        tracing,
+        mem,
+    };
+    match opts.stepper {
+        Stepper::Strict => cycle_loop(&mut st, false),
+        Stepper::Skip => cycle_loop(&mut st, true),
+        Stepper::Event => crate::sched::event_loop(&mut st, opts.shards),
     }
+    let DriverState { memsys, cores, .. } = st;
 
     let wall = cores.iter().map(|c| c.halt_cycle).max().unwrap_or(0);
     let breakdowns: Vec<Breakdown> = cores
@@ -363,6 +377,103 @@ fn run_inner(
         clock_mhz: cfg.proc.clock_mhz,
     };
     (result, memsys, cores)
+}
+
+/// The per-cycle driver behind [`Stepper::Strict`] and [`Stepper::Skip`]:
+/// every core runs retire → issue → fetch every executed cycle; with
+/// `cycle_skip` the clock jumps over spans where nothing can happen.
+fn cycle_loop(st: &mut DriverState, cycle_skip: bool) {
+    let mut now: u64 = 0;
+    let mut last_retired: u64 = 0;
+    let mut last_progress_cycle: u64 = 0;
+    loop {
+        st.memsys.tick(now);
+        let mut all_halted = true;
+        for core in st.cores.iter_mut() {
+            if core.retire(&mut st.sync, now) {
+                all_halted = false;
+            }
+        }
+        if st.tracing {
+            for core in st.cores.iter() {
+                trace_stall_transition(&mut st.memsys, &mut st.stall_state, core, now);
+            }
+        }
+        if all_halted {
+            break;
+        }
+        for core in st.cores.iter_mut() {
+            if !core.halted {
+                core.issue(&mut st.memsys, now);
+            }
+        }
+        for (core, interp) in st.cores.iter_mut().zip(st.interps.iter_mut()) {
+            if core.halted {
+                continue;
+            }
+            fetch_stage(core, interp, st.mem, now);
+        }
+        // Deadlock diagnostics.
+        let retired: u64 = st.cores.iter().map(|c| c.retired).sum();
+        if retired != last_retired {
+            last_retired = retired;
+            last_progress_cycle = now;
+        } else if now - last_progress_cycle > DEADLOCK_WINDOW {
+            deadlock_panic(st.cores.iter(), now);
+        }
+        if cycle_skip {
+            // Event horizon: the earliest cycle at which anything can
+            // change — a memory fill, or any core retiring, issuing, or
+            // fetching. Dead cycles in between are provably no-ops, so
+            // account them in bulk and jump.
+            // Fast path: if any core just retired or has fetch room, the
+            // very next cycle is interesting — don't scan reorder buffers.
+            // This keeps the skip machinery near-free on event-dense runs
+            // (busy multiprocessor phases) where skips are rare.
+            let mut next: Option<u64> = if st.cores.iter().any(|c| c.made_progress()) {
+                Some(now + 1)
+            } else {
+                st.memsys.next_event_time()
+            };
+            if next != Some(now + 1) {
+                for core in &st.cores {
+                    if let Some(t) = core.next_event_time(&st.sync, now) {
+                        next = Some(next.map_or(t, |n| n.min(t)));
+                    }
+                    if next == Some(now + 1) {
+                        break;
+                    }
+                }
+            }
+            match next {
+                Some(t) if t > now + 1 => {
+                    let span = t - now - 1;
+                    if st.tracing {
+                        st.memsys.tracer_mut().record(
+                            now,
+                            SYSTEM_PROC,
+                            TraceEventKind::HorizonJump { span },
+                        );
+                    }
+                    st.memsys.idle_sample(span);
+                    for core in st.cores.iter_mut() {
+                        core.charge_idle(span);
+                    }
+                    now = t;
+                }
+                Some(_) => now += 1,
+                None => {
+                    // No event anywhere: the run can never progress again.
+                    // Jump to the diagnostic horizon so the deadlock check
+                    // above fires with the same cycle number strict
+                    // stepping would report.
+                    now = last_progress_cycle + DEADLOCK_WINDOW + 1;
+                }
+            }
+        } else {
+            now += 1;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -11,7 +11,9 @@
 //! ```
 
 use mempar::{chrome_trace_json, observe_pair, validate_json, ChromeRun, MachineConfig};
-use mempar_sim::{run_program_observed, run_program_with, SimObservation, SimOptions, Tracer};
+use mempar_sim::{
+    run_program_observed, run_program_with, SimObservation, SimOptions, Stepper, Tracer,
+};
 use mempar_workloads::{latbench, App, LatbenchParams, Workload};
 
 /// The pinned configuration behind the golden snapshot. Do not change
@@ -25,7 +27,7 @@ fn pinned_latbench() -> Workload {
     })
 }
 
-fn observed_run(w: &Workload, cycle_skip: bool) -> (String, SimObservation) {
+fn observed_run(w: &Workload, stepper: Stepper) -> (String, SimObservation) {
     let cfg = MachineConfig::base_simulated(1, w.l2_bytes);
     let mut mem = w.memory(1);
     let (r, obs) = run_program_observed(
@@ -33,7 +35,7 @@ fn observed_run(w: &Workload, cycle_skip: bool) -> (String, SimObservation) {
         &mut mem,
         &cfg,
         SimOptions {
-            cycle_skip,
+            stepper,
             ..SimOptions::default()
         },
         Tracer::with_capacity(1 << 16),
@@ -41,8 +43,8 @@ fn observed_run(w: &Workload, cycle_skip: bool) -> (String, SimObservation) {
     (format!("{r:?}"), obs)
 }
 
-/// Tracing enabled vs disabled, crossed with strict vs skipping drivers:
-/// all four `SimResult`s must be bit-identical (compared through `Debug`,
+/// Tracing enabled vs disabled, crossed with the three clock drivers:
+/// all six `SimResult`s must be bit-identical (compared through `Debug`,
 /// which prints floats at shortest-roundtrip precision).
 #[test]
 fn tracing_is_invisible_in_results() {
@@ -50,19 +52,19 @@ fn tracing_is_invisible_in_results() {
         let w = app.build(0.03);
         let cfg = MachineConfig::base_simulated(1, w.l2_bytes);
         let mut results = Vec::new();
-        for cycle_skip in [false, true] {
+        for stepper in [Stepper::Strict, Stepper::Skip, Stepper::Event] {
             let mut mem = w.memory(1);
             let untraced = run_program_with(
                 &w.program,
                 &mut mem,
                 &cfg,
                 SimOptions {
-                    cycle_skip,
+                    stepper,
                     ..SimOptions::default()
                 },
             );
             results.push(format!("{untraced:?}"));
-            let (traced, obs) = observed_run(&w, cycle_skip);
+            let (traced, obs) = observed_run(&w, stepper);
             assert!(
                 !obs.trace.is_empty(),
                 "{}: tracer saw no events",
@@ -81,15 +83,13 @@ fn tracing_is_invisible_in_results() {
     }
 }
 
-/// The trace itself must not depend on the driver mode: skipping only
-/// compresses idle spans, so every miss/MSHR/stall event must appear at
-/// the same cycle either way (horizon jumps are scheduler bookkeeping
-/// and are filtered out before comparing).
+/// The trace itself must not depend on the driver mode: skipping and
+/// event stepping only compress idle spans, so every miss/MSHR/stall
+/// event must appear at the same cycle in every mode (horizon jumps are
+/// scheduler bookkeeping and are filtered out before comparing).
 #[test]
 fn trace_events_match_across_driver_modes() {
     let w = pinned_latbench();
-    let (_, strict) = observed_run(&w, false);
-    let (_, skip) = observed_run(&w, true);
     let scrub = |obs: &SimObservation| -> Vec<String> {
         obs.trace
             .iter()
@@ -97,7 +97,15 @@ fn trace_events_match_across_driver_modes() {
             .map(|e| format!("{e:?}"))
             .collect()
     };
-    assert_eq!(scrub(&strict), scrub(&skip));
+    let (_, strict) = observed_run(&w, Stepper::Strict);
+    for stepper in [Stepper::Skip, Stepper::Event] {
+        let (_, other) = observed_run(&w, stepper);
+        assert_eq!(
+            scrub(&strict),
+            scrub(&other),
+            "{stepper} trace diverges from strict"
+        );
+    }
 }
 
 /// End-to-end profile sanity on a real workload pair: clustering must
@@ -127,8 +135,11 @@ fn profiler_reports_clustering_gain() {
 }
 
 fn golden_trace_json() -> String {
+    // Pinned to the skip stepper: its HorizonJump spans are part of the
+    // blessed snapshot, so changing the stepper here would force a
+    // re-bless for a pure bookkeeping difference.
     let w = pinned_latbench();
-    let (_, obs) = observed_run(&w, true);
+    let (_, obs) = observed_run(&w, Stepper::Skip);
     assert_eq!(obs.dropped, 0, "pinned config must fit the ring");
     let runs = [ChromeRun {
         name: "latbench/golden",

@@ -1,37 +1,42 @@
-//! Event-horizon cycle skipping must be invisible in the results: every
-//! field of [`SimResult`] — cycle counts, stall breakdowns, memory
-//! counters, latency stats, MSHR occupancy histograms — must be
-//! bit-identical to the strict build that steps the clock one cycle at a
-//! time. The comparison goes through `Debug` formatting, which prints
-//! floats with shortest-roundtrip precision, so any bit-level divergence
-//! shows up.
+//! The stepper equality cube: every clock-advance strategy must be
+//! invisible in the results. Each field of [`SimResult`] — cycle counts,
+//! stall breakdowns, memory counters, latency stats, MSHR occupancy
+//! histograms — must be bit-identical between strict per-cycle stepping,
+//! event-horizon skipping, and discrete-event stepping (single-threaded
+//! and sharded across 2 and 4 worker threads). The comparison goes
+//! through `Debug` formatting, which prints floats with
+//! shortest-roundtrip precision, so any bit-level divergence shows up.
 //!
-//! The same square has an engine axis: the bytecode VM front-end must be
-//! as invisible as skipping and tracing, so every workload is also run
-//! under both `--engine` legs (interp strict is the reference corner).
+//! The same cube has an engine axis (the bytecode VM front-end must be
+//! as invisible as the stepper; interp strict is the reference corner)
+//! and a tracing axis (attaching the observability tracer must change
+//! nothing).
 
 use mempar_sim::{
-    run_program_observed, run_program_with, Engine, MachineConfig, SimOptions, Tracer,
+    run_program_observed, run_program_with, Engine, MachineConfig, SimOptions, Stepper, Tracer,
 };
 use mempar_workloads::App;
 
-fn run_debug(app: App, scale: f64, mp: bool, cycle_skip: bool, engine: Engine) -> String {
+fn options(stepper: Stepper, shards: usize, engine: Engine) -> SimOptions {
+    SimOptions {
+        stepper,
+        shards,
+        engine,
+    }
+}
+
+fn run_debug(app: App, scale: f64, mp: bool, opts: SimOptions) -> String {
     let w = app.build(scale);
     let nprocs = if mp { w.mp_procs.max(1) } else { 1 };
     let cfg = MachineConfig::base_simulated(nprocs, 64 * 1024);
     let mut mem = w.memory(nprocs);
-    let r = run_program_with(
-        &w.program,
-        &mut mem,
-        &cfg,
-        SimOptions { cycle_skip, engine },
-    );
+    let r = run_program_with(&w.program, &mut mem, &cfg, opts);
     format!("{r:?}")
 }
 
-/// Same run with the observability tracer attached — the third leg of
-/// the determinism square: tracing must be as invisible as skipping.
-fn run_debug_traced(app: App, scale: f64, mp: bool, cycle_skip: bool, engine: Engine) -> String {
+/// Same run with the observability tracer attached — tracing must be as
+/// invisible as the stepper choice.
+fn run_debug_traced(app: App, scale: f64, mp: bool, opts: SimOptions) -> String {
     let w = app.build(scale);
     let nprocs = if mp { w.mp_procs.max(1) } else { 1 };
     let cfg = MachineConfig::base_simulated(nprocs, 64 * 1024);
@@ -40,46 +45,76 @@ fn run_debug_traced(app: App, scale: f64, mp: bool, cycle_skip: bool, engine: En
         &w.program,
         &mut mem,
         &cfg,
-        SimOptions { cycle_skip, engine },
+        opts,
         Tracer::with_capacity(1 << 16),
     );
     format!("{r:?}")
 }
 
 fn assert_identical(app: App, mp: bool) {
-    let scale = 0.05;
-    let strict = run_debug(app, scale, mp, false, Engine::Interp);
-    for engine in [Engine::Interp, Engine::Bytecode] {
-        let skip = run_debug(app, scale, mp, true, engine);
-        assert_eq!(
-            skip,
-            strict,
-            "{} ({}, engine {engine}) diverges between cycle-skip and strict stepping",
+    // Multiprocessor strict legs are the expensive corner (16 cores
+    // stepped every cycle on one host thread), so they run at a smaller
+    // scale; the cube is about equality, not workload size.
+    let scale = if mp { 0.03 } else { 0.05 };
+    let strict = run_debug(
+        app,
+        scale,
+        mp,
+        options(Stepper::Strict, 1, Engine::Bytecode),
+    );
+    let ctx = |leg: &str, engine: Engine| {
+        format!(
+            "{} ({}, engine {engine}, {leg}) diverges from strict stepping",
             app.name(),
             if mp { "mp" } else { "up" }
+        )
+    };
+    // The stepper and tracing axes, under the default (bytecode) engine.
+    for stepper in [Stepper::Skip, Stepper::Event] {
+        let leg = run_debug(app, scale, mp, options(stepper, 1, Engine::Bytecode));
+        assert_eq!(
+            leg,
+            strict,
+            "{}",
+            ctx(&stepper.to_string(), Engine::Bytecode)
         );
-        let traced = run_debug_traced(app, scale, mp, true, engine);
+        let traced = run_debug_traced(app, scale, mp, options(stepper, 1, Engine::Bytecode));
         assert_eq!(
             traced,
             strict,
-            "{} ({}, engine {engine}) diverges when the tracer is attached",
-            app.name(),
-            if mp { "mp" } else { "up" }
+            "{}",
+            ctx(&format!("{stepper}+trace"), Engine::Bytecode)
         );
     }
-    // Close the square: bytecode under strict stepping, too.
-    let strict_vm = run_debug(app, scale, mp, false, Engine::Bytecode);
-    assert_eq!(
-        strict_vm,
-        strict,
-        "{} ({}) diverges between engines under strict stepping",
-        app.name(),
-        if mp { "mp" } else { "up" }
-    );
+    // Deterministic sharding: bit-identical at every thread count.
+    for shards in [2, 4] {
+        let leg = run_debug(
+            app,
+            scale,
+            mp,
+            options(Stepper::Event, shards, Engine::Bytecode),
+        );
+        assert_eq!(
+            leg,
+            strict,
+            "{}",
+            ctx(&format!("event, {shards} shards"), Engine::Bytecode)
+        );
+    }
+    // The engine axis: the tree-walking interpreter must agree at the
+    // strict corner (same driver, different front-end) and at the event
+    // corner (engine x stepper interaction). Exhaustive engine
+    // invisibility on the op-stream level is `tests/engine_diff.rs`'s
+    // job; simulated-cycle invisibility needs only these two corners
+    // plus `benchsim`'s per-run assertion.
+    let strict_tw = run_debug(app, scale, mp, options(Stepper::Strict, 1, Engine::Interp));
+    assert_eq!(strict_tw, strict, "{}", ctx("strict", Engine::Interp));
+    let event_tw = run_debug(app, scale, mp, options(Stepper::Event, 1, Engine::Interp));
+    assert_eq!(event_tw, strict, "{}", ctx("event", Engine::Interp));
 }
 
 #[test]
-fn latbench_skip_matches_strict() {
+fn latbench_steppers_agree() {
     // Pointer chase: the best case for skipping (window-full stalls on
     // dependent misses), so also the most likely to expose bulk-account
     // errors.
@@ -87,20 +122,22 @@ fn latbench_skip_matches_strict() {
 }
 
 #[test]
-fn fft_skip_matches_strict_multiprocessor() {
-    // Barrier-synchronized phases exercise the barrier-release horizon.
+fn fft_steppers_agree_multiprocessor() {
+    // Barrier-synchronized phases exercise the barrier-release horizon
+    // and the event stepper's sync-version wakeups.
     assert_identical(App::Fft, true);
 }
 
 #[test]
-fn lu_skip_matches_strict_multiprocessor() {
+fn lu_steppers_agree_multiprocessor() {
     // Flag-based pipelined producer/consumer sync exercises the
-    // flag-wait and release-fence (FlagSet) horizons.
+    // flag-wait and release-fence (FlagSet) horizons, including the
+    // event stepper's same-cycle flag visibility pull-in.
     assert_identical(App::Lu, true);
 }
 
 #[test]
-fn em3d_skip_matches_strict_uniprocessor() {
+fn em3d_steppers_agree_uniprocessor() {
     // Irregular-graph streaming: MSHR-saturated phases where the
     // scheduler must *not* skip (ready-but-retrying loads).
     assert_identical(App::Em3d, false);
