@@ -3,14 +3,20 @@
 //! clock drivers (strict one-cycle-at-a-time reference, event-horizon
 //! cycle skipping, discrete-event stepping) plus a tree-walking
 //! interpreter leg and — for multiprocessor experiments — the event
-//! stepper's sharded mode at 2 and 4 worker threads. The JSON carries
-//! the resulting stepper-vs-strict, shard-scaling, and
-//! bytecode-vs-tree-walk speedup ratios.
+//! stepper's sharded mode at 2 and 4 worker threads. Each experiment
+//! also runs once per alternative coherence protocol (MESI, MOESI,
+//! Dragon) under the event driver, recording what each machine costs in
+//! simulated cycles relative to the directory baseline. The JSON carries
+//! the resulting stepper-vs-strict, shard-scaling,
+//! bytecode-vs-tree-walk, and per-protocol cycle ratios.
 //!
 //! The runs are timed **serially** (unlike the other harness binaries) so
 //! host contention cannot distort the throughput numbers, and the cycle
-//! counts of all modes are asserted identical — no stepper, shard count,
-//! or engine swap may ever change results, only speed.
+//! counts of all directory modes are asserted identical — no stepper,
+//! shard count, or engine swap may ever change results, only speed. The
+//! protocol legs have their own cycle counts but must reproduce the
+//! directory leg's functional results (retired ops, loads/stores, memory
+//! fingerprint) exactly.
 //!
 //! ```text
 //! cargo run --release -p mempar-bench --bin benchsim -- --scale 0.1
@@ -20,7 +26,7 @@ use mempar_bench::{
     bench_sim_json, log_enabled, parse_args, timed, FrontendBenchRecord, LogLevel, SimBenchRecord,
 };
 use mempar_ir::{BytecodeProgram, Interp, Vm};
-use mempar_sim::{run_program_with, Engine, MachineConfig, SimOptions, Stepper};
+use mempar_sim::{run_program_with, Engine, MachineConfig, Protocol, SimOptions, Stepper};
 use mempar_workloads::App;
 
 fn main() {
@@ -51,6 +57,9 @@ fn main() {
     let mut frontend: Vec<FrontendBenchRecord> = Vec::new();
     for &(name, app, mp) in experiments {
         let mut cycles_by_mode = Vec::new();
+        // Functional reference from the directory event leg: the
+        // protocol legs below must reproduce it exactly.
+        let mut func_ref = None;
         let modes = base_modes
             .iter()
             .chain(if mp { shard_modes } else { &[] })
@@ -66,6 +75,7 @@ fn main() {
             let mut best = None;
             let mut reps = 0;
             let mut total = 0.0;
+            let mut fingerprint = 0u64;
             while reps < 3 || (reps < 8 && total < 1.0) {
                 let mut mem = w.memory(nprocs);
                 let (r, secs) = timed(|| {
@@ -77,11 +87,13 @@ fn main() {
                             stepper,
                             shards,
                             engine,
+                            protocol: Protocol::Directory,
                         },
                     )
                 });
                 reps += 1;
                 total += secs;
+                fingerprint = mem.fingerprint();
                 if best.as_ref().is_none_or(|&(_, b)| secs < b) {
                     best = Some((r, secs));
                 }
@@ -95,6 +107,9 @@ fn main() {
                 );
             }
             cycles_by_mode.push(r.cycles);
+            if mode == "event" {
+                func_ref = Some((r.retired, r.counters.loads, r.counters.stores, fingerprint));
+            }
             records.push(SimBenchRecord {
                 experiment: name.to_string(),
                 mode: mode.to_string(),
@@ -112,6 +127,69 @@ fn main() {
             "{name}: stepper, shard count, or engine changed the simulated cycle count: \
              {cycles_by_mode:?}"
         );
+        // Alternative coherence machines under the event driver. Their
+        // cycle counts are their own (so they stay OUT of the cross-mode
+        // equality assertion above — the per-protocol dimension is the
+        // point), but functional results must match the directory leg
+        // bit-for-bit.
+        let protocol_modes: &[(&str, Protocol)] = &[
+            ("event-mesi", Protocol::Mesi),
+            ("event-moesi", Protocol::Moesi),
+            ("event-dragon", Protocol::Dragon),
+        ];
+        for &(mode, protocol) in protocol_modes {
+            let w = app.build(args.scale);
+            let nprocs = if mp { w.mp_procs.max(1) } else { 1 };
+            let cfg = MachineConfig::base_simulated(nprocs, 64 * 1024);
+            let mut best = None;
+            let mut reps = 0;
+            let mut total = 0.0;
+            let mut fingerprint = 0u64;
+            while reps < 3 || (reps < 8 && total < 1.0) {
+                let mut mem = w.memory(nprocs);
+                let (r, secs) = timed(|| {
+                    run_program_with(
+                        &w.program,
+                        &mut mem,
+                        &cfg,
+                        SimOptions {
+                            stepper: Stepper::Event,
+                            shards: 1,
+                            engine: Engine::Bytecode,
+                            protocol,
+                        },
+                    )
+                });
+                reps += 1;
+                total += secs;
+                fingerprint = mem.fingerprint();
+                if best.as_ref().is_none_or(|&(_, b)| secs < b) {
+                    best = Some((r, secs));
+                }
+            }
+            let (r, secs) = best.expect("at least one rep");
+            let reference = func_ref.expect("directory event leg always runs first");
+            assert_eq!(
+                (r.retired, r.counters.loads, r.counters.stores, fingerprint),
+                reference,
+                "{name}: protocol {protocol} changed functional results"
+            );
+            if log_enabled(LogLevel::Info) {
+                eprintln!(
+                    "[{name}] {mode}: {} cycles in {secs:.3}s = {:.0} cycles/sec",
+                    r.cycles,
+                    r.cycles as f64 / secs.max(1e-12)
+                );
+            }
+            records.push(SimBenchRecord {
+                experiment: name.to_string(),
+                mode: mode.to_string(),
+                cycles: r.cycles,
+                cores: nprocs,
+                wall_seconds: secs,
+                occupancy: None,
+            });
+        }
         // Isolated front-end drain: the same dynamic-op stream with no
         // timing model attached. The simulated runs above spend most of
         // their host time in the timing model, so `engine_speedup` sits

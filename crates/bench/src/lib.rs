@@ -22,8 +22,8 @@
 use std::sync::atomic::{AtomicU8, Ordering};
 
 use mempar::{
-    chrome_trace_json, run_pair_with, ChromeRun, Engine, MachineConfig, ObservedRun, RunPair,
-    SimOptions, Stepper,
+    chrome_trace_json, run_pair_with, ChromeRun, Engine, MachineConfig, ObservedRun, Protocol,
+    RunPair, SimOptions, Stepper,
 };
 use mempar_obs::escape_json;
 use mempar_stats::MshrOccupancy;
@@ -82,6 +82,10 @@ pub struct HarnessArgs {
     /// (`--shards`, default 1 = single-threaded). Deterministic: results
     /// are bit-identical at every shard count.
     pub shards: usize,
+    /// Coherence protocol driving the memory system (`--protocol`,
+    /// default directory). Functional results are identical across
+    /// protocols; only cycle counts move.
+    pub protocol: Protocol,
 }
 
 impl Default for HarnessArgs {
@@ -99,6 +103,7 @@ impl Default for HarnessArgs {
             engine: Engine::default(),
             stepper: opts.stepper,
             shards: opts.shards,
+            protocol: opts.protocol,
         }
     }
 }
@@ -111,12 +116,14 @@ impl HarnessArgs {
         self.trace_out.is_some() || self.metrics_out.is_some() || self.profile_refs
     }
 
-    /// Driver options implied by the flags (stepper, shards, engine).
+    /// Driver options implied by the flags (stepper, shards, engine,
+    /// protocol).
     pub fn sim_options(&self) -> SimOptions {
         SimOptions {
             stepper: self.stepper,
             shards: self.shards,
             engine: self.engine,
+            protocol: self.protocol,
         }
     }
 }
@@ -135,8 +142,8 @@ pub fn usage() -> String {
     let apps: Vec<&str> = App::all().iter().map(|a| a.name()).collect();
     format!(
         "usage: {bin} [--scale <f>] [--apps <a,b,c>] [--mode <m>] [--procs <n>] [--threads <n>]\n\
-         \x20       [--engine <e>] [--stepper <s>] [--shards <n>] [--trace-out <path>]\n\
-         \x20       [--metrics-out <path>] [--profile-refs] [--quiet]\n\
+         \x20       [--engine <e>] [--stepper <s>] [--shards <n>] [--protocol <p>]\n\
+         \x20       [--trace-out <path>] [--metrics-out <path>] [--profile-refs] [--quiet]\n\
          \n\
          \x20 --scale <f>        input-size fraction of the paper's Table 2 sizes (default 0.1)\n\
          \x20 --apps <list>      comma-separated subset of: {}\n\
@@ -148,6 +155,8 @@ pub fn usage() -> String {
          \x20                    results are bit-identical across steppers\n\
          \x20 --shards <n>       worker threads the event stepper shards cores across (default 1;\n\
          \x20                    deterministic — results are bit-identical at every count)\n\
+         \x20 --protocol <p>     coherence protocol: directory (default) | mesi | moesi | dragon;\n\
+         \x20                    functional results are identical, only cycle counts move\n\
          \x20 --trace-out <p>    write a Chrome trace_event JSON (open in Perfetto)\n\
          \x20 --metrics-out <p>  write a metrics-registry JSON snapshot\n\
          \x20 --profile-refs     print the per-leading-reference miss-clustering profile\n\
@@ -231,6 +240,9 @@ pub fn parse_args() -> HarnessArgs {
             }
             "--engine" => out.engine = take().parse().unwrap_or_else(|e: String| usage_error(&e)),
             "--stepper" => out.stepper = take().parse().unwrap_or_else(|e: String| usage_error(&e)),
+            "--protocol" => {
+                out.protocol = take().parse().unwrap_or_else(|e: String| usage_error(&e))
+            }
             "--shards" => {
                 out.shards = take()
                     .parse()
@@ -407,7 +419,11 @@ pub struct SimBenchRecord {
     pub experiment: String,
     /// Driver mode: `strict-cycle` / `cycle-skip` / `event` /
     /// `event-sh2` / `event-sh4` (bytecode engine, named by stepper and
-    /// shard count) or `tree-walk` (interpreter engine, event stepper).
+    /// shard count), `tree-walk` (interpreter engine, event stepper), or
+    /// `event-mesi` / `event-moesi` / `event-dragon` (event stepper
+    /// under an alternative coherence protocol — these have their own
+    /// cycle counts, so they stay out of the cross-mode cycle-equality
+    /// assertion).
     pub mode: String,
     /// Simulated cycles covered (summed over the experiment's runs).
     pub cycles: u64,
@@ -525,6 +541,20 @@ pub fn bench_sim_json(
         }
         if let Some(tree) = find(&r.experiment, "tree-walk") {
             fields.push(format!("\"engine_speedup\": {:.2}", ratio_vs(tree, r)));
+        }
+        // What each coherence machine costs relative to the directory
+        // baseline, in simulated cycles (not host throughput).
+        for (col, mode) in [
+            ("mesi_cycles_vs_directory", "event-mesi"),
+            ("moesi_cycles_vs_directory", "event-moesi"),
+            ("dragon_cycles_vs_directory", "event-dragon"),
+        ] {
+            if let Some(leg) = find(&r.experiment, mode) {
+                fields.push(format!(
+                    "\"{col}\": {:.3}",
+                    leg.cycles as f64 / r.cycles.max(1) as f64
+                ));
+            }
         }
         if let Some(f) = frontend.iter().find(|f| f.experiment == r.experiment) {
             fields.push(format!("\"frontend_speedup\": {:.2}", f.speedup()));

@@ -83,9 +83,17 @@ fn help_exits_0_and_prints_usage_to_stdout() {
         "--engine",
         "--stepper",
         "--shards",
+        "--protocol",
         "MEMPAR_LOG",
     ] {
         assert!(stdout.contains(flag), "usage missing {flag}:\n{stdout}");
+    }
+    // The protocol menu is part of the documented surface too.
+    for name in ["directory", "mesi", "moesi", "dragon"] {
+        assert!(
+            stdout.contains(name),
+            "usage missing protocol {name}:\n{stdout}"
+        );
     }
 }
 
@@ -97,6 +105,12 @@ fn unknown_engine_exits_2_with_usage() {
 #[test]
 fn unknown_stepper_exits_2_with_usage() {
     assert_usage_exit(&["--stepper", "turbo"], "unknown stepper 'turbo'");
+}
+
+#[test]
+fn unknown_protocol_exits_2_with_usage() {
+    assert_usage_exit(&["--protocol", "mosi"], "unknown protocol 'mosi'");
+    assert_usage_exit(&["--protocol"], "missing value for --protocol");
 }
 
 #[test]
@@ -153,6 +167,51 @@ fn stepper_and_shard_choices_never_change_results() {
             reference,
             "args {args:?}: table2 output must be byte-identical across \
              steppers and shard counts"
+        );
+    }
+}
+
+#[test]
+fn protocol_choice_never_changes_results() {
+    // The catalog is purely functional output, so it must be
+    // byte-identical under every coherence machine (protocols move
+    // cycle counts only; those are pinned by the per-protocol golden
+    // snapshots, not this contract).
+    let reference = run(&["--scale", "0.02", "-q"]);
+    assert_eq!(reference.status.code(), Some(0));
+    let reference = String::from_utf8_lossy(&reference.stdout).into_owned();
+    for protocol in ["directory", "mesi", "moesi", "dragon"] {
+        let out = run(&["--scale", "0.02", "-q", "--protocol", protocol]);
+        assert_eq!(out.status.code(), Some(0), "--protocol {protocol}");
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout),
+            reference,
+            "--protocol {protocol}: table2 output must be byte-identical \
+             across coherence protocols"
+        );
+    }
+}
+
+#[test]
+fn latbench_accepts_every_protocol() {
+    // Latbench internally asserts that clustering preserves functional
+    // results, so a clean exit under each machine doubles as a
+    // conformance check on the full base-vs-clustered pipeline.
+    for protocol in ["directory", "mesi", "moesi", "dragon"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_latbench"))
+            .env_remove("MEMPAR_LOG")
+            .args(["--scale", "0.02", "-q", "--protocol", protocol])
+            .output()
+            .expect("spawn latbench");
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "latbench --protocol {protocol}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            String::from_utf8_lossy(&out.stdout).contains("Latbench:"),
+            "latbench --protocol {protocol} produced no report"
         );
     }
 }

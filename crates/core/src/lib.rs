@@ -59,7 +59,7 @@ pub use profile::profile_miss_rates;
 pub use mempar_analysis::{analyze_inner_loop, MachineSummary, MissProfile, NestAnalysis};
 pub use mempar_obs::{chrome_trace_json, validate_json, ChromeRun, RefProfile};
 pub use mempar_sim::{
-    run_program, run_program_with, Engine, MachineConfig, SimOptions, SimResult, Stepper,
+    run_program, run_program_with, Engine, MachineConfig, Protocol, SimOptions, SimResult, Stepper,
 };
 pub use mempar_stats::{
     format_breakdown_table, format_occupancy_curves, format_rows, Breakdown, Row,

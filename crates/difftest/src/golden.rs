@@ -22,7 +22,7 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 use mempar_ir::{run_parallel_functional, Interp, Program, SimMem, TraceDigest};
-use mempar_sim::{run_program, MachineConfig};
+use mempar_sim::{run_program, run_program_with, MachineConfig, Protocol, SimOptions};
 
 /// Environment variable that switches [`check_golden`] from compare
 /// mode to (re)record mode.
@@ -84,6 +84,54 @@ pub fn snapshot(
         let _ = writeln!(s, "sim.prefetches: {}", r.counters.prefetches);
         let _ = writeln!(s, "sim.mem_fingerprint: {:#018x}", smem.fingerprint());
     }
+    s
+}
+
+/// Renders the canonical per-protocol cycle snapshot for `prog`.
+///
+/// Unlike [`snapshot`], which pins the protocol-independent semantics,
+/// this section pins the *timing* of one coherence machine: the cycle
+/// count plus every coherence-traffic counter (cache-to-cache supplies,
+/// invalidations, updates, upgrades, writebacks). The functional lines
+/// (retired, loads, stores, memory fingerprint) are included too — they
+/// must be byte-identical across all four protocol snapshots of the
+/// same program, which makes cross-protocol drift visible in a plain
+/// `diff` of the committed files.
+pub fn protocol_snapshot(
+    name: &str,
+    prog: &Program,
+    fresh_mem: impl Fn(usize) -> SimMem,
+    nprocs: usize,
+    l2_bytes: usize,
+    protocol: Protocol,
+) -> String {
+    let cfg = MachineConfig::base_simulated(nprocs, l2_bytes);
+    let mut mem = fresh_mem(nprocs);
+    let r = run_program_with(
+        prog,
+        &mut mem,
+        &cfg,
+        SimOptions {
+            protocol,
+            ..SimOptions::default()
+        },
+    );
+    let mut s = String::new();
+    let _ = writeln!(s, "name: {name}");
+    let _ = writeln!(s, "protocol: {protocol}");
+    let _ = writeln!(s, "sim.config: {}", r.config);
+    let _ = writeln!(s, "sim.cycles: {}", r.cycles);
+    let _ = writeln!(s, "sim.retired: {}", r.retired);
+    let _ = writeln!(s, "sim.loads: {}", r.counters.loads);
+    let _ = writeln!(s, "sim.stores: {}", r.counters.stores);
+    let _ = writeln!(s, "sim.l2_misses: {}", r.counters.l2_misses);
+    let _ = writeln!(s, "sim.l2_read_misses: {}", r.counters.l2_read_misses);
+    let _ = writeln!(s, "sim.cache_to_cache: {}", r.counters.cache_to_cache);
+    let _ = writeln!(s, "sim.invalidations: {}", r.counters.invalidations);
+    let _ = writeln!(s, "sim.updates: {}", r.counters.updates);
+    let _ = writeln!(s, "sim.upgrades: {}", r.counters.upgrades);
+    let _ = writeln!(s, "sim.writebacks: {}", r.counters.writebacks);
+    let _ = writeln!(s, "sim.mem_fingerprint: {:#018x}", mem.fingerprint());
     s
 }
 

@@ -3,14 +3,35 @@
 use crate::config::CacheParams;
 
 /// Coherence/validity state of a cached line.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// The tag array itself is protocol-agnostic: it stores whatever state
+/// the active [`CoherenceProtocol`](crate::CoherenceProtocol) installs.
+/// The full-map directory uses only `Invalid`/`Shared`/`Modified`;
+/// MESI/MOESI add `Exclusive`, MOESI and Dragon add `Owned` (Dragon's
+/// `Sm` maps onto `Owned`, its `Sc` onto `Shared`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum LineState {
     /// Not present.
     Invalid,
     /// Present, clean, possibly shared with other caches.
     Shared,
+    /// Present, clean, and the only cached copy (MESI `E`): a write may
+    /// proceed silently, without a global transaction.
+    Exclusive,
+    /// Present, dirty, and shared with other caches (MOESI `O`, Dragon
+    /// `Sm`): this cache supplies the line and writes it back on
+    /// eviction; memory is stale.
+    Owned,
     /// Present with exclusive ownership, possibly dirty.
     Modified,
+}
+
+impl LineState {
+    /// Whether an evicted line in this state carries dirty data that
+    /// must be written back (memory is stale).
+    pub fn is_dirty(self) -> bool {
+        matches!(self, LineState::Modified | LineState::Owned)
+    }
 }
 
 /// Sentinel line number marking an invalid way. Keeping the invariant
@@ -35,7 +56,8 @@ struct Way {
 pub struct Victim {
     /// The evicted line number.
     pub line: u64,
-    /// Whether it was in [`LineState::Modified`] (needs writeback).
+    /// Whether it was in a dirty state ([`LineState::Modified`] or
+    /// [`LineState::Owned`]) and needs writeback.
     pub dirty: bool,
 }
 
@@ -144,7 +166,7 @@ impl TagArray {
         if old.state != LineState::Invalid {
             Some(Victim {
                 line: old.line,
-                dirty: old.state == LineState::Modified,
+                dirty: old.state.is_dirty(),
             })
         } else {
             None
@@ -172,7 +194,7 @@ impl TagArray {
         for i in self.slot_range(line) {
             let w = &mut self.ways[i];
             if w.line == line {
-                let dirty = w.state == LineState::Modified;
+                let dirty = w.state.is_dirty();
                 w.state = LineState::Invalid;
                 w.line = NO_LINE;
                 return dirty;

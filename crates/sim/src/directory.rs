@@ -8,6 +8,9 @@
 
 use std::collections::HashMap;
 
+use crate::cache::LineState;
+use crate::protocol::{CoherenceProtocol, DataSource, Protocol, ReadOutcome, WriteOutcome};
+
 /// Directory record for one line.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 struct DirEntry {
@@ -15,18 +18,6 @@ struct DirEntry {
     sharers: u64,
     /// Exclusive owner, if the line is modified in a cache.
     owner: Option<u8>,
-}
-
-/// Where a miss's data comes from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DataSource {
-    /// Home memory (the line is uncached or only shared).
-    Memory,
-    /// Another processor's cache holds the line modified.
-    CacheToCache {
-        /// The owning processor.
-        owner: usize,
-    },
 }
 
 /// The directory's response to a write request.
@@ -143,6 +134,73 @@ impl Directory {
     pub fn export_metrics(&self, reg: &mut mempar_obs::MetricsRegistry) {
         reg.gauge("sim.dir.lines", self.line_count() as f64);
         reg.gauge("sim.dir.sharers", self.total_sharers() as f64);
+    }
+}
+
+/// The MSI directory viewed through the pluggable-protocol interface.
+/// Semantics are exactly the inherent methods': every cache-to-cache
+/// read supply also writes memory back (downgrading the owner to
+/// sharer), fills install `Shared`/`Modified` only, and `Exclusive` is
+/// never used, so a write to a present line always takes a transaction
+/// unless the line is already `Modified`.
+impl CoherenceProtocol for Directory {
+    fn kind(&self) -> Protocol {
+        Protocol::Directory
+    }
+
+    fn read_req(&mut self, line: u64, proc: usize) -> ReadOutcome {
+        let source = Directory::read_req(self, line, proc);
+        ReadOutcome {
+            source,
+            // The paper's directory keeps memory current: a dirty owner
+            // supplying a read writes home back in the same transaction.
+            memory_update: matches!(source, DataSource::CacheToCache { .. }),
+            install: LineState::Shared,
+            demote: vec![],
+        }
+    }
+
+    fn write_req(&mut self, line: u64, proc: usize) -> WriteOutcome {
+        let grant = Directory::write_req(self, line, proc);
+        WriteOutcome {
+            source: grant.source,
+            invalidees: grant.invalidees,
+            updatees: vec![],
+            install: LineState::Modified,
+        }
+    }
+
+    fn evict(&mut self, line: u64, proc: usize) {
+        Directory::evict(self, line, proc);
+    }
+
+    fn silent_upgrade(&mut self, _line: u64, _proc: usize) {
+        // MSI has no Exclusive state; writes to Modified lines are
+        // already owned and need no notification.
+    }
+
+    fn write_hits(&self, state: LineState) -> bool {
+        state == LineState::Modified
+    }
+
+    fn upgradeable(&self, state: LineState) -> bool {
+        state == LineState::Shared
+    }
+
+    fn line_count(&self) -> usize {
+        Directory::line_count(self)
+    }
+
+    fn total_sharers(&self) -> usize {
+        Directory::total_sharers(self)
+    }
+
+    fn export_metrics(&self, reg: &mut mempar_obs::MetricsRegistry) {
+        // Legacy names, kept stable for existing consumers...
+        Directory::export_metrics(self, reg);
+        // ...plus the protocol-generic names the other machines emit.
+        reg.gauge("sim.coh.lines", Directory::line_count(self) as f64);
+        reg.gauge("sim.coh.sharers", Directory::total_sharers(self) as f64);
     }
 }
 

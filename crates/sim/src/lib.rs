@@ -55,6 +55,7 @@ mod core;
 mod directory;
 mod interconnect;
 mod memsys;
+mod protocol;
 mod resource;
 mod sched;
 mod sync;
@@ -66,9 +67,12 @@ pub use config::{
     BusParams, CacheParams, FuParams, Interleave, MachineConfig, MemParams, NetParams, ProcParams,
     Topology,
 };
-pub use directory::{DataSource, Directory, WriteGrant};
+pub use directory::{Directory, WriteGrant};
 pub use interconnect::{bank_of, Bus, MemoryBanks, Mesh};
 pub use memsys::{Access, MemSystem};
+pub use protocol::{
+    CoherenceProtocol, DataSource, Dragon, Mesi, Moesi, Protocol, ReadOutcome, WriteOutcome,
+};
 pub use resource::{Resource, ResourcePool};
 pub use sync::SyncState;
 pub use system::{

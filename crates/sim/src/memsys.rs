@@ -19,8 +19,8 @@ use mempar_stats::{LatencyStat, MemCounters, MshrOccupancy, Utilization};
 
 use crate::cache::{LineState, MshrFile, MshrOutcome, TagArray};
 use crate::config::{MachineConfig, Topology};
-use crate::directory::{DataSource, Directory};
 use crate::interconnect::{Bus, MemoryBanks, Mesh};
+use crate::protocol::{CoherenceProtocol, DataSource, Protocol};
 use crate::resource::Resource;
 
 /// Result of a timed cache access.
@@ -44,7 +44,7 @@ enum EventKind {
     FillL2 {
         proc: u32,
         line: u64,
-        modified: bool,
+        state: LineState,
     },
     /// Install `line` in proc's L1 and free its L1 MSHR.
     FillL1 { proc: u32, line: u64 },
@@ -86,7 +86,7 @@ pub struct MemSystem {
     buses: Vec<Bus>,
     banks: Vec<MemoryBanks>,
     mesh: Mesh,
-    dir: Directory,
+    proto: Box<dyn CoherenceProtocol>,
     events: BinaryHeap<Reverse<Event>>,
     seq: u64,
     /// Per-processor counters.
@@ -115,10 +115,21 @@ impl std::fmt::Debug for MemSystem {
 }
 
 impl MemSystem {
-    /// Builds the memory system for `cfg`. `home_of_addr` maps a byte
-    /// address to its NUMA home node (derived from the program's
+    /// Builds the memory system for `cfg` with the default (full-map
+    /// directory) coherence protocol. `home_of_addr` maps a byte address
+    /// to its NUMA home node (derived from the program's
     /// [`SimMem`](mempar_ir::SimMem) layout).
     pub fn new(cfg: &MachineConfig, home_of_addr: Box<dyn Fn(u64) -> usize + Send>) -> Self {
+        Self::with_protocol(cfg, home_of_addr, Protocol::Directory)
+    }
+
+    /// Builds the memory system for `cfg` with a specific coherence
+    /// protocol driving its global transactions.
+    pub fn with_protocol(
+        cfg: &MachineConfig,
+        home_of_addr: Box<dyn Fn(u64) -> usize + Send>,
+        protocol: Protocol,
+    ) -> Self {
         cfg.validate();
         let n = cfg.nprocs;
         let line_shift = cfg.l2.line_bytes.trailing_zeros();
@@ -155,7 +166,7 @@ impl MemSystem {
             buses,
             banks,
             mesh: Mesh::new(cfg.mesh_side(), &cfg.net),
-            dir: Directory::new(),
+            proto: protocol.build(),
             events: BinaryHeap::new(),
             seq: 0,
             counters: vec![MemCounters::default(); n],
@@ -213,11 +224,9 @@ impl MemSystem {
             }
             let Reverse(ev) = self.events.pop().expect("peeked");
             match ev.kind {
-                EventKind::FillL2 {
-                    proc,
-                    line,
-                    modified,
-                } => self.apply_l2_fill(proc as usize, line, modified, ev.time),
+                EventKind::FillL2 { proc, line, state } => {
+                    self.apply_l2_fill(proc as usize, line, state, ev.time)
+                }
                 EventKind::FillL1 { proc, line } => self.apply_l1_fill(proc as usize, line),
             }
         }
@@ -243,7 +252,7 @@ impl MemSystem {
         }
     }
 
-    fn apply_l2_fill(&mut self, proc: usize, line: u64, modified: bool, now: u64) {
+    fn apply_l2_fill(&mut self, proc: usize, line: u64, state: LineState, now: u64) {
         if self.tracer.is_enabled() {
             self.tracer
                 .record(now, proc as u32, TraceEventKind::MissFill { line });
@@ -253,17 +262,13 @@ impl MemSystem {
         self.l2[proc].mshrs.release(line);
         // The line may have been invalidated-in-flight; install fresh.
         if self.l2[proc].tags.peek(line) != LineState::Invalid {
-            // Upgrade completing: just set the state.
-            if modified {
-                self.l2[proc].tags.set_state(line, LineState::Modified);
+            // Upgrade completing: just set the (ownership) state; clean
+            // read fills leave whatever state the line already reached.
+            if state.is_dirty() {
+                self.l2[proc].tags.set_state(line, state);
             }
             return;
         }
-        let state = if modified {
-            LineState::Modified
-        } else {
-            LineState::Shared
-        };
         if let Some(victim) = self.l2[proc].tags.fill(line, state) {
             self.evict_line(proc, victim.line, victim.dirty, now);
         }
@@ -283,7 +288,7 @@ impl MemSystem {
         if let Some(l1) = self.l1.get_mut(proc) {
             l1.tags.invalidate(line);
         }
-        self.dir.evict(line, proc);
+        self.proto.evict(line, proc);
         if dirty {
             self.counters[proc].writebacks += 1;
             // Writeback consumes bus + bank bandwidth off the critical path.
@@ -346,7 +351,13 @@ impl MemSystem {
         let l1_lat = self.l1[proc].hit_latency;
         if l1_state != LineState::Invalid {
             // Presence in L1; exclusivity is tracked at the L2.
-            if !is_write || self.l2[proc].tags.peek(line) == LineState::Modified {
+            let l2_state = self.l2[proc].tags.peek(line);
+            if !is_write || self.proto.write_hits(l2_state) {
+                if is_write && l2_state != LineState::Modified {
+                    // Silent E -> M: ownership without a transaction.
+                    self.l2[proc].tags.set_state(line, LineState::Modified);
+                    self.proto.silent_upgrade(line, proc);
+                }
                 return Access::Done {
                     complete_at: now + l1_lat,
                     l2_miss: false,
@@ -363,8 +374,15 @@ impl MemSystem {
                 // A write coalescing onto a read fill may still need an
                 // upgrade; the L2 state check happens when the write
                 // "replays" at fill time.
-                if is_write && self.l2[proc].tags.peek(line) != LineState::Modified {
-                    return self.access_l2(proc, line, true, fill_at, now);
+                if is_write {
+                    let l2_state = self.l2[proc].tags.peek(line);
+                    if !self.proto.write_hits(l2_state) {
+                        return self.access_l2(proc, line, true, fill_at, now);
+                    }
+                    if l2_state != LineState::Modified {
+                        self.l2[proc].tags.set_state(line, LineState::Modified);
+                        self.proto.silent_upgrade(line, proc);
+                    }
                 }
                 Access::Done {
                     complete_at: fill_at + 1,
@@ -419,10 +437,11 @@ impl MemSystem {
         // otherwise snowball the port backlog faster than time advances.
         {
             let peek = self.l2[proc].tags.peek(line);
-            let would_hit = matches!(
-                (is_write, peek),
-                (false, LineState::Shared | LineState::Modified) | (true, LineState::Modified)
-            );
+            let would_hit = if is_write {
+                self.proto.write_hits(peek)
+            } else {
+                peek != LineState::Invalid
+            };
             if !would_hit
                 && self.l2[proc].mshrs.get(line).is_none()
                 && self.l2[proc].mshrs.free() == 0
@@ -433,17 +452,23 @@ impl MemSystem {
         let start = self.l2[proc].port.reserve(now, 1);
         let t_lookup = start + self.l2[proc].hit_latency;
         let state = self.l2[proc].tags.probe(line);
-        let hit = matches!(
-            (is_write, state),
-            (false, LineState::Shared | LineState::Modified) | (true, LineState::Modified)
-        );
+        let hit = if is_write {
+            self.proto.write_hits(state)
+        } else {
+            state != LineState::Invalid
+        };
         if hit {
+            if is_write && state != LineState::Modified {
+                // Silent E -> M: ownership without a transaction.
+                self.l2[proc].tags.set_state(line, LineState::Modified);
+                self.proto.silent_upgrade(line, proc);
+            }
             return Access::Done {
                 complete_at: t_lookup,
                 l2_miss: false,
             };
         }
-        let upgrade = is_write && state == LineState::Shared;
+        let upgrade = is_write && self.proto.upgradeable(state);
         match self.l2[proc].mshrs.register(line, is_write) {
             MshrOutcome::Coalesced { fill_at } => {
                 self.counters[proc].coalesced += 1;
@@ -453,7 +478,7 @@ impl MemSystem {
                 let entry = self.l2[proc].mshrs.get(line).expect("coalesced entry");
                 if is_write && entry.writes == 1 && entry.reads > 0 {
                     // First write joining a read miss: upgrade after fill.
-                    let t = self.global_transaction(proc, line, true, fill_at);
+                    let (t, install) = self.global_transaction(proc, line, true, fill_at);
                     // Extend the MSHR's life to the upgrade completion.
                     self.l2[proc].mshrs.set_fill_time(line, t);
                     self.schedule(
@@ -461,7 +486,7 @@ impl MemSystem {
                         EventKind::FillL2 {
                             proc: proc as u32,
                             line,
-                            modified: true,
+                            state: install,
                         },
                     );
                     return Access::Done {
@@ -497,7 +522,7 @@ impl MemSystem {
                         },
                     );
                 }
-                let fill_at = if upgrade {
+                let (fill_at, install) = if upgrade {
                     self.global_upgrade(proc, line, t_lookup)
                 } else {
                     self.global_transaction(proc, line, is_write, t_lookup)
@@ -508,7 +533,7 @@ impl MemSystem {
                     EventKind::FillL2 {
                         proc: proc as u32,
                         line,
-                        modified: is_write,
+                        state: install,
                     },
                 );
                 if !is_write && !self.in_prefetch {
@@ -522,25 +547,37 @@ impl MemSystem {
         }
     }
 
-    /// An ownership upgrade: no data transfer, but sharers must be
-    /// invalidated through the directory.
-    fn global_upgrade(&mut self, proc: usize, line: u64, t0: u64) -> u64 {
-        let grant = self.dir.write_req(line, proc);
+    /// An ownership upgrade (or Dragon update): no data transfer to the
+    /// requester, but other copies must be invalidated — or updated —
+    /// through the home/snoop path. Returns the completion time and the
+    /// state the requester's line reaches.
+    fn global_upgrade(&mut self, proc: usize, line: u64, t0: u64) -> (u64, LineState) {
+        let grant = self.proto.write_req(line, proc);
+        self.counters[proc].upgrades += 1;
         let home = self.effective_home(line);
         let t_home = self.leg_to_home(proc, home, 8, t0) + self.cfg.dir_cycles as u64;
         let t_acks = self.invalidate_all(proc, home, line, &grant.invalidees, t_home);
-        self.leg_from_home(home, proc, 8, t_acks)
+        let t_acks = t_acks.max(self.update_all(home, line, &grant.updatees, t_home));
+        (self.leg_from_home(home, proc, 8, t_acks), grant.install)
     }
 
-    /// A full miss transaction (read or write). Returns the fill time.
-    fn global_transaction(&mut self, proc: usize, line: u64, is_write: bool, t0: u64) -> u64 {
+    /// A full miss transaction (read or write). Returns the fill time and
+    /// the state the line installs in.
+    fn global_transaction(
+        &mut self,
+        proc: usize,
+        line: u64,
+        is_write: bool,
+        t0: u64,
+    ) -> (u64, LineState) {
         let home = self.effective_home(line);
         let line_bytes = self.cfg.l2.line_bytes as u32;
         if is_write {
-            let grant = self.dir.write_req(line, proc);
+            let grant = self.proto.write_req(line, proc);
             let t_home = self.leg_to_home(proc, home, 8, t0) + self.cfg.dir_cycles as u64;
             let t_acks = self.invalidate_all(proc, home, line, &grant.invalidees, t_home);
-            match grant.source {
+            let t_acks = t_acks.max(self.update_all(home, line, &grant.updatees, t_home));
+            let t = match grant.source {
                 DataSource::Memory => {
                     let t_mem = self.bank_access(home, line, t_acks);
                     self.count_locality(proc, home, false);
@@ -550,29 +587,55 @@ impl MemSystem {
                     self.counters[proc].cache_to_cache += 1;
                     self.owner_to_requester(home, owner, proc, t_acks)
                 }
-            }
+            };
+            (t, grant.install)
         } else {
-            let src = self.dir.read_req(line, proc);
+            let out = self.proto.read_req(line, proc);
             let t_home = self.leg_to_home(proc, home, 8, t0) + self.cfg.dir_cycles as u64;
-            match src {
+            let t = match out.source {
                 DataSource::Memory => {
+                    // Clean-exclusive holders lose exclusivity when the
+                    // line becomes shared (MESI/MOESI/Dragon; the
+                    // directory never reaches Exclusive).
+                    for &p in &out.demote {
+                        if self.l2[p].tags.peek(line) == LineState::Exclusive {
+                            self.l2[p].tags.set_state(line, LineState::Shared);
+                        }
+                    }
                     let t_mem = self.bank_access(home, line, t_home);
                     self.count_locality(proc, home, false);
                     self.leg_from_home(home, proc, line_bytes + 8, t_mem)
                 }
                 DataSource::CacheToCache { owner } => {
                     self.counters[proc].cache_to_cache += 1;
-                    // The previous owner keeps a shared copy; its dirty data
-                    // is also written back to home memory off-path. (The
-                    // owner's own fill may still be in flight, in which
-                    // case there is no installed line to downgrade yet.)
-                    if self.l2[owner].tags.peek(line) == LineState::Modified {
-                        self.l2[owner].tags.set_state(line, LineState::Shared);
+                    // The supplier keeps a copy. With a memory update
+                    // (directory, MESI) its dirty data is written back
+                    // off-path and it drops to Shared; without one
+                    // (MOESI, Dragon) a dirty supplier stays the owner
+                    // (M -> Owned). (The owner's own fill may still be
+                    // in flight, in which case there is no installed
+                    // line to transition yet.)
+                    match self.l2[owner].tags.peek(line) {
+                        LineState::Modified => {
+                            let next = if out.memory_update {
+                                LineState::Shared
+                            } else {
+                                LineState::Owned
+                            };
+                            self.l2[owner].tags.set_state(line, next);
+                        }
+                        LineState::Exclusive => {
+                            self.l2[owner].tags.set_state(line, LineState::Shared);
+                        }
+                        _ => {}
                     }
-                    self.banks_writeback(home, line, t_home);
+                    if out.memory_update {
+                        self.banks_writeback(home, line, t_home);
+                    }
                     self.owner_to_requester(home, owner, proc, t_home)
                 }
-            }
+            };
+            (t, out.install)
         }
     }
 
@@ -693,6 +756,40 @@ impl MemSystem {
         done
     }
 
+    /// Broadcasts the written word to every processor in `updatees`
+    /// (write-update protocols): their copies stay valid and current,
+    /// but a former exclusive/dirty holder is now merely a sharer.
+    /// Returns when all updates (and their acks) have reached home.
+    fn update_all(&mut self, home: usize, line: u64, updatees: &[usize], t: u64) -> u64 {
+        if updatees.is_empty() {
+            return t;
+        }
+        // On a shared bus one broadcast transaction reaches every
+        // snooper; word + address is one bus cycle of data.
+        let bus_done = match self.cfg.topology {
+            Topology::SmpBus => self.buses[0].data(t, 8),
+            Topology::Numa => t,
+        };
+        let mut done = bus_done;
+        for &victim in updatees {
+            self.counters[victim].updates += 1;
+            let state = self.l2[victim].tags.peek(line);
+            if state != LineState::Invalid && state != LineState::Shared {
+                self.l2[victim].tags.set_state(line, LineState::Shared);
+            }
+            let t_ack = match self.cfg.topology {
+                Topology::SmpBus => bus_done, // snooped off the broadcast
+                Topology::Numa => {
+                    // Point-to-point: word + address out, ack back.
+                    let t_upd = self.mesh.send(home, victim, 16, t);
+                    self.mesh.send(victim, home, 8, t_upd)
+                }
+            };
+            done = done.max(t_ack);
+        }
+        done
+    }
+
     // ---- statistics accessors -----------------------------------------
 
     /// Per-processor counters.
@@ -777,7 +874,10 @@ impl MemSystem {
         reg.counter("sim.cache.l2.read_miss", t.l2_read_misses);
         reg.counter("sim.cache.l2.coalesced", t.coalesced);
         reg.counter("sim.dir.invalidations", t.invalidations);
-        self.dir.export_metrics(reg);
+        reg.counter("sim.coh.invalidations", t.invalidations);
+        reg.counter("sim.coh.upgrades", t.upgrades);
+        reg.counter("sim.coh.updates", t.updates);
+        self.proto.export_metrics(reg);
 
         let lat = self.total_read_latency();
         reg.gauge("sim.cache.l2.read_latency.mean", lat.mean());

@@ -1,0 +1,174 @@
+//! Snooping Dragon (write-update).
+//!
+//! Dragon never invalidates on a write: a write to a line with other
+//! holders broadcasts the written word, and every holder's copy stays
+//! valid and current. The writer ends up `Sm` — "shared-modified",
+//! mapped onto [`LineState::Owned`] — and keeps supplying the line to
+//! read snoops, with memory stale until the `Sm` copy is evicted. Other
+//! holders sit in `Sc` ("shared-clean", mapped onto
+//! [`LineState::Shared`]). A write to an unshared line installs
+//! `Modified` (Dragon's `M`/`D` state), and `E → M` write hits are
+//! silent as in MESI.
+
+use super::{
+    mask_to_procs, CoherenceProtocol, DataSource, HolderMap, Protocol, ReadOutcome, WriteOutcome,
+};
+use crate::cache::LineState;
+
+/// Dragon write-update state machine.
+#[derive(Debug, Default)]
+pub struct Dragon {
+    lines: HolderMap,
+}
+
+impl CoherenceProtocol for Dragon {
+    fn kind(&self) -> Protocol {
+        Protocol::Dragon
+    }
+
+    fn read_req(&mut self, line: u64, proc: usize) -> ReadOutcome {
+        let e = self.lines.entry(line);
+        let others = e.others(proc);
+        let outcome = if others == 0 {
+            e.owner = Some(proc as u8);
+            e.owner_dirty = false;
+            ReadOutcome {
+                source: DataSource::Memory,
+                memory_update: false,
+                install: LineState::Exclusive,
+                demote: vec![],
+            }
+        } else if let Some(o) = e.owner.filter(|&o| o as usize != proc && e.owner_dirty) {
+            // The Sm/M holder supplies and keeps ownership; memory stays
+            // stale (as in MOESI).
+            ReadOutcome {
+                source: DataSource::CacheToCache { owner: o as usize },
+                memory_update: false,
+                install: LineState::Shared,
+                demote: vec![],
+            }
+        } else {
+            let demote = match e.owner.take() {
+                Some(o) if o as usize != proc => vec![o as usize],
+                _ => vec![],
+            };
+            e.owner_dirty = false;
+            ReadOutcome {
+                source: DataSource::Memory,
+                memory_update: false,
+                install: LineState::Shared,
+                demote,
+            }
+        };
+        self.lines.entry(line).holders |= 1u64 << proc;
+        outcome
+    }
+
+    fn write_req(&mut self, line: u64, proc: usize) -> WriteOutcome {
+        let e = self.lines.entry(line);
+        let others = e.others(proc);
+        let source = match e.owner {
+            Some(o) if o as usize != proc && e.owner_dirty => {
+                DataSource::CacheToCache { owner: o as usize }
+            }
+            _ => DataSource::Memory,
+        };
+        let outcome = WriteOutcome {
+            source,
+            // The defining Dragon property: writes never invalidate.
+            invalidees: vec![],
+            updatees: mask_to_procs(others),
+            install: if others != 0 {
+                LineState::Owned // Sm: dirty but shared
+            } else {
+                LineState::Modified
+            },
+        };
+        e.holders |= 1u64 << proc;
+        e.owner = Some(proc as u8);
+        e.owner_dirty = true;
+        outcome
+    }
+
+    fn evict(&mut self, line: u64, proc: usize) {
+        self.lines.evict(line, proc);
+    }
+
+    fn silent_upgrade(&mut self, line: u64, proc: usize) {
+        let e = self.lines.entry(line);
+        e.holders |= 1u64 << proc;
+        e.owner = Some(proc as u8);
+        e.owner_dirty = true;
+    }
+
+    fn write_hits(&self, state: LineState) -> bool {
+        matches!(state, LineState::Modified | LineState::Exclusive)
+    }
+
+    fn upgradeable(&self, state: LineState) -> bool {
+        // Writes to Sc *and* Sm take the no-data update path: the writer
+        // already has the line, it only needs to broadcast the word.
+        matches!(state, LineState::Shared | LineState::Owned)
+    }
+
+    fn line_count(&self) -> usize {
+        self.lines.line_count()
+    }
+
+    fn total_sharers(&self) -> usize {
+        self.lines.total_sharers()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_never_invalidate() {
+        let mut p = Dragon::default();
+        p.read_req(5, 0);
+        p.read_req(5, 1);
+        p.read_req(5, 2);
+        let w = p.write_req(5, 1);
+        assert!(w.invalidees.is_empty(), "Dragon must never invalidate");
+        assert_eq!(w.updatees, vec![0, 2]);
+        assert_eq!(w.install, LineState::Owned);
+        assert_eq!(p.total_sharers(), 3, "all copies stay valid");
+    }
+
+    #[test]
+    fn unshared_write_installs_modified() {
+        let mut p = Dragon::default();
+        let w = p.write_req(5, 0);
+        assert_eq!(w.install, LineState::Modified);
+        assert!(w.updatees.is_empty());
+    }
+
+    #[test]
+    fn sm_holder_supplies_reads_and_keeps_ownership() {
+        let mut p = Dragon::default();
+        p.read_req(5, 1);
+        p.write_req(5, 0); // 0: Sm, 1: Sc
+        let r = p.read_req(5, 2);
+        assert_eq!(r.source, DataSource::CacheToCache { owner: 0 });
+        assert!(!r.memory_update, "memory stays stale under Sm");
+        let r2 = p.read_req(5, 3);
+        assert_eq!(r2.source, DataSource::CacheToCache { owner: 0 });
+    }
+
+    #[test]
+    fn update_transfers_ownership_to_latest_writer() {
+        let mut p = Dragon::default();
+        p.write_req(5, 0); // 0: M
+        let w = p.write_req(5, 1); // update; 1 becomes Sm, 0 drops to Sc
+        assert_eq!(w.updatees, vec![0]);
+        assert_eq!(w.source, DataSource::CacheToCache { owner: 0 });
+        let r = p.read_req(5, 2);
+        assert_eq!(
+            r.source,
+            DataSource::CacheToCache { owner: 1 },
+            "the latest writer is the supplier"
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Snooping Illinois-MESI.
+//!
+//! The Illinois variant supplies data cache-to-cache even when the copy
+//! is clean: on a read miss any current holder answers the snoop (the
+//! dirty owner if there is one, else the lowest-numbered sharer), so
+//! memory is touched only for truly uncached lines. A dirty supply
+//! writes the line back to home as part of the transaction, so after any
+//! read the line is clean-shared and memory is current. A read that
+//! finds no other holder installs `Exclusive`; a later write hit on that
+//! copy upgrades silently (`E → M`, no bus transaction). Writes
+//! invalidate every other copy.
+
+use super::{
+    mask_to_procs, CoherenceProtocol, DataSource, HolderMap, Protocol, ReadOutcome, WriteOutcome,
+};
+use crate::cache::LineState;
+
+/// Illinois-MESI state machine.
+#[derive(Debug, Default)]
+pub struct Mesi {
+    lines: HolderMap,
+}
+
+impl CoherenceProtocol for Mesi {
+    fn kind(&self) -> Protocol {
+        Protocol::Mesi
+    }
+
+    fn read_req(&mut self, line: u64, proc: usize) -> ReadOutcome {
+        let e = self.lines.entry(line);
+        let others = e.others(proc);
+        let outcome = if others == 0 {
+            ReadOutcome {
+                source: DataSource::Memory,
+                memory_update: false,
+                install: LineState::Exclusive,
+                demote: vec![],
+            }
+        } else {
+            // Illinois: some cache always supplies — the owner if one
+            // exists, else the lowest-numbered clean sharer. A dirty
+            // supply also writes home back, leaving everyone clean.
+            let (supplier, was_dirty) = match e.owner {
+                Some(o) if o as usize != proc => (o as usize, e.owner_dirty),
+                _ => (others.trailing_zeros() as usize, false),
+            };
+            ReadOutcome {
+                source: DataSource::CacheToCache { owner: supplier },
+                memory_update: was_dirty,
+                install: LineState::Shared,
+                demote: vec![],
+            }
+        };
+        // After the read everyone's copy is clean and shared (or the
+        // requester is the sole, exclusive holder).
+        e.holders |= 1u64 << proc;
+        if others == 0 {
+            e.owner = Some(proc as u8);
+            e.owner_dirty = false;
+        } else {
+            e.owner = None;
+            e.owner_dirty = false;
+        }
+        outcome
+    }
+
+    fn write_req(&mut self, line: u64, proc: usize) -> WriteOutcome {
+        let e = self.lines.entry(line);
+        let others = e.others(proc);
+        let source = match e.owner {
+            Some(o) if o as usize != proc && e.owner_dirty => {
+                DataSource::CacheToCache { owner: o as usize }
+            }
+            _ if others != 0 => DataSource::CacheToCache {
+                owner: others.trailing_zeros() as usize,
+            },
+            _ => DataSource::Memory,
+        };
+        let outcome = WriteOutcome {
+            source,
+            invalidees: mask_to_procs(others),
+            updatees: vec![],
+            install: LineState::Modified,
+        };
+        e.holders = 1u64 << proc;
+        e.owner = Some(proc as u8);
+        e.owner_dirty = true;
+        outcome
+    }
+
+    fn evict(&mut self, line: u64, proc: usize) {
+        self.lines.evict(line, proc);
+    }
+
+    fn silent_upgrade(&mut self, line: u64, proc: usize) {
+        let e = self.lines.entry(line);
+        e.holders |= 1u64 << proc;
+        e.owner = Some(proc as u8);
+        e.owner_dirty = true;
+    }
+
+    fn write_hits(&self, state: LineState) -> bool {
+        matches!(state, LineState::Modified | LineState::Exclusive)
+    }
+
+    fn upgradeable(&self, state: LineState) -> bool {
+        state == LineState::Shared
+    }
+
+    fn line_count(&self) -> usize {
+        self.lines.line_count()
+    }
+
+    fn total_sharers(&self) -> usize {
+        self.lines.total_sharers()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_read_is_exclusive_from_memory() {
+        let mut p = Mesi::default();
+        let r = p.read_req(5, 0);
+        assert_eq!(r.source, DataSource::Memory);
+        assert_eq!(r.install, LineState::Exclusive);
+        assert!(!r.memory_update);
+    }
+
+    #[test]
+    fn second_read_supplied_clean_cache_to_cache() {
+        let mut p = Mesi::default();
+        p.read_req(5, 0);
+        let r = p.read_req(5, 1);
+        assert_eq!(r.source, DataSource::CacheToCache { owner: 0 });
+        assert!(!r.memory_update, "clean supply must not touch memory");
+        assert_eq!(r.install, LineState::Shared);
+    }
+
+    #[test]
+    fn dirty_supply_updates_memory() {
+        let mut p = Mesi::default();
+        p.write_req(5, 0);
+        let r = p.read_req(5, 1);
+        assert_eq!(r.source, DataSource::CacheToCache { owner: 0 });
+        assert!(r.memory_update, "dirty supply writes home back");
+        // Now clean-shared: a third read is a clean supply.
+        let r2 = p.read_req(5, 2);
+        assert!(!r2.memory_update);
+    }
+
+    #[test]
+    fn write_invalidates_all_other_holders() {
+        let mut p = Mesi::default();
+        p.read_req(5, 0);
+        p.read_req(5, 1);
+        p.read_req(5, 2);
+        let w = p.write_req(5, 1);
+        assert_eq!(w.invalidees, vec![0, 2]);
+        assert!(w.updatees.is_empty());
+        assert_eq!(w.install, LineState::Modified);
+        assert_eq!(p.total_sharers(), 1);
+    }
+
+    #[test]
+    fn silent_upgrade_marks_dirty() {
+        let mut p = Mesi::default();
+        p.read_req(5, 0); // E
+        p.silent_upgrade(5, 0); // E -> M, no transaction
+        let r = p.read_req(5, 1);
+        assert!(r.memory_update, "silently-dirtied copy supplies dirty");
+    }
+}

@@ -1,0 +1,315 @@
+//! Pluggable cache-coherence protocols.
+//!
+//! The memory system ([`MemSystem`](crate::memsys::MemSystem)) owns the
+//! *timing* of a miss — buses, directory/snoop latency, banks, mesh legs,
+//! MSHRs — while a [`CoherenceProtocol`] is the *state machine* deciding
+//! what each transaction does: where the data comes from, which remote
+//! copies are invalidated or updated, and which [`LineState`] the
+//! requester installs. Swapping the protocol never changes functional
+//! results or the dynamic-op stream (functional execution happens at
+//! fetch, against [`SimMem`](mempar_ir::SimMem)); it only moves cycles.
+//! The cross-protocol conformance suite (`tests/protocol_cube.rs`)
+//! asserts exactly that.
+//!
+//! Four protocols are provided:
+//!
+//! * **Directory** — the paper's CC-NUMA full-map directory (MSI states),
+//!   the default and the machine every committed golden snapshot uses;
+//! * **MESI** — Illinois-style snooping: clean cache-to-cache supply, an
+//!   `Exclusive` state with silent `E → M` write hits, dirty supply
+//!   writes memory back and downgrades the owner;
+//! * **MOESI** — adds `Owned`: a dirty supplier keeps the line (`M → O`)
+//!   and memory is *not* updated until the owned line is evicted; clean
+//!   copies come from memory;
+//! * **Dragon** — write-update: writes to shared lines broadcast the
+//!   written word to every holder instead of invalidating, the writer
+//!   holds the line `Sm` ([`LineState::Owned`]) and keeps supplying it.
+
+mod dragon;
+mod mesi;
+mod moesi;
+
+use std::collections::HashMap;
+
+pub use dragon::Dragon;
+pub use mesi::Mesi;
+pub use moesi::Moesi;
+
+use crate::cache::LineState;
+use crate::directory::Directory;
+
+/// Where a miss's data comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataSource {
+    /// Home memory (the line is uncached, or only clean copies exist and
+    /// the protocol does not supply clean data cache-to-cache).
+    Memory,
+    /// Another processor's cache supplies the line.
+    CacheToCache {
+        /// The supplying processor.
+        owner: usize,
+    },
+}
+
+/// Which coherence protocol drives the memory system — selectable per
+/// run via [`SimOptions::protocol`](crate::SimOptions::protocol) and the
+/// harness binaries' `--protocol` flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// CC-NUMA full-map directory, MSI states (the paper's machine; the
+    /// default).
+    Directory,
+    /// Snooping Illinois-MESI (clean cache-to-cache supply).
+    Mesi,
+    /// Snooping MOESI (dirty-shared `Owned` state, no writeback on
+    /// sharing).
+    Moesi,
+    /// Snooping Dragon write-update (bus updates instead of
+    /// invalidations).
+    Dragon,
+}
+
+impl Protocol {
+    /// Every protocol, in CLI order.
+    pub fn all() -> [Protocol; 4] {
+        [
+            Protocol::Directory,
+            Protocol::Mesi,
+            Protocol::Moesi,
+            Protocol::Dragon,
+        ]
+    }
+
+    /// Builds a fresh state machine for this protocol.
+    pub fn build(self) -> Box<dyn CoherenceProtocol> {
+        match self {
+            Protocol::Directory => Box::new(Directory::new()),
+            Protocol::Mesi => Box::new(Mesi::default()),
+            Protocol::Moesi => Box::new(Moesi::default()),
+            Protocol::Dragon => Box::new(Dragon::default()),
+        }
+    }
+}
+
+impl std::fmt::Display for Protocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Protocol::Directory => "directory",
+            Protocol::Mesi => "mesi",
+            Protocol::Moesi => "moesi",
+            Protocol::Dragon => "dragon",
+        })
+    }
+}
+
+impl std::str::FromStr for Protocol {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "directory" => Ok(Protocol::Directory),
+            "mesi" => Ok(Protocol::Mesi),
+            "moesi" => Ok(Protocol::Moesi),
+            "dragon" => Ok(Protocol::Dragon),
+            other => Err(format!(
+                "unknown protocol '{other}' (expected directory, mesi, moesi, or dragon)"
+            )),
+        }
+    }
+}
+
+/// The protocol's response to a read miss.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadOutcome {
+    /// Where the data comes from.
+    pub source: DataSource,
+    /// Whether home memory is updated as part of this transaction (a
+    /// dirty supplier writing back while downgrading). The memory system
+    /// charges writeback bank bandwidth and downgrades the supplier to
+    /// `Shared` when set; a cache-to-cache supply without it leaves the
+    /// supplier `Owned`.
+    pub memory_update: bool,
+    /// The state the requester's L2 installs at fill time.
+    pub install: LineState,
+    /// Processors whose clean-`Exclusive` copies drop to `Shared`
+    /// because the line becomes shared (only meaningful for
+    /// memory-sourced reads; cache-to-cache suppliers are downgraded via
+    /// `source`/`memory_update`).
+    pub demote: Vec<usize>,
+}
+
+/// The protocol's response to a write miss or upgrade.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteOutcome {
+    /// Where the data comes from (irrelevant on the upgrade timing path,
+    /// where the requester already holds the line).
+    pub source: DataSource,
+    /// Processors whose copies are invalidated.
+    pub invalidees: Vec<usize>,
+    /// Processors whose copies receive the written word instead of an
+    /// invalidation (write-update protocols); their lines stay valid but
+    /// any exclusive/dirty holder drops to `Shared`.
+    pub updatees: Vec<usize>,
+    /// The state the requester's L2 installs at fill time.
+    pub install: LineState,
+}
+
+/// A cache-coherence state machine.
+///
+/// Implementations are *oracles*: they track, per line, which processors
+/// hold a copy and who is responsible for supplying it, mirroring what a
+/// real directory or the union of snoop filters would know. The memory
+/// system calls them at transaction-issue time and applies the returned
+/// outcome to the tag arrays (timing model) itself.
+pub trait CoherenceProtocol: Send + std::fmt::Debug {
+    /// Which protocol this is.
+    fn kind(&self) -> Protocol;
+
+    /// Handles a read miss by `proc` on `line`.
+    fn read_req(&mut self, line: u64, proc: usize) -> ReadOutcome;
+
+    /// Handles a write miss or upgrade by `proc` on `line`.
+    fn write_req(&mut self, line: u64, proc: usize) -> WriteOutcome;
+
+    /// Records that `proc` evicted its copy of `line`.
+    fn evict(&mut self, line: u64, proc: usize);
+
+    /// Notification that `proc` wrote a line it held clean-`Exclusive`:
+    /// the silent `E → M` transition needs no bus transaction, but the
+    /// oracle must learn the copy is now dirty.
+    fn silent_upgrade(&mut self, line: u64, proc: usize);
+
+    /// L2 states in which a write completes without any global
+    /// transaction (`Modified` everywhere; also `Exclusive` for the
+    /// silent-upgrade protocols).
+    fn write_hits(&self, state: LineState) -> bool;
+
+    /// L2 states from which a write needs only permission, not data —
+    /// the no-data upgrade (or update) timing path.
+    fn upgradeable(&self, state: LineState) -> bool;
+
+    /// Number of lines with live protocol state.
+    fn line_count(&self) -> usize;
+
+    /// Total holder population across all tracked lines.
+    fn total_sharers(&self) -> usize;
+
+    /// Registers end-of-run protocol population gauges.
+    fn export_metrics(&self, reg: &mut mempar_obs::MetricsRegistry) {
+        reg.gauge("sim.coh.lines", self.line_count() as f64);
+        reg.gauge("sim.coh.sharers", self.total_sharers() as f64);
+    }
+}
+
+/// Per-line holder record shared by the snooping protocols.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct HolderEntry {
+    /// Bitmask of processors holding a copy (owner included).
+    pub holders: u64,
+    /// Processor responsible for supplying the line, if any.
+    pub owner: Option<u8>,
+    /// Whether the owner's copy is dirty (memory is stale).
+    pub owner_dirty: bool,
+}
+
+impl HolderEntry {
+    /// Holders other than `proc`.
+    pub fn others(&self, proc: usize) -> u64 {
+        self.holders & !(1u64 << proc)
+    }
+}
+
+/// Line-indexed holder map shared by the snooping protocols.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct HolderMap {
+    entries: HashMap<u64, HolderEntry>,
+}
+
+impl HolderMap {
+    pub fn entry(&mut self, line: u64) -> &mut HolderEntry {
+        self.entries.entry(line).or_default()
+    }
+
+    /// Removes `proc` from `line`'s holders, clearing ownership and
+    /// dropping the entry when the last copy goes.
+    pub fn evict(&mut self, line: u64, proc: usize) {
+        if let Some(e) = self.entries.get_mut(&line) {
+            e.holders &= !(1u64 << proc);
+            if e.owner == Some(proc as u8) {
+                e.owner = None;
+                e.owner_dirty = false;
+            }
+            if e.holders == 0 {
+                self.entries.remove(&line);
+            }
+        }
+    }
+
+    pub fn line_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn total_sharers(&self) -> usize {
+        self.entries
+            .values()
+            .map(|e| e.holders.count_ones() as usize)
+            .sum()
+    }
+}
+
+/// The processors set in `mask`, lowest first.
+pub(crate) fn mask_to_procs(mask: u64) -> Vec<usize> {
+    let mut v = Vec::with_capacity(mask.count_ones() as usize);
+    let mut m = mask;
+    while m != 0 {
+        let p = m.trailing_zeros() as usize;
+        v.push(p);
+        m &= m - 1;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_round_trips_display_fromstr() {
+        for p in Protocol::all() {
+            assert_eq!(p.to_string().parse::<Protocol>(), Ok(p));
+        }
+        assert!("mosi".parse::<Protocol>().is_err());
+        assert_eq!("MESI".parse::<Protocol>(), Ok(Protocol::Mesi));
+    }
+
+    #[test]
+    fn build_matches_kind() {
+        for p in Protocol::all() {
+            assert_eq!(p.build().kind(), p);
+        }
+    }
+
+    #[test]
+    fn mask_to_procs_orders_low_first() {
+        assert_eq!(mask_to_procs(0), Vec::<usize>::new());
+        assert_eq!(mask_to_procs(0b1011), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn holder_map_evicts_and_counts() {
+        let mut m = HolderMap::default();
+        let e = m.entry(7);
+        e.holders = 0b11;
+        e.owner = Some(1);
+        e.owner_dirty = true;
+        assert_eq!(m.line_count(), 1);
+        assert_eq!(m.total_sharers(), 2);
+        m.evict(7, 1);
+        let e = m.entry(7);
+        assert_eq!(e.holders, 0b01, "still held by 0");
+        assert_eq!(e.owner, None);
+        assert!(!e.owner_dirty);
+        m.evict(7, 0);
+        assert_eq!(m.line_count(), 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Snooping MOESI.
+//!
+//! MESI plus the `Owned` (dirty-shared) state: when a dirty holder
+//! answers a read snoop it supplies the line but keeps it, transitioning
+//! `M → O` instead of writing home back — memory stays stale until the
+//! owned line is evicted. Unlike Illinois-MESI, clean copies do *not*
+//! supply: a read that finds only clean sharers is serviced by memory
+//! (and demotes any clean-`Exclusive` holder to `Shared`).
+
+use super::{
+    mask_to_procs, CoherenceProtocol, DataSource, HolderMap, Protocol, ReadOutcome, WriteOutcome,
+};
+use crate::cache::LineState;
+
+/// MOESI state machine.
+#[derive(Debug, Default)]
+pub struct Moesi {
+    lines: HolderMap,
+}
+
+impl CoherenceProtocol for Moesi {
+    fn kind(&self) -> Protocol {
+        Protocol::Moesi
+    }
+
+    fn read_req(&mut self, line: u64, proc: usize) -> ReadOutcome {
+        let e = self.lines.entry(line);
+        let others = e.others(proc);
+        let outcome = if others == 0 {
+            e.owner = Some(proc as u8);
+            e.owner_dirty = false;
+            ReadOutcome {
+                source: DataSource::Memory,
+                memory_update: false,
+                install: LineState::Exclusive,
+                demote: vec![],
+            }
+        } else if let Some(o) = e.owner.filter(|&o| o as usize != proc && e.owner_dirty) {
+            // Dirty owner supplies and keeps the line (M -> O); memory
+            // is not updated.
+            ReadOutcome {
+                source: DataSource::CacheToCache { owner: o as usize },
+                memory_update: false,
+                install: LineState::Shared,
+                demote: vec![],
+            }
+        } else {
+            // Only clean copies exist: memory supplies; a clean-E holder
+            // loses exclusivity.
+            let demote = match e.owner.take() {
+                Some(o) if o as usize != proc => vec![o as usize],
+                _ => vec![],
+            };
+            e.owner_dirty = false;
+            ReadOutcome {
+                source: DataSource::Memory,
+                memory_update: false,
+                install: LineState::Shared,
+                demote,
+            }
+        };
+        self.lines.entry(line).holders |= 1u64 << proc;
+        outcome
+    }
+
+    fn write_req(&mut self, line: u64, proc: usize) -> WriteOutcome {
+        let e = self.lines.entry(line);
+        let others = e.others(proc);
+        let source = match e.owner {
+            Some(o) if o as usize != proc && e.owner_dirty => {
+                DataSource::CacheToCache { owner: o as usize }
+            }
+            _ => DataSource::Memory,
+        };
+        let outcome = WriteOutcome {
+            source,
+            invalidees: mask_to_procs(others),
+            updatees: vec![],
+            install: LineState::Modified,
+        };
+        e.holders = 1u64 << proc;
+        e.owner = Some(proc as u8);
+        e.owner_dirty = true;
+        outcome
+    }
+
+    fn evict(&mut self, line: u64, proc: usize) {
+        self.lines.evict(line, proc);
+    }
+
+    fn silent_upgrade(&mut self, line: u64, proc: usize) {
+        let e = self.lines.entry(line);
+        e.holders |= 1u64 << proc;
+        e.owner = Some(proc as u8);
+        e.owner_dirty = true;
+    }
+
+    fn write_hits(&self, state: LineState) -> bool {
+        matches!(state, LineState::Modified | LineState::Exclusive)
+    }
+
+    fn upgradeable(&self, state: LineState) -> bool {
+        matches!(state, LineState::Shared | LineState::Owned)
+    }
+
+    fn line_count(&self) -> usize {
+        self.lines.line_count()
+    }
+
+    fn total_sharers(&self) -> usize {
+        self.lines.total_sharers()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirty_supplier_keeps_ownership() {
+        let mut p = Moesi::default();
+        p.write_req(5, 0); // 0 holds M
+        let r = p.read_req(5, 1);
+        assert_eq!(r.source, DataSource::CacheToCache { owner: 0 });
+        assert!(!r.memory_update, "MOESI sharing leaves memory stale");
+        // Owner 0 still supplies for the next reader too (now from O).
+        let r2 = p.read_req(5, 2);
+        assert_eq!(r2.source, DataSource::CacheToCache { owner: 0 });
+        assert!(!r2.memory_update);
+    }
+
+    #[test]
+    fn clean_read_comes_from_memory_and_demotes_exclusive() {
+        let mut p = Moesi::default();
+        p.read_req(5, 0); // 0 holds E (clean)
+        let r = p.read_req(5, 1);
+        assert_eq!(r.source, DataSource::Memory, "no clean C2C in MOESI");
+        assert_eq!(r.demote, vec![0]);
+        assert_eq!(r.install, LineState::Shared);
+    }
+
+    #[test]
+    fn write_over_owned_line_invalidates_sharers() {
+        let mut p = Moesi::default();
+        p.write_req(5, 0);
+        p.read_req(5, 1); // 0: O, 1: S
+        let w = p.write_req(5, 1);
+        assert_eq!(w.source, DataSource::CacheToCache { owner: 0 });
+        assert_eq!(w.invalidees, vec![0]);
+        assert_eq!(p.total_sharers(), 1);
+    }
+
+    #[test]
+    fn evicting_owner_clears_dirty_ownership() {
+        let mut p = Moesi::default();
+        p.write_req(5, 0);
+        p.read_req(5, 1); // 0 owns dirty
+        p.evict(5, 0);
+        // With the owner gone, memory serves the next reader. (The
+        // timing model pays the writeback on the eviction itself via
+        // Victim::dirty.)
+        let r = p.read_req(5, 2);
+        assert_eq!(r.source, DataSource::Memory);
+    }
+}

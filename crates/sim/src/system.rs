@@ -7,6 +7,7 @@ use mempar_stats::{Breakdown, LatencyStat, MemCounters, MshrOccupancy, StallClas
 use crate::config::MachineConfig;
 use crate::core::Core;
 use crate::memsys::MemSystem;
+use crate::protocol::Protocol;
 use crate::sync::SyncState;
 
 /// Cycles without any retirement before the driver declares deadlock.
@@ -82,6 +83,12 @@ pub struct SimOptions {
     /// bit-identical op streams (the difftest and golden-trace gates
     /// assert this); the VM is the faster default.
     pub engine: Engine,
+    /// Which coherence protocol drives the memory system's global
+    /// transactions (see [`Protocol`]). Functional results and dynamic-op
+    /// streams are identical across protocols (the protocol cube asserts
+    /// this); only cycle counts move. Defaults to the paper's full-map
+    /// directory.
+    pub protocol: Protocol,
 }
 
 impl Default for SimOptions {
@@ -94,6 +101,7 @@ impl Default for SimOptions {
             },
             shards: 1,
             engine: Engine::default(),
+            protocol: Protocol::Directory,
         }
     }
 }
@@ -312,7 +320,11 @@ fn run_inner(
     );
     let nprocs = cfg.nprocs;
     let home = mem.home_map();
-    let mut memsys = MemSystem::new(cfg, Box::new(move |line_addr| home.home_node(line_addr)));
+    let mut memsys = MemSystem::with_protocol(
+        cfg,
+        Box::new(move |line_addr| home.home_node(line_addr)),
+        opts.protocol,
+    );
     memsys.set_tracer(tracer);
     let tracing = memsys.trace_enabled();
     let stall_state: Vec<Option<StallClass>> = vec![None; nprocs];

@@ -163,6 +163,12 @@ pub struct MemCounters {
     pub coalesced: u64,
     /// Invalidation messages sent.
     pub invalidations: u64,
+    /// Update messages received (write-update protocols: the written
+    /// word delivered to a still-valid remote copy).
+    pub updates: u64,
+    /// Ownership upgrades issued (writes that needed permission but no
+    /// data transfer).
+    pub upgrades: u64,
     /// Writebacks of dirty lines.
     pub writebacks: u64,
     /// Software prefetches issued to the hierarchy.
@@ -182,6 +188,8 @@ impl MemCounters {
         self.cache_to_cache += o.cache_to_cache;
         self.coalesced += o.coalesced;
         self.invalidations += o.invalidations;
+        self.updates += o.updates;
+        self.upgrades += o.upgrades;
         self.writebacks += o.writebacks;
         self.prefetches += o.prefetches;
     }

@@ -10,11 +10,18 @@
 
 use std::path::PathBuf;
 
-use mempar_difftest::golden::{check_golden, snapshot, snapshot_gen_seed, PINNED_GEN_SEEDS};
+use mempar_difftest::golden::{
+    check_golden, protocol_snapshot, snapshot, snapshot_gen_seed, PINNED_GEN_SEEDS,
+};
+use mempar_sim::Protocol;
 use mempar_workloads::App;
 
 fn golden_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/golden")
+}
+
+fn snapshots_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/snapshots")
 }
 
 #[test]
@@ -25,6 +32,62 @@ fn pinned_generator_seeds_match_snapshots() {
         let path = golden_dir().join(format!("gen-{seed}.golden"));
         if let Err(e) = check_golden(&path, &actual) {
             drift.push(e);
+        }
+    }
+    assert!(drift.is_empty(), "{}", drift.join("\n"));
+}
+
+/// Per-protocol cycle snapshots under `tests/snapshots/`: each golden
+/// workload simulated once under every coherence machine. The cycle and
+/// coherence-traffic lines pin each protocol's timing; the functional
+/// lines must be identical across the four files of one app (asserted
+/// here, and visible in a plain `diff` of the committed snapshots).
+/// Re-bless with `MEMPAR_BLESS=1 cargo test --test golden_traces`.
+#[test]
+fn per_protocol_cycle_snapshots() {
+    let mut drift = Vec::new();
+    for app in GOLDEN_APPS {
+        let w = app.build(0.02);
+        let nprocs = w.mp_procs.max(1);
+        let mut functional: Vec<(Protocol, Vec<String>)> = Vec::new();
+        for protocol in Protocol::all() {
+            let actual = protocol_snapshot(
+                &format!("{}-s0.02", app.name()),
+                &w.program,
+                |n| w.memory(n),
+                nprocs,
+                w.l2_bytes,
+                protocol,
+            );
+            functional.push((
+                protocol,
+                actual
+                    .lines()
+                    .filter(|l| {
+                        l.starts_with("sim.retired")
+                            || l.starts_with("sim.loads")
+                            || l.starts_with("sim.stores")
+                            || l.starts_with("sim.mem_fingerprint")
+                    })
+                    .map(str::to_string)
+                    .collect(),
+            ));
+            let path = snapshots_dir().join(format!(
+                "protocol-{}-{protocol}.golden",
+                app.name().to_ascii_lowercase()
+            ));
+            if let Err(e) = check_golden(&path, &actual) {
+                drift.push(e);
+            }
+        }
+        for (protocol, lines) in &functional[1..] {
+            assert_eq!(
+                lines,
+                &functional[0].1,
+                "{}: {protocol} functional lines diverge from {}",
+                app.name(),
+                functional[0].0
+            );
         }
     }
     assert!(drift.is_empty(), "{}", drift.join("\n"));

@@ -8,12 +8,16 @@
 //! shortest-roundtrip precision, so any bit-level divergence shows up.
 //!
 //! The same cube has an engine axis (the bytecode VM front-end must be
-//! as invisible as the stepper; interp strict is the reference corner)
-//! and a tracing axis (attaching the observability tracer must change
-//! nothing).
+//! as invisible as the stepper; interp strict is the reference corner),
+//! a tracing axis (attaching the observability tracer must change
+//! nothing), and a protocol axis: every coherence machine
+//! (directory/MESI/MOESI/Dragon) must itself be stepper-invisible — the
+//! full historical cube runs under the directory default, and a reduced
+//! leg set re-runs under each alternative protocol.
 
 use mempar_sim::{
-    run_program_observed, run_program_with, Engine, MachineConfig, SimOptions, Stepper, Tracer,
+    run_program_observed, run_program_with, Engine, MachineConfig, Protocol, SimOptions, Stepper,
+    Tracer,
 };
 use mempar_workloads::App;
 
@@ -22,6 +26,7 @@ fn options(stepper: Stepper, shards: usize, engine: Engine) -> SimOptions {
         stepper,
         shards,
         engine,
+        protocol: Protocol::Directory,
     }
 }
 
@@ -113,6 +118,41 @@ fn assert_identical(app: App, mp: bool) {
     assert_eq!(event_tw, strict, "{}", ctx("event", Engine::Interp));
 }
 
+/// The protocol axis of the cube: each alternative coherence machine has
+/// its own cycle counts, but within a protocol every stepper, engine,
+/// and shard count must still be bit-identical. Runs at a smaller scale
+/// than the directory cube — the strict reference leg is the expensive
+/// corner and there are three extra machines to cover.
+fn assert_identical_per_protocol(app: App, mp: bool) {
+    let scale = if mp { 0.02 } else { 0.03 };
+    for protocol in [Protocol::Mesi, Protocol::Moesi, Protocol::Dragon] {
+        let opts = |stepper, shards, engine| SimOptions {
+            stepper,
+            shards,
+            engine,
+            protocol,
+        };
+        let strict = run_debug(app, scale, mp, opts(Stepper::Strict, 1, Engine::Bytecode));
+        let ctx = |leg: &str| {
+            format!(
+                "{} ({}, protocol {protocol}, {leg}) diverges from strict stepping",
+                app.name(),
+                if mp { "mp" } else { "up" }
+            )
+        };
+        for stepper in [Stepper::Skip, Stepper::Event] {
+            let leg = run_debug(app, scale, mp, opts(stepper, 1, Engine::Bytecode));
+            assert_eq!(leg, strict, "{}", ctx(&stepper.to_string()));
+        }
+        let strict_tw = run_debug(app, scale, mp, opts(Stepper::Strict, 1, Engine::Interp));
+        assert_eq!(strict_tw, strict, "{}", ctx("strict interp"));
+        if mp {
+            let sharded = run_debug(app, scale, mp, opts(Stepper::Event, 2, Engine::Bytecode));
+            assert_eq!(sharded, strict, "{}", ctx("event, 2 shards"));
+        }
+    }
+}
+
 #[test]
 fn latbench_steppers_agree() {
     // Pointer chase: the best case for skipping (window-full stalls on
@@ -141,4 +181,26 @@ fn em3d_steppers_agree_uniprocessor() {
     // Irregular-graph streaming: MSHR-saturated phases where the
     // scheduler must *not* skip (ready-but-retrying loads).
     assert_identical(App::Em3d, false);
+}
+
+#[test]
+fn latbench_steppers_agree_per_protocol() {
+    // Dependent misses under each machine: MESI/Dragon's silent E -> M
+    // upgrades and MOESI's Owned evictions must be stepper-invisible.
+    assert_identical_per_protocol(App::Latbench, false);
+}
+
+#[test]
+fn fft_steppers_agree_multiprocessor_per_protocol() {
+    // Shared lines across barrier phases: invalidations (MESI/MOESI)
+    // and bus updates (Dragon) ride the same event queue under every
+    // stepper and shard count.
+    assert_identical_per_protocol(App::Fft, true);
+}
+
+#[test]
+fn lu_steppers_agree_multiprocessor_per_protocol() {
+    // Producer/consumer flag sync is where protocol timing differences
+    // are largest (the flag line ping-pongs); the cube must still agree.
+    assert_identical_per_protocol(App::Lu, true);
 }
