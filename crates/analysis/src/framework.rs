@@ -136,7 +136,10 @@ pub fn analyze_inner_loop(
             if r.irregular {
                 r.p_miss
             } else {
-                1.0 / r.l_m as f64
+                // Analytic mode has p_miss = 1 (every line touch
+                // misses); measured mode scales by the profiled
+                // per-line miss probability.
+                r.p_miss / r.l_m as f64
             }
         })
         .sum();
@@ -173,7 +176,9 @@ pub fn estimate_f(
         if r.irregular {
             f_irr += r.p_miss * c_m;
         } else {
-            f_reg += c_m;
+            // p_miss is 1 under the analytic model; the measured model
+            // discounts line touches the reuse profile saw hitting.
+            f_reg += r.p_miss * c_m;
         }
     }
     f_reg + f_irr.ceil()

@@ -63,5 +63,6 @@ pub use depgraph::{
 };
 pub use framework::{analyze_inner_loop, estimate_f, MachineSummary, NestAnalysis};
 pub use refs::{
-    collect_refs, flat_offset, flat_stride, MissProfile, RefCollection, RefInfo, ScalarDef,
+    collect_refs, flat_offset, flat_stride, ArrayLocality, Locality, MissProfile, RefCollection,
+    RefInfo, ScalarDef,
 };

@@ -5,14 +5,70 @@
 //! cache) and which exhibit *inner-loop self-spatial locality* (and over
 //! how many iterations, `L_m`).
 
+use std::str::FromStr;
+
 use mempar_ir::{ArrayId, ArrayRef, DynIndex, Program, ScalarId, Stmt, VarId};
+
+/// Which locality model feeds the `f`/α computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Locality {
+    /// The paper's analytic model: every leading regular line touch
+    /// misses (`p = 1`), irregular references use the cache-probe
+    /// profile's `P_m`.
+    #[default]
+    Analytic,
+    /// Measured locality: per-array miss probabilities come from the
+    /// sampled reuse-distance profile of the dynamic-op stream
+    /// ([`MissProfile::set_measured`]), for regular and irregular
+    /// references alike.
+    Measured,
+}
+
+impl FromStr for Locality {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "analytic" => Ok(Locality::Analytic),
+            "measured" => Ok(Locality::Measured),
+            other => Err(format!(
+                "unknown locality mode '{other}' (expected analytic|measured)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Locality {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Locality::Analytic => "analytic",
+            Locality::Measured => "measured",
+        })
+    }
+}
+
+/// Measured locality of one array, distilled from a sampled
+/// reuse-distance histogram of the dynamic-op stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrayLocality {
+    /// Probability that an individual access to the array misses the
+    /// external cache (reuse distance beyond its capacity, or a cold
+    /// first touch).
+    pub access_miss_prob: f64,
+    /// Measured accesses per miss (the dynamic analogue of `L_m`;
+    /// >= 1, meaningful only when `access_miss_prob > 0`).
+    pub l_m: f64,
+}
 
 /// Miss-rate profile for irregular references (the `P_m` of Equation 4),
 /// measured by cache simulation or profiling in the paper; here provided
-/// per-array by the profiler in `mempar` or defaulted.
+/// per-array by the profiler in `mempar` or defaulted. In measured
+/// locality mode it additionally carries per-array [`ArrayLocality`]
+/// records from the reuse-distance profiler, which override the
+/// analytic every-line-misses assumption for *regular* references too.
 #[derive(Debug, Clone, Default)]
 pub struct MissProfile {
     per_array: Vec<(ArrayId, f64)>,
+    measured: Vec<(ArrayId, ArrayLocality)>,
     /// Miss probability assumed for unprofiled irregular references.
     pub default_p: f64,
 }
@@ -23,6 +79,7 @@ impl MissProfile {
     pub fn pessimistic() -> Self {
         MissProfile {
             per_array: Vec::new(),
+            measured: Vec::new(),
             default_p: 1.0,
         }
     }
@@ -41,6 +98,31 @@ impl MissProfile {
             .find(|&&(x, _)| x == a)
             .map(|&(_, p)| p)
             .unwrap_or(self.default_p)
+    }
+
+    /// Records the measured reuse-distance locality of `a`. Presence of
+    /// any measured record is what switches [`collect_refs`] from the
+    /// analytic to the measured model for regular references.
+    pub fn set_measured(&mut self, a: ArrayId, loc: ArrayLocality) {
+        assert!(
+            (0.0..=1.0).contains(&loc.access_miss_prob),
+            "miss rate must be a probability"
+        );
+        self.measured.retain(|&(x, _)| x != a);
+        self.measured.push((a, loc));
+    }
+
+    /// The measured locality of `a`, when one was recorded.
+    pub fn measured_for(&self, a: ArrayId) -> Option<ArrayLocality> {
+        self.measured
+            .iter()
+            .find(|&&(x, _)| x == a)
+            .map(|&(_, loc)| loc)
+    }
+
+    /// True when any measured locality records are present.
+    pub fn has_measured(&self) -> bool {
+        !self.measured.is_empty()
     }
 }
 
@@ -207,7 +289,14 @@ pub fn collect_refs(
                 p_miss: if irregular {
                     profile.p_for(r.array)
                 } else {
-                    1.0
+                    // Analytic model: every leading line touch misses
+                    // (p = 1). Measured mode: the per-line miss
+                    // probability is the measured per-access miss rate
+                    // times the touches per line (`L_m`), capped at 1.
+                    profile
+                        .measured_for(r.array)
+                        .map(|loc| (loc.access_miss_prob * f64::from(l_m)).clamp(0.0, 1.0))
+                        .unwrap_or(1.0)
                 },
                 addr_scalars,
                 addr_refs,
@@ -551,8 +640,8 @@ mod tests {
     #[test]
     fn profile_lookup() {
         let mut prof = MissProfile {
-            per_array: vec![],
             default_p: 0.3,
+            ..MissProfile::default()
         };
         let a = ArrayId::from_raw(0);
         assert_eq!(prof.p_for(a), 0.3);
@@ -560,5 +649,54 @@ mod tests {
         assert_eq!(prof.p_for(a), 0.9);
         prof.set(a, 0.7);
         assert_eq!(prof.p_for(a), 0.7);
+    }
+
+    #[test]
+    fn measured_locality_overrides_regular_p_miss() {
+        let (p, iv, body) = paper_example();
+        let mut prof = MissProfile::pessimistic();
+        // Declaration order in `paper_example`: "a" first.
+        let a = ArrayId::from_raw(0);
+        assert_eq!(p.array(a).name, "a");
+        // A hot array: 1 miss per 80 accesses. With L_m = 8 the per-line
+        // miss probability becomes 8/80 = 0.1 instead of the analytic 1.
+        prof.set_measured(
+            a,
+            ArrayLocality {
+                access_miss_prob: 1.0 / 80.0,
+                l_m: 80.0,
+            },
+        );
+        assert!(prof.has_measured());
+        let coll = collect_refs(&p, &body, iv, 64, &prof);
+        let leader = coll
+            .leading()
+            .find(|r| r.array == a)
+            .expect("a has a leader");
+        assert!((leader.p_miss - 0.1).abs() < 1e-12, "p = {}", leader.p_miss);
+        // Unmeasured arrays keep the analytic assumption.
+        let other = coll.leading().find(|r| r.array != a).expect("b leader");
+        assert_eq!(other.p_miss, 1.0);
+        // A cold streaming measurement (1 miss per L_m accesses) clamps
+        // back to the analytic value.
+        prof.set_measured(
+            a,
+            ArrayLocality {
+                access_miss_prob: 1.0 / 8.0,
+                l_m: 8.0,
+            },
+        );
+        let coll = collect_refs(&p, &body, iv, 64, &prof);
+        let leader = coll.leading().find(|r| r.array == a).expect("leader");
+        assert_eq!(leader.p_miss, 1.0);
+    }
+
+    #[test]
+    fn locality_mode_parses() {
+        assert_eq!("analytic".parse(), Ok(Locality::Analytic));
+        assert_eq!("measured".parse(), Ok(Locality::Measured));
+        assert!("auto".parse::<Locality>().is_err());
+        assert_eq!(Locality::Measured.to_string(), "measured");
+        assert_eq!(Locality::default(), Locality::Analytic);
     }
 }

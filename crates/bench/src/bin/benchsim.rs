@@ -22,11 +22,16 @@
 //! cargo run --release -p mempar-bench --bin benchsim -- --scale 0.1
 //! ```
 
+use mempar::{measure_locality, sim_reuse_profiler};
 use mempar_bench::{
-    bench_sim_json, log_enabled, parse_args, timed, FrontendBenchRecord, LogLevel, SimBenchRecord,
+    bench_sim_json, log_enabled, parse_args, timed, FrontendBenchRecord, LocalityBenchRecord,
+    LogLevel, SimBenchRecord,
 };
 use mempar_ir::{BytecodeProgram, Interp, Vm};
-use mempar_sim::{run_program_with, Engine, MachineConfig, Protocol, SimOptions, Stepper};
+use mempar_sim::{
+    run_program_observed, run_program_observed_reuse, run_program_with, Engine, MachineConfig,
+    Protocol, ReuseConfig, SimOptions, Stepper, Tracer,
+};
 use mempar_workloads::App;
 
 fn main() {
@@ -55,6 +60,7 @@ fn main() {
     ];
     let mut records: Vec<SimBenchRecord> = Vec::new();
     let mut frontend: Vec<FrontendBenchRecord> = Vec::new();
+    let mut locality: Vec<LocalityBenchRecord> = Vec::new();
     for &(name, app, mp) in experiments {
         let mut cycles_by_mode = Vec::new();
         // Functional reference from the directory event leg: the
@@ -197,6 +203,7 @@ fn main() {
         // visible (DESIGN.md §9b).
         let w = app.build(args.scale);
         let nprocs = if mp { w.mp_procs.max(1) } else { 1 };
+        let cfg = MachineConfig::base_simulated(nprocs, 64 * 1024);
         let code = BytecodeProgram::compile(&w.program);
         let mut ops = 0u64;
         {
@@ -244,8 +251,85 @@ fn main() {
             );
         }
         frontend.push(f);
+        // Measured-locality overhead legs (DESIGN.md §12). (a) The
+        // sampled reuse-distance pre-pass (`measure_locality`) against a
+        // plain single-stream interpreter drain of the same op stream —
+        // both walk `Interp::new(prog, 0, 1)` over a fresh memory, so
+        // the ratio is exactly what SHARDS sampling costs. (b) The
+        // in-sim fetch-stage tap: an observed event run with the
+        // profiler attached against an identical run with it off. The
+        // tap is pure observation, so both observed legs must land on
+        // the exact simulated cycle count of the untraced event legs
+        // above — asserted here before the ratio is recorded.
+        let drain_seconds = min_of_3(&|| {
+            let mut mem = w.memory(1);
+            let mut it = Interp::new(&w.program, 0, 1);
+            while it.next_op(&mut mem).is_some() {}
+        });
+        let prepass_seconds = min_of_3(&|| {
+            let mut mem = w.memory(1);
+            let _ = measure_locality(&w.program, &mut mem, &cfg, ReuseConfig::default());
+        });
+        let mut reuse_mem = w.memory(1);
+        let (_, report) =
+            measure_locality(&w.program, &mut reuse_mem, &cfg, ReuseConfig::default());
+        let opts = SimOptions {
+            stepper: Stepper::Event,
+            shards: 1,
+            engine: Engine::Bytecode,
+            protocol: Protocol::Directory,
+        };
+        let mut sim_best = f64::INFINITY;
+        let mut tap_best = f64::INFINITY;
+        for _ in 0..3 {
+            let mut mem = w.memory(nprocs);
+            let ((r_off, _), secs) = timed(|| {
+                run_program_observed(&w.program, &mut mem, &cfg, opts, Tracer::with_capacity(0))
+            });
+            assert_eq!(
+                r_off.cycles, cycles_by_mode[0],
+                "{name}: attaching the tracer drifted the simulated cycle count"
+            );
+            sim_best = sim_best.min(secs);
+            let mut mem = w.memory(nprocs);
+            let ((r_tap, _, _), secs) = timed(|| {
+                run_program_observed_reuse(
+                    &w.program,
+                    &mut mem,
+                    &cfg,
+                    opts,
+                    Tracer::with_capacity(0),
+                    sim_reuse_profiler(&w.program, &cfg, ReuseConfig::default()),
+                )
+            });
+            assert_eq!(
+                r_tap.cycles, cycles_by_mode[0],
+                "{name}: the reuse tap drifted the simulated cycle count"
+            );
+            tap_best = tap_best.min(secs);
+        }
+        let l = LocalityBenchRecord {
+            experiment: name.to_string(),
+            accesses: report.accesses,
+            sampling_rate: report.sampling_rate,
+            sampled: report.sampled,
+            drain_seconds,
+            prepass_seconds,
+            sim_seconds: sim_best,
+            sim_tap_seconds: tap_best,
+        };
+        if log_enabled(LogLevel::Info) {
+            eprintln!(
+                "[{name}] reuse profiler: {} accesses, rate {:.4}, pre-pass {:.2}x drain, in-sim tap {:.2}x",
+                l.accesses,
+                l.sampling_rate,
+                l.prepass_overhead(),
+                l.tap_overhead()
+            );
+        }
+        locality.push(l);
     }
-    let json = bench_sim_json(args.scale, &records, &frontend);
+    let json = bench_sim_json(args.scale, &records, &frontend, &locality);
     std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
     print!("{json}");
     if log_enabled(LogLevel::Info) {

@@ -8,7 +8,10 @@
 //! cargo run --release -p mempar-bench --bin fig3 -- --mode up --scale 0.1
 //! ```
 
-use mempar_bench::{parse_args, run_app, run_matrix, simulated_config, summarize_pair};
+use mempar_bench::{
+    parse_args, run_app_locality, run_matrix, simulated_config, summarize_pair,
+    write_locality_outputs,
+};
 use mempar_stats::{format_breakdown_table, render_breakdown_bars};
 use mempar_workloads::App;
 
@@ -42,13 +45,13 @@ fn main() {
     }
     // Fan the applications across worker threads; results are collected
     // in application order, so stdout is identical at any thread count.
-    let pairs = run_matrix(args.threads, &apps, |&app| {
+    let results = run_matrix(args.threads, &apps, |&app| {
         let cfg = simulated_config(app, args.scale, mp, ghz);
-        run_app(app, &cfg, args.scale, args.sim_options())
+        run_app_locality(app, &cfg, args.scale, args.sim_options(), args.locality)
     });
     let mut entries = Vec::new();
     let mut reductions = Vec::new();
-    for (app, pair) in apps.iter().zip(&pairs) {
+    for (app, (pair, _)) in apps.iter().zip(&results) {
         println!("{}", summarize_pair(pair));
         println!("  transforms:\n{}", indent(&pair.report.summary()));
         reductions.push(pair.percent_reduction());
@@ -78,6 +81,12 @@ fn main() {
             }
         );
     }
+    let locality_entries: Vec<(&str, &mempar::LocalityArtifacts)> = apps
+        .iter()
+        .zip(results.iter())
+        .filter_map(|(app, (_, a))| a.as_ref().map(|a| (app.name(), a)))
+        .collect();
+    write_locality_outputs(&args, &locality_entries);
     let _ = App::all();
 }
 

@@ -6,7 +6,9 @@
 //! (read miss parallelism). Figure 4(b): total occupancy including
 //! writes (contention).
 
-use mempar_bench::{parse_args, run_app, run_matrix, simulated_config};
+use mempar_bench::{
+    parse_args, run_app_locality, run_matrix, simulated_config, write_locality_outputs,
+};
 use mempar_stats::{format_occupancy_curves, render_occupancy_chart};
 use mempar_workloads::App;
 
@@ -16,10 +18,11 @@ fn main() {
         // Default: the paper's two extreme applications.
         args.apps = vec![App::Ocean, App::Lu];
     }
-    let pairs = run_matrix(args.threads, &args.apps, |&app| {
+    let results = run_matrix(args.threads, &args.apps, |&app| {
         let cfg = simulated_config(app, args.scale, true, false);
-        run_app(app, &cfg, args.scale, args.sim_options())
+        run_app_locality(app, &cfg, args.scale, args.sim_options(), args.locality)
     });
+    let pairs: Vec<_> = results.iter().map(|(p, _)| p).collect();
     let mut entries = Vec::new();
     for (&app, pair) in args.apps.iter().zip(&pairs) {
         entries.push((app.name().to_string(), pair.base.occupancy.clone()));
@@ -58,4 +61,11 @@ fn main() {
         "{}",
         render_occupancy_chart("Figure 4(a) as a chart:", &entries, true)
     );
+    let locality_entries: Vec<(&str, &mempar::LocalityArtifacts)> = args
+        .apps
+        .iter()
+        .zip(results.iter())
+        .filter_map(|(app, (_, a))| a.as_ref().map(|a| (app.name(), a)))
+        .collect();
+    write_locality_outputs(&args, &locality_entries);
 }

@@ -3,8 +3,8 @@
 //! 5.34×), the contention-driven growth of *total* miss latency
 //! (171 ns → 316 ns) and bus/memory-bank utilization (> 85 % clustered).
 
-use mempar::{observe_pair_with, run_pair_with, MachineConfig, DEFAULT_TRACE_CAPACITY};
-use mempar_bench::{parse_args, run_matrix, write_observation_outputs};
+use mempar::{observe_pair_locality, run_pair_locality, MachineConfig, DEFAULT_TRACE_CAPACITY};
+use mempar_bench::{parse_args, run_matrix, write_locality_outputs, write_observation_outputs};
 use mempar_stats::{format_rows, Row};
 use mempar_workloads::{latbench, LatbenchParams};
 
@@ -25,10 +25,10 @@ fn main() {
         MachineConfig::exemplar(1),
     ];
     let mut pairs = run_matrix(args.threads, &cfgs, |cfg| {
-        run_pair_with(&w, cfg, args.sim_options())
+        run_pair_locality(&w, cfg, args.sim_options(), args.locality)
     });
-    let pair_ex = pairs.pop().expect("exemplar run");
-    let pair = pairs.pop().expect("base run");
+    let (pair_ex, _) = pairs.pop().expect("exemplar run");
+    let (pair, artifacts) = pairs.pop().expect("base run");
     assert!(pair.outputs_match, "clustering changed Latbench results");
 
     println!("\ntransformations applied:\n{}", pair.report.summary());
@@ -102,8 +102,20 @@ fn main() {
     // attached (bit-identical cycle counts — asserted here), exporting
     // whatever the --trace-out/--metrics-out/--profile-refs flags asked
     // for.
+    // Measured-locality outputs: the sampled reuse report and the
+    // predicted-vs-measured calibration table (plus --reuse-out JSON).
+    if let Some(a) = &artifacts {
+        write_locality_outputs(&args, &[("latbench", a)]);
+    }
+
     if args.wants_observation() {
-        let observed = observe_pair_with(&w, &cfgs[0], DEFAULT_TRACE_CAPACITY, args.sim_options());
+        let (observed, _) = observe_pair_locality(
+            &w,
+            &cfgs[0],
+            DEFAULT_TRACE_CAPACITY,
+            args.sim_options(),
+            args.locality,
+        );
         assert_eq!(
             observed.base.result.cycles, pair.base.cycles,
             "tracing changed the base run's cycle count"

@@ -7,9 +7,12 @@
 //! uniprocessor with the tracer attached, producing per-leading-reference
 //! clustering profiles and the requested trace/metrics exports.
 
-use mempar::{observe_pair_with, ObservedRun, DEFAULT_TRACE_CAPACITY};
+use mempar::{
+    calibrate_locality, observe_pair_locality, Locality, ObservedRun, DEFAULT_TRACE_CAPACITY,
+};
 use mempar_bench::{
-    log_enabled, parse_args, run_matrix, simulated_config, write_observation_outputs, LogLevel,
+    log_enabled, parse_args, run_matrix, simulated_config, write_locality_outputs,
+    write_observation_outputs, LogLevel,
 };
 use mempar_stats::{format_rows, Row};
 use mempar_workloads::App;
@@ -51,6 +54,27 @@ fn main() {
         )
     );
 
+    // Measured-locality calibration: run the sampled reuse-distance
+    // pre-pass on every selected app and print (and optionally export)
+    // the predicted-vs-measured delta tables.
+    if args.locality == Locality::Measured {
+        let artifacts: Vec<_> = run_matrix(args.threads, &args.apps, |&app| {
+            if log_enabled(LogLevel::Info) {
+                eprintln!("[{}] measured-locality calibration...", app.name());
+            }
+            let w = app.build(args.scale);
+            let cfg = simulated_config(app, args.scale, false, false);
+            calibrate_locality(&w, &cfg).1
+        });
+        let entries: Vec<(&str, &mempar::LocalityArtifacts)> = args
+            .apps
+            .iter()
+            .zip(artifacts.iter())
+            .map(|(app, a)| (app.name(), a))
+            .collect();
+        write_locality_outputs(&args, &entries);
+    }
+
     // Observability pass: run the selected apps base-vs-clustered on the
     // base simulated uniprocessor with the tracer attached, then emit the
     // requested trace/metrics/profile outputs.
@@ -61,7 +85,14 @@ fn main() {
             }
             let w = app.build(args.scale);
             let cfg = simulated_config(app, args.scale, false, false);
-            observe_pair_with(&w, &cfg, DEFAULT_TRACE_CAPACITY, args.sim_options())
+            observe_pair_locality(
+                &w,
+                &cfg,
+                DEFAULT_TRACE_CAPACITY,
+                args.sim_options(),
+                args.locality,
+            )
+            .0
         });
         let runs: Vec<&ObservedRun> = observed
             .iter()

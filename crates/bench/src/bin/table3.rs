@@ -3,7 +3,7 @@
 //! 32-byte lines), uniprocessor and 8-processor runs.
 
 use mempar::MachineConfig;
-use mempar_bench::{parse_args, run_app, run_matrix};
+use mempar_bench::{parse_args, run_app_locality, run_matrix, write_locality_outputs};
 use mempar_stats::{format_rows, Row};
 use mempar_workloads::App;
 
@@ -29,13 +29,17 @@ fn main() {
             jobs.push((app, true));
         }
     }
-    let pairs = run_matrix(args.threads, &jobs, |&(app, mp)| {
+    let results = run_matrix(args.threads, &jobs, |&(app, mp)| {
         let cfg = MachineConfig::exemplar(if mp { 8 } else { 1 });
-        run_app(app, &cfg, args.scale, args.sim_options())
+        run_app_locality(app, &cfg, args.scale, args.sim_options(), args.locality)
     });
     let mut rows = Vec::new();
     for &app in &args.apps {
-        let cell = |mp: bool| jobs.iter().position(|&j| j == (app, mp)).map(|i| &pairs[i]);
+        let cell = |mp: bool| {
+            jobs.iter()
+                .position(|&j| j == (app, mp))
+                .map(|i| &results[i].0)
+        };
         let up = cell(false).expect("every app has a uniprocessor run");
         let mp_red = match cell(true) {
             Some(mp) => format!("{:5.1}", mp.percent_reduction()),
@@ -71,4 +75,14 @@ fn main() {
             &rows
         )
     );
+    // Measured-locality calibration tables (uniprocessor cells only, to
+    // keep one row per app).
+    let entries: Vec<(&str, &mempar::LocalityArtifacts)> = jobs
+        .iter()
+        .zip(results.iter())
+        .filter_map(|(&(app, mp), (_, a))| {
+            (!mp).then_some(()).and(a.as_ref()).map(|a| (app.name(), a))
+        })
+        .collect();
+    write_locality_outputs(&args, &entries);
 }

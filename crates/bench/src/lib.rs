@@ -22,8 +22,8 @@
 use std::sync::atomic::{AtomicU8, Ordering};
 
 use mempar::{
-    chrome_trace_json, run_pair_with, ChromeRun, Engine, MachineConfig, ObservedRun, Protocol,
-    RunPair, SimOptions, Stepper,
+    chrome_trace_json, run_pair_locality, ChromeRun, Engine, Locality, LocalityArtifacts,
+    MachineConfig, ObservedRun, Protocol, RunPair, SimOptions, Stepper,
 };
 use mempar_obs::escape_json;
 use mempar_stats::MshrOccupancy;
@@ -86,6 +86,14 @@ pub struct HarnessArgs {
     /// default directory). Functional results are identical across
     /// protocols; only cycle counts move.
     pub protocol: Protocol,
+    /// Locality model feeding the analysis (`--locality`, default
+    /// analytic). Measured mode runs the sampled reuse-distance
+    /// profiler and calibrates `L_m`/`P_m` against the paper's static
+    /// model.
+    pub locality: Locality,
+    /// Write the measured-locality JSON (reuse report + delta table)
+    /// here; requires `--locality measured`.
+    pub reuse_out: Option<String>,
 }
 
 impl Default for HarnessArgs {
@@ -104,6 +112,8 @@ impl Default for HarnessArgs {
             stepper: opts.stepper,
             shards: opts.shards,
             protocol: opts.protocol,
+            locality: Locality::default(),
+            reuse_out: None,
         }
     }
 }
@@ -143,6 +153,7 @@ pub fn usage() -> String {
     format!(
         "usage: {bin} [--scale <f>] [--apps <a,b,c>] [--mode <m>] [--procs <n>] [--threads <n>]\n\
          \x20       [--engine <e>] [--stepper <s>] [--shards <n>] [--protocol <p>]\n\
+         \x20       [--locality <l>] [--reuse-out <path>]\n\
          \x20       [--trace-out <path>] [--metrics-out <path>] [--profile-refs] [--quiet]\n\
          \n\
          \x20 --scale <f>        input-size fraction of the paper's Table 2 sizes (default 0.1)\n\
@@ -157,6 +168,11 @@ pub fn usage() -> String {
          \x20                    deterministic — results are bit-identical at every count)\n\
          \x20 --protocol <p>     coherence protocol: directory (default) | mesi | moesi | dragon;\n\
          \x20                    functional results are identical, only cycle counts move\n\
+         \x20 --locality <l>     locality model: analytic (default, the paper's static model) |\n\
+         \x20                    measured (sampled reuse-distance profiling calibrates L_m/P_m\n\
+         \x20                    and prints the predicted-vs-measured delta table)\n\
+         \x20 --reuse-out <p>    write the measured-locality JSON (reuse report + delta table);\n\
+         \x20                    requires --locality measured\n\
          \x20 --trace-out <p>    write a Chrome trace_event JSON (open in Perfetto)\n\
          \x20 --metrics-out <p>  write a metrics-registry JSON snapshot\n\
          \x20 --profile-refs     print the per-leading-reference miss-clustering profile\n\
@@ -250,6 +266,10 @@ pub fn parse_args() -> HarnessArgs {
                     .filter(|&n| n > 0)
                     .unwrap_or_else(|| usage_error("--shards expects a positive integer"))
             }
+            "--locality" => {
+                out.locality = take().parse().unwrap_or_else(|e: String| usage_error(&e))
+            }
+            "--reuse-out" => out.reuse_out = Some(take()),
             "--trace-out" => out.trace_out = Some(take()),
             "--metrics-out" => out.metrics_out = Some(take()),
             "--profile-refs" => out.profile_refs = true,
@@ -269,6 +289,9 @@ pub fn parse_args() -> HarnessArgs {
             "--shards {} requires --stepper event (the {} stepper is single-threaded)",
             out.shards, out.stepper
         ));
+    }
+    if out.reuse_out.is_some() && out.locality != Locality::Measured {
+        usage_error("--reuse-out requires --locality measured");
     }
     out
 }
@@ -296,6 +319,18 @@ where
 /// Runs one application base-vs-clustered on the machine `cfg` at
 /// `scale` under the given driver options, printing a progress line.
 pub fn run_app(app: App, cfg: &MachineConfig, scale: f64, opts: SimOptions) -> RunPair {
+    run_app_locality(app, cfg, scale, opts, Locality::Analytic).0
+}
+
+/// [`run_app`] under an explicit locality mode; measured mode hands back
+/// the calibration artifacts alongside the pair.
+pub fn run_app_locality(
+    app: App,
+    cfg: &MachineConfig,
+    scale: f64,
+    opts: SimOptions,
+    locality: Locality,
+) -> (RunPair, Option<LocalityArtifacts>) {
     let w = app.build(scale);
     if log_enabled(LogLevel::Info) {
         eprintln!(
@@ -306,14 +341,14 @@ pub fn run_app(app: App, cfg: &MachineConfig, scale: f64, opts: SimOptions) -> R
             cfg.nprocs
         );
     }
-    let pair = run_pair_with(&w, cfg, opts);
+    let (pair, artifacts) = run_pair_locality(&w, cfg, opts, locality);
     if !pair.outputs_match {
         eprintln!(
             "WARNING: {} outputs differ between base and clustered!",
             app.name()
         );
     }
-    pair
+    (pair, artifacts)
 }
 
 /// Serializes the metric snapshots of several observed runs as one JSON
@@ -354,6 +389,7 @@ pub fn write_observation_outputs(args: &HarnessArgs, runs: &[&ObservedRun]) {
                 pid: i as u32,
                 events: &r.obs.trace,
                 end_cycle: r.obs.end_cycle,
+                reuse: &r.obs.reuse_samples,
             })
             .collect();
         let clock_mhz = runs.first().map_or(0, |r| r.obs.clock_mhz);
@@ -381,6 +417,56 @@ pub fn write_observation_outputs(args: &HarnessArgs, runs: &[&ObservedRun]) {
     if args.profile_refs {
         for r in runs {
             println!("\n{}", r.profile.format_table(&r.name));
+        }
+    }
+}
+
+/// Serializes per-workload measured-locality artifacts as the
+/// `--reuse-out` JSON document (see schemas/obs-reuse.schema.json):
+/// `{"workloads": [{"name", "report": {...}, "delta": {...}}, ...]}`.
+/// Hand-rolled JSON: the offline build has no serde.
+pub fn reuse_json(entries: &[(&str, &LocalityArtifacts)]) -> String {
+    let mut s = String::from("{\n\"workloads\": [\n");
+    let items: Vec<String> = entries
+        .iter()
+        .map(|(name, a)| {
+            format!(
+                "  {{\"name\": \"{}\", \"report\": {}, \"delta\": {}}}",
+                escape_json(name),
+                a.report.to_json(),
+                a.delta.to_json()
+            )
+        })
+        .collect();
+    s.push_str(&items.join(",\n"));
+    s.push_str("\n]\n}\n");
+    s
+}
+
+/// Prints the measured-locality tables (reuse report + predicted-vs-
+/// measured deltas) for each workload and writes the `--reuse-out` JSON
+/// when requested. No-op on an empty entry list.
+pub fn write_locality_outputs(args: &HarnessArgs, entries: &[(&str, &LocalityArtifacts)]) {
+    for (name, a) in entries {
+        println!(
+            "\n{}",
+            a.report
+                .format_table(&format!("{name}: measured reuse (sampled)"))
+        );
+        println!(
+            "{}",
+            a.delta
+                .format_table(&format!("{name}: predicted vs measured (L_m/P_m/f)"))
+        );
+    }
+    if let Some(path) = &args.reuse_out {
+        if entries.is_empty() {
+            return;
+        }
+        let json = reuse_json(entries);
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        if log_enabled(LogLevel::Info) {
+            eprintln!("wrote measured-locality report to {path}");
         }
     }
 }
@@ -468,6 +554,45 @@ impl FrontendBenchRecord {
     }
 }
 
+/// One measured-locality overhead measurement for `BENCH_sim.json`: what
+/// the sampled reuse-distance profiler costs, both as a functional
+/// pre-pass (`measure_locality` against a plain interpreter drain of the
+/// same op stream) and as the in-sim fetch-stage tap (an observed event
+/// run with the tap on against an identical run with it off). The tap
+/// legs must report the same simulated cycle count as the untapped run —
+/// the harness asserts zero drift before recording.
+#[derive(Debug, Clone)]
+pub struct LocalityBenchRecord {
+    /// Experiment name (matches the simulated records).
+    pub experiment: String,
+    /// Dynamic memory accesses seen by the pre-pass profiler.
+    pub accesses: u64,
+    /// SHARDS sampling rate the pre-pass settled on.
+    pub sampling_rate: f64,
+    /// Accesses the pre-pass actually monitored (Olken updates).
+    pub sampled: u64,
+    /// Host seconds for one plain interpreter drain (no profiler).
+    pub drain_seconds: f64,
+    /// Host seconds for one `measure_locality` pre-pass (drain + profiler).
+    pub prepass_seconds: f64,
+    /// Host seconds for one observed event run, fetch-stage tap off.
+    pub sim_seconds: f64,
+    /// Host seconds for one observed event run, fetch-stage tap on.
+    pub sim_tap_seconds: f64,
+}
+
+impl LocalityBenchRecord {
+    /// Pre-pass cost over a plain functional drain (1.0 = free).
+    pub fn prepass_overhead(&self) -> f64 {
+        self.prepass_seconds / self.drain_seconds.max(1e-12)
+    }
+
+    /// In-sim tap cost over an identical untapped observed run.
+    pub fn tap_overhead(&self) -> f64 {
+        self.sim_tap_seconds / self.sim_seconds.max(1e-12)
+    }
+}
+
 /// The occupancy histogram JSON with the explicit `cores` count and the
 /// per-core normalization spliced in: the raw `cycles` field aggregates
 /// samples across every processor (`cores × (wall cycles + 1)`), which
@@ -485,13 +610,15 @@ fn occupancy_json(o: &MshrOccupancy, cores: usize) -> String {
 }
 
 /// Serializes the records (plus per-experiment stepper-vs-strict,
-/// shard-scaling and bytecode-vs-tree-walk speedups, and the isolated
-/// front-end drain measurements) as the `BENCH_sim.json` document.
-/// Hand-rolled JSON: the offline build has no serde.
+/// shard-scaling and bytecode-vs-tree-walk speedups, the isolated
+/// front-end drain measurements, and the measured-locality profiler
+/// overhead legs) as the `BENCH_sim.json` document. Hand-rolled JSON:
+/// the offline build has no serde.
 pub fn bench_sim_json(
     scale: f64,
     records: &[SimBenchRecord],
     frontend: &[FrontendBenchRecord],
+    locality: &[LocalityBenchRecord],
 ) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!("  \"scale\": {scale},\n"));
@@ -559,6 +686,13 @@ pub fn bench_sim_json(
         if let Some(f) = frontend.iter().find(|f| f.experiment == r.experiment) {
             fields.push(format!("\"frontend_speedup\": {:.2}", f.speedup()));
         }
+        if let Some(l) = locality.iter().find(|l| l.experiment == r.experiment) {
+            fields.push(format!(
+                "\"reuse_prepass_overhead\": {:.2}",
+                l.prepass_overhead()
+            ));
+            fields.push(format!("\"reuse_tap_overhead\": {:.2}", l.tap_overhead()));
+        }
         if fields.len() > 1 {
             lines.push(format!("    {{{}}}", fields.join(", ")));
         }
@@ -579,6 +713,24 @@ pub fn bench_sim_json(
         })
         .collect();
     s.push_str(&flines.join(",\n"));
+    s.push_str("\n  ],\n  \"locality\": [\n");
+    let llines: Vec<String> = locality
+        .iter()
+        .map(|l| {
+            format!(
+                "    {{\"experiment\": \"{}\", \"accesses\": {}, \"sampling_rate\": {:.6}, \"sampled\": {}, \"drain_ns_per_access\": {:.2}, \"prepass_ns_per_access\": {:.2}, \"prepass_overhead\": {:.2}, \"sim_tap_overhead\": {:.2}}}",
+                l.experiment,
+                l.accesses,
+                l.sampling_rate,
+                l.sampled,
+                l.drain_seconds * 1e9 / l.accesses.max(1) as f64,
+                l.prepass_seconds * 1e9 / l.accesses.max(1) as f64,
+                l.prepass_overhead(),
+                l.tap_overhead()
+            )
+        })
+        .collect();
+    s.push_str(&llines.join(",\n"));
     s.push_str("\n  ]\n}\n");
     s
 }
@@ -671,7 +823,17 @@ mod tests {
             interp_seconds: 0.3,
             bytecode_seconds: 0.2,
         }];
-        let json = bench_sim_json(0.1, &records, &frontend);
+        let locality = vec![LocalityBenchRecord {
+            experiment: "fft-mp".into(),
+            accesses: 8_000,
+            sampling_rate: 0.125,
+            sampled: 1_000,
+            drain_seconds: 0.10,
+            prepass_seconds: 0.15,
+            sim_seconds: 0.50,
+            sim_tap_seconds: 0.55,
+        }];
+        let json = bench_sim_json(0.1, &records, &frontend, &locality);
         assert!(json.contains("\"mshr_occupancy\""));
         assert!(json.contains("\"mean_read_occupancy\""));
         assert!(json.contains("\"cores\": 2"));
@@ -680,10 +842,15 @@ mod tests {
         assert!(json.contains("\"shard2_vs_event\": 2.00"));
         assert!(json.contains("\"frontend_speedup\": 1.50"));
         assert!(json.contains("\"interp_ns_per_op\""));
+        assert!(json.contains("\"prepass_overhead\": 1.50"));
+        assert!(json.contains("\"sim_tap_overhead\": 1.10"));
+        assert!(json.contains("\"reuse_prepass_overhead\": 1.50"));
+        assert!(json.contains("\"reuse_tap_overhead\": 1.10"));
+        assert!(json.contains("\"sampling_rate\": 0.125000"));
         mempar_obs::validate_json(&json).expect("BENCH_sim.json must stay valid JSON");
 
-        // No frontend records must still serialize as valid JSON.
-        let json = bench_sim_json(0.1, &records, &[]);
+        // No frontend/locality records must still serialize as valid JSON.
+        let json = bench_sim_json(0.1, &records, &[], &[]);
         mempar_obs::validate_json(&json).expect("frontend-less BENCH_sim.json must stay valid");
     }
 }

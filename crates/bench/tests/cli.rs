@@ -84,6 +84,8 @@ fn help_exits_0_and_prints_usage_to_stdout() {
         "--stepper",
         "--shards",
         "--protocol",
+        "--locality",
+        "--reuse-out",
         "MEMPAR_LOG",
     ] {
         assert!(stdout.contains(flag), "usage missing {flag}:\n{stdout}");
@@ -111,6 +113,27 @@ fn unknown_stepper_exits_2_with_usage() {
 fn unknown_protocol_exits_2_with_usage() {
     assert_usage_exit(&["--protocol", "mosi"], "unknown protocol 'mosi'");
     assert_usage_exit(&["--protocol"], "missing value for --protocol");
+}
+
+#[test]
+fn unknown_locality_exits_2_with_usage() {
+    assert_usage_exit(
+        &["--locality", "psychic"],
+        "unknown locality mode 'psychic'",
+    );
+    assert_usage_exit(&["--locality"], "missing value for --locality");
+}
+
+#[test]
+fn reuse_out_without_measured_exits_2_with_usage() {
+    assert_usage_exit(
+        &["--reuse-out", "r.json"],
+        "--reuse-out requires --locality measured",
+    );
+    assert_usage_exit(
+        &["--reuse-out", "r.json", "--locality", "analytic"],
+        "--reuse-out requires --locality measured",
+    );
 }
 
 #[test]

@@ -48,18 +48,27 @@ mod experiment;
 mod observe;
 mod profile;
 
-pub use experiment::{cluster_workload, machine_summary, run_pair, run_pair_with, RunPair};
-pub use observe::{
-    observe_pair, observe_pair_with, observe_program, observe_program_with, ObservedPair,
-    ObservedRun, DEFAULT_TRACE_CAPACITY,
+pub use experiment::{
+    calibrate_locality, cluster_workload, cluster_workload_locality, locality_profile,
+    machine_summary, run_pair, run_pair_locality, run_pair_with, LocalityArtifacts, RunPair,
 };
-pub use profile::profile_miss_rates;
+pub use observe::{
+    observe_pair, observe_pair_locality, observe_pair_with, observe_program, observe_program_with,
+    ObservedPair, ObservedRun, DEFAULT_TRACE_CAPACITY,
+};
+pub use profile::{measure_locality, profile_miss_rates, reuse_levels, sim_reuse_profiler};
 
 // The pieces users compose with, re-exported at the facade.
-pub use mempar_analysis::{analyze_inner_loop, MachineSummary, MissProfile, NestAnalysis};
-pub use mempar_obs::{chrome_trace_json, validate_json, ChromeRun, RefProfile};
+pub use mempar_analysis::{
+    analyze_inner_loop, ArrayLocality, Locality, MachineSummary, MissProfile, NestAnalysis,
+};
+pub use mempar_obs::{
+    chrome_trace_json, locality_delta, validate_json, ChromeRun, DeltaReport, RefProfile,
+    ReuseConfig, ReuseReport,
+};
 pub use mempar_sim::{
-    run_program, run_program_with, Engine, MachineConfig, Protocol, SimOptions, SimResult, Stepper,
+    run_program, run_program_observed_reuse, run_program_with, Engine, MachineConfig, Protocol,
+    ReuseProfiler, SimOptions, SimResult, Stepper,
 };
 pub use mempar_stats::{
     format_breakdown_table, format_occupancy_curves, format_rows, Breakdown, Row,

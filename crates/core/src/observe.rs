@@ -4,17 +4,18 @@
 //! profile joining each run's trace against the analysis framework's
 //! leading references.
 
-use mempar_analysis::MissProfile;
+use mempar_analysis::{Locality, MissProfile};
 use mempar_ir::{HomePolicy, Program};
-use mempar_obs::{profile_misses, RefProfile};
+use mempar_obs::{profile_misses, RefProfile, ReuseConfig};
 use mempar_sim::{
-    run_program_observed, MachineConfig, SimObservation, SimOptions, SimResult, Topology, Tracer,
+    run_program_observed, run_program_observed_reuse, MachineConfig, SimObservation, SimOptions,
+    SimResult, Topology, Tracer,
 };
 use mempar_transform::{cluster_program, ClusterReport};
 use mempar_workloads::Workload;
 
-use crate::experiment::machine_summary;
-use crate::profile::profile_miss_rates;
+use crate::experiment::{machine_summary, LocalityArtifacts};
+use crate::profile::{profile_miss_rates, sim_reuse_profiler};
 
 /// Default trace ring capacity for observed runs: large enough to hold
 /// every event of the harness's scaled-down workloads; bigger runs keep
@@ -93,6 +94,57 @@ pub fn observe_pair_with(
         clustered: observe(&clustered_prog, "clustered"),
         report,
     }
+}
+
+/// [`observe_pair_with`] under an explicit locality mode. Analytic mode
+/// is exactly the plain observed path. Measured mode clusters with the
+/// sampled reuse profile, taps both timed runs' op streams with an
+/// in-simulation [`mempar_obs::ReuseProfiler`] (surfacing `sim.reuse.*`
+/// metrics and the Perfetto counter track), and returns the
+/// predicted-vs-measured calibration artifacts.
+pub fn observe_pair_locality(
+    w: &Workload,
+    cfg: &MachineConfig,
+    trace_capacity: usize,
+    opts: SimOptions,
+    locality: Locality,
+) -> (ObservedPair, Option<LocalityArtifacts>) {
+    if locality == Locality::Analytic {
+        return (observe_pair_with(w, cfg, trace_capacity, opts), None);
+    }
+    let policy = match cfg.topology {
+        Topology::Numa => HomePolicy::BlockPerArray,
+        Topology::SmpBus => HomePolicy::Centralized,
+    };
+    let (measured, artifacts) = crate::experiment::calibrate_locality(w, cfg);
+    let msum = machine_summary(cfg);
+    let mut clustered_prog = w.program.clone();
+    let cluster_report = cluster_program(&mut clustered_prog, &msum, &measured);
+
+    let observe = |prog: &Program, variant: &str| -> ObservedRun {
+        let mut mem = w.memory_with_policy(cfg.nprocs, policy);
+        let (result, obs, _) = run_program_observed_reuse(
+            prog,
+            &mut mem,
+            cfg,
+            opts,
+            Tracer::with_capacity(trace_capacity),
+            sim_reuse_profiler(prog, cfg, ReuseConfig::default()),
+        );
+        let profile = profile_misses(prog, &mem, &msum, &measured, &obs.trace, obs.line_shift);
+        ObservedRun {
+            name: format!("{}/{variant}", w.name),
+            result,
+            obs,
+            profile,
+        }
+    };
+    let pair = ObservedPair {
+        base: observe(&w.program, "base"),
+        clustered: observe(&clustered_prog, "clustered"),
+        report: cluster_report,
+    };
+    (pair, Some(artifacts))
 }
 
 /// Observes a single already-built program (no transformation step):

@@ -5,9 +5,10 @@
 //! through a cache with the target geometry, and reports per-array miss
 //! rates, which [`MissProfile`] then supplies to the analysis.
 
-use mempar_analysis::MissProfile;
-use mempar_ir::{Interp, OpKind, Program, SimMem};
-use mempar_sim::{CacheParams, LineState, TagArray};
+use mempar_analysis::{ArrayLocality, MissProfile};
+use mempar_ir::{ArrayId, Interp, OpKind, Program, SimMem};
+use mempar_obs::{ReuseConfig, ReuseLevel, ReuseProfiler, ReuseReport};
+use mempar_sim::{CacheParams, LineState, MachineConfig, TagArray};
 
 /// Runs `prog` functionally on one processor and measures per-array miss
 /// rates in a cache of the given geometry. The memory image is consumed
@@ -48,12 +49,90 @@ pub fn profile_miss_rates(prog: &Program, mem: &mut SimMem, cache: &CacheParams)
     for i in 0..narrays {
         if accesses[i] > 0 {
             profile.set(
-                mempar_ir::ArrayId::from_raw(i as u32),
+                ArrayId::from_raw(i as u32),
                 misses[i] as f64 / accesses[i] as f64,
             );
         }
     }
     profile
+}
+
+/// The cache levels the reuse profiler derives miss probabilities for:
+/// fully-associative LRU models of the configured L1 (when present) and
+/// L2 capacities, innermost first. Distances are counted in L2 lines, so
+/// each level's capacity is expressed in L2-line units.
+pub fn reuse_levels(cfg: &MachineConfig) -> Vec<ReuseLevel> {
+    let mut levels = Vec::new();
+    if let Some(l1) = &cfg.l1 {
+        levels.push(ReuseLevel {
+            name: "l1".into(),
+            lines: (l1.size_bytes / cfg.l2.line_bytes.max(1)) as u64,
+        });
+    }
+    levels.push(ReuseLevel {
+        name: "l2".into(),
+        lines: (cfg.l2.size_bytes / cfg.l2.line_bytes.max(1)) as u64,
+    });
+    levels
+}
+
+/// A [`ReuseProfiler`] sized for `prog` on `cfg`: distances counted in
+/// L2 lines, one stream per processor, levels from [`reuse_levels`].
+pub fn sim_reuse_profiler(
+    prog: &Program,
+    cfg: &MachineConfig,
+    reuse_cfg: ReuseConfig,
+) -> ReuseProfiler {
+    ReuseProfiler::new(
+        reuse_cfg,
+        cfg.l2.line_bytes.trailing_zeros(),
+        reuse_levels(cfg),
+        prog.arrays.len(),
+        cfg.nprocs,
+    )
+}
+
+/// The measured-locality pre-pass behind `--locality measured`: runs
+/// `prog` functionally on one processor, feeds its data references
+/// through the sampled reuse-distance profiler, and distills the result
+/// into a [`MissProfile`] carrying per-array measured miss probabilities
+/// (`set` for irregular `P_m`, `set_measured` for the regular-reference
+/// per-line model) plus the full [`ReuseReport`]. The memory image is
+/// consumed (callers profile on a scratch copy).
+pub fn measure_locality(
+    prog: &Program,
+    mem: &mut SimMem,
+    cfg: &MachineConfig,
+    reuse_cfg: ReuseConfig,
+) -> (MissProfile, ReuseReport) {
+    let mut profiler = sim_reuse_profiler(prog, cfg, reuse_cfg);
+    let mut interp = Interp::new(prog, 0, 1);
+    let mut t = 0u64;
+    while let Some(op) = interp.next_op(mem) {
+        if let Some(addr) = op.kind.addr() {
+            profiler.observe(0, t, addr, mem.array_of_addr(addr).map(|a| a.index()));
+            t += 1;
+        }
+    }
+    let names: Vec<String> = prog.arrays.iter().map(|a| a.name.clone()).collect();
+    let report = profiler.report(&names);
+    let mut profile = MissProfile::pessimistic();
+    for (i, name) in names.iter().enumerate() {
+        let Some(a) = report.arrays.iter().find(|a| &a.name == name) else {
+            continue;
+        };
+        let p_ext = a.miss_prob.last().copied().unwrap_or(1.0);
+        let id = ArrayId::from_raw(i as u32);
+        profile.set(id, p_ext);
+        profile.set_measured(
+            id,
+            ArrayLocality {
+                access_miss_prob: p_ext,
+                l_m: a.l_m,
+            },
+        );
+    }
+    (profile, report)
 }
 
 #[cfg(test)]
@@ -124,6 +203,32 @@ mod tests {
         );
         // The index stream itself is spatial.
         assert!(prof.p_for(ind) < 0.2);
+    }
+
+    #[test]
+    fn measured_locality_sees_streaming_spatial_reuse() {
+        let n = 8192;
+        let mut b = ProgramBuilder::new("stream");
+        let a = b.array_f64("a", &[n]);
+        let s = b.scalar_f64("s", 0.0);
+        let i = b.var("i");
+        b.for_const(i, 0, n as i64, |b| {
+            let v = b.load(a, &[b.idx(i)]);
+            let acc = b.scalar(s);
+            let e = b.add(acc, v);
+            b.assign_scalar(s, e);
+        });
+        let p = b.finish();
+        let mut mem = SimMem::new(&p, 1);
+        mem.set_array(a, ArrayData::f64_fill(n, 1.0));
+        let cfg = MachineConfig::base_simulated(1, 64 * 1024);
+        let (profile, report) = measure_locality(&p, &mut mem, &cfg, ReuseConfig::default());
+        assert!(profile.has_measured(), "measured records must be present");
+        // One cold miss per 8-element line: per-access miss prob 1/8.
+        let p_a = report.miss_prob_of("a").expect("array a observed");
+        assert!((p_a - 0.125).abs() < 0.03, "streaming miss prob: {p_a}");
+        let loc = profile.measured_for(a).expect("a is measured");
+        assert!((loc.l_m - 8.0).abs() < 1.5, "measured L_m: {}", loc.l_m);
     }
 
     #[test]

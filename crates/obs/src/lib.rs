@@ -21,6 +21,11 @@
 //!   reference: miss count, mean overlap (read misses outstanding at
 //!   issue), serialization ratio, and achieved-vs-predicted `f/α` — a
 //!   direct empirical check of the unroll-and-jam model.
+//! * [`ReuseProfiler`] — a streaming, SHARDS-sampled reuse-distance
+//!   profiler over the dynamic-op address stream, producing per-array
+//!   measured miss probabilities per cache level ([`ReuseReport`]) and
+//!   the predicted-vs-measured calibration table ([`locality_delta`])
+//!   behind the harness `--locality measured` mode.
 //!
 //! See DESIGN.md §8 for the event taxonomy and how to read a clustering
 //! profile.
@@ -32,10 +37,15 @@ mod chrome;
 mod json;
 mod profile;
 mod registry;
+mod reuse;
 mod trace;
 
 pub use chrome::{chrome_trace_json, ChromeRun};
 pub use json::{escape_json, validate_json};
 pub use profile::{profile_misses, RefClusterRow, RefProfile};
-pub use registry::{Metric, MetricsRegistry};
+pub use registry::{histogram_percentiles, Metric, MetricsRegistry};
+pub use reuse::{
+    locality_delta, ArrayReuse, DeltaReport, DeltaRow, ReuseConfig, ReuseLevel, ReuseProfiler,
+    ReuseReport, ReuseSample,
+};
 pub use trace::{TraceEvent, TraceEventKind, Tracer, SYSTEM_PROC};

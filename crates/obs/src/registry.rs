@@ -60,6 +60,16 @@ impl MetricsRegistry {
             .insert(name.to_string(), Metric::Histogram(bins.to_vec()));
     }
 
+    /// Clones the metric registered under `canonical` into `alias`.
+    /// No-op when `canonical` is absent. Used for deprecated metric
+    /// names kept alive for old consumers (e.g. `sim.dir.*` aliasing
+    /// the canonical `sim.coh.*` coherence metrics — DESIGN.md §7b).
+    pub fn alias(&mut self, canonical: &str, alias: &str) {
+        if let Some(m) = self.map.get(canonical).cloned() {
+            self.map.insert(alias.to_string(), m);
+        }
+    }
+
     /// Looks a metric up by exact name.
     pub fn get(&self, name: &str) -> Option<&Metric> {
         self.map.get(name)
@@ -103,10 +113,17 @@ impl MetricsRegistry {
                     }
                     Metric::Histogram(bins) => {
                         let joined: Vec<String> = bins.iter().map(u64::to_string).collect();
-                        format!(
-                            "{{\"type\": \"histogram\", \"bins\": [{}]}}",
-                            joined.join(", ")
-                        )
+                        match histogram_percentiles(bins) {
+                            Some([p50, p95, p99]) => format!(
+                                "{{\"type\": \"histogram\", \"bins\": [{}], \
+                                 \"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}}}",
+                                joined.join(", ")
+                            ),
+                            None => format!(
+                                "{{\"type\": \"histogram\", \"bins\": [{}]}}",
+                                joined.join(", ")
+                            ),
+                        }
                     }
                 };
                 format!("    \"{}\": {body}", escape_json(name))
@@ -117,22 +134,53 @@ impl MetricsRegistry {
         s
     }
 
-    /// CSV snapshot with header `name,type,value`; histogram bins are
-    /// `;`-joined in the value column.
+    /// CSV snapshot with header `name,type,value,p50,p95,p99`; histogram
+    /// bins are `;`-joined in the value column, with the percentile bin
+    /// indices in the trailing columns (empty for counters/gauges and for
+    /// all-zero histograms).
     pub fn to_csv(&self) -> String {
-        let mut s = String::from("name,type,value\n");
+        let mut s = String::from("name,type,value,p50,p95,p99\n");
         for (name, m) in &self.map {
             match m {
-                Metric::Counter(c) => s.push_str(&format!("{name},counter,{c}\n")),
-                Metric::Gauge(g) => s.push_str(&format!("{name},gauge,{}\n", fmt_f64(*g))),
+                Metric::Counter(c) => s.push_str(&format!("{name},counter,{c},,,\n")),
+                Metric::Gauge(g) => s.push_str(&format!("{name},gauge,{},,,\n", fmt_f64(*g))),
                 Metric::Histogram(bins) => {
                     let joined: Vec<String> = bins.iter().map(u64::to_string).collect();
-                    s.push_str(&format!("{name},histogram,{}\n", joined.join(";")));
+                    let pct = match histogram_percentiles(bins) {
+                        Some([p50, p95, p99]) => format!("{p50},{p95},{p99}"),
+                        None => ",,".into(),
+                    };
+                    s.push_str(&format!("{name},histogram,{},{pct}\n", joined.join(";")));
                 }
             }
         }
         s
     }
+}
+
+/// The p50/p95/p99 summary of a histogram: for each percentile `p`, the
+/// smallest bin index whose cumulative count covers `p`% of the total
+/// population. `None` when the histogram is empty or all-zero. What a
+/// bin index *means* is the registrant's convention (occupancy level,
+/// log2 reuse distance, ...), so the summary is reported in bin units.
+pub fn histogram_percentiles(bins: &[u64]) -> Option<[usize; 3]> {
+    let total: u64 = bins.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let mut out = [0usize; 3];
+    for (slot, pct) in [(0usize, 50u64), (1, 95), (2, 99)] {
+        let mut cum = 0u64;
+        for (i, b) in bins.iter().enumerate() {
+            cum += b;
+            // cum/total >= pct/100, in integer arithmetic.
+            if cum * 100 >= pct * total {
+                out[slot] = i;
+                break;
+            }
+        }
+    }
+    Some(out)
 }
 
 /// Shortest-roundtrip float formatting that stays valid JSON (no NaN or
@@ -175,8 +223,11 @@ mod tests {
         let miss = json.find("sim.cache.l2.miss").unwrap();
         assert!(bus < miss, "lexicographic export order");
         let csv = r.to_csv();
-        assert!(csv.starts_with("name,type,value\n"));
-        assert!(csv.contains("sim.cache.l2.mshr.read_occupancy,histogram,5;3;1"));
+        assert!(csv.starts_with("name,type,value,p50,p95,p99\n"));
+        // [5,3,1]: total 9 — p50 lands in bin 0 (5/9), p95/p99 in bin 2.
+        assert!(csv.contains("sim.cache.l2.mshr.read_occupancy,histogram,5;3;1,0,2,2"));
+        assert!(csv.contains("sim.cache.l2.miss,counter,10,,,"));
+        assert!(json.contains("\"p50\": 0, \"p95\": 2, \"p99\": 2"));
         assert_eq!(r.len(), 3);
     }
 
@@ -186,5 +237,32 @@ mod tests {
         r.gauge("g", 1.0);
         r.gauge("g", 2.5);
         assert_eq!(r.get("g"), Some(&Metric::Gauge(2.5)));
+    }
+
+    #[test]
+    fn percentile_summary() {
+        assert_eq!(histogram_percentiles(&[]), None);
+        assert_eq!(histogram_percentiles(&[0, 0]), None);
+        assert_eq!(histogram_percentiles(&[1]), Some([0, 0, 0]));
+        // 100 samples spread evenly over 10 bins: p50 at bin 4 (cum 50),
+        // p95 at bin 9 (cum 100 covers 95 only at the last bin).
+        assert_eq!(histogram_percentiles(&[10; 10]), Some([4, 9, 9]));
+        // Heavy head: 98% at bin 0, a 2% outlier tail at bin 7 — p95 is
+        // covered by the head, p99 needs the tail.
+        let mut bins = vec![0u64; 8];
+        bins[0] = 98;
+        bins[7] = 2;
+        assert_eq!(histogram_percentiles(&bins), Some([0, 0, 7]));
+    }
+
+    #[test]
+    fn alias_clones_canonical() {
+        let mut r = MetricsRegistry::new();
+        r.counter("sim.coh.invalidations", 4);
+        r.alias("sim.coh.invalidations", "sim.dir.invalidations");
+        assert_eq!(r.counter_value("sim.dir.invalidations"), Some(4));
+        // Aliasing a missing metric is a no-op.
+        r.alias("sim.coh.nope", "sim.dir.nope");
+        assert_eq!(r.get("sim.dir.nope"), None);
     }
 }

@@ -129,12 +129,6 @@ impl Directory {
             .map(|e| e.sharers.count_ones() as usize + usize::from(e.owner.is_some()))
             .sum()
     }
-
-    /// Registers end-of-run directory population gauges under `sim.dir.*`.
-    pub fn export_metrics(&self, reg: &mut mempar_obs::MetricsRegistry) {
-        reg.gauge("sim.dir.lines", self.line_count() as f64);
-        reg.gauge("sim.dir.sharers", self.total_sharers() as f64);
-    }
 }
 
 /// The MSI directory viewed through the pluggable-protocol interface.
@@ -195,13 +189,9 @@ impl CoherenceProtocol for Directory {
         Directory::total_sharers(self)
     }
 
-    fn export_metrics(&self, reg: &mut mempar_obs::MetricsRegistry) {
-        // Legacy names, kept stable for existing consumers...
-        Directory::export_metrics(self, reg);
-        // ...plus the protocol-generic names the other machines emit.
-        reg.gauge("sim.coh.lines", Directory::line_count(self) as f64);
-        reg.gauge("sim.coh.sharers", Directory::total_sharers(self) as f64);
-    }
+    // `export_metrics` uses the trait default: canonical `sim.coh.lines`
+    // / `sim.coh.sharers` gauges. The legacy `sim.dir.*` names are
+    // aliased once, centrally, in `MemSystem::export_metrics`.
 }
 
 #[cfg(test)]

@@ -76,11 +76,14 @@ pub use protocol::{
 pub use resource::{Resource, ResourcePool};
 pub use sync::SyncState;
 pub use system::{
-    run_program, run_program_observed, run_program_with, SimObservation, SimOptions, SimResult,
-    Stepper,
+    run_program, run_program_observed, run_program_observed_reuse, run_program_with,
+    SimObservation, SimOptions, SimResult, Stepper,
 };
 
 // Observability types a traced run hands back (re-exported so harnesses
 // need not depend on `mempar-obs` directly for the common path).
 pub use mempar_ir::Engine;
-pub use mempar_obs::{MetricsRegistry, TraceEvent, TraceEventKind, Tracer};
+pub use mempar_obs::{
+    MetricsRegistry, ReuseConfig, ReuseLevel, ReuseProfiler, ReuseReport, ReuseSample, TraceEvent,
+    TraceEventKind, Tracer,
+};

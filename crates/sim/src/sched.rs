@@ -319,7 +319,7 @@ fn drive(st: &mut DriverState, shards: &[Mutex<Shard>], pool: &dyn WakePool) {
                 let gi = *base + li;
                 if stepped[gi] && !core.halted {
                     core.issue(&mut st.memsys, now);
-                    fetch_stage(core, &mut st.interps[gi], st.mem, now);
+                    fetch_stage(core, &mut st.interps[gi], st.mem, now, &mut st.reuse);
                 }
             }
         }

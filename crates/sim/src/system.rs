@@ -1,7 +1,9 @@
 //! The whole-system driver: cores + interpreters + memory system.
 
 use mempar_ir::{BytecodeProgram, Engine, Executor, Interp, Program, SimMem, Vm};
-use mempar_obs::{MetricsRegistry, TraceEvent, TraceEventKind, Tracer, SYSTEM_PROC};
+use mempar_obs::{
+    MetricsRegistry, ReuseProfiler, ReuseSample, TraceEvent, TraceEventKind, Tracer, SYSTEM_PROC,
+};
 use mempar_stats::{Breakdown, LatencyStat, MemCounters, MshrOccupancy, StallClass, Utilization};
 
 use crate::config::MachineConfig;
@@ -181,7 +183,7 @@ pub fn run_program_with(
     cfg: &MachineConfig,
     opts: SimOptions,
 ) -> SimResult {
-    run_inner(prog, mem, cfg, opts, Tracer::disabled()).0
+    run_inner(prog, mem, cfg, opts, Tracer::disabled(), None).0
 }
 
 /// Everything the observability layer captures from one traced run (see
@@ -200,6 +202,10 @@ pub struct SimObservation {
     pub clock_mhz: u32,
     /// The run's wall clock in cycles (closes still-open trace spans).
     pub end_cycle: u64,
+    /// Sampled reuse-distance events (empty unless the run used
+    /// [`run_program_observed_reuse`]); exported as a Perfetto counter
+    /// track.
+    pub reuse_samples: Vec<ReuseSample>,
 }
 
 /// [`run_program_with`], additionally recording structured trace events
@@ -213,11 +219,50 @@ pub fn run_program_observed(
     opts: SimOptions,
     tracer: Tracer,
 ) -> (SimResult, SimObservation) {
-    let (result, mut memsys, cores) = run_inner(prog, mem, cfg, opts, tracer);
+    let (result, obs, _) = observed_inner(prog, mem, cfg, opts, tracer, None);
+    (result, obs)
+}
+
+/// [`run_program_observed`] with a [`ReuseProfiler`] tapping the dynamic
+/// op stream at the fetch stage. The profiler is pure observation: the
+/// [`SimResult`] stays bit-identical to an unprofiled run (asserted by
+/// the locality tests). Returns the drained profiler so callers can build
+/// a [`mempar_obs::ReuseReport`]; its `sim.reuse.*` metrics are already
+/// merged into the observation's registry, and the bounded sample stream
+/// lands in [`SimObservation::reuse_samples`] for the Perfetto counter
+/// track.
+pub fn run_program_observed_reuse(
+    prog: &Program,
+    mem: &mut SimMem,
+    cfg: &MachineConfig,
+    opts: SimOptions,
+    tracer: Tracer,
+    profiler: ReuseProfiler,
+) -> (SimResult, SimObservation, ReuseProfiler) {
+    let (result, obs, reuse) = observed_inner(prog, mem, cfg, opts, tracer, Some(profiler));
+    (
+        result,
+        obs,
+        reuse.expect("profiler threaded through the run"),
+    )
+}
+
+fn observed_inner(
+    prog: &Program,
+    mem: &mut SimMem,
+    cfg: &MachineConfig,
+    opts: SimOptions,
+    tracer: Tracer,
+    profiler: Option<ReuseProfiler>,
+) -> (SimResult, SimObservation, Option<ReuseProfiler>) {
+    let (result, mut memsys, cores, reuse) = run_inner(prog, mem, cfg, opts, tracer, profiler);
     let mut metrics = MetricsRegistry::new();
     memsys.export_metrics(result.cycles.max(1), &mut metrics);
     for core in &cores {
         core.export_metrics(&mut metrics);
+    }
+    if let Some(rp) = &reuse {
+        rp.export_metrics(&mut metrics);
     }
     let t = memsys.take_tracer();
     metrics.counter("sim.trace.events", t.len() as u64);
@@ -230,8 +275,12 @@ pub fn run_program_observed(
         line_shift: cfg.l2.line_bytes.trailing_zeros(),
         clock_mhz: cfg.proc.clock_mhz,
         end_cycle: result.cycles,
+        reuse_samples: reuse
+            .as_ref()
+            .map(|r| r.samples().to_vec())
+            .unwrap_or_default(),
     };
-    (result, obs)
+    (result, obs, reuse)
 }
 
 /// Mutable machine state threaded through a stepper driver: everything
@@ -246,6 +295,9 @@ pub(crate) struct DriverState<'m, 'p> {
     pub(crate) stall_state: Vec<Option<StallClass>>,
     pub(crate) tracing: bool,
     pub(crate) mem: &'m mut SimMem,
+    /// Reuse-distance profiler tapping the fetch-order address stream
+    /// (`None` in normal runs — the common path pays one branch).
+    pub(crate) reuse: Option<ReuseProfiler>,
 }
 
 /// Emits stall begin/end transitions for `core` from the retire stage's
@@ -275,11 +327,27 @@ pub(crate) fn trace_stall_transition(
 /// fetching a barrier or flag-wait must stop the group immediately, or
 /// later ops would be functionally evaluated before the synchronization
 /// they depend on.
-pub(crate) fn fetch_stage(core: &mut Core, interp: &mut Executor, mem: &mut SimMem, now: u64) {
+pub(crate) fn fetch_stage(
+    core: &mut Core,
+    interp: &mut Executor,
+    mem: &mut SimMem,
+    now: u64,
+    reuse: &mut Option<ReuseProfiler>,
+) {
     let mut fetched = 0;
     while fetched < core.fetch_room() {
         match interp.next_op(mem) {
             Some(op) => {
+                // Reuse-distance tap: observe the dynamic address stream in
+                // program (fetch) order, before `op` moves into the window.
+                // Pure observation — it never touches timing state, so a
+                // disabled profiler leaves the run bit-identical.
+                if let Some(rp) = reuse.as_mut() {
+                    if let Some(addr) = op.kind.addr() {
+                        let array = mem.array_of_addr(addr).map(|a| a.index());
+                        rp.observe(core.id, now, addr, array);
+                    }
+                }
                 core.fetch(op, now);
                 fetched += 1;
             }
@@ -311,7 +379,8 @@ fn run_inner(
     cfg: &MachineConfig,
     opts: SimOptions,
     tracer: Tracer,
-) -> (SimResult, MemSystem, Vec<Core>) {
+    reuse: Option<ReuseProfiler>,
+) -> (SimResult, MemSystem, Vec<Core>, Option<ReuseProfiler>) {
     cfg.validate();
     assert_eq!(
         mem.nprocs(),
@@ -354,13 +423,19 @@ fn run_inner(
         stall_state,
         tracing,
         mem,
+        reuse,
     };
     match opts.stepper {
         Stepper::Strict => cycle_loop(&mut st, false),
         Stepper::Skip => cycle_loop(&mut st, true),
         Stepper::Event => crate::sched::event_loop(&mut st, opts.shards),
     }
-    let DriverState { memsys, cores, .. } = st;
+    let DriverState {
+        memsys,
+        cores,
+        reuse,
+        ..
+    } = st;
 
     let wall = cores.iter().map(|c| c.halt_cycle).max().unwrap_or(0);
     let breakdowns: Vec<Breakdown> = cores
@@ -388,7 +463,7 @@ fn run_inner(
         bank_util: memsys.bank_utilization(wall.max(1)),
         clock_mhz: cfg.proc.clock_mhz,
     };
-    (result, memsys, cores)
+    (result, memsys, cores, reuse)
 }
 
 /// The per-cycle driver behind [`Stepper::Strict`] and [`Stepper::Skip`]:
@@ -423,7 +498,7 @@ fn cycle_loop(st: &mut DriverState, cycle_skip: bool) {
             if core.halted {
                 continue;
             }
-            fetch_stage(core, interp, st.mem, now);
+            fetch_stage(core, interp, st.mem, now, &mut st.reuse);
         }
         // Deadlock diagnostics.
         let retired: u64 = st.cores.iter().map(|c| c.retired).sum();

@@ -146,6 +146,7 @@ fn golden_trace_json() -> String {
         pid: 0,
         events: &obs.trace,
         end_cycle: obs.end_cycle,
+        reuse: &obs.reuse_samples,
     }];
     chrome_trace_json(&runs, obs.clock_mhz)
 }

@@ -3,7 +3,7 @@
 //! (our substrate is a different simulator); they assert the *shape* of
 //! every major result.
 
-use mempar::{run_pair, MachineConfig};
+use mempar::{run_pair, run_pair_locality, Locality, MachineConfig, SimOptions};
 use mempar_workloads::{latbench, App, LatbenchParams};
 
 /// Section 2.1/5.1: clustered misses overlap — Latbench speeds up by a
@@ -123,6 +123,36 @@ fn exemplar_machine_benefits() {
         "MST on the Exemplar-like machine: {:.1}%",
         pair.percent_reduction()
     );
+}
+
+/// Calibrating the transform driver with *measured* locality (the
+/// sampled reuse-distance profile) must never degrade its choices: on
+/// every Table-2 workload, the measured-mode clustered run is at least
+/// as fast as the analytic-mode one (small tolerance for decision-point
+/// ties), outputs still match, and the calibration artifacts carry a
+/// populated predicted-vs-measured delta table.
+#[test]
+fn measured_locality_never_degrades_clustering() {
+    for app in App::all() {
+        let w = app.build(0.04);
+        let cfg = MachineConfig::base_simulated(1, 32 * 1024);
+        let (analytic, _) = run_pair_locality(&w, &cfg, SimOptions::default(), Locality::Analytic);
+        let (measured, artifacts) =
+            run_pair_locality(&w, &cfg, SimOptions::default(), Locality::Measured);
+        assert!(measured.outputs_match, "{}: outputs diverged", app.name());
+        let a = artifacts.expect("measured mode returns artifacts");
+        assert!(
+            !a.delta.rows.is_empty(),
+            "{}: empty delta table",
+            app.name()
+        );
+        let (ac, mc) = (analytic.clustered.cycles, measured.clustered.cycles);
+        assert!(
+            mc as f64 <= ac as f64 * 1.02,
+            "{}: measured locality degraded clustering: {ac} -> {mc} cycles",
+            app.name()
+        );
+    }
 }
 
 /// The L2 miss *count* stays nearly unchanged (Section 5.2: "locality is
