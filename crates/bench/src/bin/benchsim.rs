@@ -8,7 +8,10 @@
 //! Dragon) under the event driver, recording what each machine costs in
 //! simulated cycles relative to the directory baseline. The JSON carries
 //! the resulting stepper-vs-strict, shard-scaling,
-//! bytecode-vs-tree-walk, and per-protocol cycle ratios.
+//! bytecode-vs-tree-walk, and per-protocol cycle ratios, plus the
+//! composition-tuner legs (`"tune"` array): base vs paper-default
+//! driver vs tuned simulated cycles with the `tuned_vs_default`
+//! headline ratio (DESIGN.md §13).
 //!
 //! The runs are timed **serially** (unlike the other harness binaries) so
 //! host contention cannot distort the throughput numbers, and the cycle
@@ -23,15 +26,17 @@
 //! ```
 
 use mempar::{measure_locality, sim_reuse_profiler};
+use mempar_analysis::Locality;
 use mempar_bench::{
     bench_sim_json, log_enabled, parse_args, timed, FrontendBenchRecord, LocalityBenchRecord,
-    LogLevel, SimBenchRecord,
+    LogLevel, SimBenchRecord, TuneBenchRecord,
 };
 use mempar_ir::{BytecodeProgram, Interp, Vm};
 use mempar_sim::{
     run_program_observed, run_program_observed_reuse, run_program_with, Engine, MachineConfig,
     Protocol, ReuseConfig, SimOptions, Stepper, Tracer,
 };
+use mempar_tune::{tune_workload, TuneOptions, Tuner};
 use mempar_workloads::App;
 
 fn main() {
@@ -329,7 +334,46 @@ fn main() {
         }
         locality.push(l);
     }
-    let json = bench_sim_json(args.scale, &records, &frontend, &locality);
+    // Composition-tuner legs (DESIGN.md §13): the three throughput
+    // experiments plus two extra uniprocessor workloads where the
+    // search has headroom over the analytic recipe. One tuner across
+    // all legs shares the score memo; wall time is the whole search
+    // (enumeration + oracle checks + scoring), not one simulation.
+    let tune_experiments: &[(&str, App, bool)] = &[
+        ("latbench-up", App::Latbench, false),
+        ("erlebacher-up", App::Erlebacher, false),
+        ("fft-mp", App::Fft, true),
+        ("em3d-up", App::Em3d, false),
+        ("ocean-up", App::Ocean, false),
+    ];
+    let tuner = Tuner::new(TuneOptions::default());
+    let mut tune = Vec::new();
+    for &(name, app, mp) in tune_experiments {
+        let w = app.build(args.scale);
+        let nprocs = if mp { w.mp_procs.max(1) } else { 1 };
+        let cfg = MachineConfig::base_simulated(nprocs, 64 * 1024);
+        let ((_, report, _), secs) = timed(|| tune_workload(&w, &cfg, &tuner, Locality::Analytic));
+        assert!(
+            report.oracle_failures.is_empty(),
+            "{name}: tuner scored a semantics-changing candidate: {:?}",
+            report.oracle_failures
+        );
+        if log_enabled(LogLevel::Info) {
+            eprintln!(
+                "[{name}] tune: base {} -> default {} -> tuned {} (x{:.3} vs default, {} scored, {secs:.2}s)",
+                report.base_cycles,
+                report.default_cycles,
+                report.tuned_cycles,
+                report.tuned_vs_default(),
+                report.stats.scored
+            );
+        }
+        let mut rec = TuneBenchRecord::from_report(&report, secs);
+        rec.experiment = name.to_string();
+        tune.push(rec);
+    }
+
+    let json = bench_sim_json(args.scale, &records, &frontend, &locality, &tune);
     std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
     print!("{json}");
     if log_enabled(LogLevel::Info) {

@@ -593,6 +593,58 @@ impl LocalityBenchRecord {
     }
 }
 
+/// One autotuner measurement for `BENCH_sim.json`: simulated cycles of
+/// the untransformed program, of the paper-default clustering driver's
+/// output, and of the composition tuner's winner (DESIGN.md §13), plus
+/// the search totals. The headline column is `tuned_vs_default` —
+/// how much the empirical search buys over the paper's analytic recipe.
+#[derive(Debug, Clone)]
+pub struct TuneBenchRecord {
+    /// Experiment name (e.g. `latbench-up`).
+    pub experiment: String,
+    /// Simulated cycles of the untransformed program.
+    pub base_cycles: u64,
+    /// Simulated cycles of the default clustering driver's output.
+    pub default_cycles: u64,
+    /// Simulated cycles of the tuner's winner (≤ both by construction).
+    pub tuned_cycles: u64,
+    /// Which source won: `search`, `default-driver`, or `base`.
+    pub winner: String,
+    /// Compositions surviving constraint propagation.
+    pub enumerated: u64,
+    /// Candidates the simulator actually scored.
+    pub scored: u64,
+    /// Host wall-clock seconds the whole search took.
+    pub wall_seconds: f64,
+}
+
+impl TuneBenchRecord {
+    /// A record from a finished tune report.
+    pub fn from_report(report: &mempar_tune::TuneReport, wall_seconds: f64) -> Self {
+        TuneBenchRecord {
+            experiment: report.name.clone(),
+            base_cycles: report.base_cycles,
+            default_cycles: report.default_cycles,
+            tuned_cycles: report.tuned_cycles,
+            winner: report.winner.clone(),
+            enumerated: report.stats.enumerated,
+            scored: report.stats.scored,
+            wall_seconds,
+        }
+    }
+
+    /// `default_cycles / tuned_cycles` (>1 = the search beat the paper
+    /// recipe; never <1).
+    pub fn tuned_vs_default(&self) -> f64 {
+        self.default_cycles as f64 / self.tuned_cycles.max(1) as f64
+    }
+
+    /// `base_cycles / tuned_cycles` (>1 = faster than untransformed).
+    pub fn tuned_vs_base(&self) -> f64 {
+        self.base_cycles as f64 / self.tuned_cycles.max(1) as f64
+    }
+}
+
 /// The occupancy histogram JSON with the explicit `cores` count and the
 /// per-core normalization spliced in: the raw `cycles` field aggregates
 /// samples across every processor (`cores × (wall cycles + 1)`), which
@@ -611,14 +663,16 @@ fn occupancy_json(o: &MshrOccupancy, cores: usize) -> String {
 
 /// Serializes the records (plus per-experiment stepper-vs-strict,
 /// shard-scaling and bytecode-vs-tree-walk speedups, the isolated
-/// front-end drain measurements, and the measured-locality profiler
-/// overhead legs) as the `BENCH_sim.json` document. Hand-rolled JSON:
-/// the offline build has no serde.
+/// front-end drain measurements, the measured-locality profiler
+/// overhead legs, and the composition-tuner `tuned_vs_default` legs) as
+/// the `BENCH_sim.json` document. Hand-rolled JSON: the offline build
+/// has no serde.
 pub fn bench_sim_json(
     scale: f64,
     records: &[SimBenchRecord],
     frontend: &[FrontendBenchRecord],
     locality: &[LocalityBenchRecord],
+    tune: &[TuneBenchRecord],
 ) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!("  \"scale\": {scale},\n"));
@@ -693,6 +747,9 @@ pub fn bench_sim_json(
             ));
             fields.push(format!("\"reuse_tap_overhead\": {:.2}", l.tap_overhead()));
         }
+        if let Some(t) = tune.iter().find(|t| t.experiment == r.experiment) {
+            fields.push(format!("\"tuned_vs_default\": {:.3}", t.tuned_vs_default()));
+        }
         if fields.len() > 1 {
             lines.push(format!("    {{{}}}", fields.join(", ")));
         }
@@ -731,6 +788,26 @@ pub fn bench_sim_json(
         })
         .collect();
     s.push_str(&llines.join(",\n"));
+    s.push_str("\n  ],\n  \"tune\": [\n");
+    let tlines: Vec<String> = tune
+        .iter()
+        .map(|t| {
+            format!(
+                "    {{\"experiment\": \"{}\", \"base_cycles\": {}, \"default_cycles\": {}, \"tuned_cycles\": {}, \"winner\": \"{}\", \"tuned_vs_default\": {:.3}, \"tuned_vs_base\": {:.3}, \"enumerated\": {}, \"scored\": {}, \"wall_seconds\": {:.6}}}",
+                t.experiment,
+                t.base_cycles,
+                t.default_cycles,
+                t.tuned_cycles,
+                t.winner,
+                t.tuned_vs_default(),
+                t.tuned_vs_base(),
+                t.enumerated,
+                t.scored,
+                t.wall_seconds
+            )
+        })
+        .collect();
+    s.push_str(&tlines.join(",\n"));
     s.push_str("\n  ]\n}\n");
     s
 }
@@ -833,7 +910,17 @@ mod tests {
             sim_seconds: 0.50,
             sim_tap_seconds: 0.55,
         }];
-        let json = bench_sim_json(0.1, &records, &frontend, &locality);
+        let tune = vec![TuneBenchRecord {
+            experiment: "fft-mp".into(),
+            base_cycles: 1200,
+            default_cycles: 1000,
+            tuned_cycles: 800,
+            winner: "search".into(),
+            enumerated: 40,
+            scored: 16,
+            wall_seconds: 0.75,
+        }];
+        let json = bench_sim_json(0.1, &records, &frontend, &locality, &tune);
         assert!(json.contains("\"mshr_occupancy\""));
         assert!(json.contains("\"mean_read_occupancy\""));
         assert!(json.contains("\"cores\": 2"));
@@ -847,10 +934,16 @@ mod tests {
         assert!(json.contains("\"reuse_prepass_overhead\": 1.50"));
         assert!(json.contains("\"reuse_tap_overhead\": 1.10"));
         assert!(json.contains("\"sampling_rate\": 0.125000"));
+        // The tune leg lands both as its own record and as the
+        // headline column on the experiment's speedups row.
+        assert!(json.contains("\"tuned_vs_default\": 1.250"));
+        assert!(json.contains("\"tuned_vs_base\": 1.500"));
+        assert!(json.contains("\"winner\": \"search\""));
         mempar_obs::validate_json(&json).expect("BENCH_sim.json must stay valid JSON");
 
-        // No frontend/locality records must still serialize as valid JSON.
-        let json = bench_sim_json(0.1, &records, &[], &[]);
+        // No frontend/locality/tune records must still serialize as
+        // valid JSON.
+        let json = bench_sim_json(0.1, &records, &[], &[], &[]);
         mempar_obs::validate_json(&json).expect("frontend-less BENCH_sim.json must stay valid");
     }
 }

@@ -253,6 +253,80 @@ fn engine_choice_never_changes_results() {
 }
 
 #[test]
+fn tune_shares_the_cli_contract() {
+    // The tuner harness rides the same parse_args surface: bad flags
+    // exit 2 with usage, and a bad --mode is its own exit-2 path.
+    let bad = Command::new(env!("CARGO_BIN_EXE_tune"))
+        .env_remove("MEMPAR_LOG")
+        .args(["--bogus"])
+        .output()
+        .expect("spawn tune");
+    assert_eq!(bad.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("usage:"));
+
+    let bad_mode = Command::new(env!("CARGO_BIN_EXE_tune"))
+        .env_remove("MEMPAR_LOG")
+        .args(["--mode", "sideways"])
+        .output()
+        .expect("spawn tune");
+    assert_eq!(bad_mode.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&bad_mode.stderr).contains("unknown --mode sideways"),
+        "stderr: {}",
+        String::from_utf8_lossy(&bad_mode.stderr)
+    );
+}
+
+#[test]
+fn tune_beats_base_and_exports_its_trace() {
+    let dir = std::env::temp_dir().join(format!("mempar-tune-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let metrics = dir.join("tune-metrics.json");
+    let trace = dir.join("tune-trace.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_tune"))
+        .env_remove("MEMPAR_LOG")
+        .args([
+            "--scale",
+            "0.05",
+            "--apps",
+            "latbench",
+            "-q",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn tune");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("tuned/default x"),
+        "delta table missing: {stdout}"
+    );
+    assert!(
+        stdout.contains("beat the default driver on"),
+        "headline missing: {stdout}"
+    );
+    // The exported search trace is valid JSON with the tune.* counters
+    // and per-candidate Perfetto slices.
+    let metrics_json = std::fs::read_to_string(&metrics).expect("metrics written");
+    mempar_obs::validate_json(&metrics_json).expect("metrics JSON well-formed");
+    assert!(metrics_json.contains("tune.scored"));
+    assert!(metrics_json.contains("tune.cycles.tuned"));
+    let trace_json = std::fs::read_to_string(&trace).expect("trace written");
+    mempar_obs::validate_json(&trace_json).expect("trace JSON well-formed");
+    assert!(trace_json.contains("\"ph\":\"X\""));
+    assert!(trace_json.contains("memo_hit"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn invalid_mempar_log_exits_2_with_usage() {
     let out = run_env(&[], &[("MEMPAR_LOG", "verbose")]);
     assert_eq!(out.status.code(), Some(2), "bad MEMPAR_LOG must exit 2");

@@ -252,9 +252,23 @@ fn cluster_nest(
     Some(decision)
 }
 
-/// Searches for the largest degree `d ≤ U` with re-analyzed
-/// `f(d) ≤ target` (binary search over candidate degrees, at most
-/// `⌈log₂U⌉` trial jams on clones, as in Carr & Kennedy).
+/// Searches for the degree `d ≤ U` maximizing re-analyzed `f(d)`
+/// subject to `f(d) ≤ target` — bracketing binary search first (at
+/// most `⌈log₂U⌉` trial jams on clones, as in Carr & Kennedy), with a
+/// bounded linear verification pass when the probes contradict the
+/// search's monotonicity assumption.
+///
+/// `f` is *not* monotone in the degree: each leading reference
+/// contributes `C_m = ceil(W / (i·L_m))` (Equation 1) and the jammed
+/// body size `i` grows with `d`, so `f(d) ≈ d·ceil(K/d)` dips every
+/// time the ceiling steps down. The binary search assumes monotonicity
+/// and can bracket onto a dip's shoulder; every probe is therefore
+/// memoized, and when any probed pair has `f` decreasing — or the
+/// candidate right above the proposed answer is still under `target` —
+/// the search falls back to probing every candidate (at most `U - 1`
+/// jams, most already cached) and picks the feasible argmax, ties to
+/// the *larger* degree (same predicted overlap, fewer outer iterations
+/// — matching where the bracketing search lands on monotone profiles).
 ///
 /// For *distributed* loops only exact divisors of the trip count are
 /// considered: a leftover postlude of a parallel loop executes on the
@@ -270,13 +284,21 @@ fn search_degree(
     profile: &MissProfile,
     target: f64,
 ) -> u32 {
+    let cache = std::cell::RefCell::new(std::collections::BTreeMap::<u32, Option<f64>>::new());
     let f_of = |d: u32| -> Option<f64> {
-        let mut trial = prog.clone();
-        let r = unroll_and_jam(&mut trial, parent, d).ok()?;
-        let inner_path = deepest_inner(&trial, &r.main)?;
-        let (_, inner_path) = scalar_replace(&mut trial, &inner_path).ok()?;
-        let l = loop_at(&trial, &inner_path)?;
-        Some(analyze_inner_loop(&trial, &l.body, l.var, m, profile).f)
+        if let Some(v) = cache.borrow().get(&d) {
+            return *v;
+        }
+        let v = (|| {
+            let mut trial = prog.clone();
+            let r = unroll_and_jam(&mut trial, parent, d).ok()?;
+            let inner_path = deepest_inner(&trial, &r.main)?;
+            let (_, inner_path) = scalar_replace(&mut trial, &inner_path).ok()?;
+            let l = loop_at(&trial, &inner_path)?;
+            Some(analyze_inner_loop(&trial, &l.body, l.var, m, profile).f)
+        })();
+        cache.borrow_mut().insert(d, v);
+        v
     };
     let _ = inner;
     // Candidate degrees, ascending.
@@ -300,7 +322,7 @@ fn search_degree(
         Some(f) if f > target => return 1,
         Some(f) => f,
     };
-    // Binary search over the candidate list (f is monotone in degree).
+    // Bracketing binary search over the candidate list.
     let (mut lo, mut hi) = (0usize, candidates.len() - 1);
     let mut best_f = f_small;
     while lo < hi {
@@ -311,6 +333,54 @@ fn search_degree(
                 best_f = f;
             }
             _ => hi = mid - 1,
+        }
+    }
+    // Verify the monotonicity assumption against the probe record. The
+    // search is only sound when `f` is non-decreasing in the degree;
+    // `f(d) = Σ C_m` dips exactly when some ceiling `C_m = ceil(W/(i·L_m))`
+    // steps down as the jammed body grows, and that always shows up as
+    // *sublinear* growth between probes (`f(d)/d` shrinking) even when
+    // the probed values themselves happen to ascend past an unprobed
+    // dip. Three triggers, from cheapest to most general: the candidate
+    // just above the proposed answer is still feasible; some probed
+    // pair has `f` decreasing outright; or some probed pair grows
+    // sublinearly.
+    let neighbor_feasible =
+        lo + 1 < candidates.len() && f_of(candidates[lo + 1]).is_some_and(|f| f <= target + 1e-9);
+    let probes_suspect = {
+        let snap: Vec<(u32, f64)> = cache
+            .borrow()
+            .iter()
+            .filter(|(d, _)| **d >= candidates[0])
+            .filter_map(|(&d, &f)| f.map(|f| (d, f)))
+            .collect();
+        snap.windows(2).any(|w| {
+            let (d1, f1) = w[0];
+            let (d2, f2) = w[1];
+            f1 > f2 + 1e-9 || f2 / d2 as f64 + 1e-9 < f1 / d1 as f64
+        })
+    };
+    if neighbor_feasible || probes_suspect {
+        // Bounded linear verification: probe everything (memoized) and
+        // take the feasible argmax; ties keep the larger degree — the
+        // model predicts the same overlap, and the larger jam spends
+        // fewer outer iterations on loop overhead (this is also where
+        // the bracketing search lands when the profile is monotone, so
+        // well-behaved nests keep their seed degrees).
+        let mut best: Option<(usize, f64)> = None;
+        for (idx, &d) in candidates.iter().enumerate() {
+            if let Some(f) = f_of(d) {
+                if f <= target && best.is_none_or(|(_, bf)| f + 1e-9 >= bf) {
+                    best = Some((idx, f));
+                }
+            }
+        }
+        match best {
+            Some((idx, f)) => {
+                lo = idx;
+                best_f = f;
+            }
+            None => return 1,
         }
     }
     // Unrolling that never increases the overlapped-miss estimate (all
@@ -555,5 +625,134 @@ mod tests {
         let mut mem2 = mk(&p);
         run_single(&p, &mut mem2);
         assert_eq!(mem2.read_i64(sink), base);
+    }
+
+    /// A unit-stride 2-D copy-scale: after jamming by `d`, each copy
+    /// contributes leading references with `C_m = ceil(W/(i·L_m))`, so
+    /// `f(d) ≈ d·ceil(K/d)` — which *dips* every time the ceiling steps
+    /// down. The profile at `W = 160` is
+    /// `f = [12, 12, 16, 20, 12, 14, 16, 18, ...]` for `d = 2..`.
+    fn row_copy(n: usize) -> Program {
+        let mut b = ProgramBuilder::new("rowcopy");
+        let a = b.array_f64("a", &[n, n]);
+        let out = b.array_f64("out", &[n, n]);
+        let j = b.var("j");
+        let i = b.var("i");
+        b.for_const(j, 0, n as i64, |b| {
+            b.for_const(i, 0, n as i64, |b| {
+                let v = b.load(a, &[b.idx(j), b.idx(i)]);
+                let two = b.constf(2.0);
+                let e = b.mul(v, two);
+                b.assign_array(out, &[b.idx(j), b.idx(i)], e);
+            });
+        });
+        b.finish()
+    }
+
+    fn brute_f(
+        prog: &Program,
+        parent: &NestPath,
+        m: &MachineSummary,
+        profile: &MissProfile,
+        d: u32,
+    ) -> Option<f64> {
+        let mut trial = prog.clone();
+        let r = unroll_and_jam(&mut trial, parent, d).ok()?;
+        let inner_path = deepest_inner(&trial, &r.main)?;
+        let (_, inner_path) = scalar_replace(&mut trial, &inner_path).ok()?;
+        let l = loop_at(&trial, &inner_path)?;
+        Some(analyze_inner_loop(&trial, &l.body, l.var, m, profile).f)
+    }
+
+    /// Regression for the monotonicity bug: at `W = 160`, `target = 14`,
+    /// the probes the binary search records disagree (f decreases from
+    /// d=5 to d=9), and without the linear fallback it brackets onto
+    /// d=3 (f=12) while d=7 achieves f=14 within target.
+    #[test]
+    fn search_degree_survives_non_monotone_f() {
+        let prog = row_copy(128);
+        let inner = innermost_loops(&prog)[0].clone();
+        let parent = inner.parent().unwrap();
+        let m = MachineSummary {
+            window: 160,
+            procs: 1,
+            mshrs: 16,
+            line_bytes: 64,
+            max_unroll: 16,
+        };
+        let profile = MissProfile::pessimistic();
+        let fs: Vec<(u32, f64)> = (2..=m.max_unroll)
+            .filter_map(|d| brute_f(&prog, &parent, &m, &profile, d).map(|f| (d, f)))
+            .collect();
+        assert!(
+            fs.windows(2).any(|w| w[0].1 > w[1].1 + 1e-9),
+            "premise: f must be non-monotone here, got {fs:?}"
+        );
+        let target = 14.0;
+        let best = fs
+            .iter()
+            .filter(|(_, f)| *f <= target)
+            .fold(None::<(u32, f64)>, |acc, &(d, f)| match acc {
+                Some((_, bf)) if f <= bf + 1e-9 => acc,
+                _ => Some((d, f)),
+            })
+            .expect("a feasible degree exists");
+        assert_eq!(best, (7, 14.0), "premise drifted: {fs:?}");
+        let chosen = search_degree(&prog, &parent, &inner, &m, &profile, target);
+        assert_eq!(
+            chosen, best.0,
+            "search must match the feasible argmax (profile {fs:?})"
+        );
+    }
+
+    /// The search's answer always achieves the feasible argmax of `f`
+    /// whenever it unrolls at all, across window sizes and targets.
+    #[test]
+    fn search_degree_is_optimal_across_windows_and_targets() {
+        let prog = row_copy(128);
+        let inner = innermost_loops(&prog)[0].clone();
+        let parent = inner.parent().unwrap();
+        let profile = MissProfile::pessimistic();
+        for window in [64, 96, 128, 160, 256] {
+            let m = MachineSummary {
+                window,
+                procs: 1,
+                mshrs: 16,
+                line_bytes: 64,
+                max_unroll: 16,
+            };
+            let f1 = brute_f(&prog, &parent, &m, &profile, 1).unwrap();
+            let fs: Vec<(u32, f64)> = (2..=m.max_unroll)
+                .filter_map(|d| brute_f(&prog, &parent, &m, &profile, d).map(|f| (d, f)))
+                .collect();
+            for target in (8..=24).map(|t| t as f64) {
+                let best = fs.iter().filter(|(_, f)| *f <= target).fold(
+                    None::<(u32, f64)>,
+                    |acc, &(d, f)| match acc {
+                        Some((_, bf)) if f <= bf + 1e-9 => acc,
+                        _ => Some((d, f)),
+                    },
+                );
+                let chosen = search_degree(&prog, &parent, &inner, &m, &profile, target);
+                if chosen > 1 {
+                    let f_chosen = fs.iter().find(|(d, _)| *d == chosen).unwrap().1;
+                    let best_f = best.expect("chosen>1 implies feasible").1;
+                    assert!(
+                        (f_chosen - best_f).abs() < 1e-9,
+                        "W={window} target={target}: chose d={chosen} (f={f_chosen}) \
+                         but feasible argmax is {best:?} in {fs:?}"
+                    );
+                } else if let Some((bd, bf)) = best {
+                    // Declining to unroll is only allowed when nothing
+                    // feasible improves on f(1), or the smallest
+                    // candidate already misses target (the quick-probe
+                    // fast path documents that limitation).
+                    assert!(
+                        bf <= f1 + 1e-9 || fs.first().is_some_and(|(_, f2)| *f2 > target),
+                        "W={window} target={target}: declined but d={bd} f={bf} was available"
+                    );
+                }
+            }
+        }
     }
 }

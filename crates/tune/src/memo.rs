@@ -1,0 +1,222 @@
+//! The score memo: simulated cycle counts keyed by *(program trace
+//! digest, simulation options, machine fingerprint)*.
+//!
+//! Two candidate programs that emit identical dynamic-op streams cost
+//! the same cycles under the same machine and options, so their scores
+//! are shared — across candidates within one nest, across nests, and
+//! across the difftest generator's stream when a [`ScoreMemo`] is
+//! reused. The key deliberately includes every knob that can change the
+//! simulated cycle count:
+//!
+//! * the order-sensitive [`TraceDigest`] stream hash of **all** procs
+//!   (so distribution changes re-key even when proc 0's stream is
+//!   unchanged);
+//! * the stepper, execution engine, and coherence protocol from
+//!   [`SimOptions`] — equal digests under *different* options must
+//!   never share a score (the `shards` knob is excluded: sharding is
+//!   bit-identical by the event stepper's determinism guarantee);
+//! * a fingerprint of the [`MachineConfig`] (cache geometry, window,
+//!   MSHRs, processor count, topology).
+//!
+//! Each entry remembers the options signature it was inserted under and
+//! every lookup asserts it matches — a collision between different
+//! `SimOptions` is a bug in key construction, not a cache hit.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use mempar_sim::{MachineConfig, SimOptions};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Stable signature of the score-relevant [`SimOptions`] knobs.
+pub fn opts_signature(opts: SimOptions) -> String {
+    format!("{:?}/{:?}/{:?}", opts.stepper, opts.engine, opts.protocol).to_lowercase()
+}
+
+/// Stable fingerprint of the score-relevant [`MachineConfig`] knobs.
+pub fn config_fingerprint(cfg: &MachineConfig) -> u64 {
+    fnv(format!(
+        "{}|{}|{:?}|{}|{}|{}|{}|{}|{}|{}",
+        cfg.name,
+        cfg.nprocs,
+        cfg.topology,
+        cfg.proc.window,
+        cfg.proc.clock_mhz,
+        cfg.l2.size_bytes,
+        cfg.l2.assoc,
+        cfg.l2.line_bytes,
+        cfg.l2.mshrs,
+        cfg.dir_cycles,
+    )
+    .as_bytes())
+}
+
+/// Full memo key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MemoKey {
+    /// All-proc trace-stream hash of the candidate program.
+    pub digest: u64,
+    /// [`opts_signature`] of the scoring options.
+    pub opts: String,
+    /// [`config_fingerprint`] of the scoring machine.
+    pub config: u64,
+}
+
+#[derive(Debug, Clone)]
+struct MemoEntry {
+    cycles: u64,
+    /// Redundant copy of the options signature for the soundness
+    /// assert: must always equal `key.opts` on hit.
+    opts: String,
+}
+
+/// Thread-shared score cache with hit/miss counters.
+///
+/// The counters are *not* part of the deterministic tuner outcome —
+/// with several tuner threads, two candidates with equal keys can race
+/// past the lookup and both simulate (same value lands twice), so
+/// hit/miss totals may vary with thread count even though every score
+/// and every winner is identical.
+#[derive(Debug, Default)]
+pub struct ScoreMemo {
+    map: Mutex<HashMap<MemoKey, MemoEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ScoreMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks `key` up; on miss, runs `score` and stores its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a hit's stored options signature disagrees with the
+    /// key's — that would mean two different `SimOptions` shared a
+    /// cached score.
+    pub fn get_or_insert(&self, key: &MemoKey, score: impl FnOnce() -> u64) -> (u64, bool) {
+        if let Some(e) = self.map.lock().unwrap().get(key) {
+            assert_eq!(
+                e.opts, key.opts,
+                "memo soundness: digest {:#x} hit under options '{}' was cached under '{}'",
+                key.digest, key.opts, e.opts
+            );
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (e.cycles, true);
+        }
+        // Score outside the lock: simulations are long and candidates
+        // deterministic, so a racing duplicate just recomputes the same
+        // value.
+        let cycles = score();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.map.lock().unwrap().insert(
+            key.clone(),
+            MemoEntry {
+                cycles,
+                opts: key.opts.clone(),
+            },
+        );
+        (cycles, false)
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (scoring runs) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct cached scores.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mempar_sim::{Protocol, Stepper};
+
+    fn key(digest: u64, opts: SimOptions) -> MemoKey {
+        MemoKey {
+            digest,
+            opts: opts_signature(opts),
+            config: 7,
+        }
+    }
+
+    #[test]
+    fn equal_digests_different_options_never_share() {
+        let memo = ScoreMemo::new();
+        let event = SimOptions::default();
+        let strict = SimOptions {
+            stepper: Stepper::Strict,
+            ..SimOptions::default()
+        };
+        let mesi = SimOptions {
+            protocol: Protocol::Mesi,
+            ..SimOptions::default()
+        };
+        let (a, hit_a) = memo.get_or_insert(&key(42, event), || 100);
+        let (b, hit_b) = memo.get_or_insert(&key(42, strict), || 200);
+        let (c, hit_c) = memo.get_or_insert(&key(42, mesi), || 300);
+        assert_eq!((a, b, c), (100, 200, 300));
+        assert!(!hit_a && !hit_b && !hit_c, "distinct options always miss");
+        // Same digest + same options is the only sharing path.
+        let (a2, hit) = memo.get_or_insert(&key(42, event), || unreachable!());
+        assert_eq!(a2, 100);
+        assert!(hit);
+        assert_eq!(memo.len(), 3);
+    }
+
+    #[test]
+    fn options_signature_separates_every_knob() {
+        let base = SimOptions::default();
+        for opts in [
+            SimOptions {
+                stepper: Stepper::Skip,
+                ..base
+            },
+            SimOptions {
+                engine: mempar_ir::Engine::Interp,
+                ..base
+            },
+            SimOptions {
+                protocol: Protocol::Moesi,
+                ..base
+            },
+        ] {
+            assert_ne!(opts_signature(base), opts_signature(opts));
+        }
+    }
+
+    #[test]
+    fn shards_do_not_rekey() {
+        let base = SimOptions::default();
+        let sharded = SimOptions { shards: 4, ..base };
+        assert_eq!(opts_signature(base), opts_signature(sharded));
+    }
+}

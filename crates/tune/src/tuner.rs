@@ -1,0 +1,544 @@
+//! The search driver: per-nest coordinate descent over the propagated
+//! composition space, scored by the event-stepper simulator, with the
+//! paper-default clustering driver as a floor.
+
+use std::time::Instant;
+
+use mempar::machine_summary;
+use mempar_analysis::{analyze_inner_loop, MissProfile};
+use mempar_ir::{
+    run_parallel_functional_with, run_single_with, BytecodeProgram, Engine, Interp, Program,
+    SimMem, TraceDigest, Vm,
+};
+use mempar_sim::{run_program_with, MachineConfig, SimOptions};
+use mempar_transform::{cluster_program, innermost_loops, loop_at, NestPath};
+
+use crate::memo::{config_fingerprint, opts_signature, MemoKey, ScoreMemo};
+use crate::space::{apply_composition, build_space, Composition, SpaceOptions};
+
+/// Tuner configuration.
+#[derive(Debug, Clone)]
+pub struct TuneOptions {
+    /// Options every scoring simulation runs under.
+    pub sim: SimOptions,
+    /// Worker threads candidates fan out across (0 = auto). Thread
+    /// count never changes the winner (the determinism tests assert
+    /// this).
+    pub threads: usize,
+    /// Knob menus for the per-nest space.
+    pub space: SpaceOptions,
+    /// Simulator budget per nest: survivors of prediction pruning.
+    pub max_scored_per_nest: usize,
+}
+
+impl Default for TuneOptions {
+    fn default() -> Self {
+        TuneOptions {
+            sim: SimOptions::default(),
+            threads: 0,
+            space: SpaceOptions::default(),
+            max_scored_per_nest: 8,
+        }
+    }
+}
+
+/// Search totals for the report and the `tune.*` metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Innermost nests considered.
+    pub nests: u64,
+    /// Product of unpropagated domains, summed over nests.
+    pub space_full: u64,
+    /// Compositions surviving propagation + exclusions.
+    pub enumerated: u64,
+    /// Candidates dropped by composed-legality failure in `apply`.
+    pub pruned_illegal: u64,
+    /// Candidates dropped by the f/α prediction ranking.
+    pub pruned_predicted: u64,
+    /// Candidates handed to the simulator (deterministic).
+    pub scored: u64,
+    /// Memo hits during this tune (may vary with thread count).
+    pub memo_hits: u64,
+    /// Memo misses (actual simulations) during this tune.
+    pub memo_misses: u64,
+}
+
+/// What the search decided for one nest.
+#[derive(Debug, Clone)]
+pub struct NestOutcome {
+    /// Nest label (`path/var`).
+    pub nest: String,
+    /// Winning composition label, or `keep` when nothing beat the
+    /// incumbent.
+    pub chosen: String,
+    /// Incumbent cycles entering this nest.
+    pub before_cycles: u64,
+    /// Cycles after this nest's decision.
+    pub after_cycles: u64,
+    /// Candidates scored for this nest.
+    pub scored: usize,
+}
+
+/// One scored candidate, for the Perfetto slice export.
+#[derive(Debug, Clone)]
+pub struct CandidateTrace {
+    /// Nest label.
+    pub nest: String,
+    /// Composition label.
+    pub label: String,
+    /// All-proc trace digest (the memo key).
+    pub digest: u64,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Predicted `min(f, target)` that ranked it.
+    pub predicted: f64,
+    /// Whether the score came from the memo.
+    pub memo_hit: bool,
+    /// Wall-clock start relative to the tune, microseconds (trace
+    /// only — never part of the deterministic outcome).
+    pub start_us: u64,
+    /// Wall-clock scoring duration, microseconds.
+    pub dur_us: u64,
+}
+
+/// Everything one [`Tuner::tune_program`] run learned.
+#[derive(Debug, Clone)]
+pub struct TuneReport {
+    /// Program/workload name.
+    pub name: String,
+    /// Machine configuration name.
+    pub config: String,
+    /// Options signature the scores were produced under.
+    pub opts: String,
+    /// Cycles of the untransformed program.
+    pub base_cycles: u64,
+    /// Cycles of the paper-default clustering driver's output.
+    pub default_cycles: u64,
+    /// Cycles of the returned (best) program.
+    pub tuned_cycles: u64,
+    /// Which source won: `search`, `default-driver`, or `base`.
+    pub winner: String,
+    /// Per-nest decisions, in search order.
+    pub nests: Vec<NestOutcome>,
+    /// Search totals.
+    pub stats: SearchStats,
+    /// Per-candidate scoring slices.
+    pub candidates: Vec<CandidateTrace>,
+    /// Oracle mismatches (candidate changed program semantics); each
+    /// entry names the nest and composition. Always empty unless a
+    /// legality bug slipped through — the difftest sweep gates on this.
+    pub oracle_failures: Vec<String>,
+}
+
+impl TuneReport {
+    /// `default_cycles / tuned_cycles` — the honest headline: >1 means
+    /// the search beat the paper-default driver, 1.0 means it matched
+    /// (the tuner never returns a program slower than the driver's).
+    pub fn tuned_vs_default(&self) -> f64 {
+        self.default_cycles as f64 / self.tuned_cycles as f64
+    }
+
+    /// `base_cycles / tuned_cycles` (>1 = faster than untransformed).
+    pub fn tuned_vs_base(&self) -> f64 {
+        self.base_cycles as f64 / self.tuned_cycles as f64
+    }
+
+    /// The deterministic core of the report: identical across tuner
+    /// thread counts and between cold and memo-warm runs. Excludes
+    /// memo hit/miss totals and wall-clock timings, which legitimately
+    /// vary.
+    pub fn outcome_signature(&self) -> String {
+        let mut s = format!(
+            "{} cfg={} opts={} base={} default={} tuned={} winner={}\n",
+            self.name,
+            self.config,
+            self.opts,
+            self.base_cycles,
+            self.default_cycles,
+            self.tuned_cycles,
+            self.winner
+        );
+        for n in &self.nests {
+            s.push_str(&format!(
+                "nest {} chosen={} {}->{} scored={}\n",
+                n.nest, n.chosen, n.before_cycles, n.after_cycles, n.scored
+            ));
+        }
+        s.push_str(&format!(
+            "nests={} full={} enum={} illegal={} pred={} scored={}\n",
+            self.stats.nests,
+            self.stats.space_full,
+            self.stats.enumerated,
+            self.stats.pruned_illegal,
+            self.stats.pruned_predicted,
+            self.stats.scored
+        ));
+        for f in &self.oracle_failures {
+            s.push_str(&format!("oracle-failure {f}\n"));
+        }
+        s
+    }
+
+    /// Human-readable delta table (the `tune` binary's payload).
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "{:<14} base {:>12} | default {:>12} ({:+.1}%) | tuned {:>12} ({:+.1}%) | tuned/default x{:.3} [{}]\n",
+            self.name,
+            self.base_cycles,
+            self.default_cycles,
+            percent(self.base_cycles, self.default_cycles),
+            self.tuned_cycles,
+            percent(self.base_cycles, self.tuned_cycles),
+            self.tuned_vs_default(),
+            self.winner
+        );
+        for n in &self.nests {
+            s.push_str(&format!(
+                "  {:<20} {:<18} {:>12} -> {:>12} ({} scored)\n",
+                n.nest, n.chosen, n.before_cycles, n.after_cycles, n.scored
+            ));
+        }
+        s
+    }
+}
+
+fn percent(base: u64, new: u64) -> f64 {
+    if base == 0 {
+        return 0.0;
+    }
+    (new as f64 - base as f64) / base as f64 * 100.0
+}
+
+/// A factory for fresh simulation memories at a given processor count.
+/// Candidates share no mutable state — every functional check and
+/// every scoring run gets its own image.
+pub type MemFactory<'a> = &'a (dyn Fn(usize) -> SimMem + Sync);
+
+/// The composition autotuner. Holds the score memo, so reusing one
+/// tuner across programs (the difftest stream, the bench matrix)
+/// shares scores between repeated subproblems.
+#[derive(Debug, Default)]
+pub struct Tuner {
+    /// Search configuration.
+    pub opts: TuneOptions,
+    /// Shared score cache.
+    pub memo: ScoreMemo,
+}
+
+struct Candidate {
+    index: usize,
+    comp: Composition,
+    prog: Program,
+    predicted: f64,
+}
+
+struct Scored {
+    index: usize,
+    label: String,
+    digest: u64,
+    cycles: u64,
+    predicted: f64,
+    memo_hit: bool,
+    oracle_ok: bool,
+    start_us: u64,
+    dur_us: u64,
+}
+
+impl Tuner {
+    /// A tuner with the given options and an empty memo.
+    pub fn new(opts: TuneOptions) -> Self {
+        Tuner {
+            opts,
+            memo: ScoreMemo::new(),
+        }
+    }
+
+    /// Drains every processor's dynamic-op stream into one digest on a
+    /// fresh memory image — the memo key's program identity.
+    fn digest(&self, prog: &Program, nprocs: usize, mem_at: MemFactory) -> u64 {
+        let mut mem = mem_at(nprocs);
+        let mut d = TraceDigest::new();
+        match self.opts.sim.engine {
+            Engine::Bytecode => {
+                let code = BytecodeProgram::compile(prog);
+                for pid in 0..nprocs {
+                    let mut vm = Vm::new(&code, pid, nprocs);
+                    while let Some(op) = vm.next_op(&mut mem) {
+                        d.absorb(&op);
+                    }
+                }
+            }
+            Engine::Interp => {
+                for pid in 0..nprocs {
+                    let mut it = Interp::new(prog, pid, nprocs);
+                    while let Some(op) = it.next_op(&mut mem) {
+                        d.absorb(&op);
+                    }
+                }
+            }
+        }
+        d.hash()
+    }
+
+    /// Functional-equivalence oracle: the candidate must leave the same
+    /// memory image as the baseline, sequentially and (for
+    /// multiprocessor configs) under the parallel functional
+    /// interleaving.
+    fn oracle_fingerprints(&self, prog: &Program, nprocs: usize, mem_at: MemFactory) -> (u64, u64) {
+        let mut seq_mem = mem_at(1);
+        run_single_with(prog, &mut seq_mem, self.opts.sim.engine);
+        let seq = seq_mem.fingerprint();
+        let par = if nprocs > 1 {
+            let mut par_mem = mem_at(nprocs);
+            run_parallel_functional_with(prog, &mut par_mem, nprocs, self.opts.sim.engine);
+            par_mem.fingerprint()
+        } else {
+            seq
+        };
+        (seq, par)
+    }
+
+    /// Scores `prog` in simulated cycles, through the memo.
+    fn score(&self, prog: &Program, cfg: &MachineConfig, mem_at: MemFactory) -> (u64, u64, bool) {
+        let digest = self.digest(prog, cfg.nprocs, mem_at);
+        let key = MemoKey {
+            digest,
+            opts: opts_signature(self.opts.sim),
+            config: config_fingerprint(cfg),
+        };
+        let (cycles, hit) = self.memo.get_or_insert(&key, || {
+            let mut mem = mem_at(cfg.nprocs);
+            run_program_with(prog, &mut mem, cfg, self.opts.sim).cycles
+        });
+        (cycles, digest, hit)
+    }
+
+    /// Tunes `prog` on `cfg`: returns the fastest semantics-preserving
+    /// variant found (never slower than the untransformed program or
+    /// the paper-default driver's output) and the search report.
+    ///
+    /// `mem_at` must build a *fresh* initialized memory for any
+    /// processor count — candidates are scored and oracle-checked on
+    /// independent images.
+    pub fn tune_program(
+        &self,
+        name: &str,
+        prog: &Program,
+        cfg: &MachineConfig,
+        profile: &MissProfile,
+        mem_at: MemFactory,
+    ) -> (Program, TuneReport) {
+        let epoch = Instant::now();
+        let m = machine_summary(cfg);
+        let nprocs = cfg.nprocs;
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(self.opts.threads)
+            .build()
+            .expect("thread pool construction cannot fail");
+
+        let mut stats = SearchStats::default();
+        let mut candidates_trace = Vec::new();
+        let mut oracle_failures = Vec::new();
+
+        let (ref_seq, ref_par) = self.oracle_fingerprints(prog, nprocs, mem_at);
+        let (base_cycles, _, _) = self.score(prog, cfg, mem_at);
+
+        // Incumbent: the best program so far, improved nest by nest.
+        let mut best = prog.clone();
+        let mut best_cycles = base_cycles;
+
+        // Reverse program order, like the clustering driver: transforms
+        // insert statements at or after their own position only, so
+        // paths of not-yet-visited (earlier) nests stay valid. A parent
+        // consumed by a structural transform retires its other inner
+        // nests.
+        let mut nest_paths = innermost_loops(prog);
+        nest_paths.reverse();
+        let mut consumed_parents: Vec<NestPath> = Vec::new();
+        let mut outcomes = Vec::new();
+
+        for path in &nest_paths {
+            if let Some(parent) = path.parent() {
+                if consumed_parents.contains(&parent) {
+                    continue;
+                }
+            }
+            stats.nests += 1;
+            let nest_label = nest_label(&best, path);
+
+            let space = build_space(&best, path, &self.opts.space);
+            stats.space_full += space.stats.full;
+            stats.enumerated += space.stats.enumerated;
+
+            // Build + predict every enumerated composition (cheap: IR
+            // clone + static analysis, no simulation).
+            let mut cands: Vec<Candidate> = Vec::new();
+            for (index, comp) in space.enumerate().into_iter().enumerate() {
+                if comp.is_identity() {
+                    continue; // the incumbent is the identity's score
+                }
+                let mut cand = best.clone();
+                match apply_composition(&mut cand, path, &comp, m.line_bytes) {
+                    Ok(inner) => {
+                        let predicted = match loop_at(&cand, &inner) {
+                            Some(l) => {
+                                let an = analyze_inner_loop(&cand, &l.body, l.var, &m, profile);
+                                an.f.min(an.target_f(&m))
+                            }
+                            None => 0.0,
+                        };
+                        cands.push(Candidate {
+                            index,
+                            comp,
+                            prog: cand,
+                            predicted,
+                        });
+                    }
+                    Err(_) => stats.pruned_illegal += 1,
+                }
+            }
+
+            // Prediction pruning: keep the top-K by predicted clustered
+            // misses per window; stable sort keeps enumeration order on
+            // ties, so the cut is deterministic.
+            cands.sort_by(|a, b| {
+                b.predicted
+                    .partial_cmp(&a.predicted)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            if cands.len() > self.opts.max_scored_per_nest {
+                stats.pruned_predicted += (cands.len() - self.opts.max_scored_per_nest) as u64;
+                cands.truncate(self.opts.max_scored_per_nest);
+            }
+            stats.scored += cands.len() as u64;
+
+            // Fan the oracle + scoring out across the pool. Results
+            // come back in candidate order regardless of thread count.
+            let scored: Vec<Scored> = pool
+                .run_indexed(cands.len(), |i| {
+                    let c = &cands[i];
+                    let t0 = epoch.elapsed().as_micros() as u64;
+                    let (seq, par) = self.oracle_fingerprints(&c.prog, nprocs, mem_at);
+                    let oracle_ok = seq == ref_seq && par == ref_par;
+                    let (cycles, digest, memo_hit) = if oracle_ok {
+                        self.score(&c.prog, cfg, mem_at)
+                    } else {
+                        (u64::MAX, 0, false)
+                    };
+                    Scored {
+                        index: c.index,
+                        label: c.comp.label(),
+                        digest,
+                        cycles,
+                        predicted: c.predicted,
+                        memo_hit,
+                        oracle_ok,
+                        start_us: t0,
+                        dur_us: epoch.elapsed().as_micros() as u64 - t0,
+                    }
+                })
+                .into_iter()
+                .collect();
+
+            for s in &scored {
+                if !s.oracle_ok {
+                    oracle_failures.push(format!("{nest_label} {}", s.label));
+                    continue;
+                }
+                candidates_trace.push(CandidateTrace {
+                    nest: nest_label.clone(),
+                    label: s.label.clone(),
+                    digest: s.digest,
+                    cycles: s.cycles,
+                    predicted: s.predicted,
+                    memo_hit: s.memo_hit,
+                    start_us: s.start_us,
+                    dur_us: s.dur_us,
+                });
+            }
+
+            // Winner: strictly better than the incumbent; ties broken
+            // by enumeration index (deterministic).
+            let winner = scored
+                .iter()
+                .filter(|s| s.oracle_ok)
+                .min_by_key(|s| (s.cycles, s.index));
+            let before = best_cycles;
+            let mut chosen = "keep".to_string();
+            if let Some(w) = winner {
+                if w.cycles < best_cycles {
+                    let c = cands
+                        .iter()
+                        .find(|c| c.index == w.index)
+                        .expect("winner comes from cands");
+                    let structural = c.comp.interchange || c.comp.strip > 0 || c.comp.uaj > 1;
+                    if structural {
+                        if let Some(parent) = path.parent() {
+                            consumed_parents.push(parent);
+                        }
+                    }
+                    best = c.prog.clone();
+                    best_cycles = w.cycles;
+                    chosen = c.comp.label();
+                }
+            }
+            outcomes.push(NestOutcome {
+                nest: nest_label,
+                chosen,
+                before_cycles: before,
+                after_cycles: best_cycles,
+                scored: scored.len(),
+            });
+        }
+
+        // The paper-default driver is the floor: score its output and
+        // keep whichever is faster. Honest accounting requires the
+        // driver's output to pass the same oracle.
+        let mut default_prog = prog.clone();
+        cluster_program(&mut default_prog, &m, profile);
+        let (def_seq, def_par) = self.oracle_fingerprints(&default_prog, nprocs, mem_at);
+        let default_cycles = if def_seq == ref_seq && def_par == ref_par {
+            let (c, _, _) = self.score(&default_prog, cfg, mem_at);
+            c
+        } else {
+            // Should be impossible (it would be a driver legality bug);
+            // record it and treat the driver as a no-op.
+            oracle_failures.push("default-driver output diverged".to_string());
+            base_cycles
+        };
+
+        let (tuned, tuned_cycles, winner) = if default_cycles < best_cycles {
+            (default_prog, default_cycles, "default-driver")
+        } else if best_cycles < base_cycles {
+            (best, best_cycles, "search")
+        } else {
+            (prog.clone(), base_cycles, "base")
+        };
+
+        stats.memo_hits = self.memo.hits();
+        stats.memo_misses = self.memo.misses();
+
+        let report = TuneReport {
+            name: name.to_string(),
+            config: cfg.name.clone(),
+            opts: opts_signature(self.opts.sim),
+            base_cycles,
+            default_cycles,
+            tuned_cycles,
+            winner: winner.to_string(),
+            nests: outcomes,
+            stats,
+            candidates: candidates_trace,
+            oracle_failures,
+        };
+        (tuned, report)
+    }
+}
+
+fn nest_label(prog: &Program, path: &NestPath) -> String {
+    let var = loop_at(prog, path)
+        .map(|l| prog.var_name(l.var).to_string())
+        .unwrap_or_else(|| "?".to_string());
+    let idx: Vec<String> = path.0.iter().map(|i| i.to_string()).collect();
+    format!("[{}]{}", idx.join("."), var)
+}

@@ -1,0 +1,44 @@
+//! Tuner smoke: a tiny Latbench tune must find a clustering that beats
+//! the base program, never lose to the default driver, and keep its
+//! oracle clean.
+
+use mempar::MachineConfig;
+use mempar_analysis::Locality;
+use mempar_tune::{tune_workload, TuneOptions, Tuner};
+use mempar_workloads::{latbench, LatbenchParams};
+
+#[test]
+fn latbench_tune_beats_base_and_floors_at_default() {
+    let w = latbench(LatbenchParams {
+        chains: 16,
+        chain_len: 64,
+        pool: 1 << 15,
+        seed: 3,
+    });
+    let cfg = MachineConfig::base_simulated(1, w.l2_bytes);
+    let tuner = Tuner::new(TuneOptions::default());
+    let (tuned, report, _) = tune_workload(&w, &cfg, &tuner, Locality::Analytic);
+    assert!(
+        report.oracle_failures.is_empty(),
+        "oracle failures: {:?}",
+        report.oracle_failures
+    );
+    assert!(
+        report.tuned_cycles <= report.default_cycles,
+        "tuner must floor at the default driver: {}",
+        report.summary()
+    );
+    assert!(
+        report.tuned_cycles < report.base_cycles,
+        "latbench chase must cluster: {}",
+        report.summary()
+    );
+    // The returned program is the one that scored tuned_cycles.
+    let mut mem = w.memory(cfg.nprocs);
+    let res = mempar::run_program_with(&tuned, &mut mem, &cfg, tuner.opts.sim);
+    assert_eq!(res.cycles, report.tuned_cycles);
+    // And it preserves the workload's outputs.
+    let mut base_mem = w.memory(cfg.nprocs);
+    mempar::run_program_with(&w.program, &mut base_mem, &cfg, tuner.opts.sim);
+    assert_eq!(w.read_outputs(&mem), w.read_outputs(&base_mem));
+}
