@@ -241,42 +241,170 @@ pub enum MshrOutcome {
     Full,
 }
 
+/// "End of free list" sentinel for the MSHR slot chain.
+const NO_SLOT: u32 = u32::MAX;
+
+/// Multiplier for Fibonacci hashing (2^64 / φ, odd). Line numbers are
+/// dense and strided; multiplying by an odd constant and keeping high
+/// bits spreads any stride pattern across the index.
+const HASH_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
+
 /// A file of MSHRs with same-line coalescing.
+///
+/// Storage is a fixed slot array threaded by an intrusive free list,
+/// plus an open-addressed line→slot index sized at twice the capacity
+/// (load factor ≤ 50%, so probe chains stay short and linear probing
+/// with backward-shift deletion is cheap). Allocate, coalesce,
+/// [`MshrFile::set_fill_time`], [`MshrFile::release`] and
+/// [`MshrFile::get`] are all O(1); [`MshrFile::occupancy`] — called once
+/// per processor per simulated cycle — reads two incrementally
+/// maintained counters. Nothing allocates after construction.
 #[derive(Debug, Clone)]
 pub struct MshrFile {
     cap: usize,
-    entries: Vec<MshrEntry>,
+    slots: Vec<MshrEntry>,
+    /// Intrusive free list through unoccupied slots.
+    next_free: Vec<u32>,
+    free_head: u32,
+    /// Occupied slot count.
+    occupied: usize,
+    /// Occupied slots holding at least one read ([`MshrEntry::is_read`]).
+    read_occupied: usize,
+    /// Open-addressed probe keys ([`NO_LINE`] = empty)...
+    index_lines: Vec<u64>,
+    /// ...and the slot each key maps to.
+    index_slots: Vec<u32>,
 }
 
 impl MshrFile {
     /// A file with `cap` registers.
     pub fn new(cap: usize) -> Self {
         assert!(cap > 0);
+        let index_size = (cap * 2).next_power_of_two();
         MshrFile {
             cap,
-            entries: Vec::with_capacity(cap),
+            slots: vec![
+                MshrEntry {
+                    line: NO_LINE,
+                    reads: 0,
+                    writes: 0,
+                    fill_at: u64::MAX,
+                };
+                cap
+            ],
+            next_free: (0..cap)
+                .map(|i| if i + 1 < cap { i as u32 + 1 } else { NO_SLOT })
+                .collect(),
+            free_head: 0,
+            occupied: 0,
+            read_occupied: 0,
+            index_lines: vec![NO_LINE; index_size],
+            index_slots: vec![NO_SLOT; index_size],
         }
+    }
+
+    #[inline]
+    fn index_start(&self, line: u64) -> usize {
+        debug_assert_ne!(line, NO_LINE, "lookup of the invalid-line sentinel");
+        (line.wrapping_mul(HASH_MUL) >> 32) as usize & (self.index_lines.len() - 1)
+    }
+
+    /// The slot holding `line`, if outstanding.
+    #[inline]
+    fn index_get(&self, line: u64) -> Option<u32> {
+        let mask = self.index_lines.len() - 1;
+        let mut i = self.index_start(line);
+        loop {
+            let k = self.index_lines[i];
+            if k == line {
+                return Some(self.index_slots[i]);
+            }
+            if k == NO_LINE {
+                return None;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Maps `line` (known absent) to `slot`.
+    fn index_insert(&mut self, line: u64, slot: u32) {
+        let mask = self.index_lines.len() - 1;
+        let mut i = self.index_start(line);
+        while self.index_lines[i] != NO_LINE {
+            debug_assert_ne!(self.index_lines[i], line, "duplicate MSHR index key");
+            i = (i + 1) & mask;
+        }
+        self.index_lines[i] = line;
+        self.index_slots[i] = slot;
+    }
+
+    /// Unmaps `line`, returning its slot; backward-shift deletion keeps
+    /// every probe chain contiguous so lookups never need tombstones.
+    fn index_remove(&mut self, line: u64) -> Option<u32> {
+        let mask = self.index_lines.len() - 1;
+        let mut i = self.index_start(line);
+        loop {
+            let k = self.index_lines[i];
+            if k == line {
+                break;
+            }
+            if k == NO_LINE {
+                return None;
+            }
+            i = (i + 1) & mask;
+        }
+        let slot = self.index_slots[i];
+        let mut j = i;
+        loop {
+            j = (j + 1) & mask;
+            let k = self.index_lines[j];
+            if k == NO_LINE {
+                break;
+            }
+            // An entry may move back into the hole only if that does not
+            // lift it above its ideal slot: its probe distance at `j`
+            // must reach at least back to `i`.
+            let ideal = self.index_start(k);
+            if (j.wrapping_sub(ideal) & mask) >= (j.wrapping_sub(i) & mask) {
+                self.index_lines[i] = k;
+                self.index_slots[i] = self.index_slots[j];
+                i = j;
+            }
+        }
+        self.index_lines[i] = NO_LINE;
+        Some(slot)
     }
 
     /// Registers a miss on `line`; `is_write` marks write misses.
     pub fn register(&mut self, line: u64, is_write: bool) -> MshrOutcome {
-        if let Some(e) = self.entries.iter_mut().find(|e| e.line == line) {
+        if let Some(slot) = self.index_get(line) {
+            let e = &mut self.slots[slot as usize];
             if is_write {
                 e.writes += 1;
             } else {
+                if e.reads == 0 {
+                    self.read_occupied += 1;
+                }
                 e.reads += 1;
             }
             return MshrOutcome::Coalesced { fill_at: e.fill_at };
         }
-        if self.entries.len() >= self.cap {
+        if self.occupied >= self.cap {
             return MshrOutcome::Full;
         }
-        self.entries.push(MshrEntry {
+        let slot = self.free_head;
+        self.free_head = self.next_free[slot as usize];
+        self.slots[slot as usize] = MshrEntry {
             line,
-            reads: if is_write { 0 } else { 1 },
-            writes: if is_write { 1 } else { 0 },
+            reads: u32::from(!is_write),
+            writes: u32::from(is_write),
             fill_at: u64::MAX,
-        });
+        };
+        self.index_insert(line, slot);
+        self.occupied += 1;
+        if !is_write {
+            self.read_occupied += 1;
+        }
         MshrOutcome::Allocated
     }
 
@@ -285,8 +413,8 @@ impl MshrFile {
     /// # Panics
     /// Panics (debug) if no such miss is outstanding.
     pub fn set_fill_time(&mut self, line: u64, fill_at: u64) {
-        if let Some(e) = self.entries.iter_mut().find(|e| e.line == line) {
-            e.fill_at = fill_at;
+        if let Some(slot) = self.index_get(line) {
+            self.slots[slot as usize].fill_at = fill_at;
         } else {
             debug_assert!(false, "set_fill_time on absent MSHR {line:#x}");
         }
@@ -294,25 +422,55 @@ impl MshrFile {
 
     /// Releases the MSHR for `line` (at fill time).
     pub fn release(&mut self, line: u64) {
-        self.entries.retain(|e| e.line != line);
+        if let Some(slot) = self.index_remove(line) {
+            let e = &mut self.slots[slot as usize];
+            self.occupied -= 1;
+            if e.is_read() {
+                self.read_occupied -= 1;
+            }
+            e.line = NO_LINE;
+            self.next_free[slot as usize] = self.free_head;
+            self.free_head = slot;
+        }
     }
 
     /// The entry for `line`, if outstanding.
     pub fn get(&self, line: u64) -> Option<&MshrEntry> {
-        self.entries.iter().find(|e| e.line == line)
+        self.index_get(line).map(|slot| &self.slots[slot as usize])
+    }
+
+    /// The earliest scheduled fill among outstanding entries — a lower
+    /// bound on the next cycle a register can free. `None` when the file
+    /// is empty or any entry's fill time is still unknown (no bound can
+    /// be promised then: an unknown fill may be scheduled arbitrarily
+    /// soon). A full file with all fills known can provably not accept a
+    /// new line before this time, which is what lets a blocked issue
+    /// stage sleep instead of re-polling every cycle.
+    pub fn next_fill_time(&self) -> Option<u64> {
+        if self.occupied == 0 {
+            return None;
+        }
+        let mut min = u64::MAX;
+        for e in &self.slots {
+            if e.line != NO_LINE {
+                if e.fill_at == u64::MAX {
+                    return None;
+                }
+                min = min.min(e.fill_at);
+            }
+        }
+        Some(min)
     }
 
     /// `(read_mshrs, total_mshrs)` currently occupied — the per-cycle
     /// sample behind Figure 4.
     pub fn occupancy(&self) -> (usize, usize) {
-        let total = self.entries.len();
-        let reads = self.entries.iter().filter(|e| e.is_read()).count();
-        (reads, total)
+        (self.read_occupied, self.occupied)
     }
 
     /// Number of free registers.
     pub fn free(&self) -> usize {
-        self.cap - self.entries.len()
+        self.cap - self.occupied
     }
 
     /// Capacity.
@@ -432,5 +590,50 @@ mod tests {
         let mut m = MshrFile::new(2);
         m.register(9, true);
         assert_eq!(m.occupancy(), (0, 1));
+        // A read coalescing onto the write-only entry flips its class.
+        m.register(9, false);
+        assert_eq!(m.occupancy(), (1, 1));
+        m.release(9);
+        assert_eq!(m.occupancy(), (0, 0));
+    }
+
+    #[test]
+    fn mshr_index_survives_collision_churn() {
+        // Exercise the open-addressed index across many allocate/release
+        // generations with arbitrary interleaving and release order, and
+        // cross-check against a naive model.
+        let cap = 10;
+        let mut m = MshrFile::new(cap);
+        let mut model: Vec<(u64, u64)> = Vec::new(); // (line, fill_at)
+        let mut x = 0x1234_5678_9abc_def0u64;
+        for step in 0..20_000u64 {
+            // xorshift for a deterministic, scattered line stream.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let line = x % 37; // small space forces reuse + collisions
+            match m.register(line, step % 3 == 0) {
+                MshrOutcome::Allocated => {
+                    assert!(model.len() < cap, "allocated past capacity");
+                    assert!(!model.iter().any(|&(l, _)| l == line));
+                    m.set_fill_time(line, step);
+                    model.push((line, step));
+                }
+                MshrOutcome::Coalesced { fill_at } => {
+                    let &(_, t) = model.iter().find(|&&(l, _)| l == line).expect("tracked");
+                    assert_eq!(fill_at, t);
+                }
+                MshrOutcome::Full => {
+                    assert_eq!(model.len(), cap);
+                    // Release an arbitrary tracked line (not FIFO order).
+                    let victim = model.swap_remove((step % cap as u64) as usize).0;
+                    m.release(victim);
+                }
+            }
+            assert_eq!(m.free(), cap - model.len());
+            for &(l, t) in &model {
+                assert_eq!(m.get(l).expect("indexed").fill_at, t);
+            }
+        }
     }
 }
