@@ -6,10 +6,9 @@
 //! ([`MemSystem`](crate::memsys::MemSystem)); this module is the protocol
 //! state machine.
 
-use std::collections::HashMap;
-
 use crate::cache::LineState;
-use crate::protocol::{CoherenceProtocol, DataSource, Protocol, ReadOutcome, WriteOutcome};
+use crate::linetable::LineTable;
+use crate::protocol::{push_mask_procs, CohTxn, CoherenceProtocol, DataSource, Protocol};
 
 /// Directory record for one line.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -35,7 +34,7 @@ pub struct WriteGrant {
 /// Full-map directory.
 #[derive(Debug, Clone, Default)]
 pub struct Directory {
-    entries: HashMap<u64, DirEntry>,
+    entries: LineTable<DirEntry>,
 }
 
 impl Directory {
@@ -47,7 +46,7 @@ impl Directory {
     /// Handles a read miss by `proc` on `line`; updates state and reports
     /// the data source. A modified owner is downgraded to sharer.
     pub fn read_req(&mut self, line: u64, proc: usize) -> DataSource {
-        let e = self.entries.entry(line).or_default();
+        let e = self.entries.entry(line);
         let src = match e.owner {
             Some(o) if o as usize != proc => DataSource::CacheToCache { owner: o as usize },
             _ => DataSource::Memory,
@@ -62,41 +61,28 @@ impl Directory {
     /// Handles a write miss or upgrade by `proc` on `line`; updates state,
     /// reporting the data source and the sharers to invalidate.
     pub fn write_req(&mut self, line: u64, proc: usize) -> WriteGrant {
-        let e = self.entries.entry(line).or_default();
-        let upgrade = e.sharers & (1 << proc) != 0 && e.owner.is_none();
-        let source = match e.owner {
-            Some(o) if o as usize != proc => DataSource::CacheToCache { owner: o as usize },
-            _ => DataSource::Memory,
-        };
-        let mut invalidees = Vec::new();
-        for p in 0..64 {
-            if p != proc && e.sharers & (1u64 << p) != 0 {
-                invalidees.push(p);
-            }
-        }
-        if let Some(o) = e.owner {
-            if o as usize != proc && !invalidees.contains(&(o as usize)) {
-                invalidees.push(o as usize);
-            }
-        }
-        e.sharers = 0;
-        e.owner = Some(proc as u8);
+        let upgrade = self
+            .entries
+            .get(line)
+            .is_some_and(|e| e.sharers & (1 << proc) != 0 && e.owner.is_none());
+        let mut txn = CohTxn::default();
+        CoherenceProtocol::write_miss(self, line, proc, &mut txn);
         WriteGrant {
-            source,
-            invalidees,
+            source: txn.source,
+            invalidees: txn.invalidees,
             upgrade,
         }
     }
 
     /// Records that `proc` evicted its copy of `line`.
     pub fn evict(&mut self, line: u64, proc: usize) {
-        if let Some(e) = self.entries.get_mut(&line) {
+        if let Some(e) = self.entries.get_mut(line) {
             e.sharers &= !(1u64 << proc);
             if e.owner == Some(proc as u8) {
                 e.owner = None;
             }
             if e.sharers == 0 && e.owner.is_none() {
-                self.entries.remove(&line);
+                self.entries.remove(line);
             }
         }
     }
@@ -104,14 +90,14 @@ impl Directory {
     /// Current owner of `line`, if modified in a cache.
     pub fn owner(&self, line: u64) -> Option<usize> {
         self.entries
-            .get(&line)
+            .get(line)
             .and_then(|e| e.owner.map(|o| o as usize))
     }
 
     /// Number of sharers of `line`.
     pub fn sharer_count(&self, line: u64) -> usize {
         self.entries
-            .get(&line)
+            .get(line)
             .map(|e| e.sharers.count_ones() as usize + usize::from(e.owner.is_some()))
             .unwrap_or(0)
     }
@@ -142,26 +128,35 @@ impl CoherenceProtocol for Directory {
         Protocol::Directory
     }
 
-    fn read_req(&mut self, line: u64, proc: usize) -> ReadOutcome {
+    fn read_miss(&mut self, line: u64, proc: usize, txn: &mut CohTxn) {
         let source = Directory::read_req(self, line, proc);
-        ReadOutcome {
-            source,
-            // The paper's directory keeps memory current: a dirty owner
-            // supplying a read writes home back in the same transaction.
-            memory_update: matches!(source, DataSource::CacheToCache { .. }),
-            install: LineState::Shared,
-            demote: vec![],
-        }
+        txn.source = source;
+        // The paper's directory keeps memory current: a dirty owner
+        // supplying a read writes home back in the same transaction.
+        txn.memory_update = matches!(source, DataSource::CacheToCache { .. });
+        txn.install = LineState::Shared;
     }
 
-    fn write_req(&mut self, line: u64, proc: usize) -> WriteOutcome {
-        let grant = Directory::write_req(self, line, proc);
-        WriteOutcome {
-            source: grant.source,
-            invalidees: grant.invalidees,
-            updatees: vec![],
-            install: LineState::Modified,
+    fn write_miss(&mut self, line: u64, proc: usize, txn: &mut CohTxn) {
+        let e = self.entries.entry(line);
+        txn.source = match e.owner {
+            Some(o) if o as usize != proc => DataSource::CacheToCache { owner: o as usize },
+            _ => DataSource::Memory,
+        };
+        push_mask_procs(e.sharers & !(1u64 << proc), &mut txn.invalidees);
+        if let Some(o) = e.owner {
+            // Append the owner unless it is the requester or already in
+            // the list via the sharer mask (it never is in MSI, where
+            // owner and sharers are exclusive — this mirrors the
+            // belt-and-braces `contains` check the list-building loop
+            // used to do).
+            if o as usize != proc && e.sharers & (1u64 << o) == 0 {
+                txn.invalidees.push(o as usize);
+            }
         }
+        e.sharers = 0;
+        e.owner = Some(proc as u8);
+        txn.install = LineState::Modified;
     }
 
     fn evict(&mut self, line: u64, proc: usize) {
@@ -187,6 +182,10 @@ impl CoherenceProtocol for Directory {
 
     fn total_sharers(&self) -> usize {
         Directory::total_sharers(self)
+    }
+
+    fn table_slots(&self) -> usize {
+        self.entries.capacity()
     }
 
     // `export_metrics` uses the trait default: canonical `sim.coh.lines`

@@ -54,6 +54,7 @@ mod config;
 mod core;
 mod directory;
 mod interconnect;
+mod linetable;
 mod memsys;
 mod protocol;
 mod resource;
@@ -71,7 +72,7 @@ pub use directory::{Directory, WriteGrant};
 pub use interconnect::{bank_of, Bus, MemoryBanks, Mesh};
 pub use memsys::{Access, MemSystem};
 pub use protocol::{
-    CoherenceProtocol, DataSource, Dragon, Mesi, Moesi, Protocol, ReadOutcome, WriteOutcome,
+    CohTxn, CoherenceProtocol, DataSource, Dragon, Mesi, Moesi, Protocol, ReadOutcome, WriteOutcome,
 };
 pub use resource::{Resource, ResourcePool};
 pub use sync::SyncState;

@@ -10,9 +10,7 @@
 //! `Modified` (Dragon's `M`/`D` state), and `E → M` write hits are
 //! silent as in MESI.
 
-use super::{
-    mask_to_procs, CoherenceProtocol, DataSource, HolderMap, Protocol, ReadOutcome, WriteOutcome,
-};
+use super::{push_mask_procs, CohTxn, CoherenceProtocol, DataSource, HolderMap, Protocol};
 use crate::cache::LineState;
 
 /// Dragon write-update state machine.
@@ -26,68 +24,51 @@ impl CoherenceProtocol for Dragon {
         Protocol::Dragon
     }
 
-    fn read_req(&mut self, line: u64, proc: usize) -> ReadOutcome {
+    fn read_miss(&mut self, line: u64, proc: usize, txn: &mut CohTxn) {
         let e = self.lines.entry(line);
         let others = e.others(proc);
-        let outcome = if others == 0 {
+        if others == 0 {
             e.owner = Some(proc as u8);
             e.owner_dirty = false;
-            ReadOutcome {
-                source: DataSource::Memory,
-                memory_update: false,
-                install: LineState::Exclusive,
-                demote: vec![],
-            }
+            txn.source = DataSource::Memory;
+            txn.install = LineState::Exclusive;
         } else if let Some(o) = e.owner.filter(|&o| o as usize != proc && e.owner_dirty) {
             // The Sm/M holder supplies and keeps ownership; memory stays
             // stale (as in MOESI).
-            ReadOutcome {
-                source: DataSource::CacheToCache { owner: o as usize },
-                memory_update: false,
-                install: LineState::Shared,
-                demote: vec![],
-            }
+            txn.source = DataSource::CacheToCache { owner: o as usize };
+            txn.install = LineState::Shared;
         } else {
-            let demote = match e.owner.take() {
-                Some(o) if o as usize != proc => vec![o as usize],
-                _ => vec![],
-            };
-            e.owner_dirty = false;
-            ReadOutcome {
-                source: DataSource::Memory,
-                memory_update: false,
-                install: LineState::Shared,
-                demote,
+            if let Some(o) = e.owner.take() {
+                if o as usize != proc {
+                    txn.demote.push(o as usize);
+                }
             }
-        };
-        self.lines.entry(line).holders |= 1u64 << proc;
-        outcome
+            e.owner_dirty = false;
+            txn.source = DataSource::Memory;
+            txn.install = LineState::Shared;
+        }
+        e.holders |= 1u64 << proc;
     }
 
-    fn write_req(&mut self, line: u64, proc: usize) -> WriteOutcome {
+    fn write_miss(&mut self, line: u64, proc: usize, txn: &mut CohTxn) {
         let e = self.lines.entry(line);
         let others = e.others(proc);
-        let source = match e.owner {
+        txn.source = match e.owner {
             Some(o) if o as usize != proc && e.owner_dirty => {
                 DataSource::CacheToCache { owner: o as usize }
             }
             _ => DataSource::Memory,
         };
-        let outcome = WriteOutcome {
-            source,
-            // The defining Dragon property: writes never invalidate.
-            invalidees: vec![],
-            updatees: mask_to_procs(others),
-            install: if others != 0 {
-                LineState::Owned // Sm: dirty but shared
-            } else {
-                LineState::Modified
-            },
+        // The defining Dragon property: writes never invalidate.
+        push_mask_procs(others, &mut txn.updatees);
+        txn.install = if others != 0 {
+            LineState::Owned // Sm: dirty but shared
+        } else {
+            LineState::Modified
         };
         e.holders |= 1u64 << proc;
         e.owner = Some(proc as u8);
         e.owner_dirty = true;
-        outcome
     }
 
     fn evict(&mut self, line: u64, proc: usize) {
@@ -117,6 +98,10 @@ impl CoherenceProtocol for Dragon {
 
     fn total_sharers(&self) -> usize {
         self.lines.total_sharers()
+    }
+
+    fn table_slots(&self) -> usize {
+        self.lines.table_slots()
     }
 }
 

@@ -10,9 +10,7 @@
 //! copy upgrades silently (`E → M`, no bus transaction). Writes
 //! invalidate every other copy.
 
-use super::{
-    mask_to_procs, CoherenceProtocol, DataSource, HolderMap, Protocol, ReadOutcome, WriteOutcome,
-};
+use super::{push_mask_procs, CohTxn, CoherenceProtocol, DataSource, HolderMap, Protocol};
 use crate::cache::LineState;
 
 /// Illinois-MESI state machine.
@@ -26,16 +24,12 @@ impl CoherenceProtocol for Mesi {
         Protocol::Mesi
     }
 
-    fn read_req(&mut self, line: u64, proc: usize) -> ReadOutcome {
+    fn read_miss(&mut self, line: u64, proc: usize, txn: &mut CohTxn) {
         let e = self.lines.entry(line);
         let others = e.others(proc);
-        let outcome = if others == 0 {
-            ReadOutcome {
-                source: DataSource::Memory,
-                memory_update: false,
-                install: LineState::Exclusive,
-                demote: vec![],
-            }
+        if others == 0 {
+            txn.source = DataSource::Memory;
+            txn.install = LineState::Exclusive;
         } else {
             // Illinois: some cache always supplies — the owner if one
             // exists, else the lowest-numbered clean sharer. A dirty
@@ -44,13 +38,10 @@ impl CoherenceProtocol for Mesi {
                 Some(o) if o as usize != proc => (o as usize, e.owner_dirty),
                 _ => (others.trailing_zeros() as usize, false),
             };
-            ReadOutcome {
-                source: DataSource::CacheToCache { owner: supplier },
-                memory_update: was_dirty,
-                install: LineState::Shared,
-                demote: vec![],
-            }
-        };
+            txn.source = DataSource::CacheToCache { owner: supplier };
+            txn.memory_update = was_dirty;
+            txn.install = LineState::Shared;
+        }
         // After the read everyone's copy is clean and shared (or the
         // requester is the sole, exclusive holder).
         e.holders |= 1u64 << proc;
@@ -61,13 +52,12 @@ impl CoherenceProtocol for Mesi {
             e.owner = None;
             e.owner_dirty = false;
         }
-        outcome
     }
 
-    fn write_req(&mut self, line: u64, proc: usize) -> WriteOutcome {
+    fn write_miss(&mut self, line: u64, proc: usize, txn: &mut CohTxn) {
         let e = self.lines.entry(line);
         let others = e.others(proc);
-        let source = match e.owner {
+        txn.source = match e.owner {
             Some(o) if o as usize != proc && e.owner_dirty => {
                 DataSource::CacheToCache { owner: o as usize }
             }
@@ -76,16 +66,11 @@ impl CoherenceProtocol for Mesi {
             },
             _ => DataSource::Memory,
         };
-        let outcome = WriteOutcome {
-            source,
-            invalidees: mask_to_procs(others),
-            updatees: vec![],
-            install: LineState::Modified,
-        };
+        push_mask_procs(others, &mut txn.invalidees);
+        txn.install = LineState::Modified;
         e.holders = 1u64 << proc;
         e.owner = Some(proc as u8);
         e.owner_dirty = true;
-        outcome
     }
 
     fn evict(&mut self, line: u64, proc: usize) {
@@ -113,6 +98,10 @@ impl CoherenceProtocol for Mesi {
 
     fn total_sharers(&self) -> usize {
         self.lines.total_sharers()
+    }
+
+    fn table_slots(&self) -> usize {
+        self.lines.table_slots()
     }
 }
 

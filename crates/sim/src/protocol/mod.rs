@@ -29,14 +29,13 @@ mod dragon;
 mod mesi;
 mod moesi;
 
-use std::collections::HashMap;
-
 pub use dragon::Dragon;
 pub use mesi::Mesi;
 pub use moesi::Moesi;
 
 use crate::cache::LineState;
 use crate::directory::Directory;
+use crate::linetable::LineTable;
 
 /// Where a miss's data comes from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,6 +117,64 @@ impl std::str::FromStr for Protocol {
     }
 }
 
+/// A pooled coherence-transaction buffer.
+///
+/// The memory system owns one and threads it through every protocol
+/// call ([`CoherenceProtocol::read_miss`] /
+/// [`CoherenceProtocol::write_miss`]), so the per-request answer —
+/// including the invalidee/updatee/demote lists — reuses the same three
+/// `Vec` allocations for the whole run instead of allocating fresh
+/// outcome structs per miss. [`CohTxn::reset`] clears the lists but
+/// keeps their capacity; after warm-up the steady state allocates
+/// nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CohTxn {
+    /// Where the data comes from.
+    pub source: DataSource,
+    /// Whether home memory is updated as part of this transaction (see
+    /// [`ReadOutcome::memory_update`]). Only meaningful for reads.
+    pub memory_update: bool,
+    /// The state the requester's L2 installs at fill time.
+    pub install: LineState,
+    /// Processors whose copies are invalidated, ascending. Order is
+    /// timing-visible: the memory system reserves mesh links in list
+    /// order.
+    pub invalidees: Vec<usize>,
+    /// Processors whose copies receive the written word instead
+    /// (write-update protocols), ascending.
+    pub updatees: Vec<usize>,
+    /// Processors whose clean-`Exclusive` copies drop to `Shared`,
+    /// ascending. Only meaningful for memory-sourced reads.
+    pub demote: Vec<usize>,
+}
+
+impl Default for CohTxn {
+    fn default() -> Self {
+        CohTxn {
+            source: DataSource::Memory,
+            memory_update: false,
+            install: LineState::Invalid,
+            invalidees: Vec::new(),
+            updatees: Vec::new(),
+            demote: Vec::new(),
+        }
+    }
+}
+
+impl CohTxn {
+    /// Clears the buffer for reuse, keeping list capacity. Callers must
+    /// reset before every `read_miss`/`write_miss` — implementations
+    /// only write the fields they use.
+    pub fn reset(&mut self) {
+        self.source = DataSource::Memory;
+        self.memory_update = false;
+        self.install = LineState::Invalid;
+        self.invalidees.clear();
+        self.updatees.clear();
+        self.demote.clear();
+    }
+}
+
 /// The protocol's response to a read miss.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReadOutcome {
@@ -165,11 +222,44 @@ pub trait CoherenceProtocol: Send + std::fmt::Debug {
     /// Which protocol this is.
     fn kind(&self) -> Protocol;
 
-    /// Handles a read miss by `proc` on `line`.
-    fn read_req(&mut self, line: u64, proc: usize) -> ReadOutcome;
+    /// Handles a read miss by `proc` on `line`, writing the outcome into
+    /// the caller's pooled buffer. `txn` arrives [reset](CohTxn::reset);
+    /// implementations fill only the fields they use. Any processor
+    /// lists must be pushed in ascending order (their order is
+    /// timing-visible — see [`CohTxn::invalidees`]).
+    fn read_miss(&mut self, line: u64, proc: usize, txn: &mut CohTxn);
 
-    /// Handles a write miss or upgrade by `proc` on `line`.
-    fn write_req(&mut self, line: u64, proc: usize) -> WriteOutcome;
+    /// Handles a write miss or upgrade by `proc` on `line`, writing the
+    /// outcome into the caller's pooled buffer (same contract as
+    /// [`CoherenceProtocol::read_miss`]).
+    fn write_miss(&mut self, line: u64, proc: usize, txn: &mut CohTxn);
+
+    /// Handles a read miss, returning a freshly allocated outcome — the
+    /// convenience form of [`CoherenceProtocol::read_miss`] for tests
+    /// and tools; the simulator's hot path uses the pooled form.
+    fn read_req(&mut self, line: u64, proc: usize) -> ReadOutcome {
+        let mut txn = CohTxn::default();
+        self.read_miss(line, proc, &mut txn);
+        ReadOutcome {
+            source: txn.source,
+            memory_update: txn.memory_update,
+            install: txn.install,
+            demote: txn.demote,
+        }
+    }
+
+    /// Handles a write miss or upgrade, returning a freshly allocated
+    /// outcome (convenience form of [`CoherenceProtocol::write_miss`]).
+    fn write_req(&mut self, line: u64, proc: usize) -> WriteOutcome {
+        let mut txn = CohTxn::default();
+        self.write_miss(line, proc, &mut txn);
+        WriteOutcome {
+            source: txn.source,
+            invalidees: txn.invalidees,
+            updatees: txn.updatees,
+            install: txn.install,
+        }
+    }
 
     /// Records that `proc` evicted its copy of `line`.
     fn evict(&mut self, line: u64, proc: usize);
@@ -194,10 +284,17 @@ pub trait CoherenceProtocol: Send + std::fmt::Debug {
     /// Total holder population across all tracked lines.
     fn total_sharers(&self) -> usize;
 
-    /// Registers end-of-run protocol population gauges.
+    /// Slot capacity of the backing line table (for occupancy gauges).
+    fn table_slots(&self) -> usize;
+
+    /// Registers end-of-run protocol population gauges, including the
+    /// backing table's size and load factor (`sim.coh.table.*`).
     fn export_metrics(&self, reg: &mut mempar_obs::MetricsRegistry) {
-        reg.gauge("sim.coh.lines", self.line_count() as f64);
+        let (lines, slots) = (self.line_count(), self.table_slots());
+        reg.gauge("sim.coh.lines", lines as f64);
         reg.gauge("sim.coh.sharers", self.total_sharers() as f64);
+        reg.gauge("sim.coh.table.slots", slots as f64);
+        reg.gauge("sim.coh.table.load", lines as f64 / slots.max(1) as f64);
     }
 }
 
@@ -219,34 +316,39 @@ impl HolderEntry {
     }
 }
 
-/// Line-indexed holder map shared by the snooping protocols.
+/// Line-indexed holder map shared by the snooping protocols, backed by
+/// the open-addressed [`LineTable`].
 #[derive(Debug, Clone, Default)]
 pub(crate) struct HolderMap {
-    entries: HashMap<u64, HolderEntry>,
+    entries: LineTable<HolderEntry>,
 }
 
 impl HolderMap {
     pub fn entry(&mut self, line: u64) -> &mut HolderEntry {
-        self.entries.entry(line).or_default()
+        self.entries.entry(line)
     }
 
     /// Removes `proc` from `line`'s holders, clearing ownership and
     /// dropping the entry when the last copy goes.
     pub fn evict(&mut self, line: u64, proc: usize) {
-        if let Some(e) = self.entries.get_mut(&line) {
+        if let Some(e) = self.entries.get_mut(line) {
             e.holders &= !(1u64 << proc);
             if e.owner == Some(proc as u8) {
                 e.owner = None;
                 e.owner_dirty = false;
             }
             if e.holders == 0 {
-                self.entries.remove(&line);
+                self.entries.remove(line);
             }
         }
     }
 
     pub fn line_count(&self) -> usize {
         self.entries.len()
+    }
+
+    pub fn table_slots(&self) -> usize {
+        self.entries.capacity()
     }
 
     pub fn total_sharers(&self) -> usize {
@@ -257,15 +359,21 @@ impl HolderMap {
     }
 }
 
-/// The processors set in `mask`, lowest first.
-pub(crate) fn mask_to_procs(mask: u64) -> Vec<usize> {
-    let mut v = Vec::with_capacity(mask.count_ones() as usize);
+/// Pushes the processors set in `mask` onto `out`, lowest first —
+/// ascending order is load-bearing (see [`CohTxn::invalidees`]).
+pub(crate) fn push_mask_procs(mask: u64, out: &mut Vec<usize>) {
     let mut m = mask;
     while m != 0 {
-        let p = m.trailing_zeros() as usize;
-        v.push(p);
+        out.push(m.trailing_zeros() as usize);
         m &= m - 1;
     }
+}
+
+/// The processors set in `mask`, lowest first (allocating form).
+#[cfg(test)]
+pub(crate) fn mask_to_procs(mask: u64) -> Vec<usize> {
+    let mut v = Vec::with_capacity(mask.count_ones() as usize);
+    push_mask_procs(mask, &mut v);
     v
 }
 

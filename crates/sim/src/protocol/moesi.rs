@@ -7,9 +7,7 @@
 //! supply: a read that finds only clean sharers is serviced by memory
 //! (and demotes any clean-`Exclusive` holder to `Shared`).
 
-use super::{
-    mask_to_procs, CoherenceProtocol, DataSource, HolderMap, Protocol, ReadOutcome, WriteOutcome,
-};
+use super::{push_mask_procs, CohTxn, CoherenceProtocol, DataSource, HolderMap, Protocol};
 use crate::cache::LineState;
 
 /// MOESI state machine.
@@ -23,65 +21,48 @@ impl CoherenceProtocol for Moesi {
         Protocol::Moesi
     }
 
-    fn read_req(&mut self, line: u64, proc: usize) -> ReadOutcome {
+    fn read_miss(&mut self, line: u64, proc: usize, txn: &mut CohTxn) {
         let e = self.lines.entry(line);
         let others = e.others(proc);
-        let outcome = if others == 0 {
+        if others == 0 {
             e.owner = Some(proc as u8);
             e.owner_dirty = false;
-            ReadOutcome {
-                source: DataSource::Memory,
-                memory_update: false,
-                install: LineState::Exclusive,
-                demote: vec![],
-            }
+            txn.source = DataSource::Memory;
+            txn.install = LineState::Exclusive;
         } else if let Some(o) = e.owner.filter(|&o| o as usize != proc && e.owner_dirty) {
             // Dirty owner supplies and keeps the line (M -> O); memory
             // is not updated.
-            ReadOutcome {
-                source: DataSource::CacheToCache { owner: o as usize },
-                memory_update: false,
-                install: LineState::Shared,
-                demote: vec![],
-            }
+            txn.source = DataSource::CacheToCache { owner: o as usize };
+            txn.install = LineState::Shared;
         } else {
             // Only clean copies exist: memory supplies; a clean-E holder
             // loses exclusivity.
-            let demote = match e.owner.take() {
-                Some(o) if o as usize != proc => vec![o as usize],
-                _ => vec![],
-            };
-            e.owner_dirty = false;
-            ReadOutcome {
-                source: DataSource::Memory,
-                memory_update: false,
-                install: LineState::Shared,
-                demote,
+            if let Some(o) = e.owner.take() {
+                if o as usize != proc {
+                    txn.demote.push(o as usize);
+                }
             }
-        };
-        self.lines.entry(line).holders |= 1u64 << proc;
-        outcome
+            e.owner_dirty = false;
+            txn.source = DataSource::Memory;
+            txn.install = LineState::Shared;
+        }
+        e.holders |= 1u64 << proc;
     }
 
-    fn write_req(&mut self, line: u64, proc: usize) -> WriteOutcome {
+    fn write_miss(&mut self, line: u64, proc: usize, txn: &mut CohTxn) {
         let e = self.lines.entry(line);
         let others = e.others(proc);
-        let source = match e.owner {
+        txn.source = match e.owner {
             Some(o) if o as usize != proc && e.owner_dirty => {
                 DataSource::CacheToCache { owner: o as usize }
             }
             _ => DataSource::Memory,
         };
-        let outcome = WriteOutcome {
-            source,
-            invalidees: mask_to_procs(others),
-            updatees: vec![],
-            install: LineState::Modified,
-        };
+        push_mask_procs(others, &mut txn.invalidees);
+        txn.install = LineState::Modified;
         e.holders = 1u64 << proc;
         e.owner = Some(proc as u8);
         e.owner_dirty = true;
-        outcome
     }
 
     fn evict(&mut self, line: u64, proc: usize) {
@@ -109,6 +90,10 @@ impl CoherenceProtocol for Moesi {
 
     fn total_sharers(&self) -> usize {
         self.lines.total_sharers()
+    }
+
+    fn table_slots(&self) -> usize {
+        self.lines.table_slots()
     }
 }
 
