@@ -106,12 +106,25 @@ impl Bus {
 
 /// A 2-D mesh with dimension-ordered (X then Y) routing and per-directed-
 /// link occupancy.
+///
+/// Dimension-ordered routes are static, so the link sequence for every
+/// (from, to) pair is computed once at construction and `send` just walks
+/// a precomputed slice of link indices — no per-hop coordinate
+/// arithmetic on the hot path. For the simulated machines this table is
+/// tiny (a 4×4 mesh has 256 pairs of at most 6 hops).
 #[derive(Debug, Clone)]
 pub struct Mesh {
     side: usize,
-    params: NetParams,
+    ni: u64,
+    hop_lat: u64,
+    cycle_ratio: u64,
+    flit_bytes: u32,
     /// Directed links indexed by (from_node * 4 + direction).
     links: Vec<Resource>,
+    /// `routes[route_off[from*n+to]..route_off[from*n+to+1]]` is the link
+    /// index sequence from `from` to `to`, in traversal order.
+    route_off: Vec<u32>,
+    routes: Vec<u32>,
 }
 
 /// Directions for link indexing.
@@ -123,10 +136,40 @@ const SOUTH: usize = 3;
 impl Mesh {
     /// A `side x side` mesh.
     pub fn new(side: usize, params: &NetParams) -> Self {
+        let n = side * side;
+        let mut route_off = Vec::with_capacity(n * n + 1);
+        let mut routes = Vec::new();
+        route_off.push(0u32);
+        for from in 0..n {
+            for to in 0..n {
+                let (mut x, mut y) = (from % side, from / side);
+                let (x1, y1) = (to % side, to / side);
+                while x != x1 {
+                    let (dir, nx) = if x < x1 { (EAST, x + 1) } else { (WEST, x - 1) };
+                    routes.push(((y * side + x) * 4 + dir) as u32);
+                    x = nx;
+                }
+                while y != y1 {
+                    let (dir, ny) = if y < y1 {
+                        (SOUTH, y + 1)
+                    } else {
+                        (NORTH, y - 1)
+                    };
+                    routes.push(((y * side + x) * 4 + dir) as u32);
+                    y = ny;
+                }
+                route_off.push(routes.len() as u32);
+            }
+        }
         Mesh {
             side,
-            params: params.clone(),
-            links: vec![Resource::new(); side * side * 4],
+            ni: params.ni_cycles as u64,
+            hop_lat: (params.hop_cycles * params.cycle_ratio) as u64,
+            cycle_ratio: params.cycle_ratio as u64,
+            flit_bytes: params.flit_bytes,
+            links: vec![Resource::new(); n * 4],
+            route_off,
+            routes,
         }
     }
 
@@ -148,36 +191,19 @@ impl Mesh {
     /// for the message's serialization time, modeling wormhole-style
     /// bandwidth contention.
     pub fn send(&mut self, from: usize, to: usize, bytes: u32, at: u64) -> u64 {
-        let p = &self.params;
-        let ni = p.ni_cycles as u64;
         if from == to {
-            return at + ni;
+            return at + self.ni;
         }
-        let flits = bytes.div_ceil(p.flit_bytes).max(1) as u64;
-        let occupancy = flits * p.cycle_ratio as u64;
-        let hop_lat = (p.hop_cycles * p.cycle_ratio) as u64;
-
-        let (mut x, mut y) = self.coords(from);
-        let (x1, y1) = self.coords(to);
-        let mut t = at + ni;
-        while x != x1 {
-            let (dir, nx) = if x < x1 { (EAST, x + 1) } else { (WEST, x - 1) };
-            let link = (y * self.side + x) * 4 + dir;
-            t = self.links[link].reserve(t, occupancy) + hop_lat;
-            x = nx;
-        }
-        while y != y1 {
-            let (dir, ny) = if y < y1 {
-                (SOUTH, y + 1)
-            } else {
-                (NORTH, y - 1)
-            };
-            let link = (y * self.side + x) * 4 + dir;
-            t = self.links[link].reserve(t, occupancy) + hop_lat;
-            y = ny;
+        let flits = bytes.div_ceil(self.flit_bytes).max(1) as u64;
+        let occupancy = flits * self.cycle_ratio;
+        let pair = from * self.side * self.side + to;
+        let mut t = at + self.ni;
+        for i in self.route_off[pair] as usize..self.route_off[pair + 1] as usize {
+            let link = self.routes[i] as usize;
+            t = self.links[link].reserve(t, occupancy) + self.hop_lat;
         }
         // Tail serialization plus exit NI.
-        t + occupancy + ni
+        t + occupancy + self.ni
     }
 
     /// Aggregate link utilization over `elapsed` cycles (summed over all

@@ -20,7 +20,7 @@ use mempar_stats::{LatencyStat, MemCounters, MshrOccupancy, Utilization};
 use crate::cache::{LineState, MshrFile, MshrOutcome, TagArray};
 use crate::config::{MachineConfig, Topology};
 use crate::interconnect::{Bus, MemoryBanks, Mesh};
-use crate::protocol::{CoherenceProtocol, DataSource, Protocol};
+use crate::protocol::{CohTxn, CoherenceProtocol, DataSource, Protocol};
 use crate::resource::Resource;
 
 /// Result of a timed cache access.
@@ -34,8 +34,16 @@ pub enum Access {
         /// True when this access missed past the L2 (an external miss).
         l2_miss: bool,
     },
-    /// No MSHR was available — retry next cycle.
-    Retry,
+    /// No MSHR was available — retry next cycle. When the blocking file
+    /// provably cannot free a register before some cycle (every
+    /// outstanding fill is scheduled later), `until` carries that bound
+    /// and the core may sleep until then instead of re-polling; `None`
+    /// means no bound can be promised and the access must retry every
+    /// cycle.
+    Retry {
+        /// Earliest cycle a re-attempt could succeed, when provable.
+        until: Option<u64>,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -87,14 +95,27 @@ pub struct MemSystem {
     banks: Vec<MemoryBanks>,
     mesh: Mesh,
     proto: Box<dyn CoherenceProtocol>,
+    /// Pooled coherence-transaction buffer, reused across every global
+    /// transaction so the steady state allocates nothing (taken with
+    /// `mem::take` around each protocol call, then put back).
+    txn: CohTxn,
     events: BinaryHeap<Reverse<Event>>,
     seq: u64,
     /// Per-processor counters.
     counters: Vec<MemCounters>,
     /// Per-processor L2 read-miss latency (address generation → fill).
     read_latency: Vec<LatencyStat>,
-    /// Per-processor L2 MSHR occupancy histograms.
+    /// Per-processor L2 MSHR occupancy histograms, maintained lazily:
+    /// `occ_from[p]` is the first cycle not yet accounted, and every
+    /// occupancy-changing entry point (an access, or an L2 fill) first
+    /// books the cycles since then at the still-current occupancy.
+    /// Equivalent to the per-cycle sampling the strict driver used to
+    /// do — occupancy is constant between mutations, and the drivers
+    /// execute a contiguous cycle range — at a per-mutation (not
+    /// per-cycle) cost. [`MemSystem::close_occupancy`] books the tail.
     occupancy: Vec<MshrOccupancy>,
+    /// First cycle not yet booked into `occupancy` (see above).
+    occ_from: Vec<u64>,
     /// True while servicing a software prefetch (suppresses demand-read
     /// statistics so prefetches do not skew latency/miss metrics).
     in_prefetch: bool,
@@ -167,11 +188,18 @@ impl MemSystem {
             banks,
             mesh: Mesh::new(cfg.mesh_side(), &cfg.net),
             proto: protocol.build(),
-            events: BinaryHeap::new(),
+            txn: CohTxn::default(),
+            // Outstanding events are bounded by MSHR capacity: at most
+            // one fill event per L1 MSHR and two per L2 MSHR (an
+            // upgrade-after-fill can briefly double-book a line).
+            events: BinaryHeap::with_capacity(
+                n * (cfg.l1.as_ref().map_or(0, |p| p.mshrs) + 2 * cfg.l2.mshrs) + 64,
+            ),
             seq: 0,
             counters: vec![MemCounters::default(); n],
             read_latency: vec![LatencyStat::default(); n],
             occupancy: vec![MshrOccupancy::new(cfg.l2.mshrs); n],
+            occ_from: vec![0; n],
             in_prefetch: false,
             tracer: Tracer::disabled(),
             home_of_addr,
@@ -214,9 +242,8 @@ impl MemSystem {
         }));
     }
 
-    /// Processes all fills due at or before `now` and samples MSHR
-    /// occupancy for this cycle. Call once per cycle before processor
-    /// issue/retire.
+    /// Processes all fills due at or before `now`. Call once per
+    /// executed cycle before processor issue/retire.
     pub fn tick(&mut self, now: u64) {
         while let Some(Reverse(ev)) = self.events.peek() {
             if ev.time > now {
@@ -225,14 +252,38 @@ impl MemSystem {
             let Reverse(ev) = self.events.pop().expect("peeked");
             match ev.kind {
                 EventKind::FillL2 { proc, line, state } => {
+                    // The fill applies before this cycle's (virtual)
+                    // occupancy sample, so the booked span ends at the
+                    // fill time and the release is visible from it.
+                    self.occ_flush(proc as usize, ev.time);
                     self.apply_l2_fill(proc as usize, line, state, ev.time)
                 }
                 EventKind::FillL1 { proc, line } => self.apply_l1_fill(proc as usize, line),
             }
         }
+    }
+
+    /// Books occupancy-histogram cycles `occ_from[proc]..end` at the
+    /// current (pre-mutation) occupancy. `end` is exclusive: a mutation
+    /// during cycle `t` is first visible to the cycle-`t + 1` sample
+    /// (accesses run after the cycle's sample point), while an L2 fill
+    /// at `t` is visible to cycle `t` itself (fills apply before it).
+    #[inline]
+    fn occ_flush(&mut self, proc: usize, end: u64) {
+        let from = self.occ_from[proc];
+        if end > from {
+            let (r, t) = self.l2[proc].mshrs.occupancy();
+            self.occupancy[proc].sample_n(r, t, end - from);
+            self.occ_from[proc] = end;
+        }
+    }
+
+    /// Books the remaining occupancy-histogram cycles through `end`
+    /// (exclusive) at the final occupancy. Call once when the run's
+    /// clock stops, with one past the last executed cycle.
+    pub fn close_occupancy(&mut self, end: u64) {
         for p in 0..self.cfg.nprocs {
-            let (r, t) = self.l2[p].mshrs.occupancy();
-            self.occupancy[p].sample(r, t);
+            self.occ_flush(p, end);
         }
     }
 
@@ -240,16 +291,6 @@ impl MemSystem {
     /// cycle-skipping scheduler to bound how far the clock may jump.
     pub fn next_event_time(&self) -> Option<u64> {
         self.events.peek().map(|Reverse(ev)| ev.time)
-    }
-
-    /// Accounts `span` event-free cycles of MSHR occupancy in bulk —
-    /// exactly what `span` consecutive [`MemSystem::tick`] calls would
-    /// record when no fill event falls inside the span.
-    pub fn idle_sample(&mut self, span: u64) {
-        for p in 0..self.cfg.nprocs {
-            let (r, t) = self.l2[p].mshrs.occupancy();
-            self.occupancy[p].sample_n(r, t, span);
-        }
     }
 
     fn apply_l2_fill(&mut self, proc: usize, line: u64, state: LineState, now: u64) {
@@ -318,6 +359,7 @@ impl MemSystem {
     /// when no MSHR is free and keeps it out of the demand-read
     /// statistics.
     pub fn prefetch(&mut self, proc: usize, addr: u64, now: u64) {
+        self.occ_flush(proc, now);
         self.counters[proc].prefetches += 1;
         self.in_prefetch = true;
         let _ = self.access_inner(proc, addr, false, now);
@@ -329,8 +371,11 @@ impl MemSystem {
     /// For loads, the completion time is when data is available; for
     /// stores, when the write is globally performed (ownership granted).
     pub fn access(&mut self, proc: usize, addr: u64, is_write: bool, now: u64) -> Access {
+        // `now` is one past the issuing cycle, which is exactly where a
+        // registration becomes visible to occupancy samples.
+        self.occ_flush(proc, now);
         let r = self.access_inner(proc, addr, is_write, now);
-        if r != Access::Retry {
+        if !matches!(r, Access::Retry { .. }) {
             if is_write {
                 self.counters[proc].stores += 1;
             } else {
@@ -389,15 +434,26 @@ impl MemSystem {
                     l2_miss: false,
                 }
             }
-            MshrOutcome::Full => Access::Retry,
+            MshrOutcome::Full => {
+                // A full L1 file frees registers only when fills apply
+                // (at the top of a cycle, before cores issue), and no
+                // path adds entries while it is full, so the earliest
+                // fill is an exact first-possibly-successful retry cycle.
+                Access::Retry {
+                    until: self.l1[proc].mshrs.next_fill_time(),
+                }
+            }
             MshrOutcome::Allocated => {
                 self.counters[proc].l1_misses += 1;
                 let r = self.access_l2(proc, line, is_write, now + l1_lat, now);
                 match r {
-                    Access::Retry => {
+                    Access::Retry { .. } => {
                         // Roll back the L1 MSHR: nothing else saw it this cycle.
                         self.l1[proc].mshrs.release(line);
-                        Access::Retry
+                        // No bound: this path re-counts the L1 miss on
+                        // every attempt, so eliding intermediate polls
+                        // would change the miss counters.
+                        Access::Retry { until: None }
                     }
                     Access::Done {
                         complete_at,
@@ -446,7 +502,7 @@ impl MemSystem {
                 && self.l2[proc].mshrs.get(line).is_none()
                 && self.l2[proc].mshrs.free() == 0
             {
-                return Access::Retry;
+                return Access::Retry { until: None };
             }
         }
         let start = self.l2[proc].port.reserve(now, 1);
@@ -499,7 +555,7 @@ impl MemSystem {
                     l2_miss: true,
                 }
             }
-            MshrOutcome::Full => Access::Retry,
+            MshrOutcome::Full => Access::Retry { until: None },
             MshrOutcome::Allocated => {
                 self.counters[proc].l2_misses += 1;
                 if !is_write && !self.in_prefetch {
@@ -552,13 +608,20 @@ impl MemSystem {
     /// through the home/snoop path. Returns the completion time and the
     /// state the requester's line reaches.
     fn global_upgrade(&mut self, proc: usize, line: u64, t0: u64) -> (u64, LineState) {
-        let grant = self.proto.write_req(line, proc);
+        // The pooled buffer is taken out of `self` for the duration of
+        // the transaction so its lists can be borrowed while `&mut self`
+        // models the message timing, then put back for reuse.
+        let mut txn = std::mem::take(&mut self.txn);
+        txn.reset();
+        self.proto.write_miss(line, proc, &mut txn);
         self.counters[proc].upgrades += 1;
         let home = self.effective_home(line);
         let t_home = self.leg_to_home(proc, home, 8, t0) + self.cfg.dir_cycles as u64;
-        let t_acks = self.invalidate_all(proc, home, line, &grant.invalidees, t_home);
-        let t_acks = t_acks.max(self.update_all(home, line, &grant.updatees, t_home));
-        (self.leg_from_home(home, proc, 8, t_acks), grant.install)
+        let t_acks = self.invalidate_all(proc, home, line, &txn.invalidees, t_home);
+        let t_acks = t_acks.max(self.update_all(home, line, &txn.updatees, t_home));
+        let result = (self.leg_from_home(home, proc, 8, t_acks), txn.install);
+        self.txn = txn;
+        result
     }
 
     /// A full miss transaction (read or write). Returns the fill time and
@@ -572,12 +635,14 @@ impl MemSystem {
     ) -> (u64, LineState) {
         let home = self.effective_home(line);
         let line_bytes = self.cfg.l2.line_bytes as u32;
-        if is_write {
-            let grant = self.proto.write_req(line, proc);
+        let mut txn = std::mem::take(&mut self.txn);
+        txn.reset();
+        let result = if is_write {
+            self.proto.write_miss(line, proc, &mut txn);
             let t_home = self.leg_to_home(proc, home, 8, t0) + self.cfg.dir_cycles as u64;
-            let t_acks = self.invalidate_all(proc, home, line, &grant.invalidees, t_home);
-            let t_acks = t_acks.max(self.update_all(home, line, &grant.updatees, t_home));
-            let t = match grant.source {
+            let t_acks = self.invalidate_all(proc, home, line, &txn.invalidees, t_home);
+            let t_acks = t_acks.max(self.update_all(home, line, &txn.updatees, t_home));
+            let t = match txn.source {
                 DataSource::Memory => {
                     let t_mem = self.bank_access(home, line, t_acks);
                     self.count_locality(proc, home, false);
@@ -588,16 +653,16 @@ impl MemSystem {
                     self.owner_to_requester(home, owner, proc, t_acks)
                 }
             };
-            (t, grant.install)
+            (t, txn.install)
         } else {
-            let out = self.proto.read_req(line, proc);
+            self.proto.read_miss(line, proc, &mut txn);
             let t_home = self.leg_to_home(proc, home, 8, t0) + self.cfg.dir_cycles as u64;
-            let t = match out.source {
+            let t = match txn.source {
                 DataSource::Memory => {
                     // Clean-exclusive holders lose exclusivity when the
                     // line becomes shared (MESI/MOESI/Dragon; the
                     // directory never reaches Exclusive).
-                    for &p in &out.demote {
+                    for &p in &txn.demote {
                         if self.l2[p].tags.peek(line) == LineState::Exclusive {
                             self.l2[p].tags.set_state(line, LineState::Shared);
                         }
@@ -617,7 +682,7 @@ impl MemSystem {
                     // line to transition yet.)
                     match self.l2[owner].tags.peek(line) {
                         LineState::Modified => {
-                            let next = if out.memory_update {
+                            let next = if txn.memory_update {
                                 LineState::Shared
                             } else {
                                 LineState::Owned
@@ -629,14 +694,16 @@ impl MemSystem {
                         }
                         _ => {}
                     }
-                    if out.memory_update {
+                    if txn.memory_update {
                         self.banks_writeback(home, line, t_home);
                     }
                     self.owner_to_requester(home, owner, proc, t_home)
                 }
             };
-            (t, out.install)
-        }
+            (t, txn.install)
+        };
+        self.txn = txn;
+        result
     }
 
     /// Directory home for timing purposes (node 0 for SMP configs).
@@ -1025,7 +1092,7 @@ mod tests {
         let mut retries = 0;
         for i in 0..(mshrs as u64 + 4) {
             match m.access(0, 0x80000 + i * 64, false, 0) {
-                Access::Retry => retries += 1,
+                Access::Retry { .. } => retries += 1,
                 Access::Done { .. } => {}
             }
         }
@@ -1039,6 +1106,8 @@ mod tests {
             let _ = m.access(0, 0x90000 + i * 64, false, 0);
         }
         m.tick(1);
+        // Occupancy books lazily; close the accounting to observe it.
+        m.close_occupancy(2);
         assert!(m.occupancy(0).read_at_least(4) > 0.0);
     }
 
