@@ -48,6 +48,12 @@ struct Entry {
     /// Per-pending-source-slot link to the next waiter of the same
     /// producer (the waiter lists are threaded through the entries).
     next_waiter: [u64; mempar_ir::MAX_SRCS],
+    /// Set when the memory system refused this op with a provable
+    /// release bound ([`Access::Retry`]'s `until`): the earliest cycle a
+    /// re-attempt could succeed. The wake scan sleeps until then instead
+    /// of re-polling a full MSHR file every cycle; a stale bound (`<=
+    /// now`) falls back to next-cycle retry.
+    mshr_wait: u64,
 }
 
 /// Ready times for in-flight destination vregs, stored as an open-slot
@@ -190,6 +196,74 @@ impl RobBits {
     }
 }
 
+/// A small unordered multiset of completion times. Both uses are bounded
+/// by the memory queue depth (a handful of entries), where linear scans
+/// beat heap maintenance and the backing buffer is reused for the whole
+/// run — no steady-state allocation.
+#[derive(Debug)]
+struct TimeBag {
+    times: Vec<u64>,
+    /// Cached minimum of `times` (`u64::MAX` when empty), so the no-op
+    /// drain — by far the common case — is a single compare.
+    min: u64,
+}
+
+impl TimeBag {
+    fn with_capacity(n: usize) -> Self {
+        TimeBag {
+            times: Vec::with_capacity(n),
+            min: u64::MAX,
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    #[inline]
+    fn push(&mut self, t: u64) {
+        self.times.push(t);
+        self.min = self.min.min(t);
+    }
+
+    /// Removes every time `<= now`.
+    #[inline]
+    fn drain_through(&mut self, now: u64) {
+        if self.min > now {
+            return;
+        }
+        let mut i = 0;
+        let mut min = u64::MAX;
+        while i < self.times.len() {
+            let t = self.times[i];
+            if t <= now {
+                self.times.swap_remove(i);
+            } else {
+                min = min.min(t);
+                i += 1;
+            }
+        }
+        self.min = min;
+    }
+
+    /// Smallest retained time strictly after `now`, ignoring entries that
+    /// lazy draining has not removed yet (they are `<= now`, hence already
+    /// complete): exactly the minimum a drained bag would report.
+    #[inline]
+    fn min_after(&self, now: u64) -> Option<u64> {
+        if self.min > now {
+            return (self.min != u64::MAX).then_some(self.min);
+        }
+        self.times.iter().copied().filter(|&t| t > now).min()
+    }
+}
+
 /// One simulated processor core.
 #[derive(Debug)]
 pub struct Core {
@@ -201,9 +275,11 @@ pub struct Core {
     unresolved_branches: usize,
     /// In-flight memory ops (loads to completion, stores to global
     /// performance); bounded by the memory queue size.
-    mem_inflight: BinaryHeap<std::cmp::Reverse<u64>>,
-    /// Outstanding stores (for release fences).
-    pending_stores: BinaryHeap<std::cmp::Reverse<u64>>,
+    mem_inflight: TimeBag,
+    /// Outstanding stores (for release fences). Every entry is pushed and
+    /// drained in lockstep with a matching `mem_inflight` entry, so it
+    /// shares the memory-queue bound.
+    pending_stores: TimeBag,
     /// True while a fetched Barrier/FlagWait blocks further fetch: the
     /// interpreter must not run ahead of acquire synchronization, or it
     /// would functionally read values the producer has not written yet.
@@ -226,6 +302,10 @@ pub struct Core {
     /// driver turns transitions of this into trace stall spans.
     last_stall: Option<StallClass>,
     l1_ports: u32,
+    /// `frac_tab[r]` is `r / width` in `f64`, computed once with the very
+    /// division retire would otherwise perform per call (bit-identical
+    /// values, no per-retire divide).
+    frac_tab: Vec<f64>,
     /// Window entries not yet issued. When zero (and no issued branch
     /// still awaits resolution bookkeeping) the issue stage is a provable
     /// no-op and is skipped entirely.
@@ -239,10 +319,19 @@ pub struct Core {
     /// under which [`Core::next_event_time`] answers `now + 1`, cached so
     /// the scheduler need not rescan the window to learn it.
     issue_blocked: bool,
-    /// Window positions the issue scan must visit: unissued entries plus
-    /// issued branches awaiting resolution bookkeeping. Everything else
-    /// in the window is settled and the scan skips it wholesale.
+    /// Window positions the issue scan must visit, split by kind so the
+    /// scan can drop one side wholesale: `cand` holds non-memory
+    /// candidates (plus issued branches awaiting resolution bookkeeping),
+    /// `cand_mem` holds unissued loads and stores. Everything else in
+    /// the window is settled and the scan skips it. The split pays in
+    /// memory-saturated phases: the moment the load/store gates
+    /// (address units, cache ports, memory queue) fill for a cycle they
+    /// stay full for the rest of the scan — every counter is monotone
+    /// within it — so all remaining `cand_mem` visits are provable
+    /// refusals and the walk masks them off in one step.
     cand: RobBits,
+    /// Unissued load/store positions (see [`Core::cand`]).
+    cand_mem: RobBits,
     /// Window positions holding stores (issued or not), for load
     /// disambiguation without walking non-store entries.
     store_pos: RobBits,
@@ -267,8 +356,8 @@ impl Core {
             rob: VecDeque::with_capacity(params.window),
             vreg_ready: VregFile::with_capacity(4 * params.window),
             unresolved_branches: 0,
-            mem_inflight: BinaryHeap::new(),
-            pending_stores: BinaryHeap::new(),
+            mem_inflight: TimeBag::with_capacity(params.mem_queue),
+            pending_stores: TimeBag::with_capacity(params.mem_queue),
             sync_fetch_block: false,
             trace_done: false,
             halted: false,
@@ -278,10 +367,14 @@ impl Core {
             retired_last_cycle: 0,
             last_stall: None,
             l1_ports,
+            frac_tab: (0..=params.width)
+                .map(|r| f64::from(r) / f64::from(params.width))
+                .collect(),
             unissued: 0,
             issued_unresolved_branches: 0,
             issue_blocked: false,
             cand: RobBits::new(params.window),
+            cand_mem: RobBits::new(params.window),
             store_pos: RobBits::new(params.window),
             head_seq: 0,
             deferred: BinaryHeap::new(),
@@ -362,6 +455,8 @@ impl Core {
         if Self::can_defer(&op.kind) && pending.is_empty() {
             if ready_at > now {
                 self.deferred.push(std::cmp::Reverse((ready_at, seq)));
+            } else if Self::is_mem_cand(&op.kind) {
+                self.cand_mem.set(pos);
             } else {
                 self.cand.set(pos);
             }
@@ -379,24 +474,20 @@ impl Core {
             fetched_at: now,
             first_waiter: NO_WAITER,
             next_waiter,
+            mshr_wait: 0,
         });
         self.unissued += 1;
     }
 
-    /// Drains memory-op completions whose time has passed.
+    /// Drains memory-op completions whose time has passed. Called lazily,
+    /// just before the bags are consulted: the issue scan's gates read
+    /// `mem_inflight.len()` and the `FlagSet` arm reads
+    /// `pending_stores.is_empty()`, both after the drain at the top of
+    /// [`Core::issue`]; [`Core::next_event_time`] reads through
+    /// [`TimeBag::min_after`], which filters stale entries itself.
     fn drain_mem(&mut self, now: u64) {
-        while let Some(&std::cmp::Reverse(t)) = self.mem_inflight.peek() {
-            if t > now {
-                break;
-            }
-            self.mem_inflight.pop();
-        }
-        while let Some(&std::cmp::Reverse(t)) = self.pending_stores.peek() {
-            if t > now {
-                break;
-            }
-            self.pending_stores.pop();
-        }
+        self.mem_inflight.drain_through(now);
+        self.pending_stores.drain_through(now);
     }
 
     /// Issue stage: selects ready instructions oldest-first, obeying
@@ -406,7 +497,7 @@ impl Core {
         if self.unissued == 0 && self.issued_unresolved_branches == 0 {
             // Nothing to issue and no branch-resolution bookkeeping left:
             // the scan below would walk the whole window doing nothing.
-            // (Memory-completion heaps drain lazily at the next retire.)
+            // (Completion bags drain lazily before their next reader.)
             return;
         }
         self.drain_mem(now);
@@ -416,7 +507,12 @@ impl Core {
                 break;
             }
             self.deferred.pop();
-            self.cand.set((seq - self.head_seq) as usize);
+            let i = (seq - self.head_seq) as usize;
+            if Self::is_mem_cand(&self.rob[i].op.kind) {
+                self.cand_mem.set(i);
+            } else {
+                self.cand.set(i);
+            }
         }
         let mut issued = 0u32;
         let mut alu = 0u32;
@@ -432,8 +528,12 @@ impl Core {
         // each word as the walk reaches it visits exactly the entries a
         // full window walk would — minus the settled ones, whose visit
         // is a provable no-op.
+        let mut mem_open = true;
         'scan: for wi in 0..self.cand.words.len() {
             let mut w = self.cand.words[wi];
+            if mem_open {
+                w |= self.cand_mem.words[wi];
+            }
             while w != 0 {
                 let i = wi * 64 + w.trailing_zeros() as usize;
                 w &= w - 1;
@@ -441,7 +541,7 @@ impl Core {
                     break 'scan;
                 }
                 // Resolve pending sources lazily.
-                {
+                let kind = {
                     let e = &mut self.rob[i];
                     if e.issued {
                         // An issued candidate is a branch awaiting
@@ -477,14 +577,19 @@ impl Core {
                         // cycle (ready times never move backward).
                         if Self::can_defer(&e.op.kind) {
                             let at = e.ready_at;
+                            let mem = Self::is_mem_cand(&e.op.kind);
                             self.deferred
                                 .push(std::cmp::Reverse((at, self.head_seq + i as u64)));
-                            self.cand.clear(i);
+                            if mem {
+                                self.cand_mem.clear(i);
+                            } else {
+                                self.cand.clear(i);
+                            }
                         }
                         continue;
                     }
-                }
-                let kind = self.rob[i].op.kind;
+                    e.op.kind
+                };
                 match kind {
                     OpKind::Int | OpKind::IntMul | OpKind::Branch => {
                         if alu >= fu.alus {
@@ -518,7 +623,30 @@ impl Core {
                             || l1_accesses >= self.l1_ports
                             || self.mem_inflight.len() >= self.params.mem_queue
                         {
+                            // Gates only fill as the scan proceeds, so
+                            // every remaining load/store fails the same
+                            // check: drop the whole mem side of the walk.
                             self.issue_blocked = true;
+                            mem_open = false;
+                            w &= !self.cand_mem.words[wi];
+                            continue;
+                        }
+                        if self.rob[i].mshr_wait > now {
+                            // Inside the release bound set by an earlier
+                            // `Access::Retry`: the access provably still
+                            // fails, so its result is substituted without
+                            // the call — including the store-dis-
+                            // ambiguation scan, whose `Clear` verdict at
+                            // marking time cannot change while the entry
+                            // waits (entries ahead of it are older than
+                            // it; no new earlier store can appear, and a
+                            // non-matching store's address never moves).
+                            // The address unit and cache port are still
+                            // consumed: the refused attempt occupies them
+                            // for the cycle exactly as the real poll
+                            // would, so younger ops see the same gates.
+                            addr += 1;
+                            l1_accesses += 1;
                             continue;
                         }
                         // Disambiguation against earlier stores.
@@ -536,13 +664,19 @@ impl Core {
                                 addr += 1;
                                 l1_accesses += 1;
                                 match mem.access(self.id, a, false, now + 1) {
-                                    Access::Retry => {
-                                        // MSHRs full: stay unissued, retry next cycle.
-                                        self.issue_blocked = true;
+                                    Access::Retry { until } => {
+                                        // MSHRs full: stay unissued. With a
+                                        // provable release bound the wake
+                                        // scan sleeps until then; otherwise
+                                        // retry next cycle.
+                                        match until {
+                                            Some(t) => self.rob[i].mshr_wait = t,
+                                            None => self.issue_blocked = true,
+                                        }
                                     }
                                     Access::Done { complete_at, .. } => {
                                         issued += 1;
-                                        self.mem_inflight.push(std::cmp::Reverse(complete_at));
+                                        self.mem_inflight.push(complete_at);
                                         self.complete_entry(i, complete_at);
                                     }
                                 }
@@ -567,19 +701,27 @@ impl Core {
                             || l1_accesses >= self.l1_ports
                             || self.mem_inflight.len() >= self.params.mem_queue
                         {
+                            // Same monotone-gate argument as the load arm.
                             self.issue_blocked = true;
+                            mem_open = false;
+                            w &= !self.cand_mem.words[wi];
                             continue;
                         }
                         addr += 1;
                         l1_accesses += 1;
+                        if self.rob[i].mshr_wait > now {
+                            // Known-Retry elision; see the load path.
+                            continue;
+                        }
                         match mem.access(self.id, a, true, now + 1) {
-                            Access::Retry => {
-                                self.issue_blocked = true;
-                            }
+                            Access::Retry { until } => match until {
+                                Some(t) => self.rob[i].mshr_wait = t,
+                                None => self.issue_blocked = true,
+                            },
                             Access::Done { complete_at, .. } => {
                                 issued += 1;
-                                self.mem_inflight.push(std::cmp::Reverse(complete_at));
-                                self.pending_stores.push(std::cmp::Reverse(complete_at));
+                                self.mem_inflight.push(complete_at);
+                                self.pending_stores.push(complete_at);
                                 // Write buffering: the ROB entry completes at
                                 // issue; global performance tracked separately.
                                 self.complete_entry(i, now + 1);
@@ -603,6 +745,12 @@ impl Core {
         }
     }
 
+    /// Whether a candidate lives in `cand_mem` (the load/store side of
+    /// the split candidate set) rather than `cand`.
+    fn is_mem_cand(kind: &OpKind) -> bool {
+        matches!(kind, OpKind::Load { .. } | OpKind::Store { .. })
+    }
+
     /// Whether an unissued entry may park in the deferral heap. Ops that
     /// can retire *unissued* (head-of-window sync resolved by the retire
     /// stage) must not: their window position could vanish while parked.
@@ -620,12 +768,15 @@ impl Core {
         e.complete_at = at;
         let dst = e.op.dst;
         let is_branch = matches!(e.op.kind, OpKind::Branch);
+        let is_mem = Self::is_mem_cand(&e.op.kind);
         let mut node = e.first_waiter;
         e.first_waiter = NO_WAITER;
         self.unissued -= 1;
         if is_branch {
             // Stays a scan candidate until resolution bookkeeping runs.
             self.issued_unresolved_branches += 1;
+        } else if is_mem {
+            self.cand_mem.clear(i);
         } else {
             self.cand.clear(i);
         }
@@ -729,7 +880,6 @@ impl Core {
         if self.halted {
             return false;
         }
-        self.drain_mem(now);
         let width = self.params.width;
         let mut retired = 0u32;
         while retired < width {
@@ -784,17 +934,20 @@ impl Core {
             }
         }
         self.retired_last_cycle = retired;
-        // Window positions renumber past the popped entries (bits set on
-        // popped entries — unissued sync ops, unresolved branches — fall
-        // off with them; their counters were settled above). Parked
-        // entries key on stable sequence numbers, so only the head seq
-        // moves.
-        self.cand.shift_down(retired as usize);
-        self.store_pos.shift_down(retired as usize);
-        self.head_seq += u64::from(retired);
+        if retired > 0 {
+            // Window positions renumber past the popped entries (bits set
+            // on popped entries — unissued sync ops, unresolved branches —
+            // fall off with them; their counters were settled above).
+            // Parked entries key on stable sequence numbers, so only the
+            // head seq moves.
+            self.cand.shift_down(retired as usize);
+            self.cand_mem.shift_down(retired as usize);
+            self.store_pos.shift_down(retired as usize);
+            self.head_seq += u64::from(retired);
+        }
         // Attribution (Section 5.2): busy = retired/width; remainder to
         // the first instruction that could not retire.
-        let frac = f64::from(retired) / f64::from(width);
+        let frac = self.frac_tab[retired as usize];
         self.breakdown.busy += frac;
         let stall =
             (retired < width && !self.halted).then(|| match self.rob.front().map(|e| e.op.kind) {
@@ -891,8 +1044,8 @@ impl Core {
                 OpKind::Barrier { .. } | OpKind::FlagWait { .. } | OpKind::Halt => {}
                 OpKind::FlagSet { .. } => {
                     // Issues once earlier stores globally complete.
-                    match self.pending_stores.peek() {
-                        Some(&std::cmp::Reverse(t)) => next = next.min(t.max(now + 1)),
+                    match self.pending_stores.min_after(now) {
+                        Some(t) => next = next.min(t),
                         None => next = now + 1,
                     }
                 }
@@ -918,6 +1071,14 @@ impl Core {
                     }
                     if ready > now {
                         next = next.min(ready);
+                    } else if e.mshr_wait > now {
+                        // Ready but refused by a full MSHR file that
+                        // provably cannot free a register earlier (the
+                        // bound set by the last `Access::Retry`): sleep
+                        // until then. The issue scan re-polls on any
+                        // earlier step of this core and refreshes or
+                        // clears the bound.
+                        next = next.min(e.mshr_wait);
                     } else {
                         // Ready but unissued: blocked on a per-cycle
                         // resource (FU, port, queue, MSHR, store
@@ -958,6 +1119,22 @@ impl Core {
             Some(OpKind::FlagWait { flag }) => Some(flag),
             _ => None,
         }
+    }
+
+    /// Whether the head-of-window instruction is a synchronization wait.
+    ///
+    /// [`Core::next_event_time`] consults shared sync state *only*
+    /// through its head-of-window `Barrier`/`FlagWait` candidates (the
+    /// window scan's candidates — completion times, operand-ready times,
+    /// store drains — are all core-local). A sync version change can
+    /// therefore move the wake time only of cores for which this returns
+    /// true, or that are asleep with no wake candidate at all; everyone
+    /// else would recompute the exact value they already hold.
+    pub(crate) fn head_sync_wait(&self) -> bool {
+        matches!(
+            self.rob.front().map(|e| e.op.kind),
+            Some(OpKind::Barrier { .. } | OpKind::FlagWait { .. })
+        )
     }
 
     /// Number of instructions currently in the window.

@@ -431,13 +431,16 @@ fn run_inner(
         Stepper::Event => crate::sched::event_loop(&mut st, opts.shards),
     }
     let DriverState {
-        memsys,
+        mut memsys,
         cores,
         reuse,
         ..
     } = st;
 
     let wall = cores.iter().map(|c| c.halt_cycle).max().unwrap_or(0);
+    // The drivers executed (directly or via accounted skips) every cycle
+    // through `wall`; book the occupancy tail at the final state.
+    memsys.close_occupancy(wall + 1);
     let breakdowns: Vec<Breakdown> = cores
         .iter()
         .map(|c| {
@@ -542,7 +545,6 @@ fn cycle_loop(st: &mut DriverState, cycle_skip: bool) {
                             TraceEventKind::HorizonJump { span },
                         );
                     }
-                    st.memsys.idle_sample(span);
                     for core in st.cores.iter_mut() {
                         core.charge_idle(span);
                     }
