@@ -1,0 +1,191 @@
+//! Memory-system hot-path micro-benchmarks: the directory state machine,
+//! the MSHR file, and the interconnect, each in isolation. The headline
+//! end-to-end numbers live in `benchsim` (BENCH_sim.json); these groups
+//! exist so a regression in one data structure is visible without
+//! re-running whole workloads, and so data-structure swaps (hash map →
+//! open addressing, linear scan → free-list index) can be justified with
+//! before/after numbers on exactly the operation mix the simulator
+//! issues.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mempar_sim::{
+    bank_of, CohTxn, CoherenceProtocol, Directory, Interleave, MemParams, MemoryBanks, Mesh,
+    MshrFile, MshrOutcome, NetParams,
+};
+
+/// Lines in the benchmark working set. Large enough that a hash-map
+/// directory pays real hashing/probing costs, small enough to stay
+/// cache-resident like the simulator's steady state.
+const LINES: u64 = 4096;
+
+/// Directory traffic shaped like a multiprocessor run: rotating readers
+/// pull each line shared, then a writer invalidates them (the
+/// invalidation-list path), then the owner is evicted.
+fn bench_directory(c: &mut Criterion) {
+    let mut g = c.benchmark_group("directory");
+    g.sample_size(10);
+
+    g.bench_function("read-share", |b| {
+        let mut d = Directory::new();
+        let mut txn = CohTxn::default();
+        b.iter(|| {
+            for line in 0..LINES {
+                for p in 0..4usize {
+                    txn.reset();
+                    d.read_miss(line, (line as usize + p) % 16, &mut txn);
+                    black_box(&txn);
+                }
+            }
+        })
+    });
+
+    g.bench_function("write-invalidate", |b| {
+        let mut d = Directory::new();
+        let mut txn = CohTxn::default();
+        b.iter(|| {
+            for line in 0..LINES {
+                for p in 0..4usize {
+                    txn.reset();
+                    d.read_miss(line, (line as usize + p) % 16, &mut txn);
+                }
+                txn.reset();
+                d.write_miss(line, line as usize % 16, &mut txn);
+                black_box(&txn);
+            }
+        })
+    });
+
+    g.bench_function("upgrade-churn", |b| {
+        let mut d = Directory::new();
+        let mut txn = CohTxn::default();
+        b.iter(|| {
+            for line in 0..LINES {
+                txn.reset();
+                d.read_miss(line, 0, &mut txn);
+                txn.reset();
+                d.write_miss(line, 0, &mut txn);
+                black_box(&txn);
+                d.evict(line, 0);
+            }
+        })
+    });
+    g.finish();
+}
+
+/// MSHR traffic shaped like the L2 path: allocate up to capacity,
+/// coalesce follow-on accesses, set fill times, release at fill. The
+/// `occupancy` case is the per-cycle sampling call (`MemSystem::tick`
+/// issues one per processor per cycle — by far the most frequent MSHR
+/// operation).
+fn bench_mshr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mshr");
+    g.sample_size(10);
+    const CAP: usize = 10;
+
+    g.bench_function("alloc-coalesce-release", |b| {
+        let mut m = MshrFile::new(CAP);
+        b.iter(|| {
+            for round in 0..1024u64 {
+                let base = round * CAP as u64;
+                for i in 0..CAP as u64 {
+                    assert_eq!(m.register(base + i, false), MshrOutcome::Allocated);
+                    m.set_fill_time(base + i, round + 100);
+                }
+                for i in 0..CAP as u64 {
+                    black_box(m.register(base + i, i % 2 == 0));
+                }
+                for i in 0..CAP as u64 {
+                    m.release(base + i);
+                }
+            }
+        })
+    });
+
+    g.bench_function("occupancy-sample", |b| {
+        let mut m = MshrFile::new(CAP);
+        for i in 0..CAP as u64 {
+            m.register(i, i % 3 == 0);
+        }
+        b.iter(|| {
+            for _ in 0..4096 {
+                black_box(m.occupancy());
+            }
+        })
+    });
+
+    g.bench_function("release-heavy", |b| {
+        let mut m = MshrFile::new(CAP);
+        b.iter(|| {
+            for round in 0..1024u64 {
+                let base = round * CAP as u64;
+                for i in 0..CAP as u64 {
+                    m.register(base + i, false);
+                }
+                // Release in reverse order: the worst case for a scan-
+                // based file, the same cost as any other for an indexed
+                // one.
+                for i in (0..CAP as u64).rev() {
+                    m.release(base + i);
+                }
+            }
+        })
+    });
+    g.finish();
+}
+
+/// Interconnect transfers shaped like miss traffic on the 4x4 mesh:
+/// request legs (8 bytes) out, line transfers (72 bytes) back, across a
+/// spread of node pairs, plus the bank-selection hash.
+fn bench_interconnect(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interconnect");
+    g.sample_size(10);
+    let net = NetParams {
+        cycle_ratio: 3,
+        flit_bytes: 8,
+        hop_cycles: 2,
+        ni_cycles: 8,
+    };
+
+    g.bench_function("mesh-transfer", |b| {
+        let mut mesh = Mesh::new(4, &net);
+        b.iter(|| {
+            let mut t = 0u64;
+            for i in 0..4096u64 {
+                let from = (i % 16) as usize;
+                let to = ((i * 7 + 3) % 16) as usize;
+                t = black_box(mesh.send(from, to, 72, t / 2));
+            }
+            t
+        })
+    });
+
+    g.bench_function("bank-access", |b| {
+        let mp = MemParams {
+            banks: 4,
+            bank_cycles: 20,
+            interleave: Interleave::Permutation,
+        };
+        let mut banks = MemoryBanks::new(&mp);
+        b.iter(|| {
+            let mut t = 0u64;
+            for line in 0..4096u64 {
+                t = black_box(banks.access(line * 3, t / 4));
+            }
+            t
+        })
+    });
+
+    g.bench_function("bank-of", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for line in 0..65536u64 {
+                acc += bank_of(line, 8, Interleave::Permutation);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(memsys, bench_directory, bench_mshr, bench_interconnect);
+criterion_main!(memsys);

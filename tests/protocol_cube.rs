@@ -31,6 +31,13 @@ use mempar_sim::{run_program_with, Engine, MachineConfig, Protocol, SimOptions, 
 /// `engine_diff` (1000..1200) and `stepper_cube` (2000..2100).
 const FRESH_SEEDS: std::ops::Range<u64> = 3000..3100;
 
+/// Second fresh block, added with the allocation-free memory-system
+/// fast path (flat directory table, pooled coherence transactions,
+/// O(1) MSHR, precomputed routes). Never sampled by any sweep before
+/// that change landed, so agreement here is evidence the fast path is
+/// observation-equivalent on programs it was not tuned against.
+const FRESH_SEEDS_FAST_PATH: std::ops::Range<u64> = 4000..4100;
+
 fn corpus_seeds() -> Vec<u64> {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
     let mut seeds: Vec<u64> = std::fs::read_dir(dir)
@@ -235,4 +242,9 @@ fn protocols_agree_on_corpus_and_pinned_seeds() {
 #[test]
 fn protocols_agree_on_fresh_seed_block() {
     sweep(FRESH_SEEDS);
+}
+
+#[test]
+fn protocols_agree_on_fast_path_seed_block() {
+    sweep(FRESH_SEEDS_FAST_PATH);
 }

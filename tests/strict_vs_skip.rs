@@ -153,6 +153,39 @@ fn assert_identical_per_protocol(app: App, mp: bool) {
     }
 }
 
+/// Hard-coded cycle counts recorded from the implementation *before*
+/// the allocation-free memory-system fast path (flat directory table,
+/// pooled coherence transactions, O(1) MSHR, precomputed routes,
+/// lazily-drained completion bags) landed. The fast path's contract is
+/// bit-identity, not approximation: every data structure swap on the
+/// hot path must be observation-equivalent, so these exact numbers must
+/// keep reproducing forever. A divergence here means a "performance"
+/// change altered simulated timing — which is a correctness bug in this
+/// codebase, however plausible the new numbers look.
+#[test]
+fn fast_path_matches_seed_golden_cycles() {
+    let cycles = |scale: f64, shards: usize| {
+        let w = App::Fft.build(scale);
+        let nprocs = w.mp_procs.max(1);
+        let cfg = MachineConfig::base_simulated(nprocs, 64 * 1024);
+        let mut mem = w.memory(nprocs);
+        run_program_with(
+            &w.program,
+            &mut mem,
+            &cfg,
+            options(Stepper::Event, shards, Engine::Bytecode),
+        )
+        .cycles
+    };
+    // fft-mp under the event stepper, as recorded from the pre-fast-path
+    // tree (seed commit c928b48) and reverified after every hot-path
+    // data-structure change in the fast-path series.
+    assert_eq!(cycles(0.05, 1), 94_722, "fft-mp scale 0.05, 1 shard");
+    assert_eq!(cycles(0.05, 2), 94_722, "fft-mp scale 0.05, 2 shards");
+    assert_eq!(cycles(0.05, 4), 94_722, "fft-mp scale 0.05, 4 shards");
+    assert_eq!(cycles(0.1, 1), 207_640, "fft-mp scale 0.1, 1 shard");
+}
+
 #[test]
 fn latbench_steppers_agree() {
     // Pointer chase: the best case for skipping (window-full stalls on
